@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables at a
+reduced simulation scale (default 1/128; override with
+``REPRO_BENCH_SCALE=1/64`` etc.) and asserts the paper's qualitative
+shape before reporting.  Benchmarks are single-round by design: the
+measured quantity is the *simulated* outcome, not Python wall time, so
+repetition buys nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+
+import pytest
+
+
+def _env_fraction(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return float(Fraction(raw))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Simulation scale for benchmark runs."""
+    return _env_fraction("REPRO_BENCH_SCALE", 1 / 128)
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Seeded repetitions per configuration (paper methodology: 7)."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+
+
+def run_in_benchmark(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

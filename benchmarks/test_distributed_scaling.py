@@ -1,0 +1,66 @@
+"""DIST-SCALE — paper §VI future work: distributed training study.
+
+Weak-scaling of synchronous data-parallel LeNet on the 200 GiB dataset
+over a *shared* PFS, 1/2/4 nodes, plus the data-placement comparison the
+paper anticipates ("multiple nodes will need access to different data
+shards"): static sharding vs per-epoch reshuffling under MONARCH's
+no-eviction placement.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.data.imagenet import IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.dist_scenarios import run_distributed_once
+from repro.telemetry.report import format_table
+
+
+def test_distributed_scaling(benchmark, bench_scale, bench_runs):
+    calib = DEFAULT_CALIBRATION.busy()
+
+    def sweep():
+        out = {}
+        for setup in ("vanilla-lustre", "monarch"):
+            for n in (1, 2, 4):
+                out[(setup, n)] = run_distributed_once(
+                    setup, "lenet", IMAGENET_200G, n_nodes=n, policy="static",
+                    calib=calib, scale=bench_scale, seed=7,
+                )
+        out[("monarch-reshuffle", 2)] = run_distributed_once(
+            "monarch", "lenet", IMAGENET_200G, n_nodes=2, policy="reshuffle",
+            calib=calib, scale=bench_scale, seed=7,
+        )
+        return out
+
+    results = run_in_benchmark(benchmark, sweep)
+    rows = []
+    for (setup, n), rec in results.items():
+        rows.append((
+            setup, n,
+            f"{rec.epoch_times_s[0]:.0f}",
+            f"{rec.epoch_times_s[-1]:.0f}",
+            f"{rec.steady_hit_ratio:.0%}",
+            f"{rec.pfs_ops_per_epoch[-1] / 1e3:.0f}k",
+        ))
+    print()
+    print(format_table(
+        ["setup", "nodes", "epoch1 (s)", "steady epoch (s)", "tier hits", "steady PFS ops"],
+        rows,
+        title="DIST-SCALE: LeNet 200 GiB, shared PFS (paper §VI)",
+    ))
+
+    lustre = {n: results[("vanilla-lustre", n)] for n in (1, 2, 4)}
+    monarch = {n: results[("monarch", n)] for n in (1, 2, 4)}
+    # vanilla weak scaling is PFS-bound: 4 nodes nowhere near 4x
+    assert lustre[4].epoch_times_s[-1] > 0.5 * lustre[1].epoch_times_s[-1]
+    # with MONARCH + static shards, 2 nodes make the 200 GiB dataset fit
+    # the aggregate tier: steady-state PFS traffic collapses
+    assert monarch[2].steady_hit_ratio > 0.95
+    assert monarch[2].pfs_ops_per_epoch[-1] < 0.1 * lustre[2].pfs_ops_per_epoch[-1]
+    # and steady epochs now scale with nodes
+    assert monarch[4].epoch_times_s[-1] < 0.35 * monarch[1].epoch_times_s[-1]
+    # reshuffling defeats the no-eviction cache: hits and time degrade
+    reshuffle = results[("monarch-reshuffle", 2)]
+    assert reshuffle.steady_hit_ratio < monarch[2].steady_hit_ratio - 0.1
+    assert reshuffle.epoch_times_s[-1] > monarch[2].epoch_times_s[-1]

@@ -1,0 +1,39 @@
+"""FIG1 — paper Figure 1: motivation study.
+
+Per-epoch training time for {vanilla-lustre, vanilla-local,
+vanilla-caching} × {LeNet, AlexNet, ResNet-50} on the 100 GiB ImageNet
+preset.  Prints the same bars (as numbers) the paper plots and asserts the
+figure's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import PAPER_TOTALS_100G, fig1, render_grid
+
+
+def test_fig1_motivation(benchmark, bench_scale, bench_runs):
+    grid = run_in_benchmark(benchmark, lambda: fig1(scale=bench_scale, runs=bench_runs))
+    print()
+    print(render_grid(grid, PAPER_TOTALS_100G,
+                      "FIG1: motivation, 100 GiB ImageNet (paper Fig. 1)"))
+
+    # Fig. 1's claims, in order of appearance in §II-A:
+    for model in ("lenet", "alexnet"):
+        lustre = grid[(model, "vanilla-lustre")]
+        local = grid[(model, "vanilla-local")]
+        caching = grid[(model, "vanilla-caching")]
+        # local storage significantly reduces training time
+        assert local.total_mean < 0.9 * lustre.total_mean
+        # caching's first epoch is slower than lustre's (the extra copy)
+        assert caching.epoch_mean_std()[0][0] > lustre.epoch_mean_std()[0][0]
+        # caching's later epochs reach local-storage performance
+        assert caching.epoch_mean_std()[2][0] < 1.15 * local.epoch_mean_std()[2][0]
+    # LeNet: paper reports a 46% decrease lustre -> local
+    lenet_ratio = grid[("lenet", "vanilla-local")].total_mean / \
+        grid[("lenet", "vanilla-lustre")].total_mean
+    assert 0.40 < lenet_ratio < 0.65
+    # ResNet-50 is compute-bound: flat across setups
+    resnet = [grid[("resnet50", s)].total_mean
+              for s in ("vanilla-lustre", "vanilla-local", "vanilla-caching")]
+    assert max(resnet) / min(resnet) < 1.10

@@ -1,0 +1,35 @@
+"""FIG4 — paper Figure 4: MONARCH vs vanilla-lustre, 200 GiB dataset.
+
+The dataset exceeds the local tier (the paper's key scenario), so MONARCH
+fills the SSD partially and serves the rest from Lustre forever.  Asserts
+LeNet's ~24% total-time reduction, ResNet-50 flatness, and that AlexNet
+does not regress (see EXPERIMENTS.md for the AlexNet-magnitude deviation).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import PAPER_TOTALS_200G, fig4, render_grid
+
+
+def test_fig4_monarch_200g(benchmark, bench_scale, bench_runs):
+    grid = run_in_benchmark(benchmark, lambda: fig4(scale=bench_scale, runs=bench_runs))
+    print()
+    print(render_grid(grid, PAPER_TOTALS_200G,
+                      "FIG4: MONARCH vs vanilla-lustre, 200 GiB (paper Fig. 4)"))
+
+    # LeNet: paper 2842 -> 2155 s (24% reduction)
+    lenet_ratio = grid[("lenet", "monarch")].total_mean / \
+        grid[("lenet", "vanilla-lustre")].total_mean
+    assert 0.60 < lenet_ratio < 0.90, f"lenet ratio {lenet_ratio:.2f}"
+    # AlexNet: paper 3567 -> 3138 s (12%); direction must hold
+    alexnet_ratio = grid[("alexnet", "monarch")].total_mean / \
+        grid[("alexnet", "vanilla-lustre")].total_mean
+    assert alexnet_ratio < 1.03, f"alexnet ratio {alexnet_ratio:.2f}"
+    # ResNet-50 flat
+    resnet_ratio = grid[("resnet50", "monarch")].total_mean / \
+        grid[("resnet50", "vanilla-lustre")].total_mean
+    assert 0.9 < resnet_ratio < 1.1
+    # MONARCH's epochs 2-3 improve over its own epoch 1 (partial tier hits)
+    monarch_lenet = grid[("lenet", "monarch")].epoch_mean_std()
+    assert monarch_lenet[1][0] < monarch_lenet[0][0]

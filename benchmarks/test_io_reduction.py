@@ -1,0 +1,38 @@
+"""TAB-IO — paper §IV-A: I/O pressure on the PFS, 200 GiB dataset.
+
+Paper reference points: ~798,340 ops/epoch total; ~360,000 of them still
+reach Lustre per steady-state epoch with MONARCH; 55% average reduction
+over the whole workload (45% headline).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import io_reduction
+
+
+def test_io_reduction_200g(benchmark, bench_scale, bench_runs):
+    result = run_in_benchmark(
+        benchmark, lambda: io_reduction(scale=bench_scale, runs=bench_runs)
+    )
+    lustre = result["lustre_ops_per_epoch"]
+    monarch = result["monarch_ops_per_epoch"]
+    print()
+    print("TAB-IO: PFS I/O pressure, 200 GiB (paper §IV-A)")
+    print(f"  lustre  ops/epoch: {[f'{o / 1e3:.0f}k' for o in lustre]}")
+    print(f"  monarch ops/epoch: {[f'{o / 1e3:.0f}k' for o in monarch]}")
+    print(f"  steady-state ops to Lustre: {result['steady_epoch_ops'] / 1e3:.0f}k "
+          "(paper: ~360k of 798,340)")
+    print(f"  total reduction: {result['total_reduction_pct']:.0f}% (paper: 55% average)")
+
+    # absolute per-epoch op magnitude ~ 798,340
+    assert 6e5 < lustre[0] < 1.1e6
+    # steady-state fraction: ~360k / 798k ~ 45%
+    frac = result["steady_epoch_ops"] / lustre[-1]
+    assert 0.30 < frac < 0.55
+    # total reduction near the paper's 55% average
+    assert 40 < result["total_reduction_pct"] < 65
+    # lustre baseline is flat across epochs (full dataset every epoch)
+    assert max(lustre) / min(lustre) < 1.02
+    # monarch epoch 1 (placement) sends more ops than steady state
+    assert monarch[0] > monarch[-1]

@@ -1,0 +1,26 @@
+"""TAB-META — paper §IV-A: metadata-container initialization time.
+
+The ephemeral namespace is built by traversing the dataset directory on
+the PFS (one listing, one stat per shard).  Paper: ~13 s for the 100 GiB
+dataset, ~52 s for the 200 GiB one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import metadata_init
+
+
+def test_metadata_init_times(benchmark, bench_scale, bench_runs):
+    result = run_in_benchmark(
+        benchmark, lambda: metadata_init(scale=bench_scale, runs=bench_runs)
+    )
+    print()
+    print("TAB-META: metadata-container initialization (paper §IV-A)")
+    print(f"  100 GiB: {result['init_100g_s']:.1f} s (paper ~13 s)")
+    print(f"  200 GiB: {result['init_200g_s']:.1f} s (paper ~52 s)")
+
+    # magnitudes near the paper's, and the larger namespace costs more
+    assert 6 < result["init_100g_s"] < 25
+    assert 15 < result["init_200g_s"] < 80
+    assert result["init_200g_s"] > 1.5 * result["init_100g_s"]

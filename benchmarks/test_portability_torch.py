@@ -1,0 +1,72 @@
+"""PORT-TORCH — paper §VI: portability to a PyTorch-style framework.
+
+The paper's future work: "we are integrating our system with PyTorch,
+which is an important step to validate MONARCH's portability."  This
+benchmark runs the second framework substrate — a map-style loose-file
+dataset behind a worker-parallel DataLoader — against both readers, and
+also quantifies §I's motivation for record formats (loose files pay one
+MDS round trip per sample per epoch).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.runner import run_once
+from repro.experiments.torch_scenarios import run_torch_once
+from repro.telemetry.report import format_table
+
+
+def test_portability_pytorch_style(benchmark, bench_scale, bench_runs):
+    def sweep():
+        vanilla = [run_torch_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                                  scale=bench_scale, seed=100 + i)
+                   for i in range(bench_runs)]
+        monarch = [run_torch_once("monarch", "lenet", IMAGENET_100G,
+                                  scale=bench_scale, seed=100 + i)
+                   for i in range(bench_runs)]
+        shards = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                          scale=bench_scale, seed=100)
+        return vanilla, monarch, shards
+
+    vanilla, monarch, shards = run_in_benchmark(benchmark, sweep)
+
+    def mean(xs):
+        return sum(xs) / len(xs)
+
+    v_epoch = mean([r.epoch_times_s[0] for r in vanilla])
+    v_total = mean([r.total_time_s for r in vanilla])
+    m_steady = mean([r.epoch_times_s[-1] for r in monarch])
+    m_total = mean([r.total_time_s for r in monarch])
+    m_init = mean([r.init_time_s for r in monarch])
+    rows = [
+        ("loose files, vanilla", f"{v_epoch:.0f}", f"{v_total:.0f}", "-"),
+        ("loose files, monarch", f"{mean([r.epoch_times_s[0] for r in monarch]):.0f}",
+         f"{m_total:.0f}", f"{m_init:.0f}"),
+        ("TFRecords, vanilla", f"{shards.epoch_times_s[0]:.0f}",
+         f"{shards.total_time_s:.0f}", "-"),
+    ]
+    print()
+    print(format_table(
+        ["configuration", "epoch1 (s)", "3-epoch total (s)", "init (s)"],
+        rows,
+        title="PORT-TORCH: PyTorch-style loader, LeNet 100 GiB (paper §VI / §I)",
+    ))
+    per_epoch_saving = v_epoch - m_steady
+    breakeven = m_init / per_epoch_saving + 1
+    print(f"  monarch init amortizes after ~{breakeven:.1f} epochs "
+          f"(ImageNet jobs run 90+)")
+
+    # §I motivation: loose files are far slower than record shards on the
+    # PFS (per-sample metadata round trips dominate)
+    assert v_epoch > 2 * shards.epoch_times_s[0]
+    # portability: MONARCH, unchanged, absorbs the per-sample opens —
+    # steady-state epochs collapse
+    assert m_steady < 0.5 * v_epoch
+    for r in monarch:
+        assert r.pfs_ops_per_epoch[1] == 0
+        assert r.pfs_ops_per_epoch[2] == 0
+    # honest cost: the per-file namespace makes init huge; it only
+    # amortizes over enough epochs
+    assert m_init > per_epoch_saving  # more than one epoch's savings
+    assert breakeven < 20  # but well within a real training job

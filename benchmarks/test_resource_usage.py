@@ -1,0 +1,54 @@
+"""TAB-RU — the paper's resource-usage prose tables (§II-A and §IV-B).
+
+Regenerates average CPU %, GPU % and memory GiB per model × setup for
+both the motivation grid (100 GiB, baselines only) and the evaluation
+grids (MONARCH included; 200 GiB busy regime), asserting the qualitative
+statements the paper makes about them.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import fig3, fig4, render_resource_usage
+
+
+def test_eval_resource_usage_100g(benchmark, bench_scale, bench_runs):
+    grid = run_in_benchmark(benchmark, lambda: fig3(scale=bench_scale, runs=bench_runs))
+    print()
+    print(render_resource_usage(grid, "TAB-RU (100 GiB, paper §II-A/§IV-B)"))
+
+    for model in ("lenet", "alexnet"):
+        lustre = grid[(model, "vanilla-lustre")]
+        local = grid[(model, "vanilla-local")]
+        monarch = grid[(model, "monarch")]
+        # paper: faster storage => CPU and GPU used more efficiently
+        assert local.cpu_percent > lustre.cpu_percent
+        assert local.gpu_percent > lustre.gpu_percent
+        # paper: MONARCH second only to vanilla-local
+        assert lustre.gpu_percent < monarch.gpu_percent <= local.gpu_percent * 1.05
+    # ResNet-50: ~10% CPU / ~90% GPU in every setup
+    for setup in ("vanilla-lustre", "vanilla-local", "monarch"):
+        resnet = grid[("resnet50", setup)]
+        assert resnet.cpu_percent < 20
+        assert resnet.gpu_percent > 75
+    # memory flat near 10 GiB everywhere
+    for res in grid.values():
+        assert 9.0 < res.memory_gib < 11.5
+
+
+def test_eval_resource_usage_200g(benchmark, bench_scale, bench_runs):
+    grid = run_in_benchmark(benchmark, lambda: fig4(scale=bench_scale, runs=bench_runs))
+    print()
+    print(render_resource_usage(grid, "TAB-RU (200 GiB, paper §IV-B)"))
+
+    # paper: MONARCH increases CPU and GPU efficiency vs vanilla-lustre
+    for model in ("lenet", "alexnet"):
+        lustre = grid[(model, "vanilla-lustre")]
+        monarch = grid[(model, "monarch")]
+        assert monarch.gpu_percent >= lustre.gpu_percent
+        assert monarch.cpu_percent >= 0.9 * lustre.cpu_percent
+    # ResNet: both setups ~9-11% CPU, ~90% GPU
+    for setup in ("vanilla-lustre", "monarch"):
+        resnet = grid[("resnet50", setup)]
+        assert resnet.cpu_percent < 20
+        assert resnet.gpu_percent > 75

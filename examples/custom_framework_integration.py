@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""The "6 lines of code" integration, demonstrated on a custom framework.
+
+The paper integrates MONARCH into TensorFlow by building a storage driver
+whose ``pread`` calls ``Monarch.read(filename, offset, size)`` — six
+changed lines.  Our framework-agnostic analogue is the
+:class:`repro.framework.io_layer.DataReader` interface: any training loop
+written against it gains MONARCH by swapping one constructor argument.
+
+This example writes a *new*, deliberately minimal epoch loop (not the
+bundled pipeline) against DataReader, runs it twice — once with the
+vanilla POSIX reader and once with MONARCH — and diffs the epoch times.
+The training loop itself is byte-for-byte identical in both runs.
+
+Run:  python examples/custom_framework_integration.py
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.core import Monarch, MonarchConfig, MonarchReader, TierSpec
+from repro.data import DatasetSpec, SampleSizeModel, build_shards, materialize
+from repro.framework.io_layer import DataReader, PosixReader
+from repro.simkernel import Simulator
+from repro.storage import Device, LocalFileSystem, MountTable, ParallelFileSystem, SATA_SSD
+from repro.storage.blockmath import KIB, MIB
+from repro.storage.interference import ConstantInterference
+
+
+def naive_epoch(sim: Simulator, reader: DataReader, paths: list[str],
+                chunk: int = 256 * KIB) -> Generator[Any, Any, float]:
+    """A bare-bones epoch: read every shard front to back, no pipelining.
+
+    Written once, against the DataReader interface only — this function
+    never changes between the vanilla and the MONARCH run.
+    """
+    t0 = sim.now
+    for path in paths:
+        f = yield from reader.open(path)
+        pos = 0
+        while pos < f.size:
+            n = yield from reader.pread(f, pos, chunk)
+            if n == 0:
+                break
+            pos += n
+        reader.close(f)
+    return sim.now - t0
+
+
+def build_world():
+    sim = Simulator()
+    pfs = ParallelFileSystem(sim, interference=ConstantInterference(0.7))
+    spec = DatasetSpec(
+        name="custom",
+        n_samples=800,
+        size_model=SampleSizeModel(mean_bytes=96 * KIB, sigma=0.2),
+        shard_target_bytes=8 * MIB,
+    )
+    paths = materialize(build_shards(spec), pfs, "/dataset")
+    local = LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=512 * MIB)
+    mounts = MountTable()
+    mounts.mount("/mnt/pfs", pfs)
+    mounts.mount("/mnt/ssd", local)
+    return sim, mounts, pfs, ["/mnt/pfs" + p for p in paths]
+
+
+def run_epochs(reader_factory, label: str, epochs: int = 3) -> list[float]:
+    sim, mounts, pfs, paths = build_world()
+    reader, setup_gen = reader_factory(sim, mounts)
+    times: list[float] = []
+
+    def job():
+        if setup_gen is not None:
+            yield from setup_gen
+        for _ in range(epochs):
+            elapsed = yield from naive_epoch(sim, reader, paths)
+            times.append(elapsed)
+
+    sim.run(sim.spawn(job()))
+    print(f"{label:22s} epochs: " + "  ".join(f"{t:7.2f}s" for t in times)
+          + f"   (PFS ops: {pfs.stats.snapshot().total_ops})")
+    return times
+
+
+def main() -> None:
+    # vanilla: the framework reads straight through the mount table
+    run_epochs(lambda sim, mounts: (PosixReader(mounts), None), "posix (vanilla)")
+
+    # MONARCH: *the only change* — construct the middleware and hand the
+    # loop a MonarchReader instead of the PosixReader.
+    def monarch_factory(sim, mounts):
+        monarch = Monarch(
+            sim,
+            MonarchConfig(
+                tiers=(TierSpec(mount_point="/mnt/ssd"),
+                       TierSpec(mount_point="/mnt/pfs")),
+                dataset_dir="/dataset",
+            ),
+            mounts,
+        )
+        return MonarchReader(monarch), monarch.initialize()
+
+    run_epochs(monarch_factory, "monarch (same loop)")
+    print()
+    print("The epoch loop (naive_epoch) is identical in both runs — the swap"
+          " is one constructor argument, the reproduction's analogue of the"
+          " paper's 6-line TensorFlow driver change.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Distributed data-parallel training over a shared PFS (paper §VI).
+
+Sweeps node counts for LeNet on the 200 GiB dataset and contrasts the two
+data-placement policies the paper's future-work paragraph anticipates:
+static sharding (each node's tier converges to its slice) versus per-epoch
+reshuffling (unbiased sampling, but it starves a no-eviction cache).
+
+Run:  python examples/distributed_training.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+
+from repro.data import IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.dist_scenarios import run_distributed_once
+from repro.telemetry.report import format_table
+
+
+def main() -> None:
+    scale = float(Fraction(sys.argv[1])) if len(sys.argv) > 1 else 1 / 512
+    calib = DEFAULT_CALIBRATION.busy()
+    print(f"LeNet, 200 GiB ImageNet, shared Lustre, scale {scale:g} "
+          "(unscaled seconds)\n")
+
+    rows = []
+    for setup in ("vanilla-lustre", "monarch"):
+        for n in (1, 2, 4):
+            rec = run_distributed_once(setup, "lenet", IMAGENET_200G,
+                                       n_nodes=n, policy="static",
+                                       calib=calib, scale=scale, seed=7)
+            rows.append((setup, n, "static",
+                         f"{rec.epoch_times_s[0]:.0f}",
+                         f"{rec.epoch_times_s[-1]:.0f}",
+                         f"{rec.steady_hit_ratio:.0%}"))
+    rec = run_distributed_once("monarch", "lenet", IMAGENET_200G,
+                               n_nodes=2, policy="reshuffle",
+                               calib=calib, scale=scale, seed=7)
+    rows.append(("monarch", 2, "reshuffle",
+                 f"{rec.epoch_times_s[0]:.0f}",
+                 f"{rec.epoch_times_s[-1]:.0f}",
+                 f"{rec.steady_hit_ratio:.0%}"))
+
+    print(format_table(
+        ["setup", "nodes", "partition", "epoch1 (s)", "steady epoch (s)", "tier hits"],
+        rows,
+        title="Weak scaling + data placement (paper §VI future work)",
+    ))
+    print()
+    print("Reading the table:")
+    print("  * vanilla-lustre barely scales — every node hits the same shared PFS;")
+    print("  * MONARCH + static shards: at 2 nodes the 200 GiB dataset fits the")
+    print("    aggregate local tier, steady epochs scale ~linearly and the PFS")
+    print("    falls silent after epoch 1;")
+    print("  * per-epoch reshuffling (what unbiased global sampling wants)")
+    print("    starves the no-eviction cache — the open data-placement question")
+    print("    the paper's future work calls out.")
+
+
+if __name__ == "__main__":
+    main()

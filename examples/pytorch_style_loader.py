@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Portability study: MONARCH under a PyTorch-style DataLoader (paper §VI).
+
+Runs the same bytes two ways — as loose per-sample files behind a
+map-style DataLoader (the PyTorch idiom) and as TFRecord shards behind
+the tf.data-style pipeline — with and without MONARCH, and prints what
+each access pattern costs on a shared PFS.
+
+Run:  python examples/pytorch_style_loader.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+
+from repro.data import IMAGENET_100G
+from repro.experiments.runner import run_once
+from repro.experiments.torch_scenarios import run_torch_once
+from repro.telemetry.report import format_table
+
+
+def main() -> None:
+    scale = float(Fraction(sys.argv[1])) if len(sys.argv) > 1 else 1 / 512
+    print(f"LeNet on 100 GiB ImageNet at scale {scale:g} — unscaled numbers\n")
+
+    loose_vanilla = run_torch_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                                   scale=scale, seed=11)
+    loose_monarch = run_torch_once("monarch", "lenet", IMAGENET_100G,
+                                   scale=scale, seed=11)
+    shard_vanilla = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                             scale=scale, seed=11)
+    shard_monarch = run_once("monarch", "lenet", IMAGENET_100G,
+                             scale=scale, seed=11)
+
+    def row(name, rec):
+        return (name,
+                *[f"{t:.0f}" for t in rec.epoch_times_s],
+                f"{rec.total_time_s:.0f}",
+                f"{rec.init_time_s:.0f}" if rec.init_time_s else "-",
+                f"{rec.pfs_ops_per_epoch[0] / 1e3:.0f}k")
+
+    print(format_table(
+        ["configuration", "epoch1", "epoch2", "epoch3", "total (s)",
+         "init (s)", "PFS ops e1"],
+        [
+            row("loose files / vanilla", loose_vanilla),
+            row("loose files / monarch", loose_monarch),
+            row("TFRecords   / vanilla", shard_vanilla),
+            row("TFRecords   / monarch", shard_monarch),
+        ],
+        title="PyTorch-style loader vs tf.data-style pipeline",
+    ))
+
+    saving = loose_vanilla.epoch_times_s[-1] - loose_monarch.epoch_times_s[-1]
+    breakeven = loose_monarch.init_time_s / saving + 1
+    print()
+    print("Findings (paper §I + §VI):")
+    print(f"  * loose files pay one MDS round trip per sample per epoch: "
+          f"{loose_vanilla.epoch_times_s[0] / shard_vanilla.epoch_times_s[0]:.1f}x "
+          "slower than TFRecords on the shared PFS")
+    print("  * MONARCH needs zero changes to support the second framework "
+          "(same DataReader interface) and eliminates steady-state PFS traffic")
+    print(f"  * but its per-file namespace makes startup traversal cost "
+          f"{loose_monarch.init_time_s:.0f} s here — it amortizes after "
+          f"~{breakeven:.1f} epochs (a real ImageNet job runs 90+)")
+
+
+if __name__ == "__main__":
+    main()

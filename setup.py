@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline env lacks `wheel`)."""
+
+from setuptools import setup
+
+setup()

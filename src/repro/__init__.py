@@ -1,0 +1,43 @@
+"""MONARCH reproduction: hierarchical storage management for DL frameworks.
+
+A from-scratch Python reproduction of *MONARCH: Hierarchical Storage
+Management for Deep Learning Frameworks* (Dantas et al., IEEE CLUSTER
+2021), built on a deterministic discrete-event simulation of an HPC
+compute node: a Lustre-like parallel file system with cross-job
+interference, a node-local SSD, and a tf.data-like input pipeline feeding
+synchronous multi-GPU training.
+
+Public surface:
+
+* :mod:`repro.core` — the MONARCH middleware (storage hierarchy, placement
+  handler, metadata container, ``Monarch.read``).
+* :mod:`repro.framework` — the mini-DL-framework substrate and the 6-LoC
+  style integration point (``DataReader``).
+* :mod:`repro.storage` — simulated storage backends.
+* :mod:`repro.data` — record format and dataset presets.
+* :mod:`repro.experiments` — the paper's evaluation, regenerated.
+* :mod:`repro.simkernel` — the simulation engine everything runs on.
+
+Quickstart::
+
+    from repro.experiments import run_once
+    from repro.data import IMAGENET_100G
+
+    record = run_once("monarch", "lenet", IMAGENET_100G, scale=1 / 256)
+    print(record.epoch_times_s)  # paper-equivalent seconds, 3 epochs
+"""
+
+from repro.core import Monarch, MonarchConfig, MonarchReader, TierSpec
+from repro.experiments import run_experiment, run_once
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Monarch",
+    "MonarchConfig",
+    "MonarchReader",
+    "TierSpec",
+    "run_experiment",
+    "run_once",
+    "__version__",
+]

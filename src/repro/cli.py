@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro.cli <subcommand>``.
+
+Subcommands:
+
+* ``run`` — one seeded single-node experiment (any setup × model ×
+  dataset), printing per-epoch times and I/O counters in paper units.
+* ``figures`` — regenerate a paper artifact (delegates to
+  :mod:`repro.experiments.figures`).
+* ``dist`` — one distributed run (§VI future work).
+* ``torch`` — one PyTorch-style loose-file run (§VI portability).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.telemetry.report import format_table
+
+__all__ = ["main"]
+
+DATASETS = {"100g": IMAGENET_100G, "200g": IMAGENET_200G}
+
+
+def _fraction(raw: str) -> float:
+    return float(Fraction(raw))
+
+
+def _calib(dataset_key: str, busy: bool | None):
+    """Pick the interference regime: the paper's 200 GiB runs were busier."""
+    use_busy = busy if busy is not None else dataset_key == "200g"
+    return DEFAULT_CALIBRATION.busy() if use_busy else DEFAULT_CALIBRATION
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_once
+
+    rec = run_once(
+        args.setup, args.model, DATASETS[args.dataset],
+        calib=_calib(args.dataset, args.busy),
+        scale=args.scale, seed=args.seed, epochs=args.epochs,
+    )
+    rows = [
+        (i + 1, f"{t:.0f}", f"{c * 100:.0f}%", f"{g * 100:.0f}%",
+         f"{o / 1e3:.0f}k")
+        for i, (t, c, g, o) in enumerate(zip(
+            rec.epoch_times_s, rec.cpu_utilization, rec.gpu_utilization,
+            rec.pfs_ops_per_epoch))
+    ]
+    print(format_table(
+        ["epoch", "time (s)", "cpu", "gpu", "PFS ops"],
+        rows,
+        title=f"{args.setup} / {args.model} / {args.dataset} "
+              f"(scale {args.scale:g}, seed {args.seed})",
+    ))
+    print(f"total {rec.total_time_s:.0f} s"
+          + (f", init {rec.init_time_s:.0f} s" if rec.init_time_s else "")
+          + f", memory ~{rec.memory_gib:.1f} GiB")
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.experiments.dist_scenarios import run_distributed_once
+
+    rec = run_distributed_once(
+        args.setup, args.model, DATASETS[args.dataset],
+        n_nodes=args.nodes, policy=args.policy,
+        calib=_calib(args.dataset, args.busy),
+        scale=args.scale, seed=args.seed, epochs=args.epochs,
+    )
+    rows = [
+        (i + 1, f"{t:.0f}", f"{h:.0%}", f"{o / 1e3:.0f}k")
+        for i, (t, h, o) in enumerate(zip(
+            rec.epoch_times_s, rec.tier_hit_ratio_per_epoch,
+            rec.pfs_ops_per_epoch))
+    ]
+    print(format_table(
+        ["epoch", "time (s)", "tier hits", "PFS ops"],
+        rows,
+        title=f"distributed {args.setup} / {args.model} / {args.dataset} "
+              f"N={args.nodes} partition={args.policy}",
+    ))
+    print(f"total {rec.total_time_s:.0f} s"
+          + (f", init {rec.init_time_s:.0f} s" if rec.init_time_s else ""))
+    return 0
+
+
+def _cmd_torch(args: argparse.Namespace) -> int:
+    from repro.experiments.torch_scenarios import run_torch_once
+
+    rec = run_torch_once(
+        args.setup, args.model, DATASETS[args.dataset],
+        calib=_calib(args.dataset, args.busy),
+        scale=args.scale, seed=args.seed, epochs=args.epochs,
+    )
+    rows = [
+        (i + 1, f"{t:.0f}", f"{o / 1e3:.0f}k")
+        for i, (t, o) in enumerate(zip(rec.epoch_times_s, rec.pfs_ops_per_epoch))
+    ]
+    print(format_table(
+        ["epoch", "time (s)", "PFS ops"],
+        rows,
+        title=f"torch-style {args.setup} / {args.model} / {args.dataset}",
+    ))
+    print(f"total {rec.total_time_s:.0f} s"
+          + (f", init {rec.init_time_s:.0f} s" if rec.init_time_s else ""))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    return figures.main([args.artifact, "--scale", str(args.scale),
+                         "--runs", str(args.runs)])
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", default="lenet",
+                   choices=["lenet", "alexnet", "resnet50"])
+    p.add_argument("--dataset", default="100g", choices=sorted(DATASETS))
+    p.add_argument("--scale", type=_fraction, default=1 / 256,
+                   help="simulation scale, e.g. 1/128")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--busy", action="store_true", default=None,
+                   help="force the heavy-contention regime")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MONARCH reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="one single-node experiment")
+    p_run.add_argument("setup", choices=["vanilla-lustre", "vanilla-local",
+                                         "vanilla-caching", "monarch"])
+    _add_common(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_dist = sub.add_parser("dist", help="one distributed run (§VI)")
+    p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch"])
+    p_dist.add_argument("--nodes", type=int, default=2)
+    p_dist.add_argument("--policy", default="static",
+                        choices=["static", "reshuffle"])
+    _add_common(p_dist)
+    p_dist.set_defaults(fn=_cmd_dist)
+
+    p_torch = sub.add_parser("torch", help="one loose-file run (§VI)")
+    p_torch.add_argument("setup", choices=["vanilla-lustre", "monarch"])
+    _add_common(p_torch)
+    p_torch.set_defaults(fn=_cmd_torch)
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
+    p_fig.add_argument("artifact",
+                       choices=["fig1", "fig3", "fig4", "io", "meta",
+                                "usage", "all"])
+    p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
+    p_fig.add_argument("--runs", type=int, default=3)
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

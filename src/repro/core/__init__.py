@@ -1,0 +1,55 @@
+"""MONARCH — the paper's contribution: hierarchical storage middleware.
+
+The middleware sits between the DL framework and a hierarchy of storage
+backends, and is organized exactly as the paper's Figure 2:
+
+* :mod:`~repro.core.hierarchy` + :mod:`~repro.core.driver` — the *storage
+  hierarchy* module: ordered tiers, each wrapped by a storage driver
+  exposing its mount path, quota and occupancy; the last tier is the
+  read-only PFS holding the full dataset.
+* :mod:`~repro.core.placement` — the *placement handler*: first-fit
+  descending data placement at runtime, executed by a background thread
+  pool that copies files from the PFS tier upward, including the
+  full-file-fetch-on-partial-read optimization for large record files.
+* :mod:`~repro.core.metadata` — the *metadata container*: an ephemeral
+  virtual namespace (name, size, current tier per file) built by
+  traversing the dataset directory at startup.
+* :mod:`~repro.core.middleware` — the :class:`Monarch` facade tying the
+  modules together and exposing the custom ``read(filename, offset,
+  size)`` operation, plus :class:`MonarchReader`, the 6-LoC-style
+  framework integration.
+"""
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.driver import LocalDriver, PFSDriver, StorageDriver
+from repro.core.hierarchy import StorageHierarchy
+from repro.core.metadata import FileInfo, FileState, MetadataContainer
+from repro.core.middleware import Monarch, MonarchReader
+from repro.core.placement import (
+    EvictionPolicy,
+    FifoEviction,
+    LruEviction,
+    NoEviction,
+    PlacementHandler,
+    RandomEviction,
+)
+
+__all__ = [
+    "EvictionPolicy",
+    "FifoEviction",
+    "FileInfo",
+    "FileState",
+    "LocalDriver",
+    "LruEviction",
+    "MetadataContainer",
+    "Monarch",
+    "MonarchConfig",
+    "MonarchReader",
+    "NoEviction",
+    "PFSDriver",
+    "PlacementHandler",
+    "RandomEviction",
+    "StorageDriver",
+    "StorageHierarchy",
+    "TierSpec",
+]

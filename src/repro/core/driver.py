@@ -1,0 +1,150 @@
+"""Storage drivers: the per-tier I/O abstraction (paper §III-A).
+
+Each tier of the hierarchy is represented by a *storage driver*, "an
+object that abstracts the I/O logic performed under a given storage
+backend" and carries its governing properties — mount path and storage
+quota/occupancy.  Two concrete drivers cover the paper's setups:
+
+* :class:`LocalDriver` — read-write tier on a node-local file system,
+  starting empty, with quota-aware occupancy accounting.
+* :class:`PFSDriver` — the read-only last tier (Lustre) that owns the
+  dataset.
+
+Drivers keep per-file open handles cached so repeated reads of a cached
+file do not pay a metadata round trip each time — mirroring the C++
+prototype, which holds descriptors in its lookup tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.storage.base import FileHandle, FileSystem, NoSpaceError
+
+__all__ = ["LocalDriver", "PFSDriver", "StorageDriver"]
+
+
+class StorageDriver:
+    """Abstract I/O logic + state of one storage tier."""
+
+    def __init__(self, fs: FileSystem, mount_point: str, quota_bytes: int | None) -> None:
+        self.fs = fs
+        self.mount_point = mount_point.rstrip("/") or "/"
+        cap = fs.capacity_bytes
+        if quota_bytes is None:
+            self._quota = cap  # may be None for unbounded backends
+        else:
+            self._quota = quota_bytes if cap is None else min(quota_bytes, cap)
+        self._handles: dict[str, FileHandle] = {}
+
+    # -- properties governing the backend (paper: path, quota, occupancy) --
+    @property
+    def quota_bytes(self) -> int | None:
+        """Capacity MONARCH may use on this tier (None = unbounded)."""
+        return self._quota
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently stored on the backend."""
+        return self.fs.used_bytes
+
+    def free_bytes(self) -> int | None:
+        """Remaining quota (None = unbounded)."""
+        if self._quota is None:
+            return None
+        return self._quota - self.fs.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more would stay within quota."""
+        free = self.free_bytes()
+        return free is None or nbytes <= free
+
+    @property
+    def writable(self) -> bool:
+        """Read-write tiers accept placements; the PFS tier does not."""
+        return True
+
+    # -- path mapping -----------------------------------------------------
+    def local_path(self, name: str) -> str:
+        """Backend-relative path where ``name`` lives on this tier."""
+        return "/" + name.lstrip("/")
+
+    def has(self, name: str) -> bool:
+        """Whether this tier currently holds ``name``."""
+        return self.fs.exists(self.local_path(name))
+
+    # -- I/O ---------------------------------------------------------------
+    def _handle_for(self, name: str, flags: str = "r") -> Generator[Any, Any, FileHandle]:
+        key = self.local_path(name)
+        handle = self._handles.get(key)
+        if handle is None or (flags != "r" and handle.flags == "r"):
+            handle = yield from self.fs.open(key, flags)
+            self._handles[key] = handle
+        return handle
+
+    def read(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Timed read of ``name`` from this tier."""
+        handle = yield from self._handle_for(name)
+        n = yield from self.fs.pread(handle, offset, nbytes)
+        return n
+
+    def write(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Timed write; raises :class:`NoSpaceError` beyond the quota."""
+        if not self.fits(max(0, offset + nbytes - (self.fs.file_size(self.local_path(name)) if self.has(name) else 0))):
+            raise NoSpaceError(f"tier {self.mount_point}: quota exceeded for {name}")
+        handle = yield from self._handle_for(name, "a")
+        n = yield from self.fs.pwrite(handle, offset, nbytes)
+        return n
+
+    def remove(self, name: str) -> None:
+        """Drop ``name`` from this tier (eviction ablations, cleanup)."""
+        key = self.local_path(name)
+        self._handles.pop(key, None)
+        self.fs.unlink(key)
+
+    def drop_handles(self) -> None:
+        """Forget cached handles (job teardown)."""
+        self._handles.clear()
+
+
+class LocalDriver(StorageDriver):
+    """Read-write tier on node-local storage; starts empty (paper §III-A)."""
+
+
+class PFSDriver(StorageDriver):
+    """The read-only last tier: holds the full dataset, never written."""
+
+    @property
+    def writable(self) -> bool:
+        return False
+
+    def read_sequential(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Streaming read used by background full-file fetches.
+
+        Marked sequential so the PFS model serves it at full aggregate
+        bandwidth (striped readahead), which the framework's scattered
+        chunk reads do not get.
+        """
+        handle = yield from self._handle_for(name)
+        fs = self.fs
+        pread = getattr(fs, "pread")
+        try:
+            n = yield from pread(handle, offset, nbytes, sequential=True)
+        except TypeError:
+            n = yield from pread(handle, offset, nbytes)
+        return n
+
+    def write(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        raise PermissionError("the PFS tier is a read-only data source")
+        yield  # pragma: no cover - makes this a generator for interface parity
+
+    def listdir(self, directory: str) -> Generator[Any, Any, list[str]]:
+        """Timed dataset-directory listing (metadata-container init)."""
+        entries = yield from self.fs.listdir(directory)
+        return entries
+
+    def stat(self, path: str) -> Generator[Any, Any, Any]:
+        """Timed stat (metadata-container init)."""
+        meta = yield from self.fs.stat(path)
+        return meta

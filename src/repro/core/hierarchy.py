@@ -1,0 +1,86 @@
+"""Storage hierarchy: the ordered tier stack (paper §III-A).
+
+Tiers are configured by the system designer in descending order of
+preference (performance, in this paper) and each is wrapped by a
+:class:`~repro.core.driver.StorageDriver`.  Every level except the last
+starts empty and is read-write; the last level is the read-only PFS that
+holds the full dataset.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MonarchConfig
+from repro.core.driver import LocalDriver, PFSDriver, StorageDriver
+from repro.storage.vfs import MountTable
+
+__all__ = ["StorageHierarchy"]
+
+
+class StorageHierarchy:
+    """Ordered stack of storage drivers, level 0 fastest, last = PFS."""
+
+    def __init__(self, drivers: list[StorageDriver]) -> None:
+        if len(drivers) < 2:
+            raise ValueError("hierarchy needs at least two levels")
+        for d in drivers[:-1]:
+            if not d.writable:
+                raise ValueError("every level above the last must be read-write")
+        if drivers[-1].writable:
+            raise ValueError("the last level must be the read-only PFS driver")
+        self._drivers = list(drivers)
+
+    @classmethod
+    def from_config(cls, config: MonarchConfig, mounts: MountTable) -> "StorageHierarchy":
+        """Build drivers for each configured tier from the mount table."""
+        drivers: list[StorageDriver] = []
+        specs = config.tiers
+        for i, spec in enumerate(specs):
+            fs, _rel = mounts.resolve(spec.mount_point)
+            if i == len(specs) - 1:
+                drivers.append(PFSDriver(fs, spec.mount_point, spec.quota_bytes))
+            else:
+                drivers.append(LocalDriver(fs, spec.mount_point, spec.quota_bytes))
+        return cls(drivers)
+
+    def __len__(self) -> int:
+        return len(self._drivers)
+
+    def __getitem__(self, level: int) -> StorageDriver:
+        return self._drivers[level]
+
+    @property
+    def pfs_level(self) -> int:
+        """Index of the last (PFS) level."""
+        return len(self._drivers) - 1
+
+    @property
+    def pfs(self) -> PFSDriver:
+        """The read-only data-source driver."""
+        driver = self._drivers[-1]
+        assert isinstance(driver, PFSDriver)
+        return driver
+
+    def upper_levels(self) -> list[tuple[int, StorageDriver]]:
+        """(level, driver) for every read-write tier, fastest first."""
+        return list(enumerate(self._drivers[:-1]))
+
+    def first_fit(self, nbytes: int) -> int | None:
+        """Paper's placement policy: first level (descending) that fits.
+
+        Returns the level index, or ``None`` when every read-write tier is
+        full — at which point the file is served from the PFS for the rest
+        of the job (no evictions by default).
+        """
+        for level, driver in self.upper_levels():
+            if driver.fits(nbytes):
+                return level
+        return None
+
+    def total_upper_free(self) -> int:
+        """Free bytes summed over the read-write tiers."""
+        total = 0
+        for _level, driver in self.upper_levels():
+            free = driver.free_bytes()
+            if free is not None:
+                total += max(0, free)
+        return total

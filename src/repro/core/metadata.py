@@ -1,0 +1,112 @@
+"""Metadata container: MONARCH's ephemeral virtual namespace (paper §III-A).
+
+Holds one :class:`FileInfo` per dataset file — size, name, and current
+location (storage tier) — populated at job start by traversing the dataset
+directory on the PFS (one listing plus one ``stat`` per file, each paying
+an MDS round trip; this is the 13 s / 52 s initialization phase the paper
+reports), updated during the run, and discarded at job end.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.driver import PFSDriver
+
+__all__ = ["FileInfo", "FileState", "MetadataContainer"]
+
+
+class FileState(enum.Enum):
+    """Placement lifecycle of one dataset file."""
+
+    #: only on the PFS; a placement may still be scheduled for it
+    PFS_ONLY = "pfs-only"
+    #: a background copy to an upper tier is queued or in flight
+    COPYING = "copying"
+    #: resident on an upper tier; reads are served from there
+    CACHED = "cached"
+    #: no upper tier had room; permanently served from the PFS this job
+    UNPLACEABLE = "unplaceable"
+
+
+@dataclass
+class FileInfo:
+    """Virtual-namespace entry for one dataset file."""
+
+    name: str  #: hierarchy-wide logical name (PFS-relative path)
+    size: int
+    level: int  #: current tier index (last level = the PFS)
+    state: FileState = FileState.PFS_ONLY
+    #: tier the in-flight copy targets, while state is COPYING
+    pending_level: int | None = None
+
+
+class MetadataContainer:
+    """The virtual namespace over the whole storage hierarchy."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileInfo] = {}
+        self.init_time_s: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def lookup(self, name: str) -> FileInfo:
+        """The :class:`FileInfo` for ``name`` (KeyError if unknown)."""
+        return self._files[name]
+
+    def get(self, name: str) -> FileInfo | None:
+        """Like :meth:`lookup` but returns ``None`` when unknown."""
+        return self._files.get(name)
+
+    def files(self) -> list[FileInfo]:
+        """All entries, in name order."""
+        return [self._files[k] for k in sorted(self._files)]
+
+    def add(self, info: FileInfo) -> None:
+        """Insert one entry (startup population)."""
+        if info.name in self._files:
+            raise ValueError(f"duplicate namespace entry {info.name!r}")
+        self._files[info.name] = info
+
+    def cached_count(self) -> int:
+        """Files currently resident on an upper tier."""
+        return sum(1 for f in self._files.values() if f.state is FileState.CACHED)
+
+    def cached_bytes(self) -> int:
+        """Bytes resident on upper tiers."""
+        return sum(f.size for f in self._files.values() if f.state is FileState.CACHED)
+
+    def build(
+        self,
+        pfs_driver: PFSDriver,
+        dataset_dir: str,
+        pfs_level: int,
+        clock_now: Any,
+    ) -> Generator[Any, Any, None]:
+        """Populate the namespace by traversing ``dataset_dir`` on the PFS.
+
+        One timed ``listdir`` plus one timed ``stat`` per file; the elapsed
+        simulated time is recorded as :attr:`init_time_s`.
+        """
+        t0 = clock_now()
+        entries = yield from pfs_driver.listdir(dataset_dir)
+        for path in entries:
+            rel = path
+            mount = pfs_driver.mount_point
+            if rel.startswith(mount):
+                rel = rel[len(mount):] or "/"
+            meta = yield from pfs_driver.stat(rel)
+            self.add(FileInfo(name=rel, size=meta.size, level=pfs_level))
+        self.init_time_s = clock_now() - t0
+
+    def clear(self) -> None:
+        """Drop the namespace (ephemeral model: removed at job end)."""
+        self._files.clear()
+        self.init_time_s = None

@@ -1,0 +1,410 @@
+"""Placement handler: runtime data placement + background copy pool.
+
+Implements the paper's §III-A/§III-B placement machinery:
+
+* **First-fit descending** — a file goes to the highest tier with room;
+  when every read-write tier is full the file is marked unplaceable and
+  served from the PFS for the rest of the job.  *No evictions* by default:
+  under uniform-random per-epoch access, replacement only adds inter-tier
+  traffic (the paper's argument; the ABL-EVICT ablation makes it
+  measurable by plugging in LRU/FIFO/random policies).
+* **Placement during epoch 1** — placement piggybacks on the framework's
+  first-epoch reads; nothing is prestaged.
+* **Thread pool** — a dedicated pool of background workers copies files
+  from the PFS tier upward, so the framework's reads are never delayed by
+  placement work.
+* **Full-file fetch on partial reads** — when the framework asks for a
+  slice of a large record file, the worker streams the *whole* file from
+  the PFS (sequentially, which the PFS serves at full aggregate bandwidth)
+  so every later slice hits the fast tier.  When the framework already
+  read the full content, the PFS re-read is skipped and the content is
+  written directly (the paper's "event 3 would not happen").
+
+Space is *reserved* at enqueue time so concurrent copies can never
+overcommit a tier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.hierarchy import StorageHierarchy
+from repro.core.metadata import FileInfo, FileState, MetadataContainer
+from repro.simkernel.core import Process, Simulator
+from repro.simkernel.resources import Store
+from repro.storage.localfs import LocalFileSystem
+
+__all__ = [
+    "EvictionPolicy",
+    "FifoEviction",
+    "LruEviction",
+    "NoEviction",
+    "PlacementHandler",
+    "PlacementStats",
+    "RandomEviction",
+]
+
+#: queue sentinel telling a pool worker to exit
+_STOP = object()
+
+
+@dataclass
+class _CopyTask:
+    info: FileInfo
+    target_level: int
+    #: framework already read the full content; skip the PFS re-read
+    have_content: bool = False
+    #: write-through mode only: bytes of the triggering read to mirror
+    increment: int | None = None
+
+
+@dataclass
+class PlacementStats:
+    """Counters the placement handler maintains."""
+
+    scheduled: int = 0
+    completed: int = 0
+    unplaceable: int = 0
+    evictions: int = 0
+    bytes_copied: int = 0
+    pfs_bytes_fetched: int = 0
+
+
+class EvictionPolicy:
+    """Victim selection when a tier is full (ablation only; paper: none)."""
+
+    name = "abstract"
+
+    def select_victims(
+        self,
+        handler: "PlacementHandler",
+        level: int,
+        need_bytes: int,
+    ) -> list[FileInfo]:
+        """Cached files on ``level`` to evict so ``need_bytes`` fit."""
+        raise NotImplementedError
+
+    def _collect(
+        self,
+        handler: "PlacementHandler",
+        level: int,
+        need_bytes: int,
+        ordered: list[FileInfo],
+    ) -> list[FileInfo]:
+        victims: list[FileInfo] = []
+        free = handler.effective_free(level)
+        for info in ordered:
+            if free is not None and free >= need_bytes:
+                break
+            victims.append(info)
+            free = (free or 0) + info.size
+        if free is not None and free < need_bytes:
+            return []  # cannot make room even by evicting everything
+        return victims
+
+
+class NoEviction(EvictionPolicy):
+    """The paper's policy: never evict; full tiers stay full."""
+
+    name = "none"
+
+    def select_victims(
+        self, handler: "PlacementHandler", level: int, need_bytes: int
+    ) -> list[FileInfo]:
+        return []
+
+
+class LruEviction(EvictionPolicy):
+    """Evict least-recently-read cached files first."""
+
+    name = "lru"
+
+    def select_victims(
+        self, handler: "PlacementHandler", level: int, need_bytes: int
+    ) -> list[FileInfo]:
+        def access_time(info: FileInfo) -> float:
+            fs = handler.hierarchy[level].fs
+            if isinstance(fs, LocalFileSystem):
+                return fs.last_access_time(handler.hierarchy[level].local_path(info.name))
+            return 0.0
+
+        ordered = sorted(handler.cached_on_level(level), key=access_time)
+        return self._collect(handler, level, need_bytes, ordered)
+
+
+class FifoEviction(EvictionPolicy):
+    """Evict in placement order."""
+
+    name = "fifo"
+
+    def select_victims(
+        self, handler: "PlacementHandler", level: int, need_bytes: int
+    ) -> list[FileInfo]:
+        order = handler.placement_order(level)
+        ordered = sorted(handler.cached_on_level(level), key=lambda i: order.get(i.name, 0))
+        return self._collect(handler, level, need_bytes, ordered)
+
+
+class RandomEviction(EvictionPolicy):
+    """Evict uniformly at random."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def select_victims(
+        self, handler: "PlacementHandler", level: int, need_bytes: int
+    ) -> list[FileInfo]:
+        pool = handler.cached_on_level(level)
+        idx = self.rng.permutation(len(pool))
+        ordered = [pool[int(i)] for i in idx]
+        return self._collect(handler, level, need_bytes, ordered)
+
+
+def make_eviction_policy(name: str, rng: np.random.Generator | None = None) -> EvictionPolicy:
+    """Factory from the config's policy name."""
+    if name == "none":
+        return NoEviction()
+    if name == "lru":
+        return LruEviction()
+    if name == "fifo":
+        return FifoEviction()
+    if name == "random":
+        if rng is None:
+            raise ValueError("random eviction needs an RNG")
+        return RandomEviction(rng)
+    raise ValueError(f"unknown eviction policy {name!r}")
+
+
+class PlacementHandler:
+    """Selects target tiers and runs the background copy pool."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: StorageHierarchy,
+        metadata: MetadataContainer,
+        n_threads: int = 6,
+        copy_chunk: int = 1 << 20,
+        full_fetch_on_partial_read: bool = True,
+        eviction: EvictionPolicy | None = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.metadata = metadata
+        self.copy_chunk = copy_chunk
+        self.full_fetch = full_fetch_on_partial_read
+        self.eviction = eviction or NoEviction()
+        self.stats = PlacementStats()
+        self._queue = Store(sim, capacity=None, name="placement-queue")
+        self._reserved: dict[int, int] = {lvl: 0 for lvl, _ in hierarchy.upper_levels()}
+        self._placed: dict[int, list[str]] = {lvl: [] for lvl, _ in hierarchy.upper_levels()}
+        self._order_counter = 0
+        self._order: dict[int, dict[str, int]] = {lvl: {} for lvl, _ in hierarchy.upper_levels()}
+        self._workers: list[Process] = [
+            sim.spawn(self._worker(), name=f"placement-{i}") for i in range(n_threads)
+        ]
+        # Per-file write-through progress for the ABL-FETCH variant.
+        self._partial_written: dict[str, int] = {}
+        # Outstanding background tasks + waiters for drain().
+        self._outstanding = 0
+        self._idle_waiters: list[Any] = []
+
+    # -- space accounting --------------------------------------------------
+    def effective_free(self, level: int) -> int | None:
+        """Tier free bytes minus in-flight reservations."""
+        free = self.hierarchy[level].free_bytes()
+        if free is None:
+            return None
+        return free - self._reserved[level]
+
+    def _first_fit(self, nbytes: int) -> int | None:
+        for level, _driver in self.hierarchy.upper_levels():
+            free = self.effective_free(level)
+            if free is None or nbytes <= free:
+                return level
+        return None
+
+    def cached_on_level(self, level: int) -> list[FileInfo]:
+        """Cached FileInfos currently resident on ``level``."""
+        out = []
+        for name in self._placed[level]:
+            info = self.metadata.get(name)
+            if info is not None and info.state is FileState.CACHED and info.level == level:
+                out.append(info)
+        return out
+
+    def placement_order(self, level: int) -> dict[str, int]:
+        """name → monotonically-increasing placement sequence number."""
+        return self._order[level]
+
+    # -- scheduling ----------------------------------------------------------
+    def on_read(
+        self, info: FileInfo, offset: int, nbytes: int, covered_full_file: bool
+    ) -> None:
+        """Hook called by the middleware after it served a PFS read.
+
+        Decides whether (and where) to place the file, reserves the space
+        and enqueues the background work.  Untimed: runs inline with the
+        read completion, the copying itself is what takes time.
+        """
+        if info.state is not FileState.PFS_ONLY:
+            return
+        if not self.full_fetch and not covered_full_file:
+            self._write_through(info, offset, nbytes)
+            return
+        target = self._first_fit(info.size)
+        if target is None:
+            target = self._try_evict_for(info.size)
+        if target is None:
+            info.state = FileState.UNPLACEABLE
+            self.stats.unplaceable += 1
+            return
+        self._reserved[target] += info.size
+        info.state = FileState.COPYING
+        info.pending_level = target
+        self.stats.scheduled += 1
+        self._enqueue(_CopyTask(info=info, target_level=target, have_content=covered_full_file))
+
+    def _try_evict_for(self, nbytes: int) -> int | None:
+        """Ask the eviction policy to make room (ablations only)."""
+        if isinstance(self.eviction, NoEviction):
+            return None
+        for level, _driver in self.hierarchy.upper_levels():
+            victims = self.eviction.select_victims(self, level, nbytes)
+            if not victims:
+                continue
+            for victim in victims:
+                self._evict(level, victim)
+            if (self.effective_free(level) or 0) >= nbytes:
+                return level
+        return None
+
+    def _evict(self, level: int, info: FileInfo) -> None:
+        self.hierarchy[level].remove(info.name)
+        info.level = self.hierarchy.pfs_level
+        info.state = FileState.PFS_ONLY
+        info.pending_level = None
+        if info.name in self._placed[level]:
+            self._placed[level].remove(info.name)
+        self.stats.evictions += 1
+
+    # -- write-through mode (ABL-FETCH: no full-file fetch) -------------------
+    def _write_through(self, info: FileInfo, offset: int, nbytes: int) -> None:
+        take = max(0, min(nbytes, info.size - offset))
+        if take == 0:
+            return
+        written = self._partial_written.get(info.name)
+        if written is None:
+            target = self._first_fit(info.size)
+            if target is None:
+                info.state = FileState.UNPLACEABLE
+                self.stats.unplaceable += 1
+                return
+            self._reserved[target] += info.size
+            info.pending_level = target
+            self._partial_written[info.name] = 0
+            self.stats.scheduled += 1
+        self._enqueue(
+            _CopyTask(
+                info=info,
+                target_level=info.pending_level,
+                have_content=True,
+                increment=take,
+            )
+        )
+        # Track the range; completion check happens in the worker.
+        self._partial_written[info.name] += take
+        if self._partial_written[info.name] >= info.size:
+            info.state = FileState.COPYING
+
+    # -- pool workers -----------------------------------------------------------
+    def _enqueue(self, task: _CopyTask) -> None:
+        self._outstanding += 1
+        self._queue.put(task)
+
+    def _task_done(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
+    def drain(self) -> Generator[Any, Any, None]:
+        """Wait until every queued background task has been processed."""
+        while self._outstanding > 0:
+            ev = self.sim.event(name="placement-idle")
+            self._idle_waiters.append(ev)
+            yield ev
+
+    def _worker(self) -> Generator[Any, Any, None]:
+        while True:
+            task = yield self._queue.get()
+            if task is _STOP:
+                return
+            try:
+                if task.increment is None:
+                    yield from self._copy_full(task)
+                else:
+                    yield from self._copy_increment(task)
+            finally:
+                self._task_done()
+
+    def _copy_full(self, task: _CopyTask) -> Generator[Any, Any, None]:
+        info = task.info
+        driver = self.hierarchy[task.target_level]
+        pfs = self.hierarchy.pfs
+        pos = 0
+        while pos < info.size:
+            take = min(self.copy_chunk, info.size - pos)
+            if not task.have_content:
+                yield from pfs.read_sequential(info.name, pos, take)
+                self.stats.pfs_bytes_fetched += take
+            yield from driver.write(info.name, pos, take)
+            pos += take
+        self._finish(task)
+
+    def _copy_increment(self, task: _CopyTask) -> Generator[Any, Any, None]:
+        """Write-through step: mirror the framework's own chunk to the tier."""
+        info = task.info
+        if info.state is FileState.CACHED:
+            return  # surplus task after an earlier increment completed the file
+        driver = self.hierarchy[task.target_level]
+        already = driver.fs.file_size(driver.local_path(info.name)) if driver.has(info.name) else 0
+        take = min(task.increment or 0, info.size - already)
+        if take > 0:
+            yield from driver.write(info.name, already, take)
+        if already + take >= info.size:
+            self._finish(task)
+
+    def _finish(self, task: _CopyTask) -> None:
+        info = task.info
+        level = task.target_level
+        self._reserved[level] -= info.size
+        info.level = level
+        info.state = FileState.CACHED
+        info.pending_level = None
+        self._placed[level].append(info.name)
+        self._order[level][info.name] = self._order_counter
+        self._order_counter += 1
+        self._partial_written.pop(info.name, None)
+        self.stats.completed += 1
+        self.stats.bytes_copied += info.size
+
+    # -- lifecycle -----------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the pool workers (job teardown)."""
+        for _ in self._workers:
+            self._queue.put(_STOP)
+
+    @property
+    def queue_depth(self) -> int:
+        """Copy tasks waiting for a worker."""
+        return len(self._queue)

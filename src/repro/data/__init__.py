@@ -1,0 +1,44 @@
+"""Dataset substrate: record format, synthetic datasets, sharding.
+
+Two layers:
+
+* **Byte-level** — :mod:`~repro.data.records` implements a real,
+  TFRecord-compatible framing codec (length + masked CRC-32C header, CRC'd
+  payload) over ordinary Python file objects.  This is the format logic the
+  paper's datasets use, implemented and tested for real.
+* **Virtual** — inside the simulation, files carry sizes not bytes, so
+  :mod:`~repro.data.sharding` lays out samples into record shards as a
+  *manifest* (per-record offsets/lengths computed with the same framing
+  arithmetic), and :mod:`~repro.data.virtual` materializes that manifest
+  into a simulated file system.
+
+:mod:`~repro.data.imagenet` defines the paper's two dataset presets
+(900 k images / 100 GiB and 3 M images / 200 GiB) with a global scale knob.
+"""
+
+from repro.data.dataset import DatasetSpec, SampleSizeModel
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
+from repro.data.records import (
+    RecordCorruptionError,
+    RecordReader,
+    RecordWriter,
+    record_frame_size,
+)
+from repro.data.sharding import ShardLayout, ShardManifest, build_shards
+from repro.data.virtual import materialize
+
+__all__ = [
+    "DatasetSpec",
+    "IMAGENET_100G",
+    "IMAGENET_200G",
+    "RecordCorruptionError",
+    "RecordReader",
+    "RecordWriter",
+    "SampleSizeModel",
+    "ShardLayout",
+    "ShardManifest",
+    "build_shards",
+    "materialize",
+    "record_frame_size",
+    "scaled",
+]

@@ -1,0 +1,51 @@
+"""CRC-32C (Castagnoli) and the TFRecord CRC mask.
+
+TFRecord frames protect both the length field and the payload with a
+*masked* CRC-32C.  We implement CRC-32C with a table-driven routine (a
+256-entry table built once at import) plus the standard mask/unmask
+transform.  Pure Python is fast enough here because the byte-level codec is
+only used in unit tests and small utilities, never inside the simulation
+hot path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc32c", "mask_crc", "unmask_crc"]
+
+_CRC32C_POLY = 0x82F63B78  # reversed Castagnoli polynomial
+
+
+def _build_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _CRC32C_POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+_MASK_DELTA = 0xA282EAD8
+_U32 = 0xFFFFFFFF
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC-32C of ``data``, optionally continuing from a previous value."""
+    crc = (crc ^ _U32) & _U32
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return (crc ^ _U32) & _U32
+
+
+def mask_crc(crc: int) -> int:
+    """Apply the TFRecord rotate-and-add mask to a raw CRC."""
+    crc &= _U32
+    return (((crc >> 15) | (crc << 17)) + _MASK_DELTA) & _U32
+
+
+def unmask_crc(masked: int) -> int:
+    """Invert :func:`mask_crc`."""
+    rot = (masked - _MASK_DELTA) & _U32
+    return ((rot >> 17) | (rot << 15)) & _U32

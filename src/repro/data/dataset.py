@@ -1,0 +1,87 @@
+"""Dataset specifications and synthetic sample-size models.
+
+A :class:`DatasetSpec` fully describes a training dataset: how many
+samples, how big each is (a deterministic draw from a
+:class:`SampleSizeModel`), and how they are packed into record shards.
+Everything is derived from the spec + a seed, so the same spec always
+produces byte-identical shard layouts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DatasetSpec", "SampleSizeModel"]
+
+
+@dataclass(frozen=True)
+class SampleSizeModel:
+    """Lognormal sample-size distribution, clipped to sane bounds.
+
+    JPEG-compressed ImageNet samples are well described by a lognormal:
+    most around the mean, a long tail of large images.  ``mean_bytes`` is
+    the arithmetic mean of the clipped distribution's target; ``sigma``
+    controls spread.
+    """
+
+    mean_bytes: int
+    sigma: float = 0.35
+    min_bytes: int = 1024
+    max_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mean_bytes <= 0:
+            raise ValueError(f"mean_bytes must be positive, got {self.mean_bytes}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.min_bytes < 1:
+            raise ValueError("min_bytes must be >= 1")
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sample sizes (int64 bytes)."""
+        if n < 0:
+            raise ValueError(f"negative count: {n}")
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self.sigma == 0:
+            return np.full(n, self.mean_bytes, dtype=np.int64)
+        # mu chosen so the (unclipped) lognormal mean equals mean_bytes
+        mu = np.log(self.mean_bytes) - 0.5 * self.sigma**2
+        sizes = rng.lognormal(mean=mu, sigma=self.sigma, size=n)
+        sizes = np.clip(sizes, self.min_bytes, self.mean_bytes * self.max_factor)
+        return sizes.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Complete description of a synthetic training dataset."""
+
+    name: str
+    n_samples: int
+    size_model: SampleSizeModel
+    #: target shard size in bytes (samples are packed until this is exceeded)
+    shard_target_bytes: int
+    #: seed for the size draws and packing (independent of run seeds)
+    layout_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {self.n_samples}")
+        if self.shard_target_bytes <= 0:
+            raise ValueError("shard_target_bytes must be positive")
+
+    @property
+    def approx_total_bytes(self) -> int:
+        """Expected payload bytes (mean size × count), before framing."""
+        return self.n_samples * self.size_model.mean_bytes
+
+    def sample_sizes(self) -> np.ndarray:
+        """Deterministic per-sample payload sizes for this spec."""
+        name_key = zlib.crc32(self.name.encode("utf-8"))
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.layout_seed, spawn_key=(name_key,))
+        )
+        return self.size_model.draw(rng, self.n_samples)

@@ -1,0 +1,69 @@
+"""ImageNet-1k dataset presets matching the paper's two variants.
+
+* 100 GiB / 900 k images — the truncated ImageNet-1k used in §II and the
+  first half of §IV (fits the 115 GiB local SSD partition).
+* 200 GiB / 3 M images — the extended variant of §IV that does *not* fit
+  locally, forcing MONARCH's partial-placement path.
+
+Mean sample sizes follow from the paper's numbers: 100 GiB / 900 k ≈
+116 KiB per image; 200 GiB / 3 M ≈ 70 KiB per image.  Shards target
+128 MiB, the conventional TFRecord conversion shard size.
+
+Simulating every byte at full scale is slow in Python, so :func:`scaled`
+shrinks a preset by a linear factor — sample count and shard target scale
+together, keeping shard *count* realistic at small scales while preserving
+the bytes-per-second ratios the experiments depend on.  Tier capacities
+must be scaled with the same factor (the experiment runner does this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.data.dataset import DatasetSpec, SampleSizeModel
+from repro.storage.blockmath import GIB, KIB, MIB
+
+__all__ = ["IMAGENET_100G", "IMAGENET_200G", "scaled"]
+
+#: §II / §IV-A first dataset: 900 k images, ~100 GiB.
+IMAGENET_100G = DatasetSpec(
+    name="imagenet-1k-100g",
+    n_samples=900_000,
+    size_model=SampleSizeModel(mean_bytes=int(100 * GIB / 900_000)),
+    shard_target_bytes=128 * MIB,
+)
+
+#: §IV-A second dataset: 3 M images, ~200 GiB (exceeds the local tier).
+IMAGENET_200G = DatasetSpec(
+    name="imagenet-1k-200g",
+    n_samples=3_000_000,
+    size_model=SampleSizeModel(mean_bytes=int(200 * GIB / 3_000_000)),
+    shard_target_bytes=128 * MIB,
+)
+
+
+def scaled(spec: DatasetSpec, scale: float) -> DatasetSpec:
+    """Shrink ``spec`` by ``scale`` ∈ (0, 1], preserving per-sample sizes.
+
+    Total bytes, sample count and shard target all scale linearly, so the
+    dataset keeps the same number-of-shards-to-local-capacity geometry once
+    capacities are scaled by the same factor.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if scale == 1:
+        return spec
+    n = max(64, int(round(spec.n_samples * scale)))
+    # Keep at least ~64 samples per shard so shards stay much larger than
+    # the framework's (fixed) 256 KiB read chunk — otherwise the
+    # partial-read/full-fetch dynamics the paper exploits degenerate at
+    # small scales: the background copy must complete well within one
+    # shard's consumption window, as it does at full scale.
+    floor = max(256 * KIB, 64 * spec.size_model.mean_bytes)
+    shard_target = max(floor, int(round(spec.shard_target_bytes * scale)))
+    return replace(
+        spec,
+        name=f"{spec.name}-x{scale:g}",
+        n_samples=n,
+        shard_target_bytes=shard_target,
+    )

@@ -1,0 +1,111 @@
+"""Pack samples into record shards; shard manifests.
+
+The packing mirrors how ImageNet is converted to TFRecords: samples are
+appended to the current shard until it would exceed the target shard size,
+then a new shard starts.  Offsets use the real framing arithmetic from
+:mod:`repro.data.records`, so a manifest could be replayed byte-for-byte by
+the real codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import DatasetSpec
+from repro.data.records import record_frame_size
+
+__all__ = ["RecordEntry", "ShardLayout", "ShardManifest", "build_shards"]
+
+
+@dataclass(frozen=True)
+class RecordEntry:
+    """One sample's frame inside a shard."""
+
+    sample_id: int
+    offset: int
+    frame_len: int
+    payload_len: int
+
+
+@dataclass
+class ShardLayout:
+    """One record shard: filename + the frames it contains."""
+
+    filename: str
+    records: list[RecordEntry] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size of the shard."""
+        if not self.records:
+            return 0
+        last = self.records[-1]
+        return last.offset + last.frame_len
+
+    @property
+    def n_records(self) -> int:
+        """Number of records packed into the shard."""
+        return len(self.records)
+
+
+@dataclass
+class ShardManifest:
+    """Full dataset layout: every shard of a :class:`DatasetSpec`."""
+
+    spec: DatasetSpec
+    shards: list[ShardLayout] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-disk bytes across shards (framing included)."""
+        return sum(s.size_bytes for s in self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples across all shards."""
+        return sum(s.n_records for s in self.shards)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Array of shard sizes in bytes."""
+        return np.array([s.size_bytes for s in self.shards], dtype=np.int64)
+
+
+def build_shards(spec: DatasetSpec, name_prefix: str = "train") -> ShardManifest:
+    """Deterministically pack ``spec``'s samples into shards.
+
+    Samples are packed in id order (the conversion pipeline's order — the
+    *training-time* order is the framework's shuffle, not this one).
+    """
+    sizes = spec.sample_sizes()
+    manifest = ShardManifest(spec=spec)
+    current = ShardLayout(filename="")
+    offset = 0
+    for sample_id, payload_len in enumerate(sizes):
+        frame = record_frame_size(int(payload_len))
+        if current.records and offset + frame > spec.shard_target_bytes:
+            manifest.shards.append(current)
+            current = ShardLayout(filename="")
+            offset = 0
+        current.records.append(
+            RecordEntry(
+                sample_id=sample_id,
+                offset=offset,
+                frame_len=frame,
+                payload_len=int(payload_len),
+            )
+        )
+        offset += frame
+    if current.records:
+        manifest.shards.append(current)
+    width = max(5, len(str(len(manifest.shards))))
+    total = len(manifest.shards)
+    for i, shard in enumerate(manifest.shards):
+        shard.filename = f"{name_prefix}-{i:0{width}d}-of-{total:0{width}d}.tfrecord"
+    return manifest

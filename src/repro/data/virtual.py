@@ -1,0 +1,32 @@
+"""Materialize a shard manifest into a simulated file system.
+
+The PFS starts a job already holding the dataset (staging it is outside
+the paper's scope), so materialization is an untimed bookkeeping step: one
+:meth:`~repro.storage.pfs.ParallelFileSystem.add_file` per shard.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.data.sharding import ShardManifest
+from repro.storage.pfs import ParallelFileSystem
+
+__all__ = ["materialize"]
+
+
+def materialize(
+    manifest: ShardManifest,
+    pfs: ParallelFileSystem,
+    directory: str = "/dataset",
+) -> list[str]:
+    """Create every shard of ``manifest`` in ``pfs`` under ``directory``.
+
+    Returns the list of created paths (PFS-relative), in shard order.
+    """
+    paths: list[str] = []
+    for shard in manifest.shards:
+        path = posixpath.join(directory, shard.filename)
+        pfs.add_file(path, shard.size_bytes)
+        paths.append(path)
+    return paths

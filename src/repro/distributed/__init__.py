@@ -1,0 +1,39 @@
+"""Distributed data-parallel training (paper §VI future work).
+
+"An interesting future research direction would be to expand MONARCH's
+design to support distributed DL training.  This raises new questions
+regarding data placement and caching … as multiple nodes will need access
+to different data shards of the dataset."
+
+This package makes those questions concrete and measurable:
+
+* :mod:`~repro.distributed.cluster` — N compute nodes, each with its own
+  local SSD tier (and optionally its own MONARCH instance), all hammering
+  the *same* shared PFS.
+* :mod:`~repro.distributed.partition` — the data-placement policies the
+  paper alludes to: **static** sharding (node *i* always trains the same
+  1/N of the dataset, so its tier converges) vs **reshuffle** (a fresh
+  random partition every epoch, as unbiased distributed sampling wants,
+  which invalidates most of each node's cache).
+* :mod:`~repro.distributed.network` — a ring-allreduce cost model for the
+  per-step gradient synchronization.
+* :mod:`~repro.distributed.trainer` — a synchronous data-parallel trainer:
+  every global step waits for one batch from every node, runs all GPUs in
+  lockstep, then pays the allreduce.
+"""
+
+from repro.distributed.cluster import ClusterSpec, NodeStack, build_cluster
+from repro.distributed.network import AllReduceModel
+from repro.distributed.partition import PartitionPolicy, partition_shards
+from repro.distributed.trainer import DistributedTrainer, DistributedResult
+
+__all__ = [
+    "AllReduceModel",
+    "ClusterSpec",
+    "DistributedResult",
+    "DistributedTrainer",
+    "NodeStack",
+    "PartitionPolicy",
+    "build_cluster",
+    "partition_shards",
+]

@@ -1,0 +1,153 @@
+"""Cluster construction: N node stacks sharing one PFS.
+
+Each node gets its own :class:`~repro.framework.resources.ComputeNode`,
+its own local SSD file system (with page cache), and — in the ``monarch``
+setup — its own MONARCH instance with a private virtual namespace, exactly
+as N independent single-node deployments would.  The PFS object is shared,
+so the nodes contend for the same OST and MDS queues: adding nodes *is*
+adding I/O pressure, which is what makes the scaling study interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch, MonarchReader
+from repro.data.dataset import DatasetSpec
+from repro.data.imagenet import scaled
+from repro.data.sharding import ShardManifest, build_shards
+from repro.data.virtual import materialize
+from repro.experiments.calibration import Calibration, ScaledEnvironment
+from repro.experiments.scenarios import DATASET_DIR, PFS_MOUNT, SSD_MOUNT
+from repro.framework.io_layer import DataReader, PosixReader
+from repro.framework.pipeline import ShardInfo, shards_from_manifest
+from repro.framework.resources import ComputeNode
+from repro.simkernel.core import Simulator
+from repro.simkernel.rng import RngRegistry
+from repro.storage.device import Device
+from repro.storage.interference import ARInterference
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+__all__ = ["Cluster", "ClusterSpec", "NodeStack", "build_cluster"]
+
+DIST_SETUPS = ("vanilla-lustre", "monarch")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static cluster description."""
+
+    n_nodes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+
+@dataclass
+class NodeStack:
+    """Everything one node owns."""
+
+    index: int
+    node: ComputeNode
+    mounts: MountTable
+    reader: DataReader
+    local_fs: LocalFileSystem | None = None
+    monarch: Monarch | None = None
+
+
+@dataclass
+class Cluster:
+    """A wired multi-node environment over one shared PFS."""
+
+    spec: ClusterSpec
+    setup: str
+    sim: Simulator
+    pfs: ParallelFileSystem
+    nodes: list[NodeStack] = field(default_factory=list)
+    shards: list[ShardInfo] = field(default_factory=list)
+    manifest: ShardManifest | None = None
+    env: ScaledEnvironment | None = None
+    dataset: DatasetSpec | None = None
+
+
+def build_cluster(
+    setup: str,
+    dataset: DatasetSpec,
+    calib: Calibration,
+    cluster_spec: ClusterSpec,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Cluster:
+    """Build N node stacks over one shared PFS holding ``dataset``."""
+    if setup not in DIST_SETUPS:
+        raise ValueError(f"unknown distributed setup {setup!r}; expected {DIST_SETUPS}")
+    sspec = scaled(dataset, scale)
+    env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+
+    interference = ARInterference(
+        rngs.stream("interference"),
+        mean_load=calib.interference_mean_load,
+        sigma=calib.interference_sigma,
+        rho=calib.interference_rho,
+        interval=env.interference_interval,
+        max_load=calib.interference_max_load,
+    )
+    pfs = ParallelFileSystem(
+        sim,
+        config=replace(calib.pfs, stripe_size=env.stripe_size,
+                       mds_latency_s=env.mds_latency_s),
+        interference=interference,
+        rng=rngs.stream("pfs-jitter"),
+        name="pfs",
+    )
+    manifest = build_shards(sspec)
+    pfs_paths = materialize(manifest, pfs, DATASET_DIR)
+    shards = shards_from_manifest(manifest, [PFS_MOUNT + p for p in pfs_paths])
+
+    cluster = Cluster(
+        spec=cluster_spec, setup=setup, sim=sim, pfs=pfs,
+        shards=shards, manifest=manifest, env=env, dataset=sspec,
+    )
+    for i in range(cluster_spec.n_nodes):
+        mounts = MountTable()
+        mounts.mount(PFS_MOUNT, pfs)
+        node = ComputeNode(sim, calib.node)
+        local_fs: LocalFileSystem | None = None
+        monarch: Monarch | None = None
+        if setup == "monarch":
+            local_fs = LocalFileSystem(
+                sim,
+                Device(sim, calib.ssd, rng=rngs.stream(f"ssd-jitter-{i}")),
+                capacity_bytes=env.local_capacity_bytes,
+                name=f"local-{i}",
+                page_cache=PageCache(env.page_cache_bytes,
+                                     ram_bw_mib=calib.page_cache_ram_bw_mib),
+            )
+            mounts.mount(SSD_MOUNT, local_fs)
+            monarch = Monarch(
+                sim,
+                MonarchConfig(
+                    tiers=(TierSpec(mount_point=SSD_MOUNT),
+                           TierSpec(mount_point=PFS_MOUNT)),
+                    dataset_dir=DATASET_DIR,
+                    placement_threads=calib.placement_threads,
+                    copy_chunk=env.copy_chunk,
+                ),
+                mounts,
+                rng=rngs.stream(f"monarch-{i}"),
+            )
+            reader: DataReader = MonarchReader(monarch)
+        else:
+            reader = PosixReader(mounts)
+        cluster.nodes.append(NodeStack(
+            index=i, node=node, mounts=mounts, reader=reader,
+            local_fs=local_fs, monarch=monarch,
+        ))
+    return cluster

@@ -1,0 +1,51 @@
+"""Ring-allreduce cost model for synchronous data-parallel training.
+
+Each global step ends with a gradient all-reduce across nodes.  The ring
+algorithm moves ``2 * (N-1) / N`` of the gradient bytes over each node's
+link, so step overhead is
+
+    t = base_latency * 2 * (N - 1)  +  2 * (N - 1) / N * grad_bytes / link_bw
+
+which vanishes at N=1 and approaches ``2 * grad_bytes / link_bw`` for
+large N.  Defaults model a 100 Gb/s (12.5 GB/s effective) InfiniBand-class
+fabric, the norm on machines like Frontera.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AllReduceModel", "GRAD_BYTES"]
+
+#: trainable-parameter gradient payloads (fp32) per model preset
+GRAD_BYTES: dict[str, int] = {
+    "lenet": 250_000,  # ~62k params
+    "alexnet": 244_000_000,  # ~61M params
+    "resnet50": 102_000_000,  # ~25.5M params
+}
+
+
+@dataclass(frozen=True)
+class AllReduceModel:
+    """Static description of the gradient-synchronization fabric."""
+
+    link_bw_bytes_per_s: float = 12.5e9  #: per-node link bandwidth
+    base_latency_s: float = 12e-6  #: per-hop launch latency
+
+    def __post_init__(self) -> None:
+        if self.link_bw_bytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.base_latency_s < 0:
+            raise ValueError("latency must be >= 0")
+
+    def step_time(self, grad_bytes: int, n_nodes: int) -> float:
+        """Seconds one ring all-reduce of ``grad_bytes`` takes."""
+        if grad_bytes < 0:
+            raise ValueError("negative gradient size")
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if n_nodes == 1:
+            return 0.0
+        hops = 2 * (n_nodes - 1)
+        volume = 2 * (n_nodes - 1) / n_nodes * grad_bytes
+        return hops * self.base_latency_s + volume / self.link_bw_bytes_per_s

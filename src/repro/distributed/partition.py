@@ -1,0 +1,55 @@
+"""Shard-to-node data-placement policies (the §VI "new questions").
+
+Synchronous data-parallel training splits each epoch's dataset across
+nodes.  Two natural policies stress a per-node cache very differently:
+
+* ``static`` — node *i* always owns the same shards.  A node's local tier
+  converges to exactly its slice after epoch 1 — ideal for tiering, but
+  every node sees the same subset every epoch (a sampling-bias trade-off
+  real systems accept or mitigate with local shuffling).
+* ``reshuffle`` — a fresh random partition every epoch, which is what
+  unbiased global sampling wants.  Under MONARCH's no-eviction placement
+  the tier fills with epoch-1's assignment and most of it is useless in
+  later epochs — the pathological case the paper's future-work paragraph
+  anticipates.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["PartitionPolicy", "partition_shards"]
+
+PartitionPolicy = Literal["static", "reshuffle"]
+
+
+def partition_shards(
+    n_shards: int,
+    n_nodes: int,
+    policy: PartitionPolicy,
+    epoch: int,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Assign shard indices to nodes for one epoch.
+
+    Every shard goes to exactly one node; assignments are balanced to
+    within one shard.  ``static`` ignores ``epoch`` and the RNG's state
+    evolution (round-robin by index); ``reshuffle`` draws a fresh random
+    permutation per call.
+    """
+    if n_shards < 1 or n_nodes < 1:
+        raise ValueError("need at least one shard and one node")
+    if n_nodes > n_shards:
+        raise ValueError(f"{n_nodes} nodes for {n_shards} shards")
+    if policy == "static":
+        order = list(range(n_shards))
+    elif policy == "reshuffle":
+        order = [int(i) for i in rng.permutation(n_shards)]
+    else:
+        raise ValueError(f"unknown partition policy {policy!r}")
+    out: list[list[int]] = [[] for _ in range(n_nodes)]
+    for pos, shard in enumerate(order):
+        out[pos % n_nodes].append(shard)
+    return out

@@ -1,0 +1,30 @@
+"""Experiment harness: calibration, scenarios, runner, figure generators.
+
+Reproduces every evaluation artifact of the paper:
+
+* ``figures.fig1()`` — motivation per-epoch training times (Fig. 1),
+* ``figures.fig3()`` — MONARCH vs baselines on the 100 GiB dataset (Fig. 3),
+* ``figures.fig4()`` — MONARCH vs vanilla-lustre on the 200 GiB dataset
+  (Fig. 4),
+* ``figures.resource_usage_*()`` — the CPU/GPU/memory prose tables,
+* ``figures.io_reduction()`` — PFS I/O-operation reduction (§IV-A),
+* ``figures.metadata_init()`` — metadata-container initialization times.
+
+``python -m repro.experiments.figures <artifact>`` prints any of them.
+"""
+
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.formats import ExperimentResult, RunRecord
+from repro.experiments.runner import run_experiment, run_once
+from repro.experiments.scenarios import SETUPS, build_run
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "ExperimentResult",
+    "RunRecord",
+    "SETUPS",
+    "build_run",
+    "run_experiment",
+    "run_once",
+]

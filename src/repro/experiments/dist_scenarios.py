@@ -1,0 +1,102 @@
+"""Runner for the distributed-training experiments (paper §VI).
+
+Builds an N-node cluster over one shared PFS, runs the synchronous
+data-parallel trainer, and un-scales the measurements like the
+single-node runner does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import DatasetSpec
+from repro.distributed.cluster import ClusterSpec, build_cluster
+from repro.distributed.network import AllReduceModel
+from repro.distributed.partition import PartitionPolicy
+from repro.distributed.trainer import DistributedResult, DistributedTrainer
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.framework.models import MODELS
+
+__all__ = ["DistRunRecord", "run_distributed_once"]
+
+
+@dataclass
+class DistRunRecord:
+    """One distributed run, un-scaled to paper units."""
+
+    setup: str
+    model: str
+    n_nodes: int
+    policy: str
+    scale: float
+    seed: int
+    epoch_times_s: list[float] = field(default_factory=list)
+    init_time_s: float = 0.0
+    pfs_ops_per_epoch: list[int] = field(default_factory=list)
+    pfs_bytes_per_epoch: list[int] = field(default_factory=list)
+    tier_hit_ratio_per_epoch: list[float] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        """Total over epochs."""
+        return sum(self.epoch_times_s)
+
+    @property
+    def steady_hit_ratio(self) -> float:
+        """Tier hit ratio of the last epoch."""
+        return self.tier_hit_ratio_per_epoch[-1] if self.tier_hit_ratio_per_epoch else 0.0
+
+
+def run_distributed_once(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    n_nodes: int,
+    policy: PartitionPolicy = "static",
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+    allreduce: AllReduceModel | None = None,
+) -> DistRunRecord:
+    """Build, execute and un-scale one distributed run."""
+    calib = calib or DEFAULT_CALIBRATION
+    if model_name not in MODELS:
+        raise ValueError(f"unknown model {model_name!r}")
+    cluster = build_cluster(
+        setup=setup,
+        dataset=dataset,
+        calib=calib,
+        cluster_spec=ClusterSpec(n_nodes=n_nodes),
+        scale=scale,
+        seed=seed,
+    )
+    assert cluster.env is not None
+    trainer = DistributedTrainer(
+        cluster=cluster,
+        model=MODELS[model_name],
+        pipeline_config=cluster.env.pipeline,
+        partition_policy=policy,
+        allreduce=allreduce,
+        epochs=epochs if epochs is not None else calib.epochs,
+        seed=seed,
+    )
+    proc = cluster.sim.spawn(trainer.run(), name="dist-train")
+    result: DistributedResult = cluster.sim.run(proc)
+    for ns in cluster.nodes:
+        if ns.monarch is not None:
+            ns.monarch.shutdown()
+    inv = 1.0 / scale
+    return DistRunRecord(
+        setup=setup,
+        model=model_name,
+        n_nodes=n_nodes,
+        policy=policy,
+        scale=scale,
+        seed=seed,
+        epoch_times_s=[e.wall_time_s * inv for e in result.epochs],
+        init_time_s=result.init_time_s * inv,
+        pfs_ops_per_epoch=[int(round(e.pfs_ops.total_ops * inv)) for e in result.epochs],
+        pfs_bytes_per_epoch=[int(round(e.pfs_ops.bytes_read * inv)) for e in result.epochs],
+        tier_hit_ratio_per_epoch=[e.tier_hit_ratio for e in result.epochs],
+    )

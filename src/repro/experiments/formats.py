@@ -1,0 +1,129 @@
+"""Result containers for experiment runs, with (de)serialization.
+
+A :class:`RunRecord` is one seeded training run; an
+:class:`ExperimentResult` aggregates repeated runs of one configuration
+(setup × model × dataset) into the mean ± std the paper reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ExperimentResult", "RunRecord", "mean", "std"]
+
+
+def mean(xs: list[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def std(xs: list[float]) -> float:
+    """Population standard deviation (0.0 below two samples)."""
+    if len(xs) < 2:
+        return 0.0
+    mu = mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / len(xs))
+
+
+@dataclass
+class RunRecord:
+    """One seeded run of one configuration, in unscaled (paper) units."""
+
+    setup: str
+    model: str
+    dataset: str
+    scale: float
+    seed: int
+    #: per-epoch wall times, un-scaled to paper-equivalent seconds
+    epoch_times_s: list[float] = field(default_factory=list)
+    init_time_s: float = 0.0
+    cpu_utilization: list[float] = field(default_factory=list)
+    gpu_utilization: list[float] = field(default_factory=list)
+    memory_gib: float = 0.0
+    #: per-epoch PFS total ops (data + metadata), un-scaled
+    pfs_ops_per_epoch: list[int] = field(default_factory=list)
+    #: per-epoch local-tier total ops, un-scaled
+    local_ops_per_epoch: list[int] = field(default_factory=list)
+    pfs_bytes_read: int = 0
+    local_bytes_read: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        """Total training time over all epochs."""
+        return sum(self.epoch_times_s)
+
+    @property
+    def total_pfs_ops(self) -> int:
+        """PFS operations summed over epochs."""
+        return sum(self.pfs_ops_per_epoch)
+
+
+@dataclass
+class ExperimentResult:
+    """Repeated runs of one configuration."""
+
+    setup: str
+    model: str
+    dataset: str
+    runs: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of seeded runs aggregated."""
+        return len(self.runs)
+
+    @property
+    def n_epochs(self) -> int:
+        """Epochs per run (0 when empty)."""
+        return len(self.runs[0].epoch_times_s) if self.runs else 0
+
+    def epoch_mean_std(self) -> list[tuple[float, float]]:
+        """(mean, std) of wall time for each epoch index."""
+        out = []
+        for e in range(self.n_epochs):
+            xs = [r.epoch_times_s[e] for r in self.runs]
+            out.append((mean(xs), std(xs)))
+        return out
+
+    @property
+    def total_mean(self) -> float:
+        """Mean total training time across runs."""
+        return mean([r.total_time_s for r in self.runs])
+
+    @property
+    def total_std(self) -> float:
+        """Std of total training time across runs."""
+        return std([r.total_time_s for r in self.runs])
+
+    @property
+    def cpu_percent(self) -> float:
+        """Run-average CPU utilization, percent."""
+        return 100.0 * mean([mean(r.cpu_utilization) for r in self.runs])
+
+    @property
+    def gpu_percent(self) -> float:
+        """Run-average GPU utilization, percent."""
+        return 100.0 * mean([mean(r.gpu_utilization) for r in self.runs])
+
+    @property
+    def memory_gib(self) -> float:
+        """Run-average memory estimate, GiB."""
+        return mean([r.memory_gib for r in self.runs])
+
+    @property
+    def mean_total_pfs_ops(self) -> float:
+        """Mean total PFS ops across runs."""
+        return mean([float(r.total_pfs_ops) for r in self.runs])
+
+    def to_json(self) -> str:
+        """Serialize to JSON (runs included)."""
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        raw = json.loads(text)
+        runs = [RunRecord(**r) for r in raw.pop("runs")]
+        return cls(runs=runs, **raw)

@@ -1,0 +1,104 @@
+"""Run experiments and un-scale their measurements to paper units.
+
+Simulated runs execute at a reduced ``scale``; times and op counts are
+divided/multiplied back by the scale factor so every reported number is
+directly comparable to the paper's (see DESIGN.md §2 "Scaling").
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import DatasetSpec
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.formats import ExperimentResult, RunRecord
+from repro.experiments.scenarios import build_run
+from repro.telemetry.usage import memory_estimate_bytes
+from repro.storage.blockmath import GIB
+
+__all__ = ["run_experiment", "run_once"]
+
+
+def run_once(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+    monarch_overrides: dict | None = None,
+) -> RunRecord:
+    """One seeded run; all measurements un-scaled to paper units."""
+    calib = calib or DEFAULT_CALIBRATION
+    handle = build_run(
+        setup=setup,
+        model_name=model_name,
+        dataset=dataset,
+        calib=calib,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+        monarch_overrides=monarch_overrides,
+    )
+    result = handle.execute()
+    inv = 1.0 / scale
+    record = RunRecord(
+        setup=setup,
+        model=model_name,
+        dataset=dataset.name,
+        scale=scale,
+        seed=seed,
+        epoch_times_s=[e.wall_time_s * inv for e in result.epochs],
+        init_time_s=result.init_time_s * inv,
+        cpu_utilization=[e.cpu_utilization for e in result.epochs],
+        gpu_utilization=[e.gpu_utilization for e in result.epochs],
+        memory_gib=memory_estimate_bytes(
+            calib.pipeline, dataset.size_model.mean_bytes
+        )
+        / GIB,
+        pfs_ops_per_epoch=[
+            int(round(e.backend_ops["pfs"].total_ops * inv)) for e in result.epochs
+        ],
+        local_ops_per_epoch=[
+            int(round(e.backend_ops["local"].total_ops * inv))
+            for e in result.epochs
+            if "local" in e.backend_ops
+        ],
+        pfs_bytes_read=int(round(handle.pfs.stats.bytes_read * inv)),
+        local_bytes_read=(
+            int(round(handle.local_fs.stats.bytes_read * inv))
+            if handle.local_fs is not None
+            else 0
+        ),
+    )
+    return record
+
+
+def run_experiment(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    runs: int = 3,
+    base_seed: int = 100,
+    epochs: int | None = None,
+    monarch_overrides: dict | None = None,
+) -> ExperimentResult:
+    """Repeat :func:`run_once` over ``runs`` seeds (paper methodology: 7)."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    result = ExperimentResult(setup=setup, model=model_name, dataset=dataset.name)
+    for i in range(runs):
+        result.runs.append(
+            run_once(
+                setup=setup,
+                model_name=model_name,
+                dataset=dataset,
+                calib=calib,
+                scale=scale,
+                seed=base_seed + i,
+                epochs=epochs,
+                monarch_overrides=monarch_overrides,
+            )
+        )
+    return result

@@ -1,0 +1,257 @@
+"""Build the four experimental setups the paper evaluates.
+
+* ``vanilla-lustre`` — dataset served solely from the (contended) PFS.
+* ``vanilla-local`` — dataset staged on the node-local SSD beforehand
+  (only possible when it fits, as in the motivation study).
+* ``vanilla-caching`` — TensorFlow's file cache: PFS during epoch 1 while
+  copying everything locally, local thereafter (requires the dataset to
+  fit on the SSD).
+* ``monarch`` — the middleware: two-tier hierarchy (SSD above Lustre),
+  6 placement threads, metadata init at startup.
+
+:func:`build_run` wires one complete simulated environment for a
+(setup, model, dataset, scale, seed) tuple and returns a
+:class:`RunHandle` whose :meth:`~RunHandle.execute` drives it to
+completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch, MonarchReader
+from repro.data.dataset import DatasetSpec
+from repro.data.imagenet import scaled
+from repro.data.sharding import ShardManifest, build_shards
+from repro.data.virtual import materialize
+from repro.experiments.calibration import Calibration, ScaledEnvironment
+from repro.framework.cache import TFDataCache
+from repro.framework.io_layer import PosixReader
+from repro.framework.models import MODELS, ModelProfile
+from repro.framework.pipeline import shards_from_manifest
+from repro.framework.resources import ComputeNode
+from repro.framework.training import Trainer, TrainResult
+from repro.simkernel.core import Simulator
+from repro.simkernel.rng import RngRegistry
+from repro.storage.base import NoSpaceError
+from repro.storage.device import Device, RAMDISK
+from repro.storage.interference import (
+    ARInterference,
+    BurstInterference,
+    CompositeInterference,
+)
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+__all__ = ["RunHandle", "SETUPS", "build_run"]
+
+SETUPS = ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch")
+
+PFS_MOUNT = "/mnt/pfs"
+SSD_MOUNT = "/mnt/ssd"
+RAM_MOUNT = "/mnt/ram"
+DATASET_DIR = "/dataset"
+
+
+@dataclass
+class RunHandle:
+    """One fully wired simulated run, ready to execute."""
+
+    setup: str
+    model: ModelProfile
+    dataset: DatasetSpec  #: the *scaled* spec actually simulated
+    env: ScaledEnvironment
+    sim: Simulator
+    trainer: Trainer
+    pfs: ParallelFileSystem
+    local_fs: LocalFileSystem | None = None
+    monarch: Monarch | None = None
+    manifest: ShardManifest | None = None
+
+    def execute(self) -> TrainResult:
+        """Run the job to completion; returns the trainer's result."""
+        proc = self.sim.spawn(self.trainer.run(), name="train-job")
+        result: TrainResult = self.sim.run(proc)
+        if self.monarch is not None:
+            self.monarch.shutdown()
+        return result
+
+
+def build_run(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+    monarch_overrides: dict | None = None,
+) -> RunHandle:
+    """Wire a complete environment for one experimental run.
+
+    ``dataset`` is the unscaled spec; it is shrunk by ``scale`` here, with
+    tier capacities scaled to match.  ``monarch_overrides`` lets ablation
+    benchmarks tweak :class:`MonarchConfig` fields (thread-pool size,
+    eviction policy, full-fetch flag).
+    """
+    if setup not in SETUPS:
+        raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
+    if model_name not in MODELS:
+        raise ValueError(f"unknown model {model_name!r}; expected one of {sorted(MODELS)}")
+    model = MODELS[model_name]
+    sspec = scaled(dataset, scale)
+    env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+
+    # -- shared substrate: the PFS always exists (it owns the dataset) ----
+    interference: ARInterference | CompositeInterference = ARInterference(
+        rngs.stream("interference"),
+        mean_load=calib.interference_mean_load,
+        sigma=calib.interference_sigma,
+        rho=calib.interference_rho,
+        interval=env.interference_interval,
+        max_load=calib.interference_max_load,
+    )
+    if calib.burst_p > 0:
+        interference = CompositeInterference(
+            interference,
+            BurstInterference(
+                rngs.stream("interference-burst"),
+                quiet_share=1.0,
+                burst_share=calib.burst_share,
+                p_burst=calib.burst_p,
+                p_recover=calib.burst_recover,
+                interval=env.interference_interval,
+            ),
+        )
+    pfs = ParallelFileSystem(
+        sim,
+        config=replace(calib.pfs, stripe_size=env.stripe_size, mds_latency_s=env.mds_latency_s),
+        interference=interference,
+        rng=rngs.stream("pfs-jitter"),
+        name="pfs",
+    )
+    manifest = build_shards(sspec)
+    pfs_paths = materialize(manifest, pfs, DATASET_DIR)
+
+    mounts = MountTable()
+    mounts.mount(PFS_MOUNT, pfs)
+
+    local_fs: LocalFileSystem | None = None
+    if setup != "vanilla-lustre":
+        device = Device(sim, calib.ssd, rng=rngs.stream("ssd-jitter"))
+        local_fs = LocalFileSystem(
+            sim,
+            device,
+            capacity_bytes=env.local_capacity_bytes,
+            name="local",
+            page_cache=PageCache(
+                env.page_cache_bytes, ram_bw_mib=calib.page_cache_ram_bw_mib
+            ),
+        )
+        mounts.mount(SSD_MOUNT, local_fs)
+
+    node = ComputeNode(sim, calib.node)
+    n_epochs = epochs if epochs is not None else calib.epochs
+    backends = {"pfs": pfs.stats}
+    if local_fs is not None:
+        backends["local"] = local_fs.stats
+
+    cache: TFDataCache | None = None
+    monarch: Monarch | None = None
+    init_hook = None
+
+    if setup == "vanilla-local":
+        # Stage the dataset on the SSD beforehand (fails if it cannot fit,
+        # exactly like the real setup would).
+        assert local_fs is not None
+        if manifest.total_bytes > env.local_capacity_bytes:
+            raise NoSpaceError(
+                f"vanilla-local needs {manifest.total_bytes} bytes locally, "
+                f"capacity is {env.local_capacity_bytes}"
+            )
+        for shard, path in zip(manifest.shards, pfs_paths):
+            local_fs.add_file(path, shard.size_bytes)
+        shard_paths = [SSD_MOUNT + p for p in pfs_paths]
+        reader = PosixReader(mounts)
+    elif setup == "vanilla-caching":
+        assert local_fs is not None
+        cache = TFDataCache(mounts, SSD_MOUNT + "/cache")
+        shard_paths = [PFS_MOUNT + p for p in pfs_paths]
+        reader = PosixReader(mounts)
+    elif setup == "monarch":
+        overrides = monarch_overrides or {}
+        tiers: tuple[TierSpec, ...] = (
+            TierSpec(mount_point=SSD_MOUNT),
+            TierSpec(mount_point=PFS_MOUNT),
+        )
+        ram_bytes = overrides.get("ram_tier_bytes")
+        if ram_bytes:
+            # §VI future work: a RAM tier above the SSD.  The budget is
+            # given in full-scale bytes and scaled like every capacity.
+            ram_fs = LocalFileSystem(
+                sim,
+                Device(sim, RAMDISK),
+                capacity_bytes=max(1, int(round(ram_bytes * scale))),
+                name="ram",
+            )
+            mounts.mount(RAM_MOUNT, ram_fs)
+            backends["ram"] = ram_fs.stats
+            tiers = (TierSpec(mount_point=RAM_MOUNT), *tiers)
+        config = MonarchConfig(
+            tiers=tiers,
+            dataset_dir=DATASET_DIR,
+            placement_threads=overrides.get("placement_threads", calib.placement_threads),
+            copy_chunk=overrides.get("copy_chunk", env.copy_chunk),
+            full_fetch_on_partial_read=overrides.get("full_fetch_on_partial_read", True),
+            eviction=overrides.get("eviction", "none"),
+        )
+        if "tiers" in overrides:
+            config = replace(config, tiers=overrides["tiers"])
+        monarch = Monarch(sim, config, mounts, rng=rngs.stream("monarch"))
+        shard_paths = [PFS_MOUNT + p for p in pfs_paths]
+        reader = MonarchReader(monarch)
+        if overrides.get("prestage"):
+            # §III-A placement option (i): traverse, then stage everything
+            # before epoch 1; both phases count as init (time to first step).
+            def init_with_prestage(m: Monarch = monarch):
+                yield from m.initialize()
+                yield from m.prestage()
+
+            init_hook = init_with_prestage
+        else:
+            init_hook = monarch.initialize
+    else:  # vanilla-lustre
+        shard_paths = [PFS_MOUNT + p for p in pfs_paths]
+        reader = PosixReader(mounts)
+
+    shards = shards_from_manifest(manifest, shard_paths)
+    trainer = Trainer(
+        sim=sim,
+        node=node,
+        model=model,
+        config=env.pipeline,
+        shards=shards,
+        reader=reader,
+        shuffle_rng=rngs.stream("shuffle"),
+        backends=backends,
+        cache=cache,
+        epochs=n_epochs,
+        init_hook=init_hook,
+    )
+    return RunHandle(
+        setup=setup,
+        model=model,
+        dataset=sspec,
+        env=env,
+        sim=sim,
+        trainer=trainer,
+        pfs=pfs,
+        local_fs=local_fs,
+        monarch=monarch,
+        manifest=manifest,
+    )

@@ -1,0 +1,96 @@
+"""Structured parameter sweeps over the experiment grid.
+
+The paper's central design requirement is supporting "datasets with
+variable sizes that may or may not be cached entirely on the compute
+node's [storage]" — i.e. MONARCH's benefit should degrade *gracefully*
+with the tier-capacity-to-dataset ratio instead of cliffing like
+vanilla-caching does.  :func:`capacity_sweep` measures exactly that curve;
+:func:`interference_sweep` measures sensitivity to PFS contention
+(the motivation's variability axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.data.dataset import DatasetSpec
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.formats import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+__all__ = ["CapacityPoint", "capacity_sweep", "interference_sweep"]
+
+
+@dataclass
+class CapacityPoint:
+    """One point of the tier-capacity sweep."""
+
+    capacity_fraction: float  #: tier capacity / dataset bytes
+    monarch: ExperimentResult
+    lustre: ExperimentResult
+
+    @property
+    def time_ratio(self) -> float:
+        """monarch / lustre total time (lower = better)."""
+        return self.monarch.total_mean / self.lustre.total_mean
+
+    @property
+    def steady_pfs_fraction(self) -> float:
+        """Fraction of steady-state PFS ops monarch still issues."""
+        m = self.monarch.runs[0].pfs_ops_per_epoch[-1]
+        l = self.lustre.runs[0].pfs_ops_per_epoch[-1]
+        return m / l if l else 0.0
+
+
+def capacity_sweep(
+    dataset: DatasetSpec,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.1),
+    model_name: str = "lenet",
+    calib: Calibration | None = None,
+    scale: float = 1 / 256,
+    runs: int = 2,
+) -> list[CapacityPoint]:
+    """MONARCH vs vanilla-lustre as the tier grows relative to the dataset.
+
+    ``fractions`` are tier-capacity-to-dataset-bytes ratios; values above
+    1 mean the dataset fits with headroom (the 100 GiB regime), values
+    below 1 are the partial-caching regime (the 200 GiB regime).
+    """
+    calib = calib or DEFAULT_CALIBRATION
+    # one shared lustre baseline (capacity-independent)
+    lustre = run_experiment("vanilla-lustre", model_name, dataset,
+                            calib=calib, scale=scale, runs=runs)
+    dataset_bytes = dataset.approx_total_bytes
+    points: list[CapacityPoint] = []
+    for frac in fractions:
+        if frac <= 0:
+            raise ValueError("capacity fractions must be positive")
+        point_calib = replace(
+            calib, local_capacity_bytes=max(1, int(frac * dataset_bytes))
+        )
+        monarch = run_experiment("monarch", model_name, dataset,
+                                 calib=point_calib, scale=scale, runs=runs)
+        points.append(CapacityPoint(capacity_fraction=frac,
+                                    monarch=monarch, lustre=lustre))
+    return points
+
+
+def interference_sweep(
+    dataset: DatasetSpec,
+    mean_loads: tuple[float, ...] = (0.05, 0.18, 0.35, 0.5),
+    model_name: str = "lenet",
+    calib: Calibration | None = None,
+    scale: float = 1 / 256,
+    runs: int = 3,
+) -> dict[float, dict[str, ExperimentResult]]:
+    """lustre vs monarch across background-load levels (motivation axis)."""
+    calib = calib or DEFAULT_CALIBRATION
+    out: dict[float, dict[str, ExperimentResult]] = {}
+    for load in mean_loads:
+        point_calib = replace(calib, interference_mean_load=load)
+        out[load] = {
+            setup: run_experiment(setup, model_name, dataset,
+                                  calib=point_calib, scale=scale, runs=runs)
+            for setup in ("vanilla-lustre", "monarch")
+        }
+    return out

@@ -1,0 +1,222 @@
+"""Scenario builders for the PyTorch-style (loose-file) experiments.
+
+Two setups matter for the portability study (paper §VI) and the
+record-format motivation (§I):
+
+* ``vanilla-lustre`` — the DataLoader opens and reads every sample file
+  from the PFS every epoch: one MDS round trip *per sample per epoch*.
+* ``monarch`` — identical loader, MONARCH reader: the virtual namespace
+  absorbs the per-sample opens after the (expensive, per-file) startup
+  traversal, and the tier serves repeat epochs locally.
+
+The same ``DatasetSpec`` drives both this path and the record-shard path,
+so "loose files vs TFRecords" comparisons hold bytes constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch, MonarchReader
+from repro.data.dataset import DatasetSpec
+from repro.data.imagenet import scaled
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION, ScaledEnvironment
+from repro.experiments.formats import RunRecord
+from repro.experiments.scenarios import DATASET_DIR, PFS_MOUNT, SSD_MOUNT
+from repro.framework.io_layer import PosixReader
+from repro.framework.models import MODELS
+from repro.framework.resources import ComputeNode
+from repro.framework.training import TrainResult
+from repro.simkernel.core import Simulator
+from repro.simkernel.rng import RngRegistry
+from repro.storage.blockmath import GIB
+from repro.storage.device import Device
+from repro.storage.interference import ARInterference
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+from repro.torchlike.dataset import FileSampleDataset, materialize_loose_files
+from repro.torchlike.loader import DataLoaderConfig
+from repro.torchlike.trainer import TorchTrainer
+
+__all__ = ["TorchRunHandle", "build_torch_run", "run_torch_once"]
+
+TORCH_SETUPS = ("vanilla-lustre", "monarch")
+IMAGES_DIR = DATASET_DIR + "/images"
+
+
+@dataclass
+class TorchRunHandle:
+    """One wired PyTorch-style run."""
+
+    setup: str
+    dataset: FileSampleDataset
+    env: ScaledEnvironment
+    sim: Simulator
+    trainer: TorchTrainer
+    pfs: ParallelFileSystem
+    local_fs: LocalFileSystem | None = None
+    monarch: Monarch | None = None
+
+    def execute(self) -> TrainResult:
+        """Run to completion."""
+        proc = self.sim.spawn(self.trainer.run(), name="torch-train")
+        result: TrainResult = self.sim.run(proc)
+        if self.monarch is not None:
+            self.monarch.shutdown()
+        return result
+
+
+def build_torch_run(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> TorchRunHandle:
+    """Wire one loose-file run (mirrors scenarios.build_run)."""
+    if setup not in TORCH_SETUPS:
+        raise ValueError(f"unknown torch setup {setup!r}; expected one of {TORCH_SETUPS}")
+    if model_name not in MODELS:
+        raise ValueError(f"unknown model {model_name!r}")
+    model = MODELS[model_name]
+    sspec = scaled(dataset, scale)
+    env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+
+    interference = ARInterference(
+        rngs.stream("interference"),
+        mean_load=calib.interference_mean_load,
+        sigma=calib.interference_sigma,
+        rho=calib.interference_rho,
+        interval=env.interference_interval,
+        max_load=calib.interference_max_load,
+    )
+    # Loose files scale linearly with samples, so per-file metadata costs
+    # need no shard-floor correction: use the calibrated MDS latency as-is.
+    pfs = ParallelFileSystem(
+        sim,
+        config=replace(calib.pfs, stripe_size=env.stripe_size),
+        interference=interference,
+        rng=rngs.stream("pfs-jitter"),
+        name="pfs",
+    )
+    files = FileSampleDataset.from_spec(sspec, IMAGES_DIR)
+    materialize_loose_files(files, pfs)
+
+    mounts = MountTable()
+    mounts.mount(PFS_MOUNT, pfs)
+
+    local_fs: LocalFileSystem | None = None
+    monarch: Monarch | None = None
+    init_hook = None
+    backends = {"pfs": pfs.stats}
+    node = ComputeNode(sim, calib.node)
+
+    loader_config = DataLoaderConfig(
+        num_workers=8,
+        batch_size=env.pipeline.batch_size,
+        prefetch_batches=4,
+        reference_batch=env.pipeline.reference_batch,
+    )
+
+    if setup == "monarch":
+        local_fs = LocalFileSystem(
+            sim,
+            Device(sim, calib.ssd, rng=rngs.stream("ssd-jitter")),
+            capacity_bytes=env.local_capacity_bytes,
+            name="local",
+            page_cache=PageCache(env.page_cache_bytes,
+                                 ram_bw_mib=calib.page_cache_ram_bw_mib),
+        )
+        mounts.mount(SSD_MOUNT, local_fs)
+        backends["local"] = local_fs.stats
+        monarch = Monarch(
+            sim,
+            MonarchConfig(
+                tiers=(TierSpec(mount_point=SSD_MOUNT), TierSpec(mount_point=PFS_MOUNT)),
+                dataset_dir=IMAGES_DIR,
+                placement_threads=calib.placement_threads,
+                # loose files are read whole, so the copy is one write
+                copy_chunk=max(env.copy_chunk, 1),
+            ),
+            mounts,
+            rng=rngs.stream("monarch"),
+        )
+        reader = MonarchReader(monarch)
+        init_hook = monarch.initialize
+        path_prefix = PFS_MOUNT
+    else:
+        reader = PosixReader(mounts)
+        path_prefix = PFS_MOUNT
+
+    trainer = TorchTrainer(
+        sim=sim,
+        node=node,
+        model=model,
+        config=loader_config,
+        dataset=files,
+        reader=reader,
+        shuffle_rng=rngs.stream("shuffle"),
+        backends=backends,
+        epochs=epochs if epochs is not None else calib.epochs,
+        path_prefix=path_prefix,
+        init_hook=init_hook,
+    )
+    return TorchRunHandle(
+        setup=setup,
+        dataset=files,
+        env=env,
+        sim=sim,
+        trainer=trainer,
+        pfs=pfs,
+        local_fs=local_fs,
+        monarch=monarch,
+    )
+
+
+def run_torch_once(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> RunRecord:
+    """One seeded loose-file run, un-scaled to paper units."""
+    calib = calib or DEFAULT_CALIBRATION
+    handle = build_torch_run(setup, model_name, dataset, calib, scale, seed, epochs)
+    result = handle.execute()
+    inv = 1.0 / scale
+    return RunRecord(
+        setup=f"torch-{setup}",
+        model=model_name,
+        dataset=dataset.name,
+        scale=scale,
+        seed=seed,
+        epoch_times_s=[e.wall_time_s * inv for e in result.epochs],
+        init_time_s=result.init_time_s * inv,
+        cpu_utilization=[e.cpu_utilization for e in result.epochs],
+        gpu_utilization=[e.gpu_utilization for e in result.epochs],
+        memory_gib=10.0,
+        pfs_ops_per_epoch=[
+            int(round(e.backend_ops["pfs"].total_ops * inv)) for e in result.epochs
+        ],
+        local_ops_per_epoch=[
+            int(round(e.backend_ops["local"].total_ops * inv))
+            for e in result.epochs
+            if "local" in e.backend_ops
+        ],
+        pfs_bytes_read=int(round(handle.pfs.stats.bytes_read * inv)),
+        local_bytes_read=(
+            int(round(handle.local_fs.stats.bytes_read * inv))
+            if handle.local_fs is not None
+            else 0
+        ),
+    )

@@ -1,0 +1,160 @@
+"""Calibration self-check: derived quantities vs. their paper targets.
+
+``python -m repro.experiments.validation`` runs a handful of short probe
+simulations and prints each calibrated quantity next to the paper
+measurement it was derived from, with a pass/fail band.  This is the
+release-time sanity report: if a model change silently shifts a derived
+quantity out of band, this catches it before the figure benchmarks do.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_once
+from repro.storage.blockmath import GIB, MIB
+from repro.telemetry.report import format_table
+
+__all__ = ["CHECKS", "CheckResult", "run_validation"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One validated quantity."""
+
+    name: str
+    paper: float
+    measured: float
+    lo: float
+    hi: float
+    unit: str
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measurement sits inside its acceptance band."""
+        return self.lo <= self.measured <= self.hi
+
+
+def run_validation(scale: float = 1 / 512, seed: int = 11) -> list[CheckResult]:
+    """Run the probe simulations and evaluate every check."""
+    quiet = DEFAULT_CALIBRATION
+    busy = DEFAULT_CALIBRATION.busy()
+
+    lustre100 = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                         calib=quiet, scale=scale, seed=seed)
+    local100 = run_once("vanilla-local", "lenet", IMAGENET_100G,
+                        calib=quiet, scale=scale, seed=seed)
+    monarch100 = run_once("monarch", "lenet", IMAGENET_100G,
+                          calib=quiet, scale=scale, seed=seed)
+    alex_local = run_once("vanilla-local", "alexnet", IMAGENET_100G,
+                          calib=quiet, scale=scale, seed=seed)
+    resnet = run_once("vanilla-local", "resnet50", IMAGENET_100G,
+                      calib=quiet, scale=scale, seed=seed)
+    lustre200 = run_once("vanilla-lustre", "lenet", IMAGENET_200G,
+                         calib=busy, scale=scale, seed=seed)
+    monarch200 = run_once("monarch", "lenet", IMAGENET_200G,
+                          calib=busy, scale=scale, seed=seed)
+
+    def epoch_mean(rec):
+        return rec.total_time_s / len(rec.epoch_times_s)
+
+    checks = [
+        CheckResult(
+            "lustre eff. bandwidth (quiet)",
+            paper=255.0,
+            measured=100 * GIB / epoch_mean(lustre100) / MIB,
+            lo=220, hi=300, unit="MiB/s",
+        ),
+        CheckResult(
+            "lustre eff. bandwidth (busy)",
+            paper=216.0,
+            measured=200 * GIB / epoch_mean(lustre200) / MIB,
+            lo=180, hi=260, unit="MiB/s",
+        ),
+        CheckResult(
+            "LeNet vanilla-local epoch",
+            paper=217.0, measured=epoch_mean(local100),
+            lo=180, hi=240, unit="s",
+        ),
+        CheckResult(
+            "AlexNet vanilla-local epoch",
+            paper=325.0, measured=epoch_mean(alex_local),
+            lo=290, hi=360, unit="s",
+        ),
+        CheckResult(
+            "ResNet-50 epoch (any setup)",
+            paper=450.0, measured=epoch_mean(resnet),
+            lo=410, hi=500, unit="s",
+        ),
+        CheckResult(
+            "ResNet-50 GPU utilization",
+            paper=90.0, measured=100 * sum(resnet.gpu_utilization) / 3,
+            lo=82, hi=96, unit="%",
+        ),
+        CheckResult(
+            "MONARCH e1 / lustre e1 (100G)",
+            paper=377 / 396,
+            measured=monarch100.epoch_times_s[0] / lustre100.epoch_times_s[0],
+            lo=0.80, hi=1.0, unit="ratio",
+        ),
+        CheckResult(
+            "metadata init (100G)",
+            paper=13.0, measured=monarch100.init_time_s,
+            lo=9, hi=20, unit="s",
+        ),
+        CheckResult(
+            "steady PFS ops (200G monarch)",
+            paper=360_000.0, measured=float(monarch200.pfs_ops_per_epoch[-1]),
+            lo=280_000, hi=440_000, unit="ops/epoch",
+        ),
+        CheckResult(
+            "total lustre ops/epoch (200G)",
+            paper=798_340.0, measured=float(lustre200.pfs_ops_per_epoch[0]),
+            lo=700_000, hi=1_000_000, unit="ops/epoch",
+        ),
+        CheckResult(
+            "memory estimate",
+            paper=10.0, measured=monarch100.memory_gib,
+            lo=9, hi=11.5, unit="GiB",
+        ),
+    ]
+    return checks
+
+
+#: names of every check, for quick discovery in tests
+CHECKS = [
+    "lustre eff. bandwidth (quiet)",
+    "lustre eff. bandwidth (busy)",
+    "LeNet vanilla-local epoch",
+    "AlexNet vanilla-local epoch",
+    "ResNet-50 epoch (any setup)",
+    "ResNet-50 GPU utilization",
+    "MONARCH e1 / lustre e1 (100G)",
+    "metadata init (100G)",
+    "steady PFS ops (200G monarch)",
+    "total lustre ops/epoch (200G)",
+    "memory estimate",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print the validation report; exit 1 if any check is out of band."""
+    checks = run_validation()
+    rows = [
+        (c.name, f"{c.paper:g}", f"{c.measured:.3g}",
+         f"[{c.lo:g}, {c.hi:g}]", c.unit, "ok" if c.ok else "OUT OF BAND")
+        for c in checks
+    ]
+    print(format_table(
+        ["quantity", "paper", "measured", "band", "unit", "status"],
+        rows,
+        title="Calibration validation (derived quantities vs paper targets)",
+    ))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Mini deep-learning framework substrate (the TensorFlow stand-in).
+
+Reproduces, at the I/O-request level, the tf.data input pipeline the paper
+runs MONARCH under:
+
+* :mod:`~repro.framework.pipeline` — shuffled shard order, ``cycle_length``
+  parallel shard readers doing chunked ``pread`` s, parallel ``map``
+  preprocessing on the CPU pool, batching and a bounded ``prefetch`` buffer.
+* :mod:`~repro.framework.cache` — the ``tf.data.Dataset.cache`` stand-in
+  used by the *vanilla-caching* baseline (writes everything to local
+  storage during epoch 1; **requires the dataset to fit**, like the real
+  mechanism the paper discusses).
+* :mod:`~repro.framework.models` — LeNet / AlexNet / ResNet-50 as compute
+  profiles (per-image GPU step time and CPU preprocessing time).
+* :mod:`~repro.framework.training` — a synchronous data-parallel training
+  loop over the node's GPUs with per-epoch accounting.
+* :mod:`~repro.framework.io_layer` — the pluggable reader interface: the
+  reproduction's analogue of the paper's 6-line TensorFlow integration
+  (swap ``PosixReader`` for MONARCH's reader and nothing else changes).
+"""
+
+from repro.framework.io_layer import DataReader, PosixReader
+from repro.framework.models import ALEXNET, LENET, RESNET50, ModelProfile
+from repro.framework.pipeline import PipelineConfig
+from repro.framework.resources import ComputeNode, NodeSpec
+from repro.framework.training import EpochResult, Trainer, TrainResult
+
+__all__ = [
+    "ALEXNET",
+    "ComputeNode",
+    "DataReader",
+    "EpochResult",
+    "LENET",
+    "ModelProfile",
+    "NodeSpec",
+    "PipelineConfig",
+    "PosixReader",
+    "RESNET50",
+    "TrainResult",
+    "Trainer",
+]

@@ -1,0 +1,86 @@
+"""``tf.data.Dataset.cache`` stand-in — the *vanilla-caching* baseline.
+
+TensorFlow's file cache materializes everything that flows through the
+dataset during the first epoch into local cache files and serves later
+epochs from them.  The paper leans on its key limitation: "the current
+implementation of this mechanism is only applicable when the full dataset
+fits on the local disk".  We reproduce both the behaviour and the
+limitation:
+
+* During epoch 1 the shard readers *also* write each chunk they read to a
+  per-shard cache file on the local tier (synchronously, in the dataset
+  graph — this is the extra copy that makes caching's first epoch slower
+  than vanilla-lustre in Fig. 1).
+* :exc:`CacheOverflowError` propagates if the local tier fills up.
+* From epoch 2 on, :meth:`effective_shards` redirects readers at the local
+  cache files, and reads never touch the PFS again.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.storage.base import FileHandle, NoSpaceError
+from repro.storage.vfs import MountTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.framework.pipeline import ShardInfo
+
+__all__ = ["CacheOverflowError", "TFDataCache"]
+
+
+class CacheOverflowError(RuntimeError):
+    """The dataset does not fit on the cache tier (the paper's limitation)."""
+
+
+class TFDataCache:
+    """File-backed dataset cache filled during the first epoch."""
+
+    def __init__(self, mounts: MountTable, cache_dir: str) -> None:
+        self.mounts = mounts
+        self.cache_dir = cache_dir
+        self.ready = False
+        self._handles: dict[str, FileHandle] = {}
+        self._offsets: dict[str, int] = {}
+
+    def cached_path(self, shard_path: str) -> str:
+        """Local cache path mirroring ``shard_path``."""
+        return posixpath.join(self.cache_dir, posixpath.basename(shard_path))
+
+    def write_chunk(self, shard_path: str, nbytes: int) -> Generator[Any, Any, None]:
+        """Append ``nbytes`` of ``shard_path``'s content to its cache file.
+
+        Raises :exc:`CacheOverflowError` once the cache tier is full.
+        """
+        if self.ready:
+            raise RuntimeError("cache already finalized; epoch-1 writes only")
+        path = self.cached_path(shard_path)
+        handle = self._handles.get(path)
+        if handle is None:
+            handle = yield from self.mounts.open(path, "w")
+            self._handles[path] = handle
+            self._offsets[path] = 0
+        try:
+            yield from self.mounts.pwrite(handle, self._offsets[path], nbytes)
+        except NoSpaceError as err:
+            raise CacheOverflowError(
+                f"dataset does not fit on the cache tier (while caching {shard_path})"
+            ) from err
+        self._offsets[path] += nbytes
+
+    def finalize_epoch(self) -> None:
+        """Mark the cache complete; later epochs read from it."""
+        self.ready = True
+
+    def effective_shards(self, shards: list["ShardInfo"]) -> list["ShardInfo"]:
+        """Shard list with paths redirected to the cache once it is ready."""
+        if not self.ready:
+            return shards
+        return [s.with_path(self.cached_path(s.path)) for s in shards]
+
+    @property
+    def bytes_cached(self) -> int:
+        """Total bytes written to cache files so far."""
+        return sum(self._offsets.values())

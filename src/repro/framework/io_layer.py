@@ -1,0 +1,61 @@
+"""The pluggable reader interface — the paper's 6-LoC integration point.
+
+The paper integrates MONARCH into TensorFlow by building a file-system
+driver that replaces the POSIX ``pread`` with ``Monarch.read(filename,
+offset, size)``.  Our framework reads shards exclusively through a
+:class:`DataReader`; the vanilla baselines use :class:`PosixReader` (which
+routes through the mount table to whatever backend owns the path) and the
+MONARCH setup swaps in ``repro.core.middleware.MonarchReader`` — one
+constructor argument, nothing else in the framework changes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.storage.base import FileHandle
+from repro.storage.vfs import MountTable
+
+__all__ = ["DataReader", "OpenFile", "PosixReader"]
+
+
+@dataclass
+class OpenFile:
+    """What the framework holds for an open shard: name, size, token."""
+
+    path: str
+    size: int
+    token: Any = None  # backend-specific (a FileHandle for POSIX)
+
+
+class DataReader:
+    """Interface the input pipeline reads training data through."""
+
+    def open(self, path: str) -> Generator[Any, Any, OpenFile]:
+        """Timed open of ``path``; returns an :class:`OpenFile`."""
+        raise NotImplementedError
+
+    def pread(self, f: OpenFile, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Timed positional read; returns bytes transferred."""
+        raise NotImplementedError
+
+    def close(self, f: OpenFile) -> None:
+        """Release any per-file state (untimed)."""
+        return
+
+
+class PosixReader(DataReader):
+    """Default reader: straight through the mount table (the vanilla path)."""
+
+    def __init__(self, mounts: MountTable) -> None:
+        self.mounts = mounts
+
+    def open(self, path: str) -> Generator[Any, Any, OpenFile]:
+        handle: FileHandle = yield from self.mounts.open(path, "r")
+        return OpenFile(path=path, size=handle.size, token=handle)
+
+    def pread(self, f: OpenFile, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        n = yield from self.mounts.pread(f.token, offset, nbytes)
+        return n

@@ -1,0 +1,272 @@
+"""tf.data-like input pipeline executed on the DES.
+
+One :class:`EpochPipeline` reproduces the request-level behaviour of the
+pipeline the paper configures TensorFlow with ("I/O parallelism,
+prefetching and parallel preprocessing optimizations enabled"):
+
+* shard order is reshuffled every epoch,
+* ``cycle_length`` reader workers interleave across shards, each issuing
+  sequential chunked ``pread`` s through the pluggable
+  :class:`~repro.framework.io_layer.DataReader`,
+* records flow through a bounded shuffle buffer into
+  ``num_map_workers`` parallel preprocess workers holding CPU cores,
+* processed records are batched and pushed into a bounded ``prefetch``
+  buffer that the training loop consumes.
+
+Stage buffers are bounded :class:`~repro.simkernel.resources.Store`\\ s, so
+backpressure propagates exactly as in a real pipeline: a stalled GPU fills
+prefetch, which stalls the batcher, the mappers, and finally the readers.
+
+Fidelity note: the shuffle buffer bounds and delays the record stream but
+does not physically reorder it — record *identity* has no timing effect in
+the simulation, only counts and sizes do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.data.sharding import ShardLayout, ShardManifest
+from repro.framework.cache import TFDataCache
+from repro.framework.io_layer import DataReader
+from repro.framework.models import ModelProfile
+from repro.framework.resources import ComputeNode
+from repro.simkernel.core import Simulator
+from repro.simkernel.resources import Store
+from repro.storage.blockmath import KIB
+
+__all__ = ["EpochPipeline", "PipelineConfig", "RecordRef", "ShardInfo", "shards_from_manifest"]
+
+#: sentinel flowing through the stage stores to signal end-of-stream
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the input pipeline (tf.data equivalents in comments)."""
+
+    read_chunk: int = 256 * KIB  #: buffered-reader chunk size
+    cycle_length: int = 4  #: interleave parallelism (parallel shard readers)
+    num_map_workers: int = 24  #: map(num_parallel_calls=...)
+    shuffle_buffer_records: int = 4096  #: shuffle(buffer_size=...)
+    prefetch_batches: int = 8  #: prefetch(buffer_size=...)
+    batch_size: int = 128  #: global batch across all GPUs
+    #: the full-scale batch the model profiles' per-step host cost refers
+    #: to; when scaled runs shrink the batch, per-step host time shrinks
+    #: proportionally so host overhead per *image* is scale-invariant
+    reference_batch: int = 128
+
+    def __post_init__(self) -> None:
+        if self.read_chunk < 1:
+            raise ValueError("read_chunk must be >= 1")
+        if min(self.cycle_length, self.num_map_workers, self.prefetch_batches) < 1:
+            raise ValueError("pipeline parallelism knobs must be >= 1")
+        if self.shuffle_buffer_records < 1:
+            raise ValueError("shuffle_buffer_records must be >= 1")
+        if self.batch_size < 1 or self.reference_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+
+    @property
+    def host_scale(self) -> float:
+        """Per-step host-cost multiplier for scaled batches."""
+        return self.batch_size / self.reference_batch
+
+
+@dataclass(frozen=True)
+class RecordRef:
+    """One training sample flowing through the pipeline."""
+
+    sample_id: int
+    payload_len: int
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """A record shard as the pipeline sees it."""
+
+    path: str
+    size: int
+    #: (offset, frame_len, sample_id, payload_len) per record, offset-ordered
+    records: tuple[tuple[int, int, int, int], ...] = field(repr=False)
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in the shard."""
+        return len(self.records)
+
+    def with_path(self, path: str) -> "ShardInfo":
+        """Copy with a different path (cache redirection)."""
+        return replace(self, path=path)
+
+
+def shards_from_manifest(manifest: ShardManifest, paths: list[str]) -> list[ShardInfo]:
+    """Bind a manifest's layouts to the global paths they live at."""
+    if len(paths) != len(manifest.shards):
+        raise ValueError(
+            f"{len(paths)} paths for {len(manifest.shards)} shards"
+        )
+    out: list[ShardInfo] = []
+    for layout, path in zip(manifest.shards, paths):
+        out.append(_shard_info(layout, path))
+    return out
+
+
+def _shard_info(layout: ShardLayout, path: str) -> ShardInfo:
+    recs = tuple(
+        (r.offset, r.frame_len, r.sample_id, r.payload_len) for r in layout.records
+    )
+    return ShardInfo(path=path, size=layout.size_bytes, records=recs)
+
+
+class EpochPipeline:
+    """One epoch's worth of input pipeline, wired and ready to start."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PipelineConfig,
+        shards: list[ShardInfo],
+        reader: DataReader,
+        node: ComputeNode,
+        model: ModelProfile,
+        shuffle_rng: np.random.Generator,
+        cache: TFDataCache | None = None,
+        cache_writing: bool = False,
+    ) -> None:
+        if not shards:
+            raise ValueError("pipeline needs at least one shard")
+        self.sim = sim
+        self.config = config
+        self.reader = reader
+        self.node = node
+        self.model = model
+        self.cache = cache
+        self.cache_writing = cache_writing
+        # Cache redirection: once ready, read the local cache files instead.
+        self.shards = cache.effective_shards(shards) if cache else shards
+        order = shuffle_rng.permutation(len(self.shards))
+        self._shard_queue: list[int] = [int(i) for i in order]
+        self._total_records = sum(s.n_records for s in self.shards)
+        self.total_batches = -(-self._total_records // config.batch_size)
+        self._record_store = Store(sim, capacity=config.shuffle_buffer_records, name="shuffle")
+        self._mapped_store = Store(sim, capacity=2 * config.batch_size, name="mapped")
+        self.prefetch = Store(sim, capacity=config.prefetch_batches, name="prefetch")
+        self._procs: list[Any] = []
+        self.error: BaseException | None = None
+
+    # -- stage processes -------------------------------------------------
+    def _reader_worker(self) -> Generator[Any, Any, None]:
+        cfg = self.config
+        while self._shard_queue:
+            shard = self.shards[self._shard_queue.pop(0)]
+            f = yield from self.reader.open(shard.path)
+            pos = 0
+            emitted = 0
+            while pos < shard.size:
+                n = yield from self.reader.pread(f, pos, cfg.read_chunk)
+                if n == 0:
+                    break
+                if self.cache is not None and self.cache_writing:
+                    yield from self.cache.write_chunk(shard.path, n)
+                pos += n
+                # Emit every record whose frame is now fully buffered.
+                while emitted < shard.n_records:
+                    off, frame, sid, payload = shard.records[emitted]
+                    if off + frame > pos:
+                        break
+                    yield self._record_store.put(RecordRef(sid, payload))
+                    emitted += 1
+            self.reader.close(f)
+
+    def _map_worker(self) -> Generator[Any, Any, None]:
+        while True:
+            item = yield self._record_store.get()
+            if item is _SENTINEL:
+                yield self._mapped_store.put(_SENTINEL)
+                return
+            yield from self.node.cpu.using(self.model.preprocess_time(item.payload_len))
+            yield self._mapped_store.put(item)
+
+    def _batcher(self) -> Generator[Any, Any, None]:
+        cfg = self.config
+        batch: list[RecordRef] = []
+        finished_mappers = 0
+        while finished_mappers < cfg.num_map_workers:
+            item = yield self._mapped_store.get()
+            if item is _SENTINEL:
+                finished_mappers += 1
+                continue
+            batch.append(item)
+            if len(batch) == cfg.batch_size:
+                yield self.prefetch.put(batch)
+                batch = []
+        if batch:
+            yield self.prefetch.put(batch)
+        yield self.prefetch.put(_SENTINEL)
+
+    def _supervisor(self, readers: list[Any]) -> Generator[Any, Any, None]:
+        yield self.sim.all_of(readers)
+        for _ in range(self.config.num_map_workers):
+            yield self._record_store.put(_SENTINEL)
+
+    # -- public API --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn all stage processes; batches appear in :attr:`prefetch`."""
+        cfg = self.config
+        readers = [
+            self.sim.spawn(self._reader_worker(), name=f"reader-{i}")
+            for i in range(cfg.cycle_length)
+        ]
+        mappers = [
+            self.sim.spawn(self._map_worker(), name=f"mapper-{i}")
+            for i in range(cfg.num_map_workers)
+        ]
+        batcher = self.sim.spawn(self._batcher(), name="batcher")
+        supervisor = self.sim.spawn(self._supervisor(readers), name="supervisor")
+        self._procs = [*readers, *mappers, batcher, supervisor]
+        for p in self._procs:
+            p.add_callback(self._on_proc_done)
+
+    def _on_proc_done(self, ev: Any) -> None:
+        if not ev.ok and self.error is None:
+            self.error = ev.exception
+
+    def next_batch(self) -> Generator[Any, Any, list[RecordRef] | None]:
+        """Get the next batch, or ``None`` at end of epoch.
+
+        Re-raises any error that killed a stage process (e.g. cache
+        overflow) instead of deadlocking on an empty prefetch buffer.
+        """
+        if self.error is not None:
+            raise self.error
+        get_ev = self.prefetch.get()
+        while not get_ev.triggered:
+            if self.error is not None:
+                raise self.error
+            # Wait for either the batch or any stage failure.  Stages that
+            # already died must stay in the watch set (their failure event
+            # fires the composite immediately); only cleanly-finished ones
+            # are dropped, or the composite would spin.
+            watch = [p for p in self._procs if p.is_alive or not p.ok]
+            yield self.sim.any_of([get_ev, *watch])
+            if self.error is not None:
+                raise self.error
+        item = get_ev.value
+        if item is _SENTINEL:
+            return None
+        return item
+
+    def abort(self) -> None:
+        """Kill all stage processes (used on failure paths)."""
+        for p in self._procs:
+            if p.is_alive:
+                p.kill()
+
+    @property
+    def total_records(self) -> int:
+        """Records this epoch will deliver."""
+        return self._total_records

@@ -1,0 +1,62 @@
+"""Compute-node resources: CPU pool, GPU group, memory estimate.
+
+Mirrors the paper's testbed: two 16-core Xeons (32 cores), four Quadro
+RTX 5000 GPUs, 128 GiB RAM limited to 68 GiB for the experiments.
+
+GPUs run synchronous data-parallel training (TensorFlow MirroredStrategy in
+the paper): one *step* occupies all GPUs in lockstep, so the GPU group is a
+single capacity-1 resource whose utilization equals each GPU's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simkernel.core import Simulator
+from repro.simkernel.resources import Resource
+from repro.storage.blockmath import GIB
+
+__all__ = ["ComputeNode", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of the compute node."""
+
+    cpu_cores: int = 32
+    n_gpus: int = 4
+    memory_limit_bytes: int = 68 * GIB
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1 or self.n_gpus < 1:
+            raise ValueError("node needs at least one core and one GPU")
+        if self.memory_limit_bytes <= 0:
+            raise ValueError("memory limit must be positive")
+
+
+#: The Frontera RTX node used throughout the paper.
+FRONTERA_RTX_NODE = NodeSpec(cpu_cores=32, n_gpus=4, memory_limit_bytes=68 * GIB)
+
+
+class ComputeNode:
+    """Live CPU/GPU resources for one simulated node."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec | None = None) -> None:
+        self.sim = sim
+        self.spec = spec or FRONTERA_RTX_NODE
+        self.cpu = Resource(sim, capacity=self.spec.cpu_cores, name="cpu")
+        # Lockstep data-parallel group: a step holds the whole group.
+        self.gpu_group = Resource(sim, capacity=1, name="gpu-group")
+
+    def mark_epoch(self) -> None:
+        """Drop an epoch boundary on the utilization monitors."""
+        self.cpu.monitor.mark()
+        self.gpu_group.monitor.mark()
+
+    def cpu_utilization_per_epoch(self) -> list[float]:
+        """Per-epoch CPU utilization in [0, 1] (fraction of all cores busy)."""
+        return self.cpu.monitor.window_utilization()
+
+    def gpu_utilization_per_epoch(self) -> list[float]:
+        """Per-epoch GPU utilization in [0, 1] (lockstep group busy fraction)."""
+        return self.gpu_group.monitor.window_utilization()

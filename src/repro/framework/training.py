@@ -1,0 +1,166 @@
+"""Training loop and per-epoch accounting.
+
+A :class:`Trainer` runs the paper's methodology: N epochs over the dataset
+(3 in every experiment), synchronous data-parallel steps across the node's
+GPUs, with the input pipeline rebuilt (and the shard order reshuffled) each
+epoch.  It records everything the paper reports per epoch: wall time,
+CPU/GPU utilization, and per-backend I/O counters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.framework.cache import TFDataCache
+from repro.framework.io_layer import DataReader
+from repro.framework.models import ModelProfile
+from repro.framework.pipeline import EpochPipeline, PipelineConfig, ShardInfo
+from repro.framework.resources import ComputeNode
+from repro.simkernel.core import Simulator
+from repro.storage.stats import BackendStats, StatsSnapshot
+
+__all__ = ["EpochResult", "TrainResult", "Trainer"]
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Everything measured for one training epoch."""
+
+    index: int
+    wall_time_s: float
+    steps: int
+    records: int
+    cpu_utilization: float
+    gpu_utilization: float
+    backend_ops: dict[str, StatsSnapshot] = field(default_factory=dict)
+
+
+@dataclass
+class TrainResult:
+    """Aggregate result of one training run."""
+
+    epochs: list[EpochResult] = field(default_factory=list)
+    init_time_s: float = 0.0  #: setup before epoch 1 (MONARCH metadata init)
+    memory_estimate_bytes: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        """Sum of epoch wall times (init excluded, as in the paper's figures)."""
+        return sum(e.wall_time_s for e in self.epochs)
+
+    @property
+    def epoch_times(self) -> list[float]:
+        """Per-epoch wall times in epoch order."""
+        return [e.wall_time_s for e in self.epochs]
+
+    def backend_epoch_ops(self, backend: str) -> list[int]:
+        """Per-epoch total op counts for one backend (data + metadata)."""
+        return [e.backend_ops[backend].total_ops for e in self.epochs if backend in e.backend_ops]
+
+
+class Trainer:
+    """Runs a full training job on the DES."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: ComputeNode,
+        model: ModelProfile,
+        config: PipelineConfig,
+        shards: list[ShardInfo],
+        reader: DataReader,
+        shuffle_rng: np.random.Generator,
+        backends: dict[str, BackendStats] | None = None,
+        cache: TFDataCache | None = None,
+        epochs: int = 3,
+        init_hook: Callable[[], Generator[Any, Any, None]] | None = None,
+        epoch_end_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.sim = sim
+        self.node = node
+        self.model = model
+        self.config = config
+        self.shards = shards
+        self.reader = reader
+        self.shuffle_rng = shuffle_rng
+        self.backends = backends or {}
+        self.cache = cache
+        self.epochs = epochs
+        self.init_hook = init_hook
+        self.epoch_end_hook = epoch_end_hook
+        self.result = TrainResult()
+
+    def run(self) -> Generator[Any, Any, TrainResult]:
+        """The training job: drive with ``sim.spawn(trainer.run())``."""
+        if self.init_hook is not None:
+            t0 = self.sim.now
+            yield from self.init_hook()
+            self.result.init_time_s = self.sim.now - t0
+            # Keep the init phase out of epoch-1's utilization window.
+            self.node.mark_epoch()
+        for epoch in range(self.epochs):
+            yield from self._run_epoch(epoch)
+        return self.result
+
+    def _run_epoch(self, epoch: int) -> Generator[Any, Any, None]:
+        t0 = self.sim.now
+        base_ops = {name: s.snapshot() for name, s in self.backends.items()}
+        cache_writing = self.cache is not None and not self.cache.ready
+        pipe = EpochPipeline(
+            sim=self.sim,
+            config=self.config,
+            shards=self.shards,
+            reader=self.reader,
+            node=self.node,
+            model=self.model,
+            shuffle_rng=self.shuffle_rng,
+            cache=self.cache,
+            cache_writing=cache_writing,
+        )
+        pipe.start()
+        steps = 0
+        records = 0
+        n_gpus = self.node.spec.n_gpus
+        try:
+            while True:
+                batch = yield from pipe.next_batch()
+                if batch is None:
+                    break
+                yield from self.node.gpu_group.using(self.model.step_time(len(batch), n_gpus))
+                host = self.model.host_time() * self.config.host_scale
+                if host > 0:
+                    yield self.sim.timeout(host)
+                steps += 1
+                records += len(batch)
+        except BaseException:
+            pipe.abort()
+            raise
+        if self.cache is not None and cache_writing:
+            self.cache.finalize_epoch()
+        if self.epoch_end_hook is not None:
+            self.epoch_end_hook(epoch)
+        self.node.mark_epoch()
+        wall = self.sim.now - t0
+        ops = {
+            name: s.snapshot().delta(base_ops[name]) for name, s in self.backends.items()
+        }
+        for s in self.backends.values():
+            s.mark_epoch()
+        # t0 and now are both mark points, so the window integral is exact.
+        self.result.epochs.append(
+            EpochResult(
+                index=epoch,
+                wall_time_s=wall,
+                steps=steps,
+                records=records,
+                cpu_utilization=self.node.cpu.monitor.utilization(t0, self.sim.now),
+                gpu_utilization=self.node.gpu_group.monitor.utilization(t0, self.sim.now),
+                backend_ops=ops,
+            )
+        )

@@ -1,0 +1,52 @@
+"""Deterministic discrete-event simulation (DES) kernel.
+
+This package is the substrate every other subsystem runs on.  It provides a
+small, SimPy-flavoured engine built around generator coroutines:
+
+* :class:`~repro.simkernel.core.Simulator` — the event loop and clock.
+* :class:`~repro.simkernel.core.Process` — a simulated thread of control
+  (a generator that yields events to wait on).
+* :mod:`~repro.simkernel.resources` — queued resources, counters and
+  bounded stores used to model devices, thread pools and pipelines.
+* :mod:`~repro.simkernel.rng` — named deterministic random streams so a
+  whole experiment is a pure function of ``(config, seed)``.
+* :mod:`~repro.simkernel.monitor` — time-weighted statistics used for
+  utilization accounting.
+
+The engine is deliberately single-threaded: "parallelism" in the simulated
+system (reader threads, GPU streams, MONARCH's placement thread pool) is
+expressed as interleaved simulated processes, which keeps every run exactly
+reproducible.
+"""
+
+from repro.simkernel.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+)
+from repro.simkernel.monitor import TimeSeriesMonitor, UtilizationMonitor
+from repro.simkernel.resources import Container, Resource, SimLock, Store
+from repro.simkernel.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "RngRegistry",
+    "SimLock",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeriesMonitor",
+    "UtilizationMonitor",
+]

@@ -1,0 +1,412 @@
+"""Core event loop and process model for the DES kernel.
+
+The model follows the classic generator-coroutine design:
+
+* An :class:`Event` is a one-shot occurrence with an optional value (or
+  exception).  Callbacks registered on it run when it fires.
+* A :class:`Process` wraps a generator.  Each ``yield`` hands back an event
+  (or a composite built with :class:`AllOf` / :class:`AnyOf`); the process
+  resumes when that event fires, receiving its value as the result of the
+  ``yield`` expression.
+* The :class:`Simulator` owns the clock and a priority queue of scheduled
+  events.  Time only advances between events; everything that happens "at
+  the same instant" is ordered deterministically by (priority, sequence
+  number), so runs are exactly reproducible.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 2.0))
+>>> _ = sim.spawn(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+from repro.simkernel.errors import (
+    DeadlockError,
+    Interrupt,
+    ProcessKilled,
+    SimulationError,
+    StaleEventError,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "SimulationError",
+    "Simulator",
+    "DeadlockError",
+    "StaleEventError",
+]
+
+# Scheduling priorities: lower runs first at the same timestamp.  URGENT is
+# used internally for process bookkeeping (e.g. resuming a process must
+# happen before a normal event scheduled at the same instant by someone
+# else observed the old state).
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* once a value or an
+    exception is attached and it has been scheduled, and is *processed*
+    after its callbacks ran.  Waiting on a processed event is allowed and
+    resumes the waiter immediately (this is what makes, e.g., waiting on an
+    already-finished process natural).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception has been attached."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired with a value rather than an exception."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value.  Raises if the event carried an exception."""
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The exception carried by the event, if any."""
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Fire the event with ``value`` at the current simulated instant."""
+        if self._triggered:
+            raise StaleEventError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Fire the event with an exception at the current instant."""
+        if self._triggered:
+            raise StaleEventError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        "the past has happened"; waiters must not be lost.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Event{label} {state} at t={self.sim.now:.6g}>"
+
+
+class _Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed(())
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every child event fired; value is the tuple of values.
+
+    If any child fails, the condition fails with that child's exception
+    (first failure wins; later failures are ignored).
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(tuple(child._value for child in self.events))
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one child fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self.succeed((ev, ev._value))
+
+
+class Process(Event):
+    """A simulated thread of control.
+
+    Wraps a generator; each yielded :class:`Event` suspends the process
+    until the event fires.  The process itself is an event that fires with
+    the generator's return value, so processes can be awaited (``yield
+    other_process``) or joined via composites.
+    """
+
+    __slots__ = ("gen", "_waiting_on", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = "") -> None:
+        if not isinstance(gen, Generator):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Event | None = None
+        self._started = False
+        # Kick off the process at the current instant, urgently so that
+        # spawn-then-advance sequences behave intuitively.
+        start = Event(sim, name=f"start:{self.name}")
+        start.add_callback(self._resume)
+        start.succeed(priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a finished process is a silent no-op, mirroring POSIX
+        signal semantics for exited threads.
+        """
+        if not self.is_alive:
+            return
+        # Deliver asynchronously at the current instant so the interrupter
+        # continues first (matching thread semantics).
+        ev = Event(self.sim, name=f"interrupt:{self.name}")
+        ev.add_callback(lambda _ev: self._throw(Interrupt(cause)))
+        ev.succeed(priority=PRIORITY_URGENT)
+
+    def kill(self) -> None:
+        """Terminate the process immediately; it fires with ProcessKilled."""
+        if not self.is_alive:
+            return
+        self._detach()
+        self.gen.close()
+        self.fail(ProcessKilled(f"process {self.name!r} killed"), priority=PRIORITY_URGENT)
+
+    # -- internal ------------------------------------------------------
+    def _detach(self) -> None:
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._detach()
+        try:
+            nxt = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+        except BaseException as err:  # noqa: BLE001 - propagate into waiters
+            self.fail(err, priority=PRIORITY_URGENT)
+        else:
+            self._wait_on(nxt)
+
+    def _resume(self, ev: Event) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        try:
+            if ev.exception is not None:
+                nxt = self.gen.throw(ev.exception)
+            else:
+                nxt = self.gen.send(ev._value if self._started else None)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+        except BaseException as err:  # noqa: BLE001 - propagate into waiters
+            self.fail(err, priority=PRIORITY_URGENT)
+        else:
+            self._started = True
+            self._wait_on(nxt)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            self._throw(exc)
+            return
+        if target.sim is not self.sim:
+            self._throw(SimulationError("yielded an event belonging to another Simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: owns the clock and the scheduled-event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self._process_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- event construction --------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        ev = Event(self, name or "timeout")
+        ev._triggered = True
+        ev._value = value
+        self._schedule(ev, PRIORITY_NORMAL, at=self._now + delay)
+        return ev
+
+    def spawn(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Create and start a :class:`Process` from a generator."""
+        self._process_count += 1
+        return Process(self, gen, name=name or f"proc-{self._process_count}")
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, ev: Event, priority: int, at: float | None = None) -> None:
+        when = self._now if at is None else at
+        if when < self._now:
+            raise SimulationError(f"cannot schedule into the past ({when} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, priority, self._seq, ev))
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        when, _prio, _seq, ev = heapq.heappop(self._heap)
+        self._now = when
+        ev._process()
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a timestamp
+        (run until the clock would pass it) or an :class:`Event` (run until
+        it fires, returning its value / raising its exception).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                target = until
+                while not target.processed:
+                    if not self._heap:
+                        raise DeadlockError(
+                            f"event queue drained before {target!r} fired"
+                        )
+                    self.step()
+                return target.value
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self._now = max(self._now, horizon)
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,36 @@
+"""Error types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for every error raised by the DES kernel."""
+
+
+class StaleEventError(SimulationError):
+    """An event was triggered (or waited on) more than once."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`Simulator.run` when ``until`` was given but the queue
+    empties with live processes blocked on events that can no longer fire.
+    """
+
+
+class ProcessKilled(SimulationError):
+    """A process was forcefully terminated via :meth:`Process.kill`."""
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current yield
+    point and may catch it to handle cancellation gracefully.  ``cause``
+    carries the caller-supplied reason.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause

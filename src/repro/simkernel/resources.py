@@ -1,0 +1,279 @@
+"""Queued resources for the DES kernel.
+
+Three primitives cover everything the storage and framework substrates
+need:
+
+* :class:`Resource` — a server with ``capacity`` slots and a FIFO queue
+  (device channels, CPU cores, GPU streams, thread-pool workers).
+* :class:`Container` — a continuous quantity with bounded level (storage
+  occupancy, memory budget).
+* :class:`Store` — a bounded FIFO of Python objects (pipeline stages,
+  prefetch buffers, work queues).
+* :class:`SimLock` — a convenience mutex built on :class:`Resource`.
+
+All primitives are strictly FIFO so simulations stay deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.simkernel.core import Event, Simulator
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.monitor import UtilizationMonitor
+
+__all__ = ["Container", "Resource", "SimLock", "Store"]
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a FIFO wait queue.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    or, more conveniently, ``yield from resource.using(service_time)``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        self.monitor = UtilizationMonitor(sim, capacity=capacity, name=name)
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of waiters not yet granted a slot."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        ev = self.sim.event(name=f"{self.name}.request")
+        if self._in_use < self.capacity and not self._queue:
+            self._grant(ev)
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self, req: Event) -> None:
+        """Release a previously granted slot.
+
+        ``req`` must be the event returned by :meth:`request`.  Releasing an
+        ungranted request cancels it instead.
+        """
+        if not req.triggered:
+            try:
+                self._queue.remove(req)
+            except ValueError as err:
+                raise SimulationError(
+                    f"release of unknown request on {self.name!r}"
+                ) from err
+            return
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise SimulationError(f"double release on resource {self.name!r}")
+        self.monitor.record(self._in_use)
+        if self._queue and self._in_use < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self.monitor.record(self._in_use)
+        ev.succeed(self)
+
+    def using(self, hold_time: float) -> Generator[Event, Any, None]:
+        """``yield from`` helper: acquire, hold for ``hold_time``, release.
+
+        The acquisition itself sits inside the ``try`` so that a process
+        killed (or interrupted) while still *waiting* for the slot cancels
+        its queued request instead of leaking a granted-to-nobody slot.
+        """
+        req = self.request()
+        try:
+            yield req
+            yield self.sim.timeout(hold_time)
+        finally:
+            self.release(req)
+
+
+class SimLock:
+    """A mutex: a :class:`Resource` of capacity 1 with lock-ish naming."""
+
+    def __init__(self, sim: Simulator, name: str = "lock") -> None:
+        self._res = Resource(sim, capacity=1, name=name)
+
+    def acquire(self) -> Event:
+        """Event that fires when the lock is held by the caller."""
+        return self._res.request()
+
+    def release(self, req: Event) -> None:
+        """Release the lock acquired via the given request event."""
+        self._res.release(req)
+
+    @property
+    def locked(self) -> bool:
+        """True while some process holds the lock."""
+        return self._res.in_use > 0
+
+    def holding(self, body_time: float) -> Generator[Event, Any, None]:
+        """``yield from`` helper: hold the lock for ``body_time``."""
+        yield from self._res.using(body_time)
+
+
+class Container:
+    """A continuous quantity bounded by ``[0, capacity]``.
+
+    ``put``/``get`` return events that fire once the operation can complete
+    in full (no partial grants).  Waiters are strictly FIFO *per side*, and
+    gets are granted before puts at the same release point — sufficient for
+    our use (storage occupancy never blocks, memory budgets drain fairly).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = init
+        self._get_waiters: deque[tuple[float, Event]] = deque()
+        self._put_waiters: deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    @property
+    def free(self) -> float:
+        """Remaining headroom."""
+        return self.capacity - self._level
+
+    def put(self, amount: float) -> Event:
+        """Event firing once ``amount`` fits (level+amount <= capacity)."""
+        if amount < 0:
+            raise ValueError(f"negative put: {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"put of {amount} exceeds capacity {self.capacity}")
+        ev = self.sim.event(name=f"{self.name}.put")
+        self._put_waiters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Event firing once ``amount`` is available to withdraw."""
+        if amount < 0:
+            raise ValueError(f"negative get: {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"get of {amount} exceeds capacity {self.capacity}")
+        ev = self.sim.event(name=f"{self.name}.get")
+        self._get_waiters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._get_waiters:
+                amount, ev = self._get_waiters[0]
+                if amount <= self._level:
+                    self._get_waiters.popleft()
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progressed = True
+                    continue
+            if self._put_waiters:
+                amount, ev = self._put_waiters[0]
+                if self._level + amount <= self.capacity:
+                    self._put_waiters.popleft()
+                    self._level += amount
+                    ev.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A bounded FIFO of arbitrary items (a pipeline stage buffer).
+
+    ``put(item)`` blocks while the store is full; ``get()`` blocks while it
+    is empty.  Both sides are FIFO.  A ``capacity`` of ``None`` means
+    unbounded (puts never block).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int | None = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Any, Event]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True if a put would block right now."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event firing once ``item`` has been accepted into the store."""
+        ev = self.sim.event(name=f"{self.name}.put")
+        self._putters.append((item, ev))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Event firing with the next item once one is available."""
+        ev = self.sim.event(name=f"{self.name}.get")
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move pending puts into the buffer while there is room.
+            while self._putters and not self.full:
+                item, ev = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed(item)
+                progressed = True
+            # Satisfy pending gets from the buffer.
+            while self._getters and self._items:
+                ev = self._getters.popleft()
+                item = self._items.popleft()
+                ev.succeed(item)
+                progressed = True

@@ -1,0 +1,67 @@
+"""Simulated HPC storage substrate.
+
+Models the storage stack of a supercomputer compute node as seen by a DL
+job:
+
+* :mod:`~repro.storage.device` — block-device service-time models (SATA
+  SSD, NVMe, HDD, RAM disk) with queue-depth contention.
+* :mod:`~repro.storage.localfs` — a local file system (the paper's XFS on
+  the node SSD) with capacity accounting.
+* :mod:`~repro.storage.pfs` — a Lustre-like parallel file system: a
+  metadata server (MDS) plus striped object storage targets (OSTs), with a
+  stochastic cross-job :mod:`~repro.storage.interference` model producing
+  the throughput variability the paper observes on Frontera.
+* :mod:`~repro.storage.vfs` — a mount table + POSIX-ish handle API
+  (``open``/``pread``/``write``/``stat``/``listdir``) that both the
+  mini-DL-framework and MONARCH program against.
+* :mod:`~repro.storage.stats` — per-backend data/metadata operation and
+  byte counters (the raw material for the paper's I/O-pressure numbers).
+
+Files carry sizes, not contents: the simulation models *when* bytes move,
+and the byte-level record format is exercised separately in
+:mod:`repro.data.records`.
+"""
+
+from repro.storage.base import (
+    FileHandle,
+    FileMeta,
+    FileNotFoundInFS,
+    FileSystem,
+    NoSpaceError,
+    StorageError,
+)
+from repro.storage.device import Device, DeviceProfile, HDD_7200, NVME_GEN3, RAMDISK, SATA_SSD
+from repro.storage.interference import (
+    ARInterference,
+    BurstInterference,
+    ConstantInterference,
+    InterferenceModel,
+)
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem, PFSConfig
+from repro.storage.stats import BackendStats
+from repro.storage.vfs import MountTable
+
+__all__ = [
+    "ARInterference",
+    "BackendStats",
+    "BurstInterference",
+    "ConstantInterference",
+    "Device",
+    "DeviceProfile",
+    "FileHandle",
+    "FileMeta",
+    "FileNotFoundInFS",
+    "FileSystem",
+    "HDD_7200",
+    "InterferenceModel",
+    "LocalFileSystem",
+    "MountTable",
+    "NVME_GEN3",
+    "NoSpaceError",
+    "ParallelFileSystem",
+    "PFSConfig",
+    "RAMDISK",
+    "SATA_SSD",
+    "StorageError",
+]

@@ -1,0 +1,161 @@
+"""Common types and the file-system interface of the storage substrate.
+
+Every backend (local XFS stand-in, Lustre stand-in) implements
+:class:`FileSystem`.  Operations that consume simulated time are generator
+methods meant to be driven with ``yield from`` inside a simulated process;
+purely-bookkeeping operations are plain methods.
+
+Files carry *sizes*, not contents — the simulation tracks when bytes move,
+not what they are.  Reads return the number of bytes actually transferred
+(zero past EOF), matching ``pread(2)`` semantics.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "FileHandle",
+    "FileMeta",
+    "FileNotFoundInFS",
+    "FileSystem",
+    "NoSpaceError",
+    "StorageError",
+    "norm_path",
+]
+
+
+class StorageError(RuntimeError):
+    """Base class for storage-substrate errors."""
+
+
+class FileNotFoundInFS(StorageError):
+    """Path does not exist in the backend namespace."""
+
+
+class FileExistsInFS(StorageError):
+    """Path already exists and the operation required it not to."""
+
+
+class NoSpaceError(StorageError):
+    """Backend ran out of capacity (ENOSPC)."""
+
+
+def norm_path(path: str) -> str:
+    """Normalize a path to an absolute, ``/``-separated canonical form."""
+    if not path:
+        raise ValueError("empty path")
+    p = posixpath.normpath(path)
+    if not p.startswith("/"):
+        p = "/" + p
+    return p
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry: one file's metadata."""
+
+    path: str
+    size: int = 0
+
+    @property
+    def name(self) -> str:
+        """Basename of the file."""
+        return posixpath.basename(self.path)
+
+
+@dataclass
+class FileHandle:
+    """An open file: backend + metadata reference.
+
+    Handles are cheap descriptors; they do not pin anything and may outlive
+    truncation (reads past the shrunken EOF simply return 0 bytes).
+    """
+
+    fs: "FileSystem"
+    meta: FileMeta
+    flags: str = "r"
+
+    @property
+    def path(self) -> str:
+        """Path the handle was opened on."""
+        return self.meta.path
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes."""
+        return self.meta.size
+
+
+class FileSystem:
+    """Interface implemented by every simulated storage backend.
+
+    Timed operations (``open``, ``pread``, ``pwrite``, ``stat``,
+    ``listdir``) are generators: drive them with ``yield from`` inside a
+    simulated process.  Their return values follow POSIX conventions.
+    """
+
+    #: human-readable backend name, used in stats and reports
+    name: str = "fs"
+
+    # -- namespace bookkeeping (untimed) --------------------------------
+    def exists(self, path: str) -> bool:
+        """True if ``path`` names a file in this backend."""
+        raise NotImplementedError
+
+    def file_size(self, path: str) -> int:
+        """Size of ``path`` without paying metadata latency (oracle view)."""
+        raise NotImplementedError
+
+    def paths(self) -> list[str]:
+        """All file paths, sorted (oracle view, untimed)."""
+        raise NotImplementedError
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        raise NotImplementedError
+
+    @property
+    def capacity_bytes(self) -> int | None:
+        """Total capacity, or ``None`` for effectively-unbounded backends."""
+        raise NotImplementedError
+
+    @property
+    def free_bytes(self) -> int | None:
+        """Remaining capacity, or ``None`` if unbounded."""
+        cap = self.capacity_bytes
+        return None if cap is None else cap - self.used_bytes
+
+    # -- timed operations ------------------------------------------------
+    def open(self, path: str, flags: str = "r") -> Generator[Any, Any, FileHandle]:
+        """Open ``path``; ``flags`` is ``"r"``, ``"w"`` (create/truncate) or ``"a"``."""
+        raise NotImplementedError
+
+    def pread(
+        self, handle: FileHandle, offset: int, nbytes: int
+    ) -> Generator[Any, Any, int]:
+        """Read up to ``nbytes`` at ``offset``; returns bytes transferred."""
+        raise NotImplementedError
+
+    def pwrite(
+        self, handle: FileHandle, offset: int, nbytes: int
+    ) -> Generator[Any, Any, int]:
+        """Write ``nbytes`` at ``offset`` (extending the file as needed)."""
+        raise NotImplementedError
+
+    def stat(self, path: str) -> Generator[Any, Any, FileMeta]:
+        """Metadata lookup for ``path``."""
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> Generator[Any, Any, list[str]]:
+        """List file paths under directory ``path`` (recursive), sorted."""
+        raise NotImplementedError
+
+    # -- untimed mutation (used by eviction ablations / cleanup) ---------
+    def unlink(self, path: str) -> None:
+        """Remove ``path``, reclaiming its bytes."""
+        raise NotImplementedError

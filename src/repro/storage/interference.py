@@ -1,0 +1,179 @@
+"""Cross-job interference models for the shared PFS.
+
+The paper's motivation experiments show "high performance variability under
+the vanilla-lustre setup, since Lustre is concurrently accessed by other
+jobs executing in the Frontera supercomputer".  We model that as a
+stochastic *available-bandwidth share* in ``(0, 1]`` that scales the PFS's
+effective client bandwidth over time.
+
+Models are sampled lazily on a fixed grid: ``share_at(t)`` advances an
+internal recurrence to ``floor(t / interval)`` steps, so no simulation
+events are spent on the background load and a run remains a pure function
+of the RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ARInterference",
+    "BurstInterference",
+    "CompositeInterference",
+    "ConstantInterference",
+    "InterferenceModel",
+]
+
+
+class InterferenceModel:
+    """Interface: available bandwidth share at simulated time ``t``."""
+
+    def share_at(self, t: float) -> float:
+        """Fraction of nominal PFS bandwidth available at time ``t``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Rewind the internal state (a new run reuses the model)."""
+        raise NotImplementedError
+
+
+class ConstantInterference(InterferenceModel):
+    """Fixed bandwidth share — a perfectly quiet (or steadily loaded) PFS."""
+
+    def __init__(self, share: float = 1.0) -> None:
+        if not 0.0 < share <= 1.0:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        self.share = share
+
+    def share_at(self, t: float) -> float:
+        return self.share
+
+    def reset(self) -> None:  # stateless
+        return
+
+
+class ARInterference(InterferenceModel):
+    """AR(1) background load: smooth, correlated congestion.
+
+    Load ``x`` follows ``x' = rho * x + (1-rho) * mean + eps`` on a grid of
+    ``interval`` seconds, clipped to ``[0, max_load]``; the available share
+    is ``1 - x``.  With ``rho`` near 1 this produces the slowly-wandering
+    minutes-long congestion episodes seen on production file systems, which
+    is what makes per-run epoch times vary.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_load: float = 0.5,
+        sigma: float = 0.08,
+        rho: float = 0.97,
+        interval: float = 1.0,
+        max_load: float = 0.85,
+    ) -> None:
+        if not 0.0 <= mean_load < 1.0:
+            raise ValueError(f"mean_load must be in [0, 1), got {mean_load}")
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not mean_load <= max_load < 1.0:
+            raise ValueError(f"max_load must be in [mean_load, 1), got {max_load}")
+        self.rng = rng
+        self.mean_load = mean_load
+        self.sigma = sigma
+        self.rho = rho
+        self.interval = interval
+        self.max_load = max_load
+        self._step = 0
+        self._load = mean_load
+
+    def share_at(self, t: float) -> float:
+        target = int(t // self.interval)
+        while self._step < target:
+            eps = self.rng.normal(0.0, self.sigma)
+            self._load = self.rho * self._load + (1 - self.rho) * self.mean_load + eps
+            self._load = min(max(self._load, 0.0), self.max_load)
+            self._step += 1
+        return 1.0 - self._load
+
+    def reset(self) -> None:
+        self._step = 0
+        self._load = self.mean_load
+
+
+class BurstInterference(InterferenceModel):
+    """Two-state Markov (quiet / burst) background load.
+
+    Models checkpoint-style bursts from co-located jobs: in the quiet state
+    the share is ``quiet_share``; bursts drop it to ``burst_share``.  State
+    dwell times are geometric on the sampling grid.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        quiet_share: float = 0.9,
+        burst_share: float = 0.35,
+        p_burst: float = 0.02,
+        p_recover: float = 0.10,
+        interval: float = 1.0,
+    ) -> None:
+        if not 0.0 < burst_share <= quiet_share <= 1.0:
+            raise ValueError("require 0 < burst_share <= quiet_share <= 1")
+        if not (0.0 < p_burst < 1.0 and 0.0 < p_recover < 1.0):
+            raise ValueError("transition probabilities must be in (0, 1)")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.rng = rng
+        self.quiet_share = quiet_share
+        self.burst_share = burst_share
+        self.p_burst = p_burst
+        self.p_recover = p_recover
+        self.interval = interval
+        self._step = 0
+        self._bursting = False
+
+    def share_at(self, t: float) -> float:
+        target = int(t // self.interval)
+        while self._step < target:
+            u = self.rng.random()
+            if self._bursting:
+                if u < self.p_recover:
+                    self._bursting = False
+            elif u < self.p_burst:
+                self._bursting = True
+            self._step += 1
+        return self.burst_share if self._bursting else self.quiet_share
+
+    def reset(self) -> None:
+        self._step = 0
+        self._bursting = False
+
+
+class CompositeInterference(InterferenceModel):
+    """Product of independent interference sources.
+
+    Used for the heavy-contention regime: a slowly wandering base load
+    (AR) multiplied by checkpoint-style bursts.  Bursts matter beyond
+    their effect on the *mean*: a training job whose compute rate sits
+    just under the mean I/O rate stalls during every burst and — with a
+    bounded prefetch buffer — cannot bank the quiet periods, so variance
+    itself costs wall time (this is what makes AlexNet's 200 GiB Lustre
+    epochs slower than LeNet's in the paper despite identical bytes).
+    """
+
+    def __init__(self, *models: InterferenceModel) -> None:
+        if not models:
+            raise ValueError("composite needs at least one model")
+        self.models = models
+
+    def share_at(self, t: float) -> float:
+        share = 1.0
+        for m in self.models:
+            share *= m.share_at(t)
+        return share
+
+    def reset(self) -> None:
+        for m in self.models:
+            m.reset()

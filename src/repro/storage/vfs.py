@@ -1,0 +1,114 @@
+"""Mount table and the POSIX-ish API the rest of the system programs against.
+
+The mini-DL-framework and MONARCH both speak to storage through a
+:class:`MountTable`: paths are resolved by longest mount-point prefix to
+the owning backend, then the operation is forwarded.  This mirrors the
+layering in the paper, where MONARCH "resides at the POSIX layer" below
+TensorFlow's file-system drivers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.storage.base import FileHandle, FileMeta, FileSystem, StorageError, norm_path
+
+__all__ = ["MountTable"]
+
+
+class MountTable:
+    """Longest-prefix path router over mounted backends."""
+
+    def __init__(self) -> None:
+        self._mounts: dict[str, FileSystem] = {}
+
+    def mount(self, mount_point: str, fs: FileSystem) -> None:
+        """Attach ``fs`` at ``mount_point`` (must not already be mounted)."""
+        mp = norm_path(mount_point)
+        if mp in self._mounts:
+            raise StorageError(f"mount point {mp} already in use")
+        self._mounts[mp] = fs
+
+    def unmount(self, mount_point: str) -> None:
+        """Detach the backend at ``mount_point``."""
+        mp = norm_path(mount_point)
+        if mp not in self._mounts:
+            raise StorageError(f"nothing mounted at {mp}")
+        del self._mounts[mp]
+
+    def mounts(self) -> dict[str, FileSystem]:
+        """Copy of the mount map (mount point → backend)."""
+        return dict(self._mounts)
+
+    def resolve(self, path: str) -> tuple[FileSystem, str]:
+        """Return ``(backend, backend_relative_path)`` for ``path``.
+
+        The backend-relative path keeps the leading slash so backends have
+        self-contained namespaces (``/mnt/ssd/a/b`` on a mount at
+        ``/mnt/ssd`` resolves to ``/a/b``).
+        """
+        p = norm_path(path)
+        best: str | None = None
+        for mp in self._mounts:
+            if p == mp or p.startswith(mp.rstrip("/") + "/"):
+                if best is None or len(mp) > len(best):
+                    best = mp
+        if best is None:
+            raise StorageError(f"no mount covers path {p}")
+        rel = p[len(best.rstrip("/")):] or "/"
+        return self._mounts[best], rel
+
+    # -- forwarded POSIX-ish surface --------------------------------------
+    def open(self, path: str, flags: str = "r") -> Generator[Any, Any, FileHandle]:
+        """Timed open through the owning backend."""
+        fs, rel = self.resolve(path)
+        handle = yield from fs.open(rel, flags)
+        return handle
+
+    def pread(self, handle: FileHandle, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Timed positional read on an open handle."""
+        n = yield from handle.fs.pread(handle, offset, nbytes)
+        return n
+
+    def pwrite(self, handle: FileHandle, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Timed positional write on an open handle."""
+        n = yield from handle.fs.pwrite(handle, offset, nbytes)
+        return n
+
+    def stat(self, path: str) -> Generator[Any, Any, FileMeta]:
+        """Timed metadata lookup."""
+        fs, rel = self.resolve(path)
+        meta = yield from fs.stat(rel)
+        return meta
+
+    def listdir(self, path: str) -> Generator[Any, Any, list[str]]:
+        """Timed recursive listing; results are re-prefixed to global paths."""
+        fs, rel = self.resolve(path)
+        entries = yield from fs.listdir(rel)
+        mount_point = self._mount_point_of(fs)
+        return [mount_point.rstrip("/") + e for e in entries]
+
+    def exists(self, path: str) -> bool:
+        """Untimed existence probe."""
+        try:
+            fs, rel = self.resolve(path)
+        except StorageError:
+            return False
+        return fs.exists(rel)
+
+    def file_size(self, path: str) -> int:
+        """Untimed oracle size lookup."""
+        fs, rel = self.resolve(path)
+        return fs.file_size(rel)
+
+    def unlink(self, path: str) -> None:
+        """Untimed removal."""
+        fs, rel = self.resolve(path)
+        fs.unlink(rel)
+
+    def _mount_point_of(self, fs: FileSystem) -> str:
+        for mp, mounted in self._mounts.items():
+            if mounted is fs:
+                return mp
+        raise StorageError(f"backend {fs.name!r} is not mounted")

@@ -1,0 +1,26 @@
+"""Telemetry: usage summaries and report formatting.
+
+* :mod:`~repro.telemetry.usage` — CPU/GPU/memory usage summarization in the
+  units the paper reports (percent utilization, GiB).
+* :mod:`~repro.telemetry.report` — plain-text tables for experiment output
+  (figures and tables are printed, not plotted; every benchmark regenerates
+  the same rows/series the paper shows).
+* :mod:`~repro.telemetry.metrics` — a small counter/gauge registry used by
+  examples and diagnostics.
+"""
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.report import format_table
+from repro.telemetry.tracing import IOTrace, throughput_series, variability
+from repro.telemetry.usage import ResourceUsage, memory_estimate_bytes, summarize_usage
+
+__all__ = [
+    "IOTrace",
+    "MetricsRegistry",
+    "ResourceUsage",
+    "format_table",
+    "memory_estimate_bytes",
+    "summarize_usage",
+    "throughput_series",
+    "variability",
+]

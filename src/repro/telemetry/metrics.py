@@ -1,0 +1,79 @@
+"""A small counter/gauge/histogram registry.
+
+Used by examples and diagnostics to collect named measurements without
+threading bespoke dataclasses everywhere.  Deliberately minimal: names map
+to floats (gauges), ints (counters) or sample lists (histograms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Summary statistics of one histogram."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters, gauges and histograms."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, list[float]] = field(default_factory=dict)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append a histogram sample."""
+        self.histograms.setdefault(name, []).append(float(value))
+
+    def summary(self, name: str) -> HistogramSummary:
+        """Summarize histogram ``name`` (KeyError if absent or empty)."""
+        samples = self.histograms[name]
+        if not samples:
+            raise KeyError(f"histogram {name!r} is empty")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mu = sum(ordered) / n
+        var = sum((v - mu) ** 2 for v in ordered) / n
+        return HistogramSummary(
+            count=n,
+            mean=mu,
+            std=math.sqrt(var),
+            min=ordered[0],
+            max=ordered[-1],
+            p50=_quantile(ordered, 0.50),
+            p95=_quantile(ordered, 0.95),
+        )
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of a pre-sorted list."""
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

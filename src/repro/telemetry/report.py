@@ -1,0 +1,49 @@
+"""Plain-text table formatting for experiment output.
+
+Every figure/table benchmark prints the same rows or series the paper
+shows; this module renders them as aligned monospace tables so the output
+is directly comparable to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats use ``float_fmt``; everything else goes through ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    cols = len(headers)
+    for i, row in enumerate(text_rows):
+        if len(row) != cols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {cols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in text_rows)) if text_rows else len(headers[c])
+        for c in range(cols)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(cols)))
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Resource-usage summarization in the paper's units.
+
+The paper reports, per model × setup, average CPU utilization, GPU
+utilization and memory consumption ("approximately on the 10 GiB mark" in
+every configuration).  Utilizations come out of the DES monitors; memory is
+estimated from the pipeline configuration (buffer contents) plus the
+framework/runtime constant, which is what dominates in practice and is why
+the paper's number is flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.pipeline import PipelineConfig
+from repro.framework.training import TrainResult
+from repro.storage.blockmath import GIB
+
+__all__ = ["ResourceUsage", "memory_estimate_bytes", "summarize_usage"]
+
+#: framework + CUDA runtime + model resident set, the flat part of the
+#: paper's ~10 GiB memory figure
+_RUNTIME_CONSTANT_BYTES = int(9.4 * GIB)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Averages over a run, in the paper's units."""
+
+    cpu_percent: float
+    gpu_percent: float
+    memory_gib: float
+
+
+def memory_estimate_bytes(config: PipelineConfig, mean_sample_bytes: int) -> int:
+    """Estimated resident memory of the training job.
+
+    Shuffle-buffer records + prefetched batches + the runtime constant.
+    Scale-invariant by design: buffer sizes are configuration, not dataset
+    size, which reproduces the paper's flat ~10 GiB across datasets.
+    """
+    shuffle = config.shuffle_buffer_records * mean_sample_bytes
+    prefetch = config.prefetch_batches * config.batch_size * mean_sample_bytes
+    return _RUNTIME_CONSTANT_BYTES + shuffle + prefetch
+
+
+def summarize_usage(
+    result: TrainResult,
+    config: PipelineConfig,
+    mean_sample_bytes: int,
+) -> ResourceUsage:
+    """Run-average CPU %, GPU % and memory GiB for one training run."""
+    if not result.epochs:
+        raise ValueError("run has no epochs")
+    # Time-weight by epoch duration, as a system monitor would.
+    total = sum(e.wall_time_s for e in result.epochs)
+    if total <= 0:
+        raise ValueError("run has zero duration")
+    cpu = sum(e.cpu_utilization * e.wall_time_s for e in result.epochs) / total
+    gpu = sum(e.gpu_utilization * e.wall_time_s for e in result.epochs) / total
+    mem = memory_estimate_bytes(config, mean_sample_bytes)
+    return ResourceUsage(
+        cpu_percent=100.0 * cpu,
+        gpu_percent=100.0 * gpu,
+        memory_gib=mem / GIB,
+    )

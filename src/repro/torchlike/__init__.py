@@ -1,0 +1,36 @@
+"""PyTorch-style data loading substrate (paper §VI: portability).
+
+The paper's future work includes "integrating our system with PyTorch,
+which is an important step to validate MONARCH's portability".  This
+package is the reproduction's second framework: a *map-style* dataset of
+loose per-sample files driven by a ``DataLoader`` with worker processes —
+the access pattern PyTorch's ``ImageFolder`` + ``DataLoader`` produces,
+which differs from tf.data's in exactly the ways that stress MONARCH
+differently:
+
+* one **file per sample** (hundreds of thousands of small files) instead
+  of ~128 MiB record shards, so metadata traffic — one PFS ``open`` per
+  sample per epoch — becomes a first-order cost (§I's motivation for
+  TFRecord-style formats);
+* whole-file reads (no partial-read/full-fetch distinction);
+* loader workers do both the I/O and the CPU decode, instead of separate
+  reader/map stages.
+
+MONARCH integrates through the same
+:class:`~repro.framework.io_layer.DataReader` interface as the tf.data
+stand-in — zero changes to the middleware — which is the portability
+claim made measurable: its virtual namespace absorbs the per-sample
+``open`` storm and its tier serves repeat epochs locally.
+"""
+
+from repro.torchlike.dataset import FileSampleDataset, materialize_loose_files
+from repro.torchlike.loader import DataLoader, DataLoaderConfig
+from repro.torchlike.trainer import TorchTrainer
+
+__all__ = [
+    "DataLoader",
+    "DataLoaderConfig",
+    "FileSampleDataset",
+    "TorchTrainer",
+    "materialize_loose_files",
+]

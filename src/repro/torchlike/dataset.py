@@ -1,0 +1,71 @@
+"""Map-style dataset of loose per-sample files.
+
+The PyTorch idiom: a directory tree with one (JPEG) file per sample,
+addressed by index.  Built deterministically from the same
+:class:`~repro.data.dataset.DatasetSpec` the record-shard path uses, so
+the *bytes* are identical between the two framework substrates and any
+performance difference is purely access-pattern.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+from repro.data.dataset import DatasetSpec
+from repro.storage.pfs import ParallelFileSystem
+
+__all__ = ["FileSampleDataset", "materialize_loose_files"]
+
+
+@dataclass(frozen=True)
+class SampleFile:
+    """One sample: its path on the source backend and its size."""
+
+    index: int
+    path: str
+    size: int
+
+
+@dataclass
+class FileSampleDataset:
+    """An indexable dataset of per-sample files (PyTorch map-style)."""
+
+    spec: DatasetSpec
+    directory: str
+    samples: list[SampleFile] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> SampleFile:
+        return self.samples[index]
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all sample file sizes."""
+        return sum(s.size for s in self.samples)
+
+    @classmethod
+    def from_spec(cls, spec: DatasetSpec, directory: str = "/dataset/images") -> "FileSampleDataset":
+        """Lay out one file per sample, named by zero-padded index."""
+        sizes = spec.sample_sizes()
+        width = max(8, len(str(spec.n_samples)))
+        samples = [
+            SampleFile(
+                index=i,
+                path=posixpath.join(directory, f"{i:0{width}d}.jpg"),
+                size=int(sz),
+            )
+            for i, sz in enumerate(sizes)
+        ]
+        return cls(spec=spec, directory=directory, samples=samples)
+
+
+def materialize_loose_files(
+    dataset: FileSampleDataset, pfs: ParallelFileSystem
+) -> list[str]:
+    """Create every sample file on the PFS (untimed staging)."""
+    for sample in dataset.samples:
+        pfs.add_file(sample.path, sample.size)
+    return [s.path for s in dataset.samples]

@@ -1,0 +1,168 @@
+"""PyTorch-style DataLoader on the DES.
+
+``num_workers`` worker processes pull shuffled sample indices from a
+shared queue; each worker opens the sample's file, reads it whole, holds a
+CPU core for the decode/augment, and pushes the sample into a collation
+buffer.  A collator assembles fixed-size batches into a bounded prefetch
+queue the training loop consumes — the moral equivalent of
+``torch.utils.data.DataLoader(dataset, shuffle=True, num_workers=N,
+prefetch_factor=K)``.
+
+Key access-pattern differences from the tf.data stand-in, on purpose:
+
+* one ``open`` per **sample** per epoch (metadata storm on loose files),
+* whole-file reads (no chunking, no partial-read optimization to exploit),
+* I/O and CPU work interleaved inside the same worker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.framework.io_layer import DataReader
+from repro.framework.models import ModelProfile
+from repro.framework.resources import ComputeNode
+from repro.simkernel.core import Simulator
+from repro.simkernel.resources import Store
+from repro.torchlike.dataset import FileSampleDataset
+
+__all__ = ["DataLoader", "DataLoaderConfig", "LoadedSample"]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class DataLoaderConfig:
+    """Loader knobs (PyTorch equivalents in comments)."""
+
+    num_workers: int = 8  #: DataLoader(num_workers=...)
+    batch_size: int = 128  #: global batch across GPUs
+    prefetch_batches: int = 4  #: prefetch_factor (in batches)
+    #: the full-scale batch the model's per-step host cost refers to
+    reference_batch: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.batch_size < 1 or self.reference_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if self.prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be >= 1")
+
+    @property
+    def host_scale(self) -> float:
+        """Per-step host-cost multiplier for scaled batches."""
+        return self.batch_size / self.reference_batch
+
+
+@dataclass(frozen=True)
+class LoadedSample:
+    """One fetched + preprocessed sample."""
+
+    index: int
+    size: int
+
+
+class DataLoader:
+    """One epoch of shuffled, worker-parallel sample loading."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DataLoaderConfig,
+        dataset: FileSampleDataset,
+        reader: DataReader,
+        node: ComputeNode,
+        model: ModelProfile,
+        shuffle_rng: np.random.Generator,
+        path_prefix: str = "",
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("empty dataset")
+        self.sim = sim
+        self.config = config
+        self.dataset = dataset
+        self.reader = reader
+        self.node = node
+        self.model = model
+        self.path_prefix = path_prefix
+        order = shuffle_rng.permutation(len(dataset))
+        self._indices: list[int] = [int(i) for i in order]
+        self.total_batches = -(-len(dataset) // config.batch_size)
+        self._loaded: Store = Store(sim, capacity=2 * config.batch_size, name="loaded")
+        self.prefetch: Store = Store(sim, capacity=config.prefetch_batches, name="torch-prefetch")
+        self._procs: list[Any] = []
+        self.error: BaseException | None = None
+
+    # -- stage processes ---------------------------------------------------
+    def _worker(self) -> Generator[Any, Any, None]:
+        while self._indices:
+            sample = self.dataset[self._indices.pop(0)]
+            f = yield from self.reader.open(self.path_prefix + sample.path)
+            yield from self.reader.pread(f, 0, sample.size)
+            self.reader.close(f)
+            # the worker itself decodes (PyTorch does CPU work in-worker)
+            yield from self.node.cpu.using(self.model.preprocess_time(sample.size))
+            yield self._loaded.put(LoadedSample(index=sample.index, size=sample.size))
+        yield self._loaded.put(_SENTINEL)
+
+    def _collator(self) -> Generator[Any, Any, None]:
+        batch: list[LoadedSample] = []
+        finished = 0
+        while finished < self.config.num_workers:
+            item = yield self._loaded.get()
+            if item is _SENTINEL:
+                finished += 1
+                continue
+            batch.append(item)
+            if len(batch) == self.config.batch_size:
+                yield self.prefetch.put(batch)
+                batch = []
+        if batch:
+            yield self.prefetch.put(batch)
+        yield self.prefetch.put(_SENTINEL)
+
+    # -- public API ----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn workers + collator; batches appear in :attr:`prefetch`."""
+        workers = [
+            self.sim.spawn(self._worker(), name=f"loader-{i}")
+            for i in range(self.config.num_workers)
+        ]
+        collator = self.sim.spawn(self._collator(), name="collator")
+        self._procs = [*workers, collator]
+        for p in self._procs:
+            p.add_callback(self._on_done)
+
+    def _on_done(self, ev: Any) -> None:
+        if not ev.ok and self.error is None:
+            self.error = ev.exception
+
+    def next_batch(self) -> Generator[Any, Any, list[LoadedSample] | None]:
+        """Next batch, or ``None`` at end of epoch; re-raises stage errors."""
+        if self.error is not None:
+            raise self.error
+        get_ev = self.prefetch.get()
+        while not get_ev.triggered:
+            if self.error is not None:
+                raise self.error
+            # Already-failed stages stay in the watch set so their failure
+            # fires the composite immediately (see pipeline.next_batch).
+            watch = [p for p in self._procs if p.is_alive or not p.ok]
+            yield self.sim.any_of([get_ev, *watch])
+            if self.error is not None:
+                raise self.error
+        item = get_ev.value
+        if item is _SENTINEL:
+            return None
+        return item
+
+    def abort(self) -> None:
+        """Kill all loader processes."""
+        for p in self._procs:
+            if p.is_alive:
+                p.kill()

@@ -1,0 +1,119 @@
+"""Training loop over the PyTorch-style DataLoader.
+
+Same synchronous data-parallel step model and per-epoch accounting as the
+tf.data-side trainer (it reuses :class:`~repro.framework.training.EpochResult`
+and :class:`~repro.framework.training.TrainResult`), so results from both
+framework substrates are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+import numpy as np
+
+from repro.framework.io_layer import DataReader
+from repro.framework.models import ModelProfile
+from repro.framework.resources import ComputeNode
+from repro.framework.training import EpochResult, TrainResult
+from repro.simkernel.core import Simulator
+from repro.storage.stats import BackendStats
+from repro.torchlike.dataset import FileSampleDataset
+from repro.torchlike.loader import DataLoader, DataLoaderConfig
+
+__all__ = ["TorchTrainer"]
+
+
+class TorchTrainer:
+    """Runs N epochs of DataLoader-fed synchronous training."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: ComputeNode,
+        model: ModelProfile,
+        config: DataLoaderConfig,
+        dataset: FileSampleDataset,
+        reader: DataReader,
+        shuffle_rng: np.random.Generator,
+        backends: dict[str, BackendStats] | None = None,
+        epochs: int = 3,
+        path_prefix: str = "",
+        init_hook: Callable[[], Generator[Any, Any, None]] | None = None,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.sim = sim
+        self.node = node
+        self.model = model
+        self.config = config
+        self.dataset = dataset
+        self.reader = reader
+        self.shuffle_rng = shuffle_rng
+        self.backends = backends or {}
+        self.epochs = epochs
+        self.path_prefix = path_prefix
+        self.init_hook = init_hook
+        self.result = TrainResult()
+
+    def run(self) -> Generator[Any, Any, TrainResult]:
+        """The training job: drive with ``sim.spawn(trainer.run())``."""
+        if self.init_hook is not None:
+            t0 = self.sim.now
+            yield from self.init_hook()
+            self.result.init_time_s = self.sim.now - t0
+            self.node.mark_epoch()
+        for epoch in range(self.epochs):
+            yield from self._run_epoch(epoch)
+        return self.result
+
+    def _run_epoch(self, epoch: int) -> Generator[Any, Any, None]:
+        t0 = self.sim.now
+        base = {name: s.snapshot() for name, s in self.backends.items()}
+        loader = DataLoader(
+            sim=self.sim,
+            config=self.config,
+            dataset=self.dataset,
+            reader=self.reader,
+            node=self.node,
+            model=self.model,
+            shuffle_rng=self.shuffle_rng,
+            path_prefix=self.path_prefix,
+        )
+        loader.start()
+        steps = 0
+        records = 0
+        n_gpus = self.node.spec.n_gpus
+        try:
+            while True:
+                batch = yield from loader.next_batch()
+                if batch is None:
+                    break
+                yield from self.node.gpu_group.using(
+                    self.model.step_time(len(batch), n_gpus)
+                )
+                host = self.model.host_time() * self.config.host_scale
+                if host > 0:
+                    yield self.sim.timeout(host)
+                steps += 1
+                records += len(batch)
+        except BaseException:
+            loader.abort()
+            raise
+        self.node.mark_epoch()
+        wall = self.sim.now - t0
+        ops = {name: s.snapshot().delta(base[name]) for name, s in self.backends.items()}
+        for s in self.backends.values():
+            s.mark_epoch()
+        self.result.epochs.append(
+            EpochResult(
+                index=epoch,
+                wall_time_s=wall,
+                steps=steps,
+                records=records,
+                cpu_utilization=self.node.cpu.monitor.utilization(t0, self.sim.now),
+                gpu_utilization=self.node.gpu_group.monitor.utilization(t0, self.sim.now),
+                backend_ops=ops,
+            )
+        )

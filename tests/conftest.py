@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetSpec, SampleSizeModel
+from repro.data.sharding import build_shards
+from repro.framework.resources import ComputeNode, NodeSpec
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def ssd(sim: Simulator) -> Device:
+    """A SATA-SSD device (no jitter RNG: deterministic service times)."""
+    return Device(sim, SATA_SSD)
+
+
+@pytest.fixture
+def local_fs(sim: Simulator, ssd: Device) -> LocalFileSystem:
+    """A 64 MiB local file system."""
+    return LocalFileSystem(sim, ssd, capacity_bytes=64 * 1024 * 1024)
+
+
+@pytest.fixture
+def pfs(sim: Simulator) -> ParallelFileSystem:
+    """A PFS with deterministic service times (no jitter RNG)."""
+    return ParallelFileSystem(sim)
+
+
+@pytest.fixture
+def mounts(local_fs: LocalFileSystem, pfs: ParallelFileSystem) -> MountTable:
+    """Mount table with the PFS at /mnt/pfs and the local FS at /mnt/ssd."""
+    mt = MountTable()
+    mt.mount("/mnt/pfs", pfs)
+    mt.mount("/mnt/ssd", local_fs)
+    return mt
+
+
+@pytest.fixture
+def node(sim: Simulator) -> ComputeNode:
+    """A small compute node (8 cores, 2 GPUs)."""
+    return ComputeNode(sim, NodeSpec(cpu_cores=8, n_gpus=2, memory_limit_bytes=1 << 30))
+
+
+@pytest.fixture
+def fast_model():
+    """A cheap model profile so tests run in trivial simulated time."""
+    from repro.framework.models import ModelProfile
+
+    return ModelProfile(
+        name="fast",
+        gpu_time_per_image_us=50.0,
+        cpu_time_per_image_us=100.0,
+        host_time_per_step_us=200.0,
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> DatasetSpec:
+    """A tiny deterministic dataset: 96 samples of exactly 8 KiB."""
+    return DatasetSpec(
+        name="tiny",
+        n_samples=96,
+        size_model=SampleSizeModel(mean_bytes=8192, sigma=0.0),
+        shard_target_bytes=12 * (8192 + 16),  # 12 records per shard
+    )
+
+
+@pytest.fixture
+def tiny_manifest(tiny_spec: DatasetSpec):
+    """Shard manifest for the tiny dataset (8 shards of 12 records)."""
+    return build_shards(tiny_spec)
+
+
+def drive(sim: Simulator, gen, name: str = "test-proc"):
+    """Spawn ``gen`` and run the simulation until it finishes."""
+    proc = sim.spawn(gen, name=name)
+    return sim.run(proc)

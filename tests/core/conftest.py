@@ -1,0 +1,36 @@
+"""Fixtures for MONARCH core tests: a wired two-tier middleware."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch
+from repro.data.virtual import materialize
+from tests.conftest import drive
+
+
+@pytest.fixture
+def monarch_config() -> MonarchConfig:
+    """Two tiers: the 64 MiB local FS above the PFS."""
+    return MonarchConfig(
+        tiers=(TierSpec(mount_point="/mnt/ssd"), TierSpec(mount_point="/mnt/pfs")),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=256 * 1024,
+    )
+
+
+@pytest.fixture
+def dataset_paths(sim, pfs, tiny_manifest):
+    """Tiny dataset staged on the PFS; returns PFS-relative shard paths."""
+    return materialize(tiny_manifest, pfs, "/dataset")
+
+
+@pytest.fixture
+def monarch(sim, mounts, monarch_config, dataset_paths) -> Monarch:
+    """An initialized Monarch instance over the tiny dataset."""
+    m = Monarch(sim, monarch_config, mounts)
+    drive(sim, m.initialize(), name="monarch-init")
+    return m

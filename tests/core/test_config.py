@@ -1,0 +1,55 @@
+"""Unit tests for MONARCH configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MonarchConfig, TierSpec
+
+
+class TestTierSpec:
+    def test_defaults(self):
+        t = TierSpec(mount_point="/mnt/ssd")
+        assert t.quota_bytes is None
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec(mount_point="/mnt/ssd", quota_bytes=0)
+        with pytest.raises(ValueError):
+            TierSpec(mount_point="/mnt/ssd", quota_bytes=-5)
+
+
+class TestMonarchConfig:
+    def two_tiers(self):
+        return (TierSpec("/mnt/ssd"), TierSpec("/mnt/pfs"))
+
+    def test_valid_defaults(self):
+        cfg = MonarchConfig(tiers=self.two_tiers())
+        assert cfg.placement_threads == 6  # paper's evaluation setting
+        assert cfg.full_fetch_on_partial_read
+        assert cfg.eviction == "none"  # paper: no eviction
+
+    def test_needs_two_tiers(self):
+        with pytest.raises(ValueError):
+            MonarchConfig(tiers=(TierSpec("/mnt/pfs"),))
+        with pytest.raises(ValueError):
+            MonarchConfig(tiers=())
+
+    def test_thread_pool_validation(self):
+        with pytest.raises(ValueError):
+            MonarchConfig(tiers=self.two_tiers(), placement_threads=0)
+
+    def test_copy_chunk_validation(self):
+        with pytest.raises(ValueError):
+            MonarchConfig(tiers=self.two_tiers(), copy_chunk=0)
+
+    def test_eviction_names(self):
+        for name in ("none", "lru", "fifo", "random"):
+            MonarchConfig(tiers=self.two_tiers(), eviction=name)
+        with pytest.raises(ValueError):
+            MonarchConfig(tiers=self.two_tiers(), eviction="arc")
+
+    def test_three_tier_hierarchy_allowed(self):
+        MonarchConfig(
+            tiers=(TierSpec("/mnt/ram"), TierSpec("/mnt/ssd"), TierSpec("/mnt/pfs"))
+        )

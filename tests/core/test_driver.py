@@ -1,0 +1,154 @@
+"""Unit tests for storage drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.driver import LocalDriver, PFSDriver
+from repro.storage.base import NoSpaceError
+from tests.conftest import drive
+
+
+class TestLocalDriver:
+    def test_quota_defaults_to_fs_capacity(self, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+        assert d.quota_bytes == local_fs.capacity_bytes
+
+    def test_quota_capped_by_fs_capacity(self, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", local_fs.capacity_bytes * 10)
+        assert d.quota_bytes == local_fs.capacity_bytes
+
+    def test_explicit_smaller_quota(self, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", 1024)
+        assert d.quota_bytes == 1024
+        assert d.fits(1024)
+        assert not d.fits(1025)
+
+    def test_occupancy_tracks_fs(self, sim, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+        assert d.occupancy_bytes == 0
+
+        def job():
+            yield from d.write("/dataset/a", 0, 2048)
+
+        drive(sim, job())
+        assert d.occupancy_bytes == 2048
+        assert d.free_bytes() == local_fs.capacity_bytes - 2048
+
+    def test_write_then_read_roundtrip(self, sim, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+
+        def job():
+            yield from d.write("/dataset/a", 0, 4096)
+            n = yield from d.read("/dataset/a", 0, 10_000)
+            return n
+
+        assert drive(sim, job()) == 4096
+        assert d.has("/dataset/a")
+
+    def test_write_beyond_quota_raises(self, sim, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", 1000)
+
+        def job():
+            yield from d.write("/dataset/a", 0, 1001)
+
+        with pytest.raises(NoSpaceError):
+            drive(sim, job())
+
+    def test_remove_frees_space(self, sim, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+
+        def job():
+            yield from d.write("/dataset/a", 0, 2048)
+
+        drive(sim, job())
+        d.remove("/dataset/a")
+        assert not d.has("/dataset/a")
+        assert d.occupancy_bytes == 0
+
+    def test_handles_cached_single_open(self, sim, local_fs):
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+
+        def job():
+            yield from d.write("/dataset/a", 0, 100)
+            yield from d.read("/dataset/a", 0, 100)
+            yield from d.read("/dataset/a", 0, 100)
+
+        drive(sim, job())
+        # one open for the write handle; reads reuse it
+        assert local_fs.stats.open_ops == 1
+
+    def test_writable(self, local_fs):
+        assert LocalDriver(local_fs, "/mnt/ssd", None).writable
+
+
+class TestPFSDriver:
+    def test_not_writable(self, pfs):
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+        assert not d.writable
+
+    def test_write_raises(self, sim, pfs):
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+
+        def job():
+            yield from d.write("/dataset/a", 0, 10)
+
+        with pytest.raises(PermissionError):
+            drive(sim, job())
+
+    def test_unbounded_quota(self, pfs):
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+        assert d.quota_bytes is None
+        assert d.free_bytes() is None
+        assert d.fits(1 << 60)
+
+    def test_read_from_dataset(self, sim, pfs):
+        pfs.add_file("/dataset/a", 1000)
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+
+        def job():
+            return (yield from d.read("/dataset/a", 0, 700))
+
+        assert drive(sim, job()) == 700
+
+    def test_sequential_read_faster_than_random(self, sim, pfs):
+        pfs.add_file("/dataset/big", 16 * 1024 * 1024)
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+
+        def timed(seq):
+            t0 = sim.now
+            if seq:
+                yield from d.read_sequential("/dataset/big", 0, 512 * 1024)
+            else:
+                yield from d.read("/dataset/big", 0, 512 * 1024)
+            return sim.now - t0
+
+        t_rand = drive(sim, timed(False))
+        t_seq = drive(sim, timed(True))
+        assert t_seq < t_rand
+
+    def test_listdir_and_stat(self, sim, pfs):
+        pfs.add_file("/dataset/a", 10)
+        pfs.add_file("/dataset/b", 20)
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+
+        def job():
+            entries = yield from d.listdir("/dataset")
+            meta = yield from d.stat(entries[0])
+            return entries, meta
+
+        entries, meta = drive(sim, job())
+        assert entries == ["/dataset/a", "/dataset/b"]
+        assert meta.size == 10
+
+    def test_drop_handles(self, sim, pfs):
+        pfs.add_file("/dataset/a", 10)
+        d = PFSDriver(pfs, "/mnt/pfs", None)
+
+        def job():
+            yield from d.read("/dataset/a", 0, 10)
+
+        drive(sim, job())
+        d.drop_handles()
+        drive(sim, job())
+        assert pfs.stats.open_ops == 2  # re-opened after dropping

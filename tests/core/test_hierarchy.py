@@ -1,0 +1,94 @@
+"""Unit tests for the storage hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.driver import LocalDriver, PFSDriver
+from repro.core.hierarchy import StorageHierarchy
+
+
+def make_hierarchy(local_fs, pfs, local_quota=None):
+    return StorageHierarchy([
+        LocalDriver(local_fs, "/mnt/ssd", local_quota),
+        PFSDriver(pfs, "/mnt/pfs", None),
+    ])
+
+
+class TestConstruction:
+    def test_from_config(self, mounts, monarch_config):
+        h = StorageHierarchy.from_config(monarch_config, mounts)
+        assert len(h) == 2
+        assert isinstance(h[0], LocalDriver)
+        assert isinstance(h[1], PFSDriver)
+        assert h.pfs_level == 1
+
+    def test_needs_two_levels(self, pfs):
+        with pytest.raises(ValueError):
+            StorageHierarchy([PFSDriver(pfs, "/mnt/pfs", None)])
+
+    def test_last_level_must_be_readonly(self, local_fs):
+        with pytest.raises(ValueError):
+            StorageHierarchy([
+                LocalDriver(local_fs, "/a", None),
+                LocalDriver(local_fs, "/b", None),
+            ])
+
+    def test_upper_levels_must_be_writable(self, local_fs, pfs):
+        with pytest.raises(ValueError):
+            StorageHierarchy([
+                PFSDriver(pfs, "/mnt/pfs", None),
+                PFSDriver(pfs, "/mnt/pfs2", None),
+            ])
+
+    def test_pfs_property(self, local_fs, pfs):
+        h = make_hierarchy(local_fs, pfs)
+        assert isinstance(h.pfs, PFSDriver)
+        assert h.pfs is h[1]
+
+
+class TestFirstFit:
+    def test_picks_level_zero_when_space(self, local_fs, pfs):
+        h = make_hierarchy(local_fs, pfs)
+        assert h.first_fit(1024) == 0
+
+    def test_none_when_all_full(self, local_fs, pfs):
+        h = make_hierarchy(local_fs, pfs, local_quota=100)
+        assert h.first_fit(101) is None
+
+    def test_descends_to_next_local_level(self, sim, local_fs, pfs, ssd):
+        from repro.storage.localfs import LocalFileSystem
+
+        second = LocalFileSystem(sim, ssd, capacity_bytes=1 << 20, name="second")
+        h = StorageHierarchy([
+            LocalDriver(local_fs, "/mnt/ram", 100),  # tiny level 0
+            LocalDriver(second, "/mnt/ssd", None),
+            PFSDriver(pfs, "/mnt/pfs", None),
+        ])
+        assert h.first_fit(50) == 0
+        assert h.first_fit(500) == 1
+        assert h.first_fit(2 << 20) is None
+
+    def test_upper_levels_excludes_pfs(self, local_fs, pfs):
+        h = make_hierarchy(local_fs, pfs)
+        levels = h.upper_levels()
+        assert len(levels) == 1
+        assert levels[0][0] == 0
+
+    def test_total_upper_free(self, local_fs, pfs):
+        h = make_hierarchy(local_fs, pfs, local_quota=5000)
+        assert h.total_upper_free() == 5000
+
+
+class TestFromConfigQuota:
+    def test_tier_quota_applied(self, mounts, local_fs):
+        cfg = MonarchConfig(
+            tiers=(
+                TierSpec(mount_point="/mnt/ssd", quota_bytes=2048),
+                TierSpec(mount_point="/mnt/pfs"),
+            ),
+            dataset_dir="/dataset",
+        )
+        h = StorageHierarchy.from_config(cfg, mounts)
+        assert h[0].quota_bytes == 2048

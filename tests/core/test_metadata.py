@@ -1,0 +1,84 @@
+"""Unit tests for the metadata container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.driver import PFSDriver
+from repro.core.metadata import FileInfo, FileState, MetadataContainer
+from tests.conftest import drive
+
+
+class TestNamespace:
+    def test_add_and_lookup(self):
+        mc = MetadataContainer()
+        info = FileInfo(name="/dataset/a", size=100, level=1)
+        mc.add(info)
+        assert mc.lookup("/dataset/a") is info
+        assert "/dataset/a" in mc
+        assert len(mc) == 1
+
+    def test_duplicate_add_raises(self):
+        mc = MetadataContainer()
+        mc.add(FileInfo(name="/a", size=1, level=1))
+        with pytest.raises(ValueError):
+            mc.add(FileInfo(name="/a", size=1, level=1))
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetadataContainer().lookup("/nope")
+
+    def test_get_returns_none_for_missing(self):
+        assert MetadataContainer().get("/nope") is None
+
+    def test_files_sorted_by_name(self):
+        mc = MetadataContainer()
+        mc.add(FileInfo(name="/b", size=1, level=1))
+        mc.add(FileInfo(name="/a", size=1, level=1))
+        assert [f.name for f in mc.files()] == ["/a", "/b"]
+
+    def test_cached_counters(self):
+        mc = MetadataContainer()
+        a = FileInfo(name="/a", size=100, level=0, state=FileState.CACHED)
+        b = FileInfo(name="/b", size=200, level=1)
+        mc.add(a)
+        mc.add(b)
+        assert mc.cached_count() == 1
+        assert mc.cached_bytes() == 100
+
+    def test_clear_is_ephemeral_teardown(self):
+        mc = MetadataContainer()
+        mc.add(FileInfo(name="/a", size=1, level=1))
+        mc.init_time_s = 3.0
+        mc.clear()
+        assert len(mc) == 0
+        assert mc.init_time_s is None
+
+
+class TestBuild:
+    def test_traversal_populates_namespace(self, sim, pfs, tiny_manifest, dataset_paths):
+        driver = PFSDriver(pfs, "/mnt/pfs", None)
+        mc = MetadataContainer()
+        drive(sim, mc.build(driver, "/dataset", pfs_level=1, clock_now=lambda: sim.now))
+        assert len(mc) == tiny_manifest.n_shards
+        for shard, path in zip(tiny_manifest.shards, dataset_paths):
+            info = mc.lookup(path)
+            assert info.size == shard.size_bytes
+            assert info.level == 1
+            assert info.state is FileState.PFS_ONLY
+
+    def test_init_time_recorded_and_scales_with_files(self, sim, pfs, dataset_paths):
+        driver = PFSDriver(pfs, "/mnt/pfs", None)
+        mc = MetadataContainer()
+        drive(sim, mc.build(driver, "/dataset", 1, lambda: sim.now))
+        assert mc.init_time_s is not None
+        # one listdir + one stat per file through the MDS
+        expected_min = (len(dataset_paths)) * pfs.config.mds_latency_s * 0.5
+        assert mc.init_time_s >= expected_min
+
+    def test_build_charges_mds_ops(self, sim, pfs, dataset_paths):
+        driver = PFSDriver(pfs, "/mnt/pfs", None)
+        mc = MetadataContainer()
+        drive(sim, mc.build(driver, "/dataset", 1, lambda: sim.now))
+        assert pfs.stats.listdir_ops == 1
+        assert pfs.stats.stat_ops == len(dataset_paths)

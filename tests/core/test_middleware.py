@@ -1,0 +1,211 @@
+"""Unit tests for the Monarch facade and its framework reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch, MonarchReader
+from tests.conftest import drive
+
+
+class TestLifecycle:
+    def test_initialize_builds_namespace(self, monarch, tiny_manifest):
+        assert len(monarch.metadata) == tiny_manifest.n_shards
+        assert monarch.metadata.init_time_s is not None
+
+    def test_double_initialize_raises(self, sim, monarch):
+        with pytest.raises(RuntimeError):
+            drive(sim, monarch.initialize())
+
+    def test_read_before_initialize_raises(self, sim, mounts, monarch_config,
+                                           dataset_paths):
+        m = Monarch(sim, monarch_config, mounts)
+
+        def job():
+            yield from m.read(dataset_paths[0], 0, 10)
+
+        with pytest.raises(RuntimeError, match="before initialize"):
+            drive(sim, job())
+
+    def test_shutdown_clears_namespace(self, monarch):
+        monarch.shutdown()
+        assert len(monarch.metadata) == 0
+
+    def test_file_size_from_namespace(self, monarch, tiny_manifest, dataset_paths):
+        assert monarch.file_size(dataset_paths[0]) == tiny_manifest.shards[0].size_bytes
+
+
+class TestReadFlow:
+    def test_first_read_served_from_pfs(self, sim, monarch, dataset_paths, pfs):
+        def job():
+            return (yield from monarch.read(dataset_paths[0], 0, 4096))
+
+        n = drive(sim, job())
+        assert n == 4096
+        assert monarch.stats.reads_per_level.get(1) == 1
+        assert pfs.stats.read_ops >= 1
+
+    def test_partial_read_schedules_full_copy(self, sim, monarch, dataset_paths,
+                                              local_fs, tiny_manifest):
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, 4096)
+            # let the background pool drain
+            yield sim.timeout(10.0)
+
+        drive(sim, job())
+        info = monarch.metadata.lookup(dataset_paths[0])
+        assert info.state is FileState.CACHED
+        assert info.level == 0
+        # the whole file landed on the local tier, not just the 4 KiB
+        assert local_fs.file_size(dataset_paths[0]) == tiny_manifest.shards[0].size_bytes
+
+    def test_reads_after_copy_hit_fast_tier(self, sim, monarch, dataset_paths, pfs):
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, 4096)
+            yield sim.timeout(10.0)
+            pfs_reads_before = pfs.stats.read_ops
+            yield from monarch.read(dataset_paths[0], 4096, 4096)
+            return pfs.stats.read_ops - pfs_reads_before
+
+        extra_pfs_reads = drive(sim, job())
+        assert extra_pfs_reads == 0
+        assert monarch.stats.reads_per_level.get(0) == 1
+
+    def test_full_file_read_skips_pfs_refetch(self, sim, monarch, dataset_paths,
+                                              tiny_manifest, pfs):
+        size = tiny_manifest.shards[0].size_bytes
+
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, size)
+            yield sim.timeout(10.0)
+
+        drive(sim, job())
+        info = monarch.metadata.lookup(dataset_paths[0])
+        assert info.state is FileState.CACHED
+        # PFS was read exactly once (the framework's own full read);
+        # the placement wrote the content without re-fetching (event 3 skipped)
+        assert pfs.stats.bytes_read == size
+        assert monarch.placement.stats.pfs_bytes_fetched == 0
+
+    def test_unknown_file_raises(self, sim, monarch):
+        def job():
+            yield from monarch.read("/dataset/nope", 0, 10)
+
+        with pytest.raises(KeyError):
+            drive(sim, job())
+
+    def test_hit_ratio(self, sim, monarch, dataset_paths):
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, 1024)
+            yield sim.timeout(10.0)
+            yield from monarch.read(dataset_paths[0], 1024, 1024)
+            yield from monarch.read(dataset_paths[0], 2048, 1024)
+
+        drive(sim, job())
+        assert monarch.stats.hit_ratio(pfs_level=1) == pytest.approx(2 / 3)
+
+    def test_all_files_eventually_cached_when_they_fit(self, sim, monarch,
+                                                       dataset_paths, tiny_manifest):
+        def job():
+            for p in dataset_paths:
+                yield from monarch.read(p, 0, 1024)
+            yield sim.timeout(60.0)
+
+        drive(sim, job())
+        assert monarch.metadata.cached_count() == tiny_manifest.n_shards
+        assert monarch.metadata.cached_bytes() == tiny_manifest.total_bytes
+
+
+class TestPrestage:
+    def test_prestage_caches_everything_before_reads(self, sim, monarch,
+                                                     dataset_paths, tiny_manifest):
+        def job():
+            yield from monarch.prestage()
+
+        drive(sim, job())
+        assert monarch.metadata.cached_count() == tiny_manifest.n_shards
+        assert monarch.placement.queue_depth == 0
+
+    def test_prestage_respects_quota(self, sim, mounts, monarch_config,
+                                     dataset_paths, tiny_manifest):
+        from dataclasses import replace
+
+        from repro.core.config import TierSpec
+        from repro.core.middleware import Monarch
+
+        shard = tiny_manifest.shards[0].size_bytes
+        cfg = replace(
+            monarch_config,
+            tiers=(TierSpec("/mnt/ssd", quota_bytes=2 * shard + 5),
+                   TierSpec("/mnt/pfs")),
+        )
+        m = Monarch(sim, cfg, mounts)
+
+        def job():
+            yield from m.initialize()
+            yield from m.prestage()
+
+        drive(sim, job())
+        assert m.metadata.cached_count() == 2
+        assert m.placement.stats.unplaceable == tiny_manifest.n_shards - 2
+
+    def test_prestage_before_initialize_raises(self, sim, mounts, monarch_config,
+                                               dataset_paths):
+        from repro.core.middleware import Monarch
+
+        m = Monarch(sim, monarch_config, mounts)
+
+        def job():
+            yield from m.prestage()
+
+        with pytest.raises(RuntimeError, match="before initialize"):
+            drive(sim, job())
+
+    def test_reads_after_prestage_never_touch_pfs_data_path(self, sim, monarch,
+                                                            dataset_paths, pfs):
+        def job():
+            yield from monarch.prestage()
+            reads_before = pfs.stats.read_ops
+            for p in dataset_paths:
+                yield from monarch.read(p, 0, 2048)
+            return pfs.stats.read_ops - reads_before
+
+        assert drive(sim, job()) == 0
+
+    def test_drain_with_nothing_outstanding_returns_immediately(self, sim, monarch):
+        def job():
+            t0 = sim.now
+            yield from monarch.placement.drain()
+            return sim.now - t0
+
+        assert drive(sim, job()) == 0.0
+
+
+class TestMonarchReader:
+    def test_open_uses_namespace_not_pfs(self, sim, monarch, dataset_paths, pfs):
+        reader = MonarchReader(monarch)
+        opens_before = pfs.stats.open_ops
+
+        def job():
+            f = yield from reader.open("/mnt/pfs" + dataset_paths[0])
+            return f
+
+        f = drive(sim, job())
+        assert f.size == monarch.file_size(dataset_paths[0])
+        assert pfs.stats.open_ops == opens_before  # no MDS round trip
+
+    def test_logical_name_stripping(self, monarch, dataset_paths):
+        reader = MonarchReader(monarch)
+        assert reader._logical_name("/mnt/pfs" + dataset_paths[0]) == dataset_paths[0]
+        assert reader._logical_name(dataset_paths[0]) == dataset_paths[0]
+
+    def test_pread_delegates_to_monarch(self, sim, monarch, dataset_paths):
+        reader = MonarchReader(monarch)
+
+        def job():
+            f = yield from reader.open("/mnt/pfs" + dataset_paths[0])
+            return (yield from reader.pread(f, 0, 2048))
+
+        assert drive(sim, job()) == 2048
+        assert monarch.stats.total_reads == 1

@@ -1,0 +1,110 @@
+"""Three-level hierarchy tests (RAM + SSD + PFS, paper §VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch, MonarchStats
+from repro.storage.device import Device, RAMDISK
+from repro.storage.localfs import LocalFileSystem
+from tests.conftest import drive
+
+
+@pytest.fixture
+def three_tier(sim, mounts, tiny_manifest, dataset_paths):
+    """RAM (3 shards) above SSD (plenty) above the PFS."""
+    shard = tiny_manifest.shards[0].size_bytes
+    ram_fs = LocalFileSystem(sim, Device(sim, RAMDISK),
+                             capacity_bytes=3 * shard + 8, name="ram")
+    mounts.mount("/mnt/ram", ram_fs)
+    cfg = MonarchConfig(
+        tiers=(
+            TierSpec(mount_point="/mnt/ram"),
+            TierSpec(mount_point="/mnt/ssd"),
+            TierSpec(mount_point="/mnt/pfs"),
+        ),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=shard,
+    )
+    m = Monarch(sim, cfg, mounts)
+    drive(sim, m.initialize())
+    return m, ram_fs
+
+
+class TestThreeTierPlacement:
+    def test_first_fit_fills_ram_then_ssd(self, sim, three_tier, dataset_paths,
+                                          tiny_manifest, local_fs):
+        m, ram_fs = three_tier
+
+        def job():
+            for p in dataset_paths:
+                yield from m.read(p, 0, 1024)
+            yield sim.timeout(60.0)
+
+        drive(sim, job())
+        levels = [m.metadata.lookup(p).level for p in dataset_paths]
+        assert levels.count(0) == 3  # RAM holds exactly its 3 shards
+        assert levels.count(1) == tiny_manifest.n_shards - 3  # rest on SSD
+        assert all(m.metadata.lookup(p).state is FileState.CACHED
+                   for p in dataset_paths)
+
+    def test_reads_served_from_owning_level(self, sim, three_tier, dataset_paths,
+                                            pfs):
+        m, _ = three_tier
+
+        def job():
+            for p in dataset_paths:
+                yield from m.read(p, 0, 1024)
+            yield sim.timeout(60.0)
+            reads_before = pfs.stats.read_ops
+            for p in dataset_paths:
+                yield from m.read(p, 2048, 1024)
+            return pfs.stats.read_ops - reads_before
+
+        assert drive(sim, job()) == 0
+        # second pass split across RAM (level 0) and SSD (level 1)
+        assert m.stats.reads_per_level[0] == 3
+        assert m.stats.reads_per_level[1] == 5
+
+    def test_ram_reads_faster_than_ssd_reads(self, sim, three_tier, dataset_paths):
+        m, _ = three_tier
+
+        def job():
+            for p in dataset_paths:
+                yield from m.read(p, 0, 1024)
+            yield sim.timeout(60.0)
+            by_level = {0: [], 1: []}
+            for p in dataset_paths:
+                info = m.metadata.lookup(p)
+                t0 = sim.now
+                yield from m.read(p, 4096, 65536)
+                by_level[info.level].append(sim.now - t0)
+            return by_level
+
+        by_level = drive(sim, job())
+        assert max(by_level[0]) < min(by_level[1])
+
+
+class TestMonarchStats:
+    def test_record_accumulates(self):
+        s = MonarchStats()
+        s.record(0, 100)
+        s.record(0, 50)
+        s.record(2, 10)
+        assert s.reads_per_level == {0: 2, 2: 1}
+        assert s.bytes_per_level == {0: 150, 2: 10}
+        assert s.total_reads == 3
+
+    def test_hit_ratio_empty(self):
+        assert MonarchStats().hit_ratio(pfs_level=1) == 0.0
+
+    def test_hit_ratio(self):
+        s = MonarchStats()
+        s.record(0, 1)
+        s.record(0, 1)
+        s.record(1, 1)
+        s.record(2, 1)  # pfs
+        assert s.hit_ratio(pfs_level=2) == pytest.approx(0.75)

@@ -1,0 +1,215 @@
+"""Unit tests for the placement handler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.core.placement import (
+    FifoEviction,
+    LruEviction,
+    NoEviction,
+    RandomEviction,
+    make_eviction_policy,
+)
+from tests.conftest import drive
+
+
+def make_monarch(sim, mounts, quota=None, **overrides):
+    cfg = MonarchConfig(
+        tiers=(
+            TierSpec(mount_point="/mnt/ssd", quota_bytes=quota),
+            TierSpec(mount_point="/mnt/pfs"),
+        ),
+        dataset_dir="/dataset",
+        placement_threads=overrides.pop("placement_threads", 2),
+        copy_chunk=overrides.pop("copy_chunk", 256 * 1024),
+        **overrides,
+    )
+    m = Monarch(sim, cfg, mounts, rng=np.random.default_rng(0))
+    drive(sim, m.initialize())
+    return m
+
+
+def read_all_and_settle(sim, monarch, paths, chunk=1024):
+    def job():
+        for p in paths:
+            yield from monarch.read(p, 0, chunk)
+        yield sim.timeout(120.0)
+
+    drive(sim, job())
+
+
+class TestFirstFitPlacement:
+    def test_all_cached_when_space(self, sim, mounts, dataset_paths, tiny_manifest):
+        m = make_monarch(sim, mounts)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert m.placement.stats.completed == tiny_manifest.n_shards
+        assert m.placement.stats.unplaceable == 0
+
+    def test_unplaceable_when_tier_full(self, sim, mounts, dataset_paths, tiny_manifest):
+        shard = tiny_manifest.shards[0].size_bytes
+        quota = 3 * shard + shard // 2  # room for exactly 3 shards
+        m = make_monarch(sim, mounts, quota=quota)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert m.placement.stats.completed == 3
+        assert m.placement.stats.unplaceable == tiny_manifest.n_shards - 3
+        states = [m.metadata.lookup(p).state for p in dataset_paths]
+        assert states.count(FileState.CACHED) == 3
+        assert states.count(FileState.UNPLACEABLE) == tiny_manifest.n_shards - 3
+
+    def test_no_eviction_by_default(self, sim, mounts, dataset_paths, tiny_manifest):
+        shard = tiny_manifest.shards[0].size_bytes
+        m = make_monarch(sim, mounts, quota=2 * shard + 1)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert m.placement.stats.evictions == 0
+
+    def test_occupancy_never_exceeds_quota(self, sim, mounts, dataset_paths,
+                                           tiny_manifest, local_fs):
+        shard = tiny_manifest.shards[0].size_bytes
+        quota = 4 * shard + 17
+        m = make_monarch(sim, mounts, quota=quota)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert local_fs.used_bytes <= quota
+
+    def test_reservation_prevents_overcommit(self, sim, mounts, dataset_paths,
+                                             tiny_manifest, local_fs):
+        """Many concurrent first-touches must not oversubscribe the tier."""
+        shard = tiny_manifest.shards[0].size_bytes
+        quota = 2 * shard + 100
+        m = make_monarch(sim, mounts, quota=quota, placement_threads=8)
+
+        def job():
+            # touch everything in one instant: all placements race
+            for p in dataset_paths:
+                yield from m.read(p, 0, 64)
+            yield sim.timeout(120.0)
+
+        drive(sim, job())
+        assert local_fs.used_bytes <= quota
+        assert m.placement.stats.completed == 2
+
+    def test_second_read_while_copying_stays_on_pfs(self, sim, mounts,
+                                                    dataset_paths, pfs):
+        m = make_monarch(sim, mounts)
+
+        def job():
+            yield from m.read(dataset_paths[0], 0, 1024)
+            # immediately read again: the copy can't have finished
+            yield from m.read(dataset_paths[0], 1024, 1024)
+            return m.stats.reads_per_level.get(1, 0)
+
+        pfs_reads = drive(sim, job())
+        assert pfs_reads == 2
+
+    def test_placement_stats_bytes(self, sim, mounts, dataset_paths, tiny_manifest):
+        m = make_monarch(sim, mounts)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert m.placement.stats.bytes_copied == tiny_manifest.total_bytes
+        assert m.placement.stats.pfs_bytes_fetched == tiny_manifest.total_bytes
+
+    def test_queue_drains(self, sim, mounts, dataset_paths):
+        m = make_monarch(sim, mounts)
+        read_all_and_settle(sim, m, dataset_paths)
+        assert m.placement.queue_depth == 0
+
+
+class TestWriteThroughMode:
+    """ABL-FETCH: full_fetch_on_partial_read=False falls back to write-through."""
+
+    def test_file_cached_only_after_all_chunks_read(self, sim, mounts,
+                                                    dataset_paths, tiny_manifest):
+        m = make_monarch(sim, mounts, full_fetch_on_partial_read=False)
+        size = tiny_manifest.shards[0].size_bytes
+        path = dataset_paths[0]
+
+        def job():
+            pos = 0
+            while pos < size:
+                yield from m.read(path, pos, 16 * 1024)
+                pos += 16 * 1024
+            yield sim.timeout(60.0)
+
+        drive(sim, job())
+        info = m.metadata.lookup(path)
+        assert info.state is FileState.CACHED
+
+    def test_partial_reads_keep_hitting_pfs(self, sim, mounts, dataset_paths):
+        m = make_monarch(sim, mounts, full_fetch_on_partial_read=False)
+        path = dataset_paths[0]
+
+        def job():
+            yield from m.read(path, 0, 1024)
+            yield sim.timeout(30.0)
+            # file not fully read yet -> still served from the PFS
+            yield from m.read(path, 1024, 1024)
+            return m.stats.reads_per_level.get(1, 0)
+
+        assert drive(sim, job()) == 2
+
+    def test_full_file_request_still_direct_copies(self, sim, mounts,
+                                                   dataset_paths, tiny_manifest):
+        m = make_monarch(sim, mounts, full_fetch_on_partial_read=False)
+        size = tiny_manifest.shards[0].size_bytes
+
+        def job():
+            yield from m.read(dataset_paths[0], 0, size)
+            yield sim.timeout(60.0)
+
+        drive(sim, job())
+        assert m.metadata.lookup(dataset_paths[0]).state is FileState.CACHED
+
+
+class TestEvictionPolicies:
+    def test_factory(self):
+        assert isinstance(make_eviction_policy("none"), NoEviction)
+        assert isinstance(make_eviction_policy("lru"), LruEviction)
+        assert isinstance(make_eviction_policy("fifo"), FifoEviction)
+        assert isinstance(
+            make_eviction_policy("random", np.random.default_rng(0)), RandomEviction
+        )
+        with pytest.raises(ValueError):
+            make_eviction_policy("random")  # needs an RNG
+        with pytest.raises(ValueError):
+            make_eviction_policy("mystery")
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_eviction_keeps_placing_when_full(self, sim, mounts, dataset_paths,
+                                              tiny_manifest, policy, local_fs):
+        shard = tiny_manifest.shards[0].size_bytes
+        quota = 3 * shard + shard // 2
+        m = make_monarch(sim, mounts, quota=quota, eviction=policy)
+
+        def job():
+            for p in dataset_paths:
+                yield from m.read(p, 0, 1024)
+                yield sim.timeout(5.0)  # let each copy finish before the next
+            yield sim.timeout(60.0)
+
+        drive(sim, job())
+        assert m.placement.stats.evictions > 0
+        assert local_fs.used_bytes <= quota
+        # exactly 3 files resident at the end
+        cached = [p for p in dataset_paths
+                  if m.metadata.lookup(p).state is FileState.CACHED]
+        assert len(cached) == 3
+
+    def test_fifo_evicts_oldest_placement(self, sim, mounts, dataset_paths,
+                                          tiny_manifest):
+        shard = tiny_manifest.shards[0].size_bytes
+        m = make_monarch(sim, mounts, quota=2 * shard + 10, eviction="fifo")
+
+        def job():
+            for p in dataset_paths[:3]:
+                yield from m.read(p, 0, 1024)
+                yield sim.timeout(10.0)
+            yield sim.timeout(30.0)
+
+        drive(sim, job())
+        # the first-placed file was evicted to make room for the third
+        assert m.metadata.lookup(dataset_paths[0]).state is FileState.PFS_ONLY
+        assert m.metadata.lookup(dataset_paths[1]).state is FileState.CACHED
+        assert m.metadata.lookup(dataset_paths[2]).state is FileState.CACHED

@@ -1,0 +1,91 @@
+"""Property-based tests for MONARCH's placement invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.data.dataset import DatasetSpec, SampleSizeModel
+from repro.data.sharding import build_shards
+from repro.data.virtual import materialize
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+
+@given(
+    quota_shards=st.integers(min_value=1, max_value=12),
+    read_order_seed=st.integers(min_value=0, max_value=1000),
+    threads=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_placement_invariants_hold_for_any_access_order(quota_shards, read_order_seed, threads):
+    """For any quota / access order / pool size:
+
+    * local occupancy never exceeds the quota,
+    * every file ends in exactly one of {CACHED, UNPLACEABLE},
+    * CACHED files are fully resident (size on tier == namespace size),
+    * no evictions happen under the default policy,
+    * the number of cached files equals what first-fit admits.
+    """
+    sim = Simulator()
+    spec = DatasetSpec(
+        name="prop-ds",
+        n_samples=40,
+        size_model=SampleSizeModel(mean_bytes=4096, sigma=0.0),
+        shard_target_bytes=5 * (4096 + 16),
+    )
+    manifest = build_shards(spec)
+    shard_size = manifest.shards[0].size_bytes
+    quota = quota_shards * shard_size + 7
+
+    pfs = ParallelFileSystem(sim)
+    paths = materialize(manifest, pfs, "/dataset")
+    local = LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=1 << 30)
+    mounts = MountTable()
+    mounts.mount("/mnt/pfs", pfs)
+    mounts.mount("/mnt/ssd", local)
+
+    cfg = MonarchConfig(
+        tiers=(
+            TierSpec(mount_point="/mnt/ssd", quota_bytes=quota),
+            TierSpec(mount_point="/mnt/pfs"),
+        ),
+        dataset_dir="/dataset",
+        placement_threads=threads,
+        copy_chunk=shard_size,
+    )
+    monarch = Monarch(sim, cfg, mounts)
+
+    order = np.random.default_rng(read_order_seed).permutation(len(paths))
+
+    def job():
+        yield from monarch.initialize()
+        for idx in order:
+            yield from monarch.read(paths[int(idx)], 0, 512)
+        yield sim.timeout(300.0)
+
+    p = sim.spawn(job())
+    sim.run(p)
+
+    assert local.used_bytes <= quota
+    cached = 0
+    for path in paths:
+        info = monarch.metadata.lookup(path)
+        assert info.state in (FileState.CACHED, FileState.UNPLACEABLE)
+        if info.state is FileState.CACHED:
+            cached += 1
+            assert info.level == 0
+            assert local.file_size(path) == info.size
+        else:
+            assert info.level == 1
+    assert monarch.placement.stats.evictions == 0
+    # first-fit with uniform shard sizes admits exactly quota // shard_size
+    expected = min(len(paths), quota // shard_size)
+    assert cached == expected

@@ -1,0 +1,56 @@
+"""Unit tests for CRC-32C and the TFRecord mask."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.crc import crc32c, mask_crc, unmask_crc
+
+
+class TestCrc32c:
+    # Known CRC-32C vectors (RFC 3720 / kernel test vectors).
+    def test_empty(self):
+        assert crc32c(b"") == 0x00000000
+
+    def test_all_zero_32(self):
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+
+    def test_all_ff_32(self):
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_ascending_32(self):
+        assert crc32c(bytes(range(32))) == 0x46DD794E
+
+    def test_descending_32(self):
+        assert crc32c(bytes(range(31, -1, -1))) == 0x113FDB5C
+
+    def test_123456789(self):
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_incremental_equals_whole(self):
+        data = b"hello, storage world"
+        whole = crc32c(data)
+        partial = crc32c(data[7:], crc32c(data[:7]))
+        assert partial == whole
+
+    def test_different_data_different_crc(self):
+        assert crc32c(b"abc") != crc32c(b"abd")
+
+
+class TestMask:
+    def test_roundtrip(self):
+        for value in (0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x12345678):
+            assert unmask_crc(mask_crc(value)) == value
+
+    def test_mask_changes_value(self):
+        assert mask_crc(0xABCD1234) != 0xABCD1234
+
+    def test_mask_stays_32bit(self):
+        for value in (0, 0xFFFFFFFF, 0x80000000):
+            assert 0 <= mask_crc(value) <= 0xFFFFFFFF
+
+    def test_known_tfrecord_mask(self):
+        # masked = ((crc >> 15) | (crc << 17)) + 0xa282ead8 (mod 2^32)
+        crc = 0x01234567
+        expected = (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
+        assert mask_crc(crc) == expected

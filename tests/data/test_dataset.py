@@ -1,0 +1,78 @@
+"""Unit tests for dataset specs and sample-size models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetSpec, SampleSizeModel
+
+
+class TestSampleSizeModel:
+    def test_zero_sigma_is_constant(self):
+        m = SampleSizeModel(mean_bytes=1000, sigma=0.0)
+        sizes = m.draw(np.random.default_rng(0), 100)
+        assert (sizes == 1000).all()
+
+    def test_mean_approximately_target(self):
+        m = SampleSizeModel(mean_bytes=100_000, sigma=0.3)
+        sizes = m.draw(np.random.default_rng(0), 50_000)
+        assert sizes.mean() == pytest.approx(100_000, rel=0.03)
+
+    def test_clipping_bounds(self):
+        m = SampleSizeModel(mean_bytes=10_000, sigma=1.0, min_bytes=2048, max_factor=4.0)
+        sizes = m.draw(np.random.default_rng(1), 10_000)
+        assert sizes.min() >= 2048
+        assert sizes.max() <= 40_000
+
+    def test_zero_count(self):
+        m = SampleSizeModel(mean_bytes=1000)
+        assert len(m.draw(np.random.default_rng(0), 0)) == 0
+
+    def test_negative_count_rejected(self):
+        m = SampleSizeModel(mean_bytes=1000)
+        with pytest.raises(ValueError):
+            m.draw(np.random.default_rng(0), -1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleSizeModel(mean_bytes=0)
+        with pytest.raises(ValueError):
+            SampleSizeModel(mean_bytes=10, sigma=-1)
+        with pytest.raises(ValueError):
+            SampleSizeModel(mean_bytes=10, min_bytes=0)
+
+    def test_dtype_is_int64(self):
+        m = SampleSizeModel(mean_bytes=5000, sigma=0.2)
+        assert m.draw(np.random.default_rng(0), 10).dtype == np.int64
+
+
+class TestDatasetSpec:
+    def test_validation(self):
+        model = SampleSizeModel(mean_bytes=100)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", n_samples=0, size_model=model, shard_target_bytes=10)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", n_samples=1, size_model=model, shard_target_bytes=0)
+
+    def test_approx_total(self, tiny_spec):
+        assert tiny_spec.approx_total_bytes == 96 * 8192
+
+    def test_sample_sizes_deterministic(self, tiny_spec):
+        a = tiny_spec.sample_sizes()
+        b = tiny_spec.sample_sizes()
+        assert np.array_equal(a, b)
+
+    def test_sample_sizes_depend_on_name(self):
+        model = SampleSizeModel(mean_bytes=1000, sigma=0.3)
+        a = DatasetSpec(name="a", n_samples=100, size_model=model, shard_target_bytes=10_000)
+        b = DatasetSpec(name="b", n_samples=100, size_model=model, shard_target_bytes=10_000)
+        assert not np.array_equal(a.sample_sizes(), b.sample_sizes())
+
+    def test_sample_sizes_depend_on_layout_seed(self):
+        model = SampleSizeModel(mean_bytes=1000, sigma=0.3)
+        a = DatasetSpec(name="x", n_samples=100, size_model=model,
+                        shard_target_bytes=10_000, layout_seed=1)
+        b = DatasetSpec(name="x", n_samples=100, size_model=model,
+                        shard_target_bytes=10_000, layout_seed=2)
+        assert not np.array_equal(a.sample_sizes(), b.sample_sizes())

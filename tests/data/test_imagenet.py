@@ -1,0 +1,57 @@
+"""Unit tests for the ImageNet presets and the scale transform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
+from repro.storage.blockmath import GIB, MIB
+
+
+class TestPresets:
+    def test_100g_matches_paper(self):
+        assert IMAGENET_100G.n_samples == 900_000
+        assert IMAGENET_100G.approx_total_bytes == pytest.approx(100 * GIB, rel=0.01)
+        assert IMAGENET_100G.shard_target_bytes == 128 * MIB
+
+    def test_200g_matches_paper(self):
+        assert IMAGENET_200G.n_samples == 3_000_000
+        assert IMAGENET_200G.approx_total_bytes == pytest.approx(200 * GIB, rel=0.01)
+
+    def test_200g_images_smaller_than_100g(self):
+        assert IMAGENET_200G.size_model.mean_bytes < IMAGENET_100G.size_model.mean_bytes
+
+
+class TestScaled:
+    def test_scale_one_is_identity(self):
+        assert scaled(IMAGENET_100G, 1.0) is IMAGENET_100G
+
+    def test_linear_sample_count(self):
+        s = scaled(IMAGENET_100G, 1 / 100)
+        assert s.n_samples == 9000
+
+    def test_total_bytes_scale(self):
+        s = scaled(IMAGENET_100G, 1 / 128)
+        assert s.approx_total_bytes == pytest.approx(100 * GIB / 128, rel=0.01)
+
+    def test_mean_sample_size_preserved(self):
+        s = scaled(IMAGENET_100G, 1 / 64)
+        assert s.size_model.mean_bytes == IMAGENET_100G.size_model.mean_bytes
+
+    def test_shard_floor_keeps_64_samples(self):
+        s = scaled(IMAGENET_100G, 1 / 4096)
+        assert s.shard_target_bytes >= 64 * s.size_model.mean_bytes
+
+    def test_minimum_sample_floor(self):
+        s = scaled(IMAGENET_100G, 1e-9)
+        assert s.n_samples >= 64
+
+    def test_name_annotated(self):
+        s = scaled(IMAGENET_100G, 0.5)
+        assert "x0.5" in s.name
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled(IMAGENET_100G, 0.0)
+        with pytest.raises(ValueError):
+            scaled(IMAGENET_100G, 1.5)

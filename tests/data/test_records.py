@@ -1,0 +1,146 @@
+"""Unit tests for the byte-level record codec."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.data.records import (
+    RECORD_OVERHEAD,
+    RecordCorruptionError,
+    RecordReader,
+    RecordWriter,
+    record_frame_size,
+)
+
+
+def roundtrip(payloads: list[bytes]) -> list[bytes]:
+    buf = io.BytesIO()
+    w = RecordWriter(buf)
+    for p in payloads:
+        w.write(p)
+    buf.seek(0)
+    return list(RecordReader(buf))
+
+
+class TestFrameSize:
+    def test_overhead_is_16(self):
+        assert RECORD_OVERHEAD == 16
+
+    def test_frame_size(self):
+        assert record_frame_size(0) == 16
+        assert record_frame_size(100) == 116
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            record_frame_size(-1)
+
+
+class TestRoundtrip:
+    def test_single_record(self):
+        assert roundtrip([b"hello"]) == [b"hello"]
+
+    def test_many_records_in_order(self):
+        payloads = [bytes([i]) * (i + 1) for i in range(50)]
+        assert roundtrip(payloads) == payloads
+
+    def test_empty_payload(self):
+        assert roundtrip([b""]) == [b""]
+
+    def test_binary_payload(self):
+        blob = bytes(range(256)) * 40
+        assert roundtrip([blob]) == [blob]
+
+    def test_empty_stream(self):
+        assert roundtrip([]) == []
+
+    def test_write_returns_frame_bytes(self):
+        buf = io.BytesIO()
+        w = RecordWriter(buf)
+        n = w.write(b"abcd")
+        assert n == record_frame_size(4)
+        assert len(buf.getvalue()) == n
+
+    def test_records_written_counter(self):
+        buf = io.BytesIO()
+        w = RecordWriter(buf)
+        for _ in range(3):
+            w.write(b"x")
+        assert w.records_written == 3
+
+    def test_on_disk_size_matches_frame_math(self):
+        payloads = [b"a" * n for n in (0, 1, 100, 4096)]
+        buf = io.BytesIO()
+        w = RecordWriter(buf)
+        for p in payloads:
+            w.write(p)
+        expected = sum(record_frame_size(len(p)) for p in payloads)
+        assert len(buf.getvalue()) == expected
+
+    def test_flush_delegates(self):
+        class Spy(io.BytesIO):
+            flushed = False
+
+            def flush(self):
+                self.flushed = True
+                super().flush()
+
+        buf = Spy()
+        RecordWriter(buf).flush()
+        assert buf.flushed
+
+
+class TestCorruption:
+    def make_frame(self, payload: bytes) -> bytes:
+        buf = io.BytesIO()
+        RecordWriter(buf).write(payload)
+        return buf.getvalue()
+
+    def test_flipped_payload_byte_detected(self):
+        frame = bytearray(self.make_frame(b"hello world"))
+        frame[14] ^= 0xFF  # inside payload
+        with pytest.raises(RecordCorruptionError, match="payload CRC"):
+            RecordReader(io.BytesIO(bytes(frame))).read_one()
+
+    def test_flipped_length_detected(self):
+        frame = bytearray(self.make_frame(b"hello world"))
+        frame[0] ^= 0x01  # length field
+        with pytest.raises(RecordCorruptionError):
+            RecordReader(io.BytesIO(bytes(frame))).read_one()
+
+    def test_truncated_length(self):
+        data = self.make_frame(b"abc")[:4]
+        with pytest.raises(RecordCorruptionError, match="truncated length"):
+            RecordReader(io.BytesIO(data)).read_one()
+
+    def test_truncated_length_crc(self):
+        data = self.make_frame(b"abc")[:10]
+        with pytest.raises(RecordCorruptionError, match="length CRC"):
+            RecordReader(io.BytesIO(data)).read_one()
+
+    def test_truncated_payload(self):
+        data = self.make_frame(b"abcdef")[:14]
+        with pytest.raises(RecordCorruptionError, match="truncated payload"):
+            RecordReader(io.BytesIO(data)).read_one()
+
+    def test_truncated_payload_crc(self):
+        frame = self.make_frame(b"abcdef")
+        data = frame[: len(frame) - 2]
+        with pytest.raises(RecordCorruptionError, match="payload CRC"):
+            RecordReader(io.BytesIO(data)).read_one()
+
+    def test_verify_false_skips_crc_checks(self):
+        frame = bytearray(self.make_frame(b"hello"))
+        frame[-1] ^= 0xFF  # corrupt payload CRC
+        reader = RecordReader(io.BytesIO(bytes(frame)), verify=False)
+        assert reader.read_one() == b"hello"
+
+    def test_bogus_length_crc_value(self):
+        # hand-build a frame with a wrong masked CRC for the length
+        payload = b"xyz"
+        header = struct.pack("<Q", len(payload))
+        frame = header + struct.pack("<I", 0) + payload + struct.pack("<I", 0)
+        with pytest.raises(RecordCorruptionError, match="length CRC"):
+            RecordReader(io.BytesIO(frame)).read_one()

@@ -1,0 +1,72 @@
+"""Unit tests for shard packing and manifests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import record_frame_size
+from repro.data.sharding import build_shards
+
+
+class TestBuildShards:
+    def test_tiny_spec_geometry(self, tiny_spec, tiny_manifest):
+        # 96 constant-size records, 12 per shard -> 8 shards
+        assert tiny_manifest.n_shards == 8
+        assert tiny_manifest.n_samples == 96
+        assert all(s.n_records == 12 for s in tiny_manifest.shards)
+
+    def test_every_sample_exactly_once(self, tiny_manifest):
+        ids = [r.sample_id for s in tiny_manifest.shards for r in s.records]
+        assert sorted(ids) == list(range(96))
+
+    def test_offsets_contiguous_within_shard(self, tiny_manifest):
+        for shard in tiny_manifest.shards:
+            pos = 0
+            for rec in shard.records:
+                assert rec.offset == pos
+                assert rec.frame_len == record_frame_size(rec.payload_len)
+                pos += rec.frame_len
+            assert shard.size_bytes == pos
+
+    def test_total_bytes_matches_frames(self, tiny_spec, tiny_manifest):
+        expected = sum(record_frame_size(int(s)) for s in tiny_spec.sample_sizes())
+        assert tiny_manifest.total_bytes == expected
+
+    def test_shards_respect_target_unless_single_record(self, tiny_spec):
+        manifest = build_shards(tiny_spec)
+        for shard in manifest.shards:
+            assert shard.size_bytes <= tiny_spec.shard_target_bytes or shard.n_records == 1
+
+    def test_filenames_are_unique_and_ordered(self, tiny_manifest):
+        names = [s.filename for s in tiny_manifest.shards]
+        assert len(set(names)) == len(names)
+        assert names == sorted(names)
+        assert all(n.endswith(".tfrecord") for n in names)
+
+    def test_name_prefix(self, tiny_spec):
+        manifest = build_shards(tiny_spec, name_prefix="val")
+        assert all(s.filename.startswith("val-") for s in manifest.shards)
+
+    def test_deterministic(self, tiny_spec):
+        a = build_shards(tiny_spec)
+        b = build_shards(tiny_spec)
+        assert [s.size_bytes for s in a.shards] == [s.size_bytes for s in b.shards]
+        assert [s.filename for s in a.shards] == [s.filename for s in b.shards]
+
+    def test_oversized_record_gets_own_shard(self):
+        from repro.data.dataset import DatasetSpec, SampleSizeModel
+
+        spec = DatasetSpec(
+            name="big-records",
+            n_samples=4,
+            size_model=SampleSizeModel(mean_bytes=10_000, sigma=0.0),
+            shard_target_bytes=5_000,  # smaller than one record
+        )
+        manifest = build_shards(spec)
+        assert manifest.n_shards == 4
+        assert all(s.n_records == 1 for s in manifest.shards)
+
+    def test_shard_sizes_array(self, tiny_manifest):
+        sizes = tiny_manifest.shard_sizes()
+        assert len(sizes) == 8
+        assert sizes.sum() == tiny_manifest.total_bytes

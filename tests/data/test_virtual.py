@@ -1,0 +1,29 @@
+"""Unit tests for manifest materialization into the PFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.virtual import materialize
+
+
+class TestMaterialize:
+    def test_creates_every_shard(self, sim, pfs, tiny_manifest):
+        paths = materialize(tiny_manifest, pfs, "/dataset")
+        assert len(paths) == tiny_manifest.n_shards
+        for path, shard in zip(paths, tiny_manifest.shards):
+            assert pfs.exists(path)
+            assert pfs.file_size(path) == shard.size_bytes
+
+    def test_paths_under_directory(self, sim, pfs, tiny_manifest):
+        paths = materialize(tiny_manifest, pfs, "/data/train")
+        assert all(p.startswith("/data/train/") for p in paths)
+
+    def test_total_bytes_on_pfs(self, sim, pfs, tiny_manifest):
+        materialize(tiny_manifest, pfs)
+        assert pfs.used_bytes == tiny_manifest.total_bytes
+
+    def test_double_materialize_collides(self, sim, pfs, tiny_manifest):
+        materialize(tiny_manifest, pfs)
+        with pytest.raises(ValueError):
+            materialize(tiny_manifest, pfs)

@@ -1,0 +1,88 @@
+"""Additional distributed-training consistency tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.distributed.cluster import ClusterSpec, build_cluster
+from repro.distributed.network import AllReduceModel
+from repro.distributed.trainer import DistributedTrainer
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.framework.models import MODELS
+
+SCALE = 1 / 2048
+
+
+def run(setup, n_nodes, policy="static", epochs=2, allreduce=None, seed=1):
+    cluster = build_cluster(setup, IMAGENET_100G, DEFAULT_CALIBRATION,
+                            ClusterSpec(n_nodes), scale=SCALE, seed=seed)
+    trainer = DistributedTrainer(
+        cluster, MODELS["lenet"], cluster.env.pipeline,
+        partition_policy=policy, epochs=epochs, seed=seed,
+        allreduce=allreduce,
+    )
+    result = cluster.sim.run(cluster.sim.spawn(trainer.run()))
+    return cluster, result
+
+
+class TestDropRemainder:
+    def test_steps_gated_by_smallest_partition(self):
+        """Synchronous epochs run exactly floor(min node records / batch)
+        full global steps — the slowest-partition drop-remainder rule."""
+        import numpy as np
+
+        from repro.distributed.partition import partition_shards
+
+        cluster, result = run("vanilla-lustre", 3)
+        batch = cluster.env.pipeline.batch_size
+        parts = partition_shards(len(cluster.shards), 3, "static", 0,
+                                 np.random.default_rng(0))
+        node_records = [
+            sum(cluster.shards[i].n_records for i in p) for p in parts
+        ]
+        expected_steps = min(node_records) // batch
+        for e in result.epochs:
+            assert e.global_steps == expected_steps
+            assert e.records == expected_steps * 3 * batch
+            assert e.records <= cluster.dataset.n_samples
+
+    def test_steps_equal_across_epochs_static(self):
+        _, result = run("vanilla-lustre", 2, policy="static")
+        steps = [e.global_steps for e in result.epochs]
+        assert steps[0] == steps[1] > 0
+
+
+class TestEpochAccounting:
+    def test_pfs_ops_delta_per_epoch_sums(self):
+        cluster, result = run("vanilla-lustre", 2, epochs=2)
+        total = sum(e.pfs_ops.total_ops for e in result.epochs)
+        assert total == cluster.pfs.stats.snapshot().total_ops
+
+    def test_monarch_init_runs_in_parallel_across_nodes(self):
+        """N namespaces traverse concurrently: init ~ one node's time."""
+        _, r1 = run("monarch", 1, epochs=1)
+        _, r4 = run("monarch", 4, epochs=1)
+        assert r4.init_time_s < 1.8 * r1.init_time_s
+
+    def test_trainer_validation(self):
+        cluster = build_cluster("monarch", IMAGENET_100G, DEFAULT_CALIBRATION,
+                                ClusterSpec(1), scale=SCALE)
+        with pytest.raises(ValueError):
+            DistributedTrainer(cluster, MODELS["lenet"], cluster.env.pipeline,
+                               epochs=0)
+
+
+class TestAllReduceImpact:
+    def test_slower_fabric_slows_epochs(self):
+        fast = AllReduceModel(link_bw_bytes_per_s=12.5e9)
+        slow = AllReduceModel(link_bw_bytes_per_s=0.5e9)
+        _, rf = run("vanilla-lustre", 2, epochs=1, allreduce=fast)
+        _, rs = run("vanilla-lustre", 2, epochs=1, allreduce=slow)
+        assert rs.epoch_times[0] > rf.epoch_times[0]
+
+    def test_no_allreduce_cost_single_node(self):
+        slow = AllReduceModel(link_bw_bytes_per_s=0.5e9)
+        _, a = run("vanilla-lustre", 1, epochs=1, allreduce=slow)
+        _, b = run("vanilla-lustre", 1, epochs=1)
+        assert a.epoch_times[0] == pytest.approx(b.epoch_times[0])

@@ -1,0 +1,43 @@
+"""Unit tests for the allreduce cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.network import GRAD_BYTES, AllReduceModel
+
+
+class TestAllReduceModel:
+    def test_single_node_free(self):
+        assert AllReduceModel().step_time(10**9, 1) == 0.0
+
+    def test_grows_with_nodes_then_saturates(self):
+        m = AllReduceModel(base_latency_s=0.0)
+        t2 = m.step_time(10**8, 2)
+        t4 = m.step_time(10**8, 4)
+        t64 = m.step_time(10**8, 64)
+        assert t2 < t4 < t64
+        # ring volume approaches 2x the gradient
+        assert t64 < 2 * 10**8 / m.link_bw_bytes_per_s * 1.01
+
+    def test_two_node_volume(self):
+        m = AllReduceModel(link_bw_bytes_per_s=1e9, base_latency_s=0.0)
+        # 2(N-1)/N = 1.0 at N=2
+        assert m.step_time(10**9, 2) == pytest.approx(1.0)
+
+    def test_latency_term(self):
+        m = AllReduceModel(link_bw_bytes_per_s=1e12, base_latency_s=1e-3)
+        assert m.step_time(0, 3) == pytest.approx(4e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllReduceModel(link_bw_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            AllReduceModel(base_latency_s=-1)
+        with pytest.raises(ValueError):
+            AllReduceModel().step_time(-1, 2)
+        with pytest.raises(ValueError):
+            AllReduceModel().step_time(1, 0)
+
+    def test_grad_bytes_presets(self):
+        assert GRAD_BYTES["alexnet"] > GRAD_BYTES["resnet50"] > GRAD_BYTES["lenet"]

@@ -1,0 +1,49 @@
+"""Unit tests for shard-partition policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition import partition_shards
+
+
+class TestPartitionShards:
+    def test_every_shard_assigned_exactly_once(self):
+        rng = np.random.default_rng(0)
+        for policy in ("static", "reshuffle"):
+            parts = partition_shards(37, 4, policy, epoch=0, rng=rng)
+            flat = sorted(i for p in parts for i in p)
+            assert flat == list(range(37))
+
+    def test_balanced_within_one(self):
+        rng = np.random.default_rng(0)
+        parts = partition_shards(37, 4, "reshuffle", 0, rng)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_static_is_stable_across_epochs(self):
+        rng = np.random.default_rng(0)
+        a = partition_shards(20, 3, "static", 0, rng)
+        b = partition_shards(20, 3, "static", 5, rng)
+        assert a == b
+
+    def test_reshuffle_changes_across_calls(self):
+        rng = np.random.default_rng(0)
+        a = partition_shards(40, 4, "reshuffle", 0, rng)
+        b = partition_shards(40, 4, "reshuffle", 1, rng)
+        assert a != b
+
+    def test_single_node_gets_everything(self):
+        rng = np.random.default_rng(0)
+        parts = partition_shards(10, 1, "static", 0, rng)
+        assert parts == [list(range(10))]
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            partition_shards(0, 1, "static", 0, rng)
+        with pytest.raises(ValueError):
+            partition_shards(2, 3, "static", 0, rng)
+        with pytest.raises(ValueError):
+            partition_shards(10, 2, "round-robin", 0, rng)  # type: ignore[arg-type]

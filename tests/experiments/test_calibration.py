@@ -1,0 +1,92 @@
+"""Unit tests for calibration constants and scale derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION, ScaledEnvironment
+from repro.storage.blockmath import GIB, KIB, MIB
+
+
+class TestCalibration:
+    def test_default_matches_paper_configuration(self):
+        c = DEFAULT_CALIBRATION
+        assert c.placement_threads == 6  # paper §IV
+        assert c.local_capacity_bytes == 115 * GIB  # paper §IV
+        assert c.node.n_gpus == 4
+        assert c.node.cpu_cores == 32
+        assert c.epochs == 3
+        assert c.pipeline.read_chunk == 256 * KIB
+
+    def test_busy_regime_heavier_than_quiet(self):
+        busy = DEFAULT_CALIBRATION.busy()
+        assert busy.interference_mean_load > DEFAULT_CALIBRATION.interference_mean_load
+        assert busy.burst_p > 0
+        assert DEFAULT_CALIBRATION.burst_p == 0
+
+    def test_ssd_write_slower_than_read(self):
+        assert DEFAULT_CALIBRATION.ssd.write_bw_mib < DEFAULT_CALIBRATION.ssd.read_bw_mib
+
+
+class TestScaledEnvironment:
+    def derive(self, dataset=IMAGENET_100G, scale=1 / 128, calib=None):
+        calib = calib or DEFAULT_CALIBRATION
+        return ScaledEnvironment.derive(calib, dataset, scaled(dataset, scale), scale)
+
+    def test_capacity_scales_linearly(self):
+        env = self.derive(scale=1 / 128)
+        assert env.local_capacity_bytes == pytest.approx(115 * GIB / 128, rel=0.01)
+
+    def test_fits_geometry_preserved(self):
+        """100G fits the scaled tier, 200G does not — at any scale."""
+        for scale in (1 / 64, 1 / 256):
+            env100 = self.derive(IMAGENET_100G, scale)
+            env200 = self.derive(IMAGENET_200G, scale)
+            assert scaled(IMAGENET_100G, scale).approx_total_bytes < env100.local_capacity_bytes
+            assert scaled(IMAGENET_200G, scale).approx_total_bytes > env200.local_capacity_bytes
+
+    def test_stripe_is_lustre_like(self):
+        env = self.derive(scale=1.0)
+        assert env.stripe_size == 1 * MIB
+        env_small = self.derive(scale=1 / 512)
+        assert 128 * KIB <= env_small.stripe_size <= 1 * MIB
+
+    def test_copy_chunk_covers_a_shard(self):
+        env = self.derive(scale=1 / 128)
+        assert env.copy_chunk == scaled(IMAGENET_100G, 1 / 128).shard_target_bytes
+
+    def test_mds_correction_unscales_per_file_costs(self):
+        """init time ~= N_full * mds_latency after the 1/scale transform."""
+        calib = DEFAULT_CALIBRATION
+        for scale in (1 / 64, 1 / 512):
+            sspec = scaled(IMAGENET_100G, scale)
+            env = ScaledEnvironment.derive(calib, IMAGENET_100G, sspec, scale)
+            mean_frame = sspec.size_model.mean_bytes + 16
+            n_scaled = -(-sspec.n_samples * mean_frame // sspec.shard_target_bytes)
+            init_sim = n_scaled * env.mds_latency_s
+            init_unscaled = init_sim / scale
+            n_full = -(-IMAGENET_100G.n_samples * (IMAGENET_100G.size_model.mean_bytes + 16)
+                       // IMAGENET_100G.shard_target_bytes)
+            assert init_unscaled == pytest.approx(n_full * calib.pfs.mds_latency_s, rel=0.05)
+
+    def test_batch_and_buffers_scale(self):
+        env = self.derive(scale=1 / 128)
+        assert env.pipeline.batch_size == max(8, round(128 / 128))
+        assert env.pipeline.reference_batch == 128
+        assert env.pipeline.shuffle_buffer_records >= 2 * env.pipeline.batch_size
+
+    def test_scale_one_identity_pipeline(self):
+        env = self.derive(scale=1.0)
+        assert env.pipeline.batch_size == DEFAULT_CALIBRATION.pipeline.batch_size
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            self.derive(scale=0.0)
+        with pytest.raises(ValueError):
+            self.derive(scale=2.0)
+
+    def test_page_cache_covers_inflight_window(self):
+        env = self.derive(scale=1 / 512)
+        sspec = scaled(IMAGENET_100G, 1 / 512)
+        assert env.page_cache_bytes >= 3 * DEFAULT_CALIBRATION.pipeline.cycle_length * sspec.shard_target_bytes

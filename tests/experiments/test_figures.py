@@ -1,0 +1,86 @@
+"""Unit tests for the figure/table generators (tiny scale for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+SCALE = 1 / 4096
+RUNS = 1
+
+
+@pytest.fixture(scope="module")
+def grid_fig3():
+    return figures.fig3(scale=SCALE, runs=RUNS)
+
+
+class TestGrids:
+    def test_fig1_covers_baselines_times_models(self):
+        grid = figures.fig1(scale=SCALE, runs=RUNS)
+        setups = {s for _, s in grid}
+        models = {m for m, _ in grid}
+        assert setups == {"vanilla-lustre", "vanilla-local", "vanilla-caching"}
+        assert models == {"lenet", "alexnet", "resnet50"}
+
+    def test_fig3_adds_monarch(self, grid_fig3):
+        assert {s for _, s in grid_fig3} == {
+            "vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch"
+        }
+
+    def test_fig4_is_200g_lustre_vs_monarch(self):
+        grid = figures.fig4(scale=SCALE, runs=RUNS)
+        assert {s for _, s in grid} == {"vanilla-lustre", "monarch"}
+        assert all(res.dataset.startswith("imagenet-1k-200g")
+                   for res in grid.values())
+
+
+class TestRendering:
+    def test_render_grid_includes_paper_column(self, grid_fig3):
+        text = figures.render_grid(grid_fig3, figures.PAPER_TOTALS_100G, "T")
+        assert "paper total" in text
+        assert "1205" in text  # LeNet lustre reference
+        assert "monarch" in text
+
+    def test_render_resource_usage(self, grid_fig3):
+        text = figures.render_resource_usage(grid_fig3, "usage")
+        assert "cpu %" in text
+        assert "lenet" in text
+
+    def test_resource_usage_rows(self, grid_fig3):
+        rows = figures.resource_usage(grid_fig3)
+        assert len(rows) == len(grid_fig3)
+        for _model, _setup, cpu, gpu, mem in rows:
+            assert 0 <= cpu <= 100
+            assert 0 <= gpu <= 100
+            assert mem > 0
+
+
+class TestScalars:
+    def test_io_reduction_keys(self):
+        r = figures.io_reduction(scale=SCALE, runs=RUNS)
+        assert set(r) >= {"lustre_ops_per_epoch", "monarch_ops_per_epoch",
+                          "steady_epoch_ops", "total_reduction_pct"}
+        assert 0 < r["total_reduction_pct"] < 100
+
+    def test_metadata_init_ordering(self):
+        m = figures.metadata_init(scale=SCALE, runs=RUNS)
+        assert m["init_200g_s"] > m["init_100g_s"] > 0
+
+
+class TestCli:
+    def test_main_meta(self, capsys):
+        rc = figures.main(["meta", "--scale", str(SCALE), "--runs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TAB-META" in out
+        assert "paper ~13 s" in out
+
+    def test_main_io(self, capsys):
+        rc = figures.main(["io", "--scale", str(SCALE), "--runs", "1"])
+        assert rc == 0
+        assert "798,340" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            figures.main(["figZ"])

@@ -1,0 +1,88 @@
+"""Unit tests for experiment result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.formats import ExperimentResult, RunRecord, mean, std
+
+
+def make_run(seed, times, pfs_ops=None):
+    return RunRecord(
+        setup="monarch",
+        model="lenet",
+        dataset="d",
+        scale=0.01,
+        seed=seed,
+        epoch_times_s=times,
+        cpu_utilization=[0.3] * len(times),
+        gpu_utilization=[0.5] * len(times),
+        memory_gib=10.0,
+        pfs_ops_per_epoch=pfs_ops or [100] * len(times),
+    )
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_std(self):
+        assert std([2.0, 4.0]) == pytest.approx(1.0)
+        assert std([5.0]) == 0.0
+
+
+class TestRunRecord:
+    def test_totals(self):
+        r = make_run(0, [10.0, 20.0], pfs_ops=[5, 7])
+        assert r.total_time_s == 30.0
+        assert r.total_pfs_ops == 12
+
+
+class TestExperimentResult:
+    def test_epoch_mean_std(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d", runs=[
+            make_run(0, [10.0, 20.0]),
+            make_run(1, [14.0, 24.0]),
+        ])
+        stats = res.epoch_mean_std()
+        assert stats[0] == (pytest.approx(12.0), pytest.approx(2.0))
+        assert stats[1] == (pytest.approx(22.0), pytest.approx(2.0))
+        assert res.n_runs == 2
+        assert res.n_epochs == 2
+
+    def test_total_mean_std(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d", runs=[
+            make_run(0, [10.0]), make_run(1, [30.0]),
+        ])
+        assert res.total_mean == pytest.approx(20.0)
+        assert res.total_std == pytest.approx(10.0)
+
+    def test_usage_percentages(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d",
+                               runs=[make_run(0, [10.0])])
+        assert res.cpu_percent == pytest.approx(30.0)
+        assert res.gpu_percent == pytest.approx(50.0)
+        assert res.memory_gib == 10.0
+
+    def test_empty(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d")
+        assert res.n_epochs == 0
+        assert res.epoch_mean_std() == []
+
+    def test_json_roundtrip(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d", runs=[
+            make_run(0, [10.0, 20.0]), make_run(1, [11.0, 21.0]),
+        ])
+        back = ExperimentResult.from_json(res.to_json())
+        assert back.setup == "s"
+        assert back.n_runs == 2
+        assert back.runs[0].epoch_times_s == [10.0, 20.0]
+        assert back.total_mean == res.total_mean
+
+    def test_mean_total_pfs_ops(self):
+        res = ExperimentResult(setup="s", model="m", dataset="d", runs=[
+            make_run(0, [1.0], pfs_ops=[10]),
+            make_run(1, [1.0], pfs_ops=[20]),
+        ])
+        assert res.mean_total_pfs_ops == pytest.approx(15.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment runner and un-scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.runner import run_experiment, run_once
+
+SCALE = 1 / 4096
+
+
+class TestRunOnce:
+    def test_record_fields(self):
+        rec = run_once("vanilla-lustre", "lenet", IMAGENET_100G, scale=SCALE,
+                       seed=1, epochs=2)
+        assert rec.setup == "vanilla-lustre"
+        assert rec.model == "lenet"
+        assert rec.dataset == IMAGENET_100G.name
+        assert len(rec.epoch_times_s) == 2
+        assert len(rec.cpu_utilization) == 2
+        assert len(rec.pfs_ops_per_epoch) == 2
+        assert rec.memory_gib > 9.0
+
+    def test_times_are_unscaled(self):
+        """A 1/4096-scale LeNet epoch must land near paper magnitude (~400 s)."""
+        rec = run_once("vanilla-lustre", "lenet", IMAGENET_100G, scale=SCALE,
+                       seed=1, epochs=1)
+        assert 100 < rec.epoch_times_s[0] < 2000
+
+    def test_ops_are_unscaled(self):
+        """Unscaled op counts must land near bytes/256KiB ~ 400k for 100G."""
+        rec = run_once("vanilla-lustre", "lenet", IMAGENET_100G, scale=SCALE,
+                       seed=1, epochs=1)
+        assert 2e5 < rec.pfs_ops_per_epoch[0] < 1e6
+
+    def test_monarch_init_time_unscaled_to_paper_scale(self):
+        rec = run_once("monarch", "lenet", IMAGENET_100G, scale=SCALE,
+                       seed=1, epochs=1)
+        # paper: ~13 s for the 100 GiB namespace
+        assert 5.0 < rec.init_time_s < 40.0
+
+    def test_local_ops_empty_for_lustre_setup(self):
+        rec = run_once("vanilla-lustre", "lenet", IMAGENET_100G, scale=SCALE,
+                       seed=1, epochs=1)
+        assert rec.local_ops_per_epoch == []
+        assert rec.local_bytes_read == 0
+
+
+class TestRunExperiment:
+    def test_aggregates_runs(self):
+        res = run_experiment("vanilla-lustre", "lenet", IMAGENET_100G,
+                             scale=SCALE, runs=2, epochs=1)
+        assert res.n_runs == 2
+        assert res.runs[0].seed != res.runs[1].seed
+
+    def test_runs_validation(self):
+        with pytest.raises(ValueError):
+            run_experiment("vanilla-lustre", "lenet", IMAGENET_100G,
+                           scale=SCALE, runs=0)
+
+    def test_base_seed_offsets(self):
+        res = run_experiment("vanilla-lustre", "lenet", IMAGENET_100G,
+                             scale=SCALE, runs=2, base_seed=50, epochs=1)
+        assert [r.seed for r in res.runs] == [50, 51]

@@ -1,0 +1,84 @@
+"""Unit tests for the scenario builders (fast, tiny-scale runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.scenarios import SETUPS, build_run
+from repro.storage.base import NoSpaceError
+
+SCALE = 1 / 4096  # ~220 samples; runs in well under a second
+
+
+class TestBuildRun:
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(ValueError, match="unknown setup"):
+            build_run("bogus", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_run("monarch", "vgg", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE)
+
+    def test_vanilla_lustre_has_no_local_tier(self):
+        h = build_run("vanilla-lustre", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE)
+        assert h.local_fs is None
+        assert h.monarch is None
+
+    def test_vanilla_local_stages_dataset(self):
+        h = build_run("vanilla-local", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE)
+        assert h.local_fs is not None
+        assert h.local_fs.used_bytes == h.manifest.total_bytes
+
+    def test_vanilla_local_rejects_oversized_dataset(self):
+        with pytest.raises(NoSpaceError):
+            build_run("vanilla-local", "lenet", IMAGENET_200G, DEFAULT_CALIBRATION, SCALE)
+
+    def test_monarch_setup_wires_middleware(self):
+        h = build_run("monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE)
+        assert h.monarch is not None
+        assert len(h.monarch.hierarchy) == 2
+
+    def test_setups_constant(self):
+        assert SETUPS == ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch")
+
+    def test_monarch_overrides_applied(self):
+        h = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, SCALE,
+            monarch_overrides={"placement_threads": 3, "eviction": "lru",
+                               "full_fetch_on_partial_read": False},
+        )
+        assert h.monarch is not None
+        assert h.monarch.config.placement_threads == 3
+        assert h.monarch.config.eviction == "lru"
+        assert not h.monarch.config.full_fetch_on_partial_read
+
+    def test_execute_returns_result(self):
+        h = build_run("vanilla-lustre", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+                      SCALE, epochs=1)
+        result = h.execute()
+        assert len(result.epochs) == 1
+        assert result.epochs[0].records == h.dataset.n_samples
+
+    def test_execute_monarch_shuts_down(self):
+        h = build_run("monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+                      SCALE, epochs=1)
+        h.execute()
+        assert len(h.monarch.metadata) == 0  # ephemeral namespace dropped
+
+    def test_same_seed_reproducible(self):
+        def run():
+            h = build_run("monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+                          SCALE, seed=5, epochs=2)
+            return h.execute().epoch_times
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            h = build_run("vanilla-lustre", "lenet", IMAGENET_100G,
+                          DEFAULT_CALIBRATION, SCALE, seed=seed, epochs=1)
+            return h.execute().epoch_times
+
+        assert run(1) != run(2)

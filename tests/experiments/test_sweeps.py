@@ -1,0 +1,44 @@
+"""Unit tests for the sweep helpers (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.sweeps import capacity_sweep, interference_sweep
+
+SCALE = 1 / 4096
+
+
+class TestCapacitySweep:
+    def test_points_cover_fractions(self):
+        points = capacity_sweep(IMAGENET_100G, fractions=(0.5, 1.2),
+                                scale=SCALE, runs=1)
+        assert [p.capacity_fraction for p in points] == [0.5, 1.2]
+        for p in points:
+            assert p.monarch.n_runs == 1
+            assert 0 < p.time_ratio < 1.5
+
+    def test_shared_lustre_baseline(self):
+        points = capacity_sweep(IMAGENET_100G, fractions=(0.5, 1.2),
+                                scale=SCALE, runs=1)
+        assert points[0].lustre is points[1].lustre
+
+    def test_full_capacity_silences_pfs(self):
+        points = capacity_sweep(IMAGENET_100G, fractions=(1.2,),
+                                scale=SCALE, runs=1)
+        assert points[0].steady_pfs_fraction == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            capacity_sweep(IMAGENET_100G, fractions=(0.0,), scale=SCALE, runs=1)
+
+
+class TestInterferenceSweep:
+    def test_structure_and_monotony(self):
+        out = interference_sweep(IMAGENET_100G, mean_loads=(0.05, 0.5),
+                                 scale=SCALE, runs=1)
+        assert set(out) == {0.05, 0.5}
+        quiet = out[0.05]["vanilla-lustre"].total_mean
+        busy = out[0.5]["vanilla-lustre"].total_mean
+        assert busy > quiet

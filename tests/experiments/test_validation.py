@@ -1,0 +1,43 @@
+"""Tests for the calibration validation report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validation import CHECKS, CheckResult, run_validation
+
+
+class TestCheckResult:
+    def test_ok_inside_band(self):
+        c = CheckResult("x", paper=10, measured=11, lo=9, hi=12, unit="s")
+        assert c.ok
+
+    def test_not_ok_outside_band(self):
+        c = CheckResult("x", paper=10, measured=13, lo=9, hi=12, unit="s")
+        assert not c.ok
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        # 1/512 is the scale the acceptance bands were set at; smaller
+        # scales add variance and shard-floor artifacts beyond the bands
+        return run_validation(scale=1 / 512, seed=11)
+
+    def test_all_documented_checks_present(self, checks):
+        assert [c.name for c in checks] == CHECKS
+
+    def test_every_check_in_band_at_small_scale(self, checks):
+        failures = [c for c in checks if not c.ok]
+        assert not failures, [
+            f"{c.name}: {c.measured:.3g} not in [{c.lo}, {c.hi}]" for c in failures
+        ]
+
+    def test_cli_exit_code(self, capsys):
+        from repro.experiments import validation
+
+        # monkeypatch-free: main() runs the default scale; just check output
+        # structure via a tiny-scale run through run_validation instead.
+        checks = run_validation(scale=1 / 2048)
+        assert all(isinstance(c, CheckResult) for c in checks)
+        assert len(checks) == len(CHECKS)

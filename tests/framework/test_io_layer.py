@@ -1,0 +1,75 @@
+"""Unit tests for the pluggable reader interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.io_layer import PosixReader
+from repro.storage.base import FileNotFoundInFS
+from tests.conftest import drive
+
+
+class TestPosixReader:
+    def test_open_returns_size(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 12345)
+        reader = PosixReader(mounts)
+
+        def job():
+            f = yield from reader.open("/mnt/pfs/dataset/a")
+            return f
+
+        f = drive(sim, job())
+        assert f.size == 12345
+        assert f.path == "/mnt/pfs/dataset/a"
+
+    def test_pread_transfers(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 1000)
+        reader = PosixReader(mounts)
+
+        def job():
+            f = yield from reader.open("/mnt/pfs/dataset/a")
+            a = yield from reader.pread(f, 0, 600)
+            b = yield from reader.pread(f, 600, 600)
+            return a, b
+
+        assert drive(sim, job()) == (600, 400)
+
+    def test_open_missing_raises(self, sim, mounts):
+        reader = PosixReader(mounts)
+
+        def job():
+            yield from reader.open("/mnt/pfs/nope")
+
+        with pytest.raises(FileNotFoundInFS):
+            drive(sim, job())
+
+    def test_open_charges_backend_open(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 10)
+        reader = PosixReader(mounts)
+
+        def job():
+            yield from reader.open("/mnt/pfs/dataset/a")
+
+        drive(sim, job())
+        assert pfs.stats.open_ops == 1
+
+    def test_close_is_noop(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 10)
+        reader = PosixReader(mounts)
+
+        def job():
+            f = yield from reader.open("/mnt/pfs/dataset/a")
+            reader.close(f)
+
+        drive(sim, job())
+
+    def test_routes_to_local_mount(self, sim, mounts, local_fs):
+        local_fs.add_file("/x", 500)
+        reader = PosixReader(mounts)
+
+        def job():
+            f = yield from reader.open("/mnt/ssd/x")
+            return (yield from reader.pread(f, 0, 500))
+
+        assert drive(sim, job()) == 500
+        assert local_fs.stats.read_ops == 1

@@ -1,0 +1,71 @@
+"""Unit tests for the model compute profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.models import ALEXNET, LENET, MODELS, RESNET50, ModelProfile
+
+
+class TestPresets:
+    def test_registry_contains_all(self):
+        assert set(MODELS) == {"lenet", "alexnet", "resnet50"}
+        assert MODELS["lenet"] is LENET
+
+    def test_io_bound_to_compute_bound_ordering(self):
+        assert LENET.gpu_time_per_image_us < ALEXNET.gpu_time_per_image_us
+        assert ALEXNET.gpu_time_per_image_us < RESNET50.gpu_time_per_image_us
+
+    def test_resnet_preprocess_cheapest(self):
+        assert RESNET50.cpu_time_per_image_us < LENET.cpu_time_per_image_us
+
+
+class TestStepTime:
+    def test_divides_across_gpus(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1000, cpu_time_per_image_us=0)
+        assert m.step_time(batch_size=128, n_gpus=4) == pytest.approx(32 * 1e-3)
+
+    def test_ceil_division_gates_on_slowest_gpu(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1000, cpu_time_per_image_us=0)
+        # 5 images on 4 GPUs: one GPU gets 2
+        assert m.step_time(batch_size=5, n_gpus=4) == pytest.approx(2e-3)
+
+    def test_single_gpu(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=500, cpu_time_per_image_us=0)
+        assert m.step_time(batch_size=10, n_gpus=1) == pytest.approx(5e-3)
+
+    def test_validation(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1, cpu_time_per_image_us=0)
+        with pytest.raises(ValueError):
+            m.step_time(0, 4)
+        with pytest.raises(ValueError):
+            m.step_time(4, 0)
+
+
+class TestPreprocessTime:
+    def test_reference_cost(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1,
+                         cpu_time_per_image_us=4000, cpu_reference_bytes=100_000)
+        assert m.preprocess_time() == pytest.approx(4e-3)
+
+    def test_scales_with_payload(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1,
+                         cpu_time_per_image_us=4000, cpu_reference_bytes=100_000)
+        assert m.preprocess_time(50_000) == pytest.approx(2e-3)
+        assert m.preprocess_time(200_000) == pytest.approx(8e-3)
+
+
+class TestHostTime:
+    def test_seconds_conversion(self):
+        m = ModelProfile(name="m", gpu_time_per_image_us=1,
+                         cpu_time_per_image_us=0, host_time_per_step_us=13_000)
+        assert m.host_time() == pytest.approx(0.013)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ModelProfile(name="m", gpu_time_per_image_us=0, cpu_time_per_image_us=0)
+        with pytest.raises(ValueError):
+            ModelProfile(name="m", gpu_time_per_image_us=1, cpu_time_per_image_us=-1)
+        with pytest.raises(ValueError):
+            ModelProfile(name="m", gpu_time_per_image_us=1, cpu_time_per_image_us=0,
+                         host_time_per_step_us=-1)

@@ -1,0 +1,72 @@
+"""Unit tests for the compute-node resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.resources import ComputeNode, NodeSpec
+from repro.storage.blockmath import GIB
+
+
+class TestNodeSpec:
+    def test_defaults_match_frontera_rtx(self):
+        spec = NodeSpec()
+        assert spec.cpu_cores == 32
+        assert spec.n_gpus == 4
+        assert spec.memory_limit_bytes == 68 * GIB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(n_gpus=0)
+        with pytest.raises(ValueError):
+            NodeSpec(memory_limit_bytes=0)
+
+
+class TestComputeNode:
+    def test_cpu_pool_capacity(self, sim):
+        node = ComputeNode(sim, NodeSpec(cpu_cores=4, n_gpus=1))
+        assert node.cpu.capacity == 4
+
+    def test_gpu_group_is_lockstep(self, sim):
+        node = ComputeNode(sim, NodeSpec(cpu_cores=4, n_gpus=4))
+        assert node.gpu_group.capacity == 1
+
+    def test_cpu_contention_serializes(self, sim):
+        node = ComputeNode(sim, NodeSpec(cpu_cores=2, n_gpus=1))
+
+        def worker():
+            yield from node.cpu.using(1.0)
+
+        for _ in range(4):
+            sim.spawn(worker())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_epoch_utilization_windows(self, sim):
+        node = ComputeNode(sim, NodeSpec(cpu_cores=2, n_gpus=1))
+
+        def job():
+            yield from node.cpu.using(1.0)  # 1 of 2 cores for 1s -> 50%
+            node.mark_epoch()
+            yield sim.timeout(1.0)  # idle epoch
+            node.mark_epoch()
+
+        p = sim.spawn(job())
+        sim.run(p)
+        cpu = node.cpu_utilization_per_epoch()
+        assert cpu[0] == pytest.approx(0.5)
+        assert cpu[1] == pytest.approx(0.0)
+
+    def test_gpu_utilization_per_epoch(self, sim):
+        node = ComputeNode(sim, NodeSpec(cpu_cores=1, n_gpus=2))
+
+        def job():
+            yield from node.gpu_group.using(3.0)
+            yield sim.timeout(1.0)
+            node.mark_epoch()
+
+        p = sim.spawn(job())
+        sim.run(p)
+        assert node.gpu_utilization_per_epoch()[0] == pytest.approx(0.75)

@@ -1,0 +1,131 @@
+"""Unit tests for the trainer and per-epoch accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework.cache import TFDataCache
+from repro.framework.training import Trainer
+
+
+def make_trainer(sim, node, fast_model, small_config, pfs_shards, posix_reader,
+                 pfs, local_fs=None, cache=None, epochs=2, init_hook=None):
+    backends = {"pfs": pfs.stats}
+    if local_fs is not None:
+        backends["local"] = local_fs.stats
+    return Trainer(
+        sim=sim,
+        node=node,
+        model=fast_model,
+        config=small_config,
+        shards=pfs_shards,
+        reader=posix_reader,
+        shuffle_rng=np.random.default_rng(11),
+        backends=backends,
+        cache=cache,
+        epochs=epochs,
+        init_hook=init_hook,
+    )
+
+
+class TestTrainer:
+    def test_epoch_count_and_steps(self, sim, node, fast_model, small_config,
+                                   pfs_shards, posix_reader, pfs):
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs, epochs=2)
+        result = sim.run(sim.spawn(tr.run()))
+        assert len(result.epochs) == 2
+        for e in result.epochs:
+            assert e.steps == 6
+            assert e.records == 96
+            assert e.wall_time_s > 0
+
+    def test_epochs_validation(self, sim, node, fast_model, small_config,
+                               pfs_shards, posix_reader, pfs):
+        with pytest.raises(ValueError):
+            make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                         posix_reader, pfs, epochs=0)
+
+    def test_utilizations_in_range(self, sim, node, fast_model, small_config,
+                                   pfs_shards, posix_reader, pfs):
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs)
+        result = sim.run(sim.spawn(tr.run()))
+        for e in result.epochs:
+            assert 0.0 < e.cpu_utilization <= 1.0
+            assert 0.0 < e.gpu_utilization <= 1.0
+
+    def test_backend_ops_per_epoch(self, sim, node, fast_model, small_config,
+                                   pfs_shards, posix_reader, pfs):
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs)
+        result = sim.run(sim.spawn(tr.run()))
+        epoch_bytes = sum(s.size for s in pfs_shards)
+        for e in result.epochs:
+            assert e.backend_ops["pfs"].bytes_read == epoch_bytes
+        assert result.backend_epoch_ops("pfs")[0] > 0
+
+    def test_gpu_busy_time_matches_model(self, sim, node, fast_model, small_config,
+                                         pfs_shards, posix_reader, pfs):
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs, epochs=1)
+        result = sim.run(sim.spawn(tr.run()))
+        e = result.epochs[0]
+        expected_busy = sum(
+            fast_model.step_time(16, node.spec.n_gpus) for _ in range(6)
+        )
+        assert e.gpu_utilization * e.wall_time_s == pytest.approx(expected_busy, rel=0.02)
+
+    def test_init_hook_timed_separately(self, sim, node, fast_model, small_config,
+                                        pfs_shards, posix_reader, pfs):
+        def init():
+            yield sim.timeout(2.5)
+
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs, epochs=1, init_hook=init)
+        result = sim.run(sim.spawn(tr.run()))
+        assert result.init_time_s == pytest.approx(2.5)
+        # epoch wall time excludes init
+        assert result.total_time_s < sim.now
+        assert result.total_time_s + result.init_time_s == pytest.approx(sim.now)
+
+    def test_total_time_is_sum_of_epochs(self, sim, node, fast_model, small_config,
+                                         pfs_shards, posix_reader, pfs):
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs)
+        result = sim.run(sim.spawn(tr.run()))
+        assert result.total_time_s == pytest.approx(sum(result.epoch_times))
+
+    def test_cache_first_epoch_writes_then_redirects(self, sim, node, fast_model,
+                                                     small_config, pfs_shards,
+                                                     posix_reader, pfs, local_fs,
+                                                     mounts):
+        cache = TFDataCache(mounts, "/mnt/ssd/cache")
+        tr = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                          posix_reader, pfs, local_fs=local_fs, cache=cache,
+                          epochs=3)
+        result = sim.run(sim.spawn(tr.run()))
+        pfs_ops = result.backend_epoch_ops("pfs")
+        # epoch 1 hits the PFS; epochs 2-3 are served from the local cache
+        assert pfs_ops[0] > 0
+        assert pfs_ops[1] == 0
+        assert pfs_ops[2] == 0
+        epoch_bytes = sum(s.size for s in pfs_shards)
+        assert result.epochs[0].backend_ops["local"].bytes_written == epoch_bytes
+        assert result.epochs[1].backend_ops["local"].bytes_read == epoch_bytes
+
+    def test_cache_epoch1_slower_than_plain(self, sim, node, fast_model, small_config,
+                                            pfs_shards, posix_reader, pfs, local_fs,
+                                            mounts):
+        """The extra copy makes caching's first epoch slower (paper Fig. 1)."""
+        # run without cache first
+        tr_plain = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                                posix_reader, pfs, epochs=1)
+        plain = sim.run(sim.spawn(tr_plain.run())).epochs[0].wall_time_s
+        cache = TFDataCache(mounts, "/mnt/ssd/cache")
+        tr_cache = make_trainer(sim, node, fast_model, small_config, pfs_shards,
+                                posix_reader, pfs, local_fs=local_fs, cache=cache,
+                                epochs=1)
+        cached = sim.run(sim.spawn(tr_cache.run())).epochs[0].wall_time_s
+        assert cached > plain

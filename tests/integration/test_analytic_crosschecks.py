@@ -1,0 +1,104 @@
+"""Analytic cross-checks: the simulation agrees with closed-form math.
+
+Each test derives an expected time from the calibration constants by hand
+(the derivations mirror experiments/calibration.py) and checks the
+simulated result lands within tolerance — guarding against silent
+regressions in the queueing/bandwidth models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, scaled
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_once
+from repro.framework.models import LENET, RESNET50
+from repro.storage.blockmath import GIB, MIB
+
+SCALE = 1 / 1024
+SEED = 4
+
+
+class TestAnalyticEpochTimes:
+    def test_vanilla_local_lenet_bound_by_max_of_floors(self):
+        """LeNet local epoch ~ max(SSD stream, CPU map floor, GPU floor)."""
+        calib = DEFAULT_CALIBRATION
+        rec = run_once("vanilla-local", "lenet", IMAGENET_100G,
+                       scale=SCALE, seed=SEED, epochs=1)
+        sspec = scaled(IMAGENET_100G, SCALE)
+        bytes_total = sspec.n_samples * sspec.size_model.mean_bytes
+        ssd_floor = bytes_total / (calib.ssd.read_bw_mib * MIB) / SCALE
+        cpu_floor = (sspec.n_samples * LENET.preprocess_time(sspec.size_model.mean_bytes)
+                     / calib.pipeline.num_map_workers) / SCALE
+        floor = max(ssd_floor, cpu_floor)
+        # page-cache hits can shave the SSD part, never beat the CPU floor
+        assert 0.85 * cpu_floor <= rec.epoch_times_s[0] <= 1.35 * floor
+
+    def test_resnet_epoch_matches_compute_closed_form(self):
+        """ResNet is compute-bound: epoch ~ steps * (gpu + host)."""
+        calib = DEFAULT_CALIBRATION
+        rec = run_once("vanilla-local", "resnet50", IMAGENET_100G,
+                       scale=SCALE, seed=SEED, epochs=1)
+        sspec = scaled(IMAGENET_100G, SCALE)
+        batch = max(8, round(calib.pipeline.batch_size * SCALE))
+        steps = sspec.n_samples / batch
+        step_wall = (RESNET50.step_time(batch, calib.node.n_gpus)
+                     + RESNET50.host_time() * batch / calib.pipeline.batch_size)
+        expected = steps * step_wall / SCALE
+        assert rec.epoch_times_s[0] == pytest.approx(expected, rel=0.10)
+
+    def test_lustre_effective_bandwidth_in_calibrated_range(self):
+        """vanilla-lustre LeNet: effective client bw ~ 230-285 MiB/s."""
+        rec = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                       scale=SCALE, seed=SEED)
+        for t in rec.epoch_times_s:
+            eff = 100 * GIB / t / MIB
+            assert 200 < eff < 310, f"effective {eff:.0f} MiB/s"
+
+    def test_monarch_epoch1_not_below_ssd_write_floor(self):
+        """Epoch 1 must absorb the whole dataset as SSD writes."""
+        calib = DEFAULT_CALIBRATION
+        rec = run_once("monarch", "lenet", IMAGENET_100G, scale=SCALE, seed=SEED)
+        write_floor = 100 * GIB / (calib.ssd.write_bw_mib * MIB)
+        assert rec.epoch_times_s[0] >= 0.95 * write_floor
+
+    def test_caching_epoch1_at_least_lustre_read_time(self):
+        rec_cache = run_once("vanilla-caching", "lenet", IMAGENET_100G,
+                             scale=SCALE, seed=SEED)
+        rec_lustre = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                              scale=SCALE, seed=SEED)
+        assert rec_cache.epoch_times_s[0] >= rec_lustre.epoch_times_s[0]
+
+
+class TestAnalyticOpCounts:
+    def test_lustre_ops_equal_chunks_plus_opens(self):
+        """Data ops = ceil(shard/chunk) per shard; metadata = one open per
+        shard per epoch — exactly, no slack."""
+        from repro.experiments.scenarios import build_run
+
+        handle = build_run("vanilla-lustre", "lenet", IMAGENET_100G,
+                           DEFAULT_CALIBRATION, SCALE, seed=SEED, epochs=1)
+        handle.execute()
+        chunk = DEFAULT_CALIBRATION.pipeline.read_chunk
+        expected_reads = sum(
+            -(-s.size_bytes // chunk) for s in handle.manifest.shards
+        )
+        snap = handle.pfs.stats.snapshot()
+        assert snap.read_ops == expected_reads
+        assert snap.open_ops == handle.manifest.n_shards
+        assert snap.bytes_read == handle.manifest.total_bytes
+
+    def test_monarch_metadata_init_closed_form(self):
+        """init ~= (1 + n_shards) MDS ops at the corrected latency / share."""
+        from repro.experiments.calibration import ScaledEnvironment
+        from repro.experiments.scenarios import build_run
+
+        handle = build_run("monarch", "lenet", IMAGENET_100G,
+                           DEFAULT_CALIBRATION, SCALE, seed=SEED, epochs=1)
+        result = handle.execute()
+        env = handle.env
+        n = handle.manifest.n_shards
+        share = 1 - DEFAULT_CALIBRATION.interference_mean_load
+        expected = (n + 1) * env.mds_latency_s / share
+        assert result.init_time_s == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,108 @@
+"""End-to-end integration tests: full training runs through every setup.
+
+These run at 1/2048 scale (fast) and check cross-module consistency —
+byte conservation, op accounting, and state cleanup — rather than the
+paper's performance shapes (see test_paper_shapes.py for those).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, scaled
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.scenarios import build_run
+
+SCALE = 1 / 2048
+
+
+@pytest.fixture(scope="module", params=["vanilla-lustre", "vanilla-local",
+                                        "vanilla-caching", "monarch"])
+def finished_run(request):
+    """One executed 3-epoch run per setup (module-scoped: runs once each)."""
+    handle = build_run(request.param, "lenet", IMAGENET_100G,
+                       DEFAULT_CALIBRATION, SCALE, seed=9)
+    result = handle.execute()
+    return request.param, handle, result
+
+
+class TestAllSetupsComplete:
+    def test_three_epochs(self, finished_run):
+        _, _, result = finished_run
+        assert len(result.epochs) == 3
+
+    def test_every_epoch_sees_every_record(self, finished_run):
+        _, handle, result = finished_run
+        for e in result.epochs:
+            assert e.records == handle.dataset.n_samples
+
+    def test_epoch_times_positive_and_ordered_sanely(self, finished_run):
+        _, _, result = finished_run
+        assert all(t > 0 for t in result.epoch_times)
+
+    def test_utilizations_bounded(self, finished_run):
+        _, _, result = finished_run
+        for e in result.epochs:
+            assert 0 < e.cpu_utilization < 1
+            assert 0 < e.gpu_utilization < 1
+
+
+class TestByteConservation:
+    def test_pfs_read_bytes_match_setup(self, finished_run):
+        setup, handle, result = finished_run
+        total = handle.manifest.total_bytes
+        pfs_read = handle.pfs.stats.bytes_read
+        if setup == "vanilla-lustre":
+            # every byte read from the PFS every epoch
+            assert pfs_read == 3 * total
+        elif setup == "vanilla-local":
+            assert pfs_read == 0
+        elif setup == "vanilla-caching":
+            # PFS touched only in epoch 1
+            assert pfs_read == total
+        else:  # monarch
+            # epoch 1: framework misses + background full fetches;
+            # epochs 2-3 fully local.  Never more than twice the dataset.
+            assert total <= pfs_read <= 2 * total
+
+    def test_local_tier_holds_dataset_afterwards(self, finished_run):
+        setup, handle, _ = finished_run
+        if setup in ("vanilla-caching", "monarch", "vanilla-local"):
+            assert handle.local_fs.used_bytes == handle.manifest.total_bytes
+
+    def test_monarch_steady_state_pfs_silent(self, finished_run):
+        setup, _, result = finished_run
+        if setup in ("monarch", "vanilla-caching"):
+            ops = result.backend_epoch_ops("pfs")
+            assert ops[1] == 0
+            assert ops[2] == 0
+
+
+class TestMonarchInternalConsistency:
+    def test_all_files_cached(self, finished_run):
+        setup, handle, _ = finished_run
+        if setup != "monarch":
+            pytest.skip("monarch only")
+        # shutdown cleared metadata; placement stats survive
+        stats = handle.monarch.placement.stats
+        assert stats.completed == handle.manifest.n_shards
+        assert stats.unplaceable == 0
+        assert stats.evictions == 0
+
+    def test_init_time_recorded(self, finished_run):
+        setup, _, result = finished_run
+        if setup != "monarch":
+            pytest.skip("monarch only")
+        assert result.init_time_s > 0
+
+
+class TestDeterminism:
+    def test_full_run_is_reproducible(self):
+        def once():
+            h = build_run("monarch", "alexnet", IMAGENET_100G,
+                          DEFAULT_CALIBRATION, SCALE, seed=3)
+            r = h.execute()
+            return (r.epoch_times, r.init_time_s,
+                    h.pfs.stats.snapshot(), h.local_fs.stats.snapshot())
+
+        assert once() == once()

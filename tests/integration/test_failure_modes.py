@@ -1,0 +1,93 @@
+"""Failure-injection integration tests.
+
+The paper's baselines have hard failure modes (tf.data's cache needs the
+dataset to fit; vanilla-local needs it staged) — these tests check that
+the reproduction fails the same way, loudly, instead of silently
+degrading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.scenarios import build_run
+from repro.framework.cache import CacheOverflowError
+from repro.storage.base import NoSpaceError
+
+SCALE = 1 / 2048
+
+
+class TestCapacityFailures:
+    def test_vanilla_caching_overflows_on_200g(self):
+        """tf.data cache with a dataset bigger than the tier: hard failure
+        (the paper excludes vanilla-caching from Fig. 4 for this reason)."""
+        calib = DEFAULT_CALIBRATION.busy()
+        handle = build_run("vanilla-caching", "lenet", IMAGENET_200G,
+                           calib=calib, scale=SCALE, seed=1, epochs=1)
+        with pytest.raises(CacheOverflowError):
+            handle.execute()
+
+    def test_vanilla_local_cannot_stage_200g(self):
+        with pytest.raises(NoSpaceError):
+            build_run("vanilla-local", "lenet", IMAGENET_200G,
+                      calib=DEFAULT_CALIBRATION.busy(), scale=SCALE, seed=1)
+
+    def test_monarch_handles_200g_gracefully(self):
+        """The same workload that kills both baselines completes under
+        MONARCH, with part of the namespace marked unplaceable."""
+        calib = DEFAULT_CALIBRATION.busy()
+        handle = build_run("monarch", "lenet", IMAGENET_200G,
+                           calib=calib, scale=SCALE, seed=1, epochs=1)
+        result = handle.execute()
+        assert result.epochs[0].records == handle.dataset.n_samples
+        stats = handle.monarch.placement.stats
+        assert stats.completed > 0
+        assert stats.unplaceable > 0
+        assert handle.local_fs.used_bytes <= handle.env.local_capacity_bytes
+
+
+class TestMidRunRobustness:
+    def test_pipeline_error_does_not_hang_the_trainer(self, sim, mounts, node,
+                                                      pfs, tiny_manifest):
+        """A reader blowing up mid-epoch propagates instead of deadlocking."""
+        import numpy as np
+
+        from repro.data.virtual import materialize
+        from repro.framework.io_layer import DataReader
+        from repro.framework.models import LENET
+        from repro.framework.pipeline import PipelineConfig, shards_from_manifest
+        from repro.framework.training import Trainer
+
+        paths = materialize(tiny_manifest, pfs, "/dataset")
+        shards = shards_from_manifest(tiny_manifest, ["/mnt/pfs" + p for p in paths])
+
+        class FlakyReader(DataReader):
+            def __init__(self, mounts):
+                from repro.framework.io_layer import PosixReader
+
+                self.inner = PosixReader(mounts)
+                self.reads = 0
+
+            def open(self, path):
+                f = yield from self.inner.open(path)
+                return f
+
+            def pread(self, f, offset, nbytes):
+                self.reads += 1
+                if self.reads > 3:
+                    raise IOError("injected storage failure")
+                n = yield from self.inner.pread(f, offset, nbytes)
+                return n
+
+        trainer = Trainer(
+            sim=sim, node=node, model=LENET,
+            config=PipelineConfig(batch_size=16, reference_batch=16,
+                                  cycle_length=2, num_map_workers=2,
+                                  shuffle_buffer_records=32),
+            shards=shards, reader=FlakyReader(mounts),
+            shuffle_rng=np.random.default_rng(0), epochs=1,
+        )
+        with pytest.raises(IOError, match="injected storage failure"):
+            sim.run(sim.spawn(trainer.run()))

@@ -1,0 +1,170 @@
+"""Paper-shape assertions: the qualitative results Figures 1/3/4 rest on.
+
+Each test checks an *ordering* or *rough factor* the paper reports, at
+1/512 scale with a fixed seed.  These are the guardrails that keep future
+changes from silently breaking the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_once
+
+SCALE = 1 / 512
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def grid100():
+    """All four setups × {lenet, alexnet, resnet50} on the 100 GiB preset."""
+    out = {}
+    for model in ("lenet", "alexnet", "resnet50"):
+        for setup in ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch"):
+            out[(model, setup)] = run_once(setup, model, IMAGENET_100G,
+                                           scale=SCALE, seed=SEED)
+    return out
+
+
+@pytest.fixture(scope="module")
+def grid200():
+    """lustre vs monarch × all models on the 200 GiB preset (busy regime)."""
+    busy = DEFAULT_CALIBRATION.busy()
+    out = {}
+    for model in ("lenet", "alexnet", "resnet50"):
+        for setup in ("vanilla-lustre", "monarch"):
+            out[(model, setup)] = run_once(setup, model, IMAGENET_200G,
+                                           calib=busy, scale=SCALE, seed=SEED)
+    return out
+
+
+class TestFig1Motivation:
+    def test_local_beats_lustre_for_io_bound_models(self, grid100):
+        for model in ("lenet", "alexnet"):
+            assert grid100[(model, "vanilla-local")].total_time_s < \
+                grid100[(model, "vanilla-lustre")].total_time_s
+
+    def test_lenet_local_speedup_magnitude(self, grid100):
+        """Paper: 1205 -> 650 s, a ~46% decrease."""
+        ratio = grid100[("lenet", "vanilla-local")].total_time_s / \
+            grid100[("lenet", "vanilla-lustre")].total_time_s
+        assert 0.40 < ratio < 0.70
+
+    def test_caching_first_epoch_slower_than_lustre(self, grid100):
+        """Paper: 396 -> 437 s from the extra local copy."""
+        for model in ("lenet", "alexnet"):
+            assert grid100[(model, "vanilla-caching")].epoch_times_s[0] > \
+                grid100[(model, "vanilla-lustre")].epoch_times_s[0]
+
+    def test_caching_later_epochs_match_local(self, grid100):
+        for model in ("lenet", "alexnet"):
+            cache_e2 = grid100[(model, "vanilla-caching")].epoch_times_s[1]
+            local_e2 = grid100[(model, "vanilla-local")].epoch_times_s[1]
+            assert cache_e2 == pytest.approx(local_e2, rel=0.1)
+
+    def test_resnet_flat_across_setups(self, grid100):
+        """Compute-bound: storage tier barely matters (paper Fig. 1/3)."""
+        totals = [grid100[("resnet50", s)].total_time_s
+                  for s in ("vanilla-lustre", "vanilla-local", "vanilla-caching",
+                            "monarch")]
+        assert max(totals) / min(totals) < 1.12
+
+    def test_lustre_has_highest_variability(self, grid100):
+        """Epoch-to-epoch spread on lustre exceeds the local setup's."""
+        def spread(rec):
+            ts = rec.epoch_times_s
+            return (max(ts) - min(ts)) / (sum(ts) / len(ts))
+
+        assert spread(grid100[("lenet", "vanilla-lustre")]) > \
+            spread(grid100[("lenet", "vanilla-local")])
+
+
+class TestFig3Monarch100G:
+    def test_monarch_beats_lustre(self, grid100):
+        """Paper: 33% (LeNet) and 15% (AlexNet) total reduction."""
+        for model, lo, hi in (("lenet", 0.55, 0.85), ("alexnet", 0.75, 0.95)):
+            ratio = grid100[(model, "monarch")].total_time_s / \
+                grid100[(model, "vanilla-lustre")].total_time_s
+            assert lo < ratio < hi, f"{model}: {ratio:.2f}"
+
+    def test_monarch_first_epoch_faster_than_lustre_and_caching(self, grid100):
+        """The paper's signature observation (§IV-A, full-file fetch)."""
+        for model in ("lenet", "alexnet"):
+            m = grid100[(model, "monarch")].epoch_times_s[0]
+            assert m < grid100[(model, "vanilla-lustre")].epoch_times_s[0]
+            assert m < grid100[(model, "vanilla-caching")].epoch_times_s[0]
+
+    def test_monarch_later_epochs_local_speed(self, grid100):
+        for model in ("lenet", "alexnet"):
+            m = grid100[(model, "monarch")].epoch_times_s[2]
+            local = grid100[(model, "vanilla-local")].epoch_times_s[2]
+            assert m == pytest.approx(local, rel=0.1)
+
+    def test_monarch_not_faster_than_pure_local(self, grid100):
+        for model in ("lenet", "alexnet"):
+            assert grid100[(model, "monarch")].total_time_s >= \
+                0.95 * grid100[(model, "vanilla-local")].total_time_s
+
+    def test_metadata_init_near_paper(self, grid100):
+        """Paper: ~13 s for the 100 GiB namespace."""
+        init = grid100[("lenet", "monarch")].init_time_s
+        assert 8 < init < 25
+
+    def test_faster_storage_raises_utilization(self, grid100):
+        """Paper §II-A: better storage => higher CPU and GPU usage."""
+        for model in ("lenet", "alexnet"):
+            lustre = grid100[(model, "vanilla-lustre")]
+            local = grid100[(model, "vanilla-local")]
+            assert sum(local.cpu_utilization) > sum(lustre.cpu_utilization)
+            assert sum(local.gpu_utilization) > sum(lustre.gpu_utilization)
+
+
+class TestFig4Monarch200G:
+    def test_lenet_reduction_near_24pct(self, grid200):
+        ratio = grid200[("lenet", "monarch")].total_time_s / \
+            grid200[("lenet", "vanilla-lustre")].total_time_s
+        assert 0.6 < ratio < 0.9  # paper: 0.76
+
+    def test_alexnet_monarch_not_worse(self, grid200):
+        """Paper: 12% reduction; we reproduce direction (see EXPERIMENTS.md)."""
+        ratio = grid200[("alexnet", "monarch")].total_time_s / \
+            grid200[("alexnet", "vanilla-lustre")].total_time_s
+        assert ratio < 1.05
+
+    def test_resnet_flat(self, grid200):
+        ratio = grid200[("resnet50", "monarch")].total_time_s / \
+            grid200[("resnet50", "vanilla-lustre")].total_time_s
+        assert 0.9 < ratio < 1.1
+
+    def test_steady_state_ops_fraction(self, grid200):
+        """Paper: ~360k of 798,340 ops/epoch still reach Lustre (~45%)."""
+        lustre_ops = grid200[("lenet", "vanilla-lustre")].pfs_ops_per_epoch[-1]
+        monarch_ops = grid200[("lenet", "monarch")].pfs_ops_per_epoch[-1]
+        frac = monarch_ops / lustre_ops
+        assert 0.35 < frac < 0.55
+
+    def test_total_io_reduction_near_55pct(self, grid200):
+        """Paper: 55% average reduction in Lustre I/O over the workload."""
+        lustre = grid200[("lenet", "vanilla-lustre")].total_pfs_ops
+        monarch = grid200[("lenet", "monarch")].total_pfs_ops
+        reduction = 1 - monarch / lustre
+        assert 0.40 < reduction < 0.65
+
+    def test_absolute_epoch_ops_magnitude(self, grid200):
+        """Unscaled ops/epoch must land near the paper's 798,340."""
+        ops = grid200[("lenet", "vanilla-lustre")].pfs_ops_per_epoch[0]
+        assert 6e5 < ops < 1.1e6
+
+    def test_metadata_init_larger_namespace(self, grid200, grid100):
+        """Paper: 52 s for 200 GiB vs 13 s for 100 GiB (scales with files)."""
+        init200 = grid200[("lenet", "monarch")].init_time_s
+        init100 = grid100[("lenet", "monarch")].init_time_s
+        assert init200 > 1.5 * init100
+
+    def test_memory_flat_near_10gib(self, grid100, grid200):
+        """Paper: ~10 GiB in every configuration."""
+        mems = [r.memory_gib for r in grid100.values()] + \
+               [r.memory_gib for r in grid200.values()]
+        assert all(9.0 < m < 11.5 for m in mems)

@@ -1,0 +1,380 @@
+"""Unit tests for the DES event loop and process model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+)
+from repro.simkernel.errors import DeadlockError, StaleEventError
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(41)
+        sim.run()
+        assert ev.ok
+        assert ev.value == 41
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert ev.triggered
+        assert not ev.ok
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(StaleEventError):
+            ev.succeed(2)
+
+    def test_succeed_then_fail_raises(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(StaleEventError):
+            ev.fail(RuntimeError("late"))
+
+    def test_fail_requires_exception_instance(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        ev = sim.event()
+        order = []
+        ev.add_callback(lambda e: order.append(1))
+        ev.add_callback(lambda e: order.append(2))
+        ev.succeed()
+        sim.run()
+        assert order == [1, 2]
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        ev = sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+        assert ev.processed
+
+    def test_carries_value(self, sim):
+        ev = sim.timeout(1.0, value="done")
+        sim.run(ev)
+        assert ev.value == "done"
+
+    def test_zero_delay_is_allowed(self, sim):
+        ev = sim.timeout(0.0)
+        sim.run()
+        assert ev.processed
+        assert sim.now == 0.0
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeouts_fire_in_time_order(self, sim):
+        order = []
+        sim.timeout(3.0).add_callback(lambda e: order.append(3))
+        sim.timeout(1.0).add_callback(lambda e: order.append(1))
+        sim.timeout(2.0).add_callback(lambda e: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fires_in_schedule_order(self, sim):
+        order = []
+        for i in range(5):
+            sim.timeout(1.0, value=i).add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_return_value_is_event_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "result"
+
+        p = sim.spawn(proc())
+        assert sim.run(p) == "result"
+
+    def test_yield_receives_event_value(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value=10)
+            return got + 1
+
+        assert sim.run(sim.spawn(proc())) == 11
+
+    def test_process_is_alive_until_done(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+
+        p = sim.spawn(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_waiting_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return result
+
+        assert sim.run(sim.spawn(parent())) == "child-done"
+
+    def test_waiting_on_finished_process_resumes_immediately(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 7
+
+        c = sim.spawn(child())
+
+        def parent():
+            yield sim.timeout(3.0)  # child finished long ago
+            v = yield c
+            return (sim.now, v)
+
+        assert sim.run(sim.spawn(parent())) == (3.0, 7)
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child failed")
+
+        def parent():
+            yield sim.spawn(child())
+
+        p = sim.spawn(parent())
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run(p)
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        p = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            sim.run(p)
+
+    def test_cross_simulator_event_rejected(self, sim):
+        other = Simulator()
+
+        def proc():
+            yield other.event()
+
+        p = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="another Simulator"):
+            sim.run(p)
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((sim.now, name))
+
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("b", 1.5))
+        sim.run()
+        # ties at t=3.0 resolve in schedule order: b scheduled its timeout
+        # at t=1.5, before a scheduled its own at t=2.0
+        assert log == [
+            (1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a"), (4.5, "b"),
+        ]
+
+
+class TestInterruptAndKill:
+    def test_interrupt_delivers_cause(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as err:
+                caught.append((sim.now, err.cause))
+
+        p = sim.spawn(proc())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt(cause="stop now")
+
+        sim.spawn(interrupter())
+        sim.run(p)
+        assert caught == [(1.0, "stop now")]
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt()  # must not raise
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def proc():
+            yield sim.timeout(100.0)
+
+        p = sim.spawn(proc())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert p.triggered
+        assert isinstance(p.exception, Interrupt)
+
+    def test_kill_terminates_and_marks_processkilled(self, sim):
+        def proc():
+            yield sim.timeout(100.0)
+
+        p = sim.spawn(proc())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert isinstance(p.exception, ProcessKilled)
+
+    def test_kill_runs_finally_blocks(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                cleaned.append(True)
+
+        p = sim.spawn(proc())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert cleaned == [True]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            vals = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+            return (sim.now, vals)
+
+        assert sim.run(sim.spawn(proc())) == (3.0, ("a", "b"))
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        cond = sim.all_of([])
+        sim.run()
+        assert cond.ok
+        assert cond.value == ()
+
+    def test_all_of_fails_on_first_child_failure(self, sim):
+        bad = sim.event()
+        bad.fail(ValueError("nope"))
+        cond = AllOf(sim, [sim.timeout(5.0), bad])
+        sim.run()
+        assert isinstance(cond.exception, ValueError)
+
+    def test_any_of_fires_on_first(self, sim):
+        def proc():
+            ev, value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+            return (sim.now, value)
+
+        assert sim.run(sim.spawn(proc())) == (1.0, "fast")
+
+    def test_any_of_with_already_fired_event(self, sim):
+        done = sim.event()
+        done.succeed("x")
+        sim.run()
+        cond = AnyOf(sim, [done, sim.event()])
+        sim.run()
+        assert cond.ok
+
+
+class TestRun:
+    def test_run_until_timestamp(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(10.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_run_until_unfired_event_deadlocks(self, sim):
+        ev = sim.event()
+        with pytest.raises(DeadlockError):
+            sim.run(ev)
+
+    def test_run_drains_queue(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.peek() == float("inf")
+
+    def test_cannot_schedule_into_the_past(self, sim):
+        ev = Event(sim)
+        with pytest.raises(SimulationError):
+            sim._schedule(ev, 1, at=-1.0)
+
+    def test_determinism_same_seedless_program(self):
+        def program():
+            s = Simulator()
+            log = []
+
+            def worker(name):
+                for i in range(10):
+                    yield s.timeout(0.1 * (i + 1))
+                    log.append((round(s.now, 6), name, i))
+
+            for n in range(4):
+                s.spawn(worker(n))
+            s.run()
+            return log
+
+        assert program() == program()

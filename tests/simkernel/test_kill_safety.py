@@ -1,0 +1,166 @@
+"""Regression tests: killing processes must never leak resources.
+
+The distributed trainer's drop-remainder path kills whole pipelines
+mid-flight; an early implementation leaked a Resource slot when a process
+was killed while still *waiting* for its grant (the request stayed queued,
+got granted to a dead process, and the slot was lost forever — a cluster
+run then deadlocked on a stuck OST).  These tests pin the fixed behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel.core import Simulator
+from repro.simkernel.resources import Resource, SimLock
+
+
+class TestKillWhileHolding:
+    def test_slot_released_when_holder_killed(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield from res.using(100.0)
+
+        p = sim.spawn(holder())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert res.in_use == 0
+        assert res.queue_len == 0
+
+    def test_waiter_gets_slot_after_holder_killed(self, sim):
+        res = Resource(sim, capacity=1)
+        acquired = []
+
+        def holder():
+            yield from res.using(100.0)
+
+        def waiter():
+            yield from res.using(1.0)
+            acquired.append(sim.now)
+
+        p = sim.spawn(holder())
+        sim.spawn(waiter())
+
+        def killer():
+            yield sim.timeout(2.0)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert acquired == [3.0]
+
+
+class TestKillWhileWaiting:
+    def test_queued_request_cancelled_on_kill(self, sim):
+        """The original bug: kill a process still waiting for its grant."""
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield from res.using(10.0)
+
+        def waiter():
+            yield from res.using(10.0)
+
+        sim.spawn(holder())
+        w = sim.spawn(waiter())
+
+        def killer():
+            yield sim.timeout(1.0)
+            w.kill()  # waiter still queued at this point
+
+        sim.spawn(killer())
+        sim.run()
+        # the holder's release must not grant a slot to the dead waiter
+        assert res.in_use == 0
+        assert res.queue_len == 0
+
+    def test_no_slot_leak_under_mass_kill(self, sim):
+        """Kill a crowd of waiters at random moments; capacity must survive."""
+        res = Resource(sim, capacity=2)
+        procs = []
+
+        def worker():
+            for _ in range(5):
+                yield from res.using(0.7)
+
+        for _ in range(10):
+            procs.append(sim.spawn(worker()))
+
+        def killer():
+            yield sim.timeout(1.1)
+            for p in procs[::2]:
+                p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert res.in_use == 0
+        assert res.queue_len == 0
+        # survivors all finished
+        assert all(p.ok for p in procs[1::2])
+
+    def test_interrupt_inside_using_releases(self, sim):
+        from repro.simkernel.errors import Interrupt
+
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            try:
+                yield from res.using(100.0)
+            except Interrupt:
+                pass
+
+        p = sim.spawn(holder())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert res.in_use == 0
+
+    def test_lock_released_on_kill(self, sim):
+        lock = SimLock(sim)
+
+        def holder():
+            yield from lock.holding(50.0)
+
+        p = sim.spawn(holder())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert not lock.locked
+
+
+class TestNestedComposites:
+    def test_allof_of_anyofs(self, sim):
+        def proc():
+            c1 = sim.any_of([sim.timeout(1.0, "a"), sim.timeout(9.0, "b")])
+            c2 = sim.any_of([sim.timeout(2.0, "c"), sim.timeout(8.0, "d")])
+            vals = yield sim.all_of([c1, c2])
+            return (sim.now, [v for _, v in vals])
+
+        t, vals = sim.run(sim.spawn(proc()))
+        assert t == 2.0
+        assert vals == ["a", "c"]
+
+    def test_anyof_of_allofs(self, sim):
+        def proc():
+            slow = sim.all_of([sim.timeout(5.0), sim.timeout(6.0)])
+            fast = sim.all_of([sim.timeout(1.0), sim.timeout(2.0)])
+            ev, _ = yield sim.any_of([slow, fast])
+            return (sim.now, ev is fast)
+
+        t, was_fast = sim.run(sim.spawn(proc()))
+        assert t == 2.0
+        assert was_fast

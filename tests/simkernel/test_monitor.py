@@ -1,0 +1,115 @@
+"""Unit tests for the time-weighted monitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel.monitor import TimeSeriesMonitor, UtilizationMonitor
+
+
+class TestUtilizationMonitor:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            UtilizationMonitor(sim, capacity=0)
+
+    def test_negative_level_rejected(self, sim):
+        mon = UtilizationMonitor(sim, capacity=2)
+        with pytest.raises(ValueError):
+            mon.record(-1)
+
+    def test_constant_level_integrates(self, sim):
+        mon = UtilizationMonitor(sim, capacity=4)
+        mon.record(2)
+        sim.timeout(10.0)
+        sim.run()
+        assert mon.mean_level() == pytest.approx(2.0)
+        assert mon.utilization() == pytest.approx(0.5)
+
+    def test_step_profile(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(3.0)
+            mon.record(0)
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert mon.utilization(0.0, 4.0) == pytest.approx(0.75)
+
+    def test_empty_window_is_zero(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+        assert mon.mean_level(5.0, 5.0) == 0.0
+
+    def test_window_utilization_per_epoch(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(2.0)
+            mon.record(0)
+            mon.mark()  # epoch 1 end: 100% busy
+            yield sim.timeout(2.0)
+            mon.mark()  # epoch 2 end: 0% busy
+
+        sim.spawn(proc())
+        sim.run()
+        windows = mon.window_utilization()
+        assert windows[0] == pytest.approx(1.0)
+        assert windows[1] == pytest.approx(0.0)
+
+    def test_utilization_between_marks_is_exact(self, sim):
+        mon = UtilizationMonitor(sim, capacity=2)
+
+        def proc():
+            mon.record(2)
+            yield sim.timeout(1.0)
+            mon.mark()
+            mon.record(0)
+            yield sim.timeout(1.0)
+            mon.mark()
+
+        sim.spawn(proc())
+        sim.run()
+        assert mon.utilization(0.0, 1.0) == pytest.approx(1.0)
+        assert mon.utilization(1.0, 2.0) == pytest.approx(0.0)
+
+    def test_level_property(self, sim):
+        mon = UtilizationMonitor(sim, capacity=3)
+        mon.record(2)
+        assert mon.level == 2
+
+
+class TestTimeSeriesMonitor:
+    def test_empty_stats(self, sim):
+        mon = TimeSeriesMonitor(sim)
+        assert len(mon) == 0
+        assert mon.mean == 0.0
+        assert mon.std == 0.0
+
+    def test_observe_records_time(self, sim):
+        mon = TimeSeriesMonitor(sim)
+
+        def proc():
+            yield sim.timeout(1.5)
+            mon.observe(10.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert mon.times == [1.5]
+        assert mon.values == [10.0]
+
+    def test_summary_statistics(self, sim):
+        mon = TimeSeriesMonitor(sim)
+        for v in (2.0, 4.0, 6.0, 8.0):
+            mon.observe(v)
+        assert mon.mean == pytest.approx(5.0)
+        assert mon.min == 2.0
+        assert mon.max == 8.0
+        assert mon.std == pytest.approx(2.2360679, rel=1e-6)
+
+    def test_single_sample_std_zero(self, sim):
+        mon = TimeSeriesMonitor(sim)
+        mon.observe(3.0)
+        assert mon.std == 0.0

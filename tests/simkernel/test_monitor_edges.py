@@ -1,0 +1,78 @@
+"""Edge-case tests for the utilization monitor's window arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel.monitor import UtilizationMonitor
+
+
+class TestWindowInterpolation:
+    def test_area_between_marks_is_linear(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(4.0)
+            mon.record(0)
+            mon.mark()
+            yield sim.timeout(4.0)
+            mon.mark()
+
+        p = sim.spawn(proc())
+        sim.run(p)
+        # midpoint of the busy window interpolates to half its area
+        assert mon.mean_level(0.0, 2.0) == pytest.approx(1.0)
+        assert mon.mean_level(2.0, 4.0) == pytest.approx(1.0)
+        assert mon.mean_level(4.0, 8.0) == pytest.approx(0.0)
+
+    def test_query_before_start_is_zero_area(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+        mon.record(1)
+        sim.timeout(2.0)
+        sim.run()
+        assert mon._area_at(-5.0) == 0.0
+
+    def test_window_utilization_with_no_marks(self, sim):
+        mon = UtilizationMonitor(sim, capacity=2)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(2.0)
+
+        p = sim.spawn(proc())
+        sim.run(p)
+        windows = mon.window_utilization()
+        assert len(windows) == 1
+        assert windows[0] == pytest.approx(0.5)  # level 1 of capacity 2
+
+    def test_repeated_marks_at_same_instant(self, sim):
+        mon = UtilizationMonitor(sim, capacity=1)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(1.0)
+            mon.mark()
+            mon.mark()  # zero-width window
+            yield sim.timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run(p)
+        windows = mon.window_utilization()
+        assert windows[0] == pytest.approx(1.0)
+        assert windows[1] == 0.0  # zero-width window reports 0
+
+    def test_time_weighting_vs_sample_mean(self, sim):
+        """A brief spike barely moves the time-weighted mean."""
+        mon = UtilizationMonitor(sim, capacity=10)
+
+        def proc():
+            mon.record(1)
+            yield sim.timeout(99.0)
+            mon.record(10)
+            yield sim.timeout(1.0)
+            mon.record(0)
+
+        p = sim.spawn(proc())
+        sim.run(p)
+        assert mon.mean_level(0.0, 100.0) == pytest.approx(1.09)

@@ -1,0 +1,120 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.core import Simulator
+from repro.simkernel.resources import Container, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """The clock never goes backwards, whatever the schedule."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    jobs=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=30),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(capacity, jobs):
+    """in_use <= capacity at every observable instant; all jobs complete."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    violations = []
+    completed = []
+
+    def worker(hold):
+        req = res.request()
+        yield req
+        if res.in_use > res.capacity:
+            violations.append(res.in_use)
+        yield sim.timeout(hold)
+        res.release(req)
+        completed.append(hold)
+
+    for hold in jobs:
+        sim.spawn(worker(hold))
+    sim.run()
+    assert not violations
+    assert len(completed) == len(jobs)
+    assert res.in_use == 0
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1000.0),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]), st.floats(min_value=0.0, max_value=50.0)),
+        max_size=40,
+    ),
+)
+@settings(max_examples=50)
+def test_container_level_always_in_bounds(capacity, ops):
+    """0 <= level <= capacity regardless of the operation sequence."""
+    sim = Simulator()
+    c = Container(sim, capacity=capacity)
+    for kind, amount in ops:
+        amount = min(amount, capacity)
+        if kind == "put":
+            c.put(amount)
+        else:
+            c.get(amount)
+        sim.run()
+        assert 0.0 <= c.level <= capacity + 1e-9
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=60),
+       capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=10)))
+@settings(max_examples=50)
+def test_store_preserves_fifo_order_and_count(items, capacity):
+    """Everything put comes out exactly once, in order."""
+    sim = Simulator()
+    st_ = Store(sim, capacity=capacity)
+    out = []
+
+    def producer():
+        for item in items:
+            yield st_.put(item)
+
+    def consumer():
+        for _ in items:
+            got = yield st_.get()
+            out.append(got)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert out == items
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25)
+def test_simulation_is_deterministic_per_seed(seed):
+    """Two identical programs produce identical traces."""
+    import numpy as np
+
+    def trace(s):
+        sim = Simulator()
+        rng = np.random.default_rng(s)
+        log = []
+        res = Resource(sim, capacity=2)
+
+        def worker(i, hold):
+            yield from res.using(hold)
+            log.append((round(sim.now, 9), i))
+
+        for i, hold in enumerate(rng.random(10)):
+            sim.spawn(worker(i, float(hold) + 0.01))
+        sim.run()
+        return log
+
+    assert trace(seed) == trace(seed)

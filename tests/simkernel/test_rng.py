@@ -1,0 +1,58 @@
+"""Unit tests for the named-random-stream registry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simkernel.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(seed=7).stream("io").random(8)
+        b = RngRegistry(seed=7).stream("io").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("io").random(8)
+        b = RngRegistry(seed=2).stream("io").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(seed=1)
+        a = reg.stream("a").random(8)
+        b = reg.stream("b").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_order_of_creation_irrelevant(self):
+        r1 = RngRegistry(seed=5)
+        r1.stream("x")
+        a = r1.stream("y").random(4)
+        r2 = RngRegistry(seed=5)
+        b = r2.stream("y").random(4)  # created first this time
+        assert np.array_equal(a, b)
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(seed=3)
+        f1 = base.fork(1)
+        f2 = base.fork(2)
+        a = f1.stream("s").random(4)
+        b = f2.stream("s").random(4)
+        c = base.stream("s").random(4)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(seed=3).fork(9).stream("s").random(4)
+        b = RngRegistry(seed=3).fork(9).stream("s").random(4)
+        assert np.array_equal(a, b)
+
+    def test_names_lists_created_streams(self):
+        reg = RngRegistry(seed=0)
+        reg.stream("b")
+        reg.stream("a")
+        assert reg.names() == ["a", "b"]

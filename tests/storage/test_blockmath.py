@@ -1,0 +1,89 @@
+"""Unit tests for transfer-time arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.blockmath import (
+    GIB,
+    KIB,
+    MIB,
+    jitter_factor,
+    mib_per_s,
+    split_into_chunks,
+    transfer_time,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_mib_per_s(self):
+        assert mib_per_s(1.0) == MIB
+        assert mib_per_s(520.0) == 520 * MIB
+
+
+class TestTransferTime:
+    def test_latency_plus_streaming(self):
+        t = transfer_time(MIB, mib_per_s(1.0), 0.001)
+        assert t == pytest.approx(1.001)
+
+    def test_zero_bytes_is_pure_latency(self):
+        assert transfer_time(0, mib_per_s(100), 5e-4) == pytest.approx(5e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_time(-1, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            transfer_time(1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            transfer_time(1, 1.0, -0.1)
+
+
+class TestJitter:
+    def test_disabled_without_rng(self):
+        assert jitter_factor(None, 0.5) == 1.0
+
+    def test_disabled_with_zero_sigma(self):
+        assert jitter_factor(np.random.default_rng(0), 0.0) == 1.0
+
+    def test_clipped_to_bounds(self):
+        rng = np.random.default_rng(0)
+        factors = [jitter_factor(rng, 3.0) for _ in range(200)]
+        assert all(0.25 <= f <= 4.0 for f in factors)
+
+    def test_unit_median_scale(self):
+        rng = np.random.default_rng(1)
+        factors = [jitter_factor(rng, 0.05) for _ in range(2000)]
+        assert np.median(factors) == pytest.approx(1.0, abs=0.01)
+
+
+class TestSplitIntoChunks:
+    def test_aligned_exact(self):
+        assert split_into_chunks(0, 2048, 1024) == [(0, 1024), (1024, 1024)]
+
+    def test_unaligned_start(self):
+        assert split_into_chunks(500, 1000, 1024) == [(500, 524), (1024, 476)]
+
+    def test_within_one_chunk(self):
+        assert split_into_chunks(100, 50, 1024) == [(100, 50)]
+
+    def test_zero_bytes(self):
+        assert split_into_chunks(0, 0, 1024) == []
+
+    def test_total_preserved(self):
+        pieces = split_into_chunks(333, 98765, 4096)
+        assert sum(n for _, n in pieces) == 98765
+        # pieces are contiguous
+        pos = 333
+        for off, n in pieces:
+            assert off == pos
+            pos += n
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            split_into_chunks(0, 10, 0)

@@ -1,0 +1,112 @@
+"""Unit tests for block-device models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.blockmath import MIB
+from repro.storage.device import (
+    Device,
+    DeviceProfile,
+    HDD_7200,
+    NVME_GEN3,
+    RAMDISK,
+    SATA_SSD,
+)
+from tests.conftest import drive
+
+
+class TestDeviceProfile:
+    def test_presets_are_sane(self):
+        for profile in (SATA_SSD, NVME_GEN3, HDD_7200, RAMDISK):
+            assert profile.read_bw_mib > 0
+            assert profile.write_bw_mib > 0
+            assert profile.channels >= 1
+
+    def test_relative_speeds(self):
+        assert RAMDISK.read_bw_mib > NVME_GEN3.read_bw_mib > SATA_SSD.read_bw_mib > HDD_7200.read_bw_mib
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", read_bw_mib=0, write_bw_mib=1,
+                          read_latency_us=1, write_latency_us=1)
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", read_bw_mib=1, write_bw_mib=1,
+                          read_latency_us=1, write_latency_us=1, channels=0)
+
+
+class TestDevice:
+    def test_read_time_formula(self, sim):
+        dev = Device(sim, SATA_SSD)
+        t = dev.read_time(520 * MIB)
+        assert t == pytest.approx(1.0 + SATA_SSD.read_latency_us * 1e-6, rel=1e-6)
+
+    def test_write_slower_than_read_for_ssd(self, sim):
+        dev = Device(sim, SATA_SSD)
+        assert dev.write_time(MIB) > dev.read_time(MIB)
+
+    def test_read_advances_clock(self, sim):
+        dev = Device(sim, SATA_SSD)
+
+        def job():
+            n = yield from dev.read(52 * MIB)
+            return (n, sim.now)
+
+        n, t = drive(sim, job())
+        assert n == 52 * MIB
+        assert t == pytest.approx(0.1 + SATA_SSD.read_latency_us * 1e-6, rel=1e-4)
+
+    def test_single_lane_serializes(self, sim):
+        dev = Device(sim, SATA_SSD)
+        done = []
+
+        def job(i):
+            yield from dev.read(52 * MIB)
+            done.append((round(sim.now, 4), i))
+
+        for i in range(3):
+            sim.spawn(job(i))
+        sim.run()
+        # three 0.1s reads share one lane: finish at ~0.1, 0.2, 0.3
+        times = [t for t, _ in done]
+        assert times == pytest.approx([0.1, 0.2, 0.3], rel=1e-2)
+
+    def test_queue_len_reflects_waiters(self, sim):
+        dev = Device(sim, SATA_SSD)
+        for _ in range(3):
+            sim.spawn(iter_read(dev))
+        sim.run(until=1e-9)
+        assert dev.queue_len == 2
+
+    def test_aggregate_bandwidth_matches_profile(self, sim):
+        """N concurrent streams: total time == total bytes / bandwidth."""
+        dev = Device(sim, SATA_SSD)
+
+        def job():
+            yield from dev.read(52 * MIB)
+
+        for _ in range(8):
+            sim.spawn(job())
+        sim.run()
+        expected = 8 * 52 / 520  # seconds
+        assert sim.now == pytest.approx(expected, rel=1e-2)
+
+    def test_jitter_changes_time_but_stays_bounded(self, sim, rng):
+        dev = Device(sim, SATA_SSD, rng=rng)
+        base = dev.read_time(MIB)
+        times = []
+
+        def job():
+            t0 = sim.now
+            yield from dev.read(MIB)
+            times.append(sim.now - t0)
+
+        for _ in range(50):
+            p = sim.spawn(job())
+            sim.run(p)
+        assert any(abs(t - base) > 1e-9 for t in times)
+        assert all(base * 0.2 <= t <= base * 4.5 for t in times)
+
+
+def iter_read(dev):
+    yield from dev.read(52 * MIB)

@@ -1,0 +1,61 @@
+"""Property-based tests for interference models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.interference import (
+    ARInterference,
+    BurstInterference,
+    CompositeInterference,
+    ConstantInterference,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mean_load=st.floats(min_value=0.0, max_value=0.8),
+    sigma=st.floats(min_value=0.0, max_value=0.2),
+    rho=st.floats(min_value=0.0, max_value=0.999),
+    queries=st.lists(st.floats(min_value=0.0, max_value=5000.0), min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_ar_share_always_valid(seed, mean_load, sigma, rho, queries):
+    """share_at stays in (0, 1] for any parameters and query pattern."""
+    max_load = min(0.95, max(mean_load, 0.5))
+    m = ARInterference(np.random.default_rng(seed), mean_load=mean_load,
+                       sigma=sigma, rho=rho, interval=1.0, max_load=max_load)
+    for t in sorted(queries):
+        share = m.share_at(t)
+        assert 0.0 < share <= 1.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    t=st.floats(min_value=0.0, max_value=10_000.0),
+)
+@settings(max_examples=50)
+def test_models_are_deterministic_given_seed(seed, t):
+    """Identical construction + query time => identical share."""
+    def build():
+        rng = np.random.default_rng(seed)
+        return CompositeInterference(
+            ARInterference(np.random.default_rng(seed), mean_load=0.3),
+            BurstInterference(rng, burst_share=0.4, p_burst=0.02, p_recover=0.1),
+        )
+
+    assert build().share_at(t) == build().share_at(t)
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=5)
+)
+def test_composite_product_bounds(shares):
+    m = CompositeInterference(*[ConstantInterference(s) for s in shares])
+    got = m.share_at(0.0)
+    assert got == pytest.approx(float(np.prod(shares)))
+    assert 0.0 < got <= 1.0
+

@@ -1,0 +1,269 @@
+"""Unit tests for the local file system (XFS-on-SSD stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.base import FileNotFoundInFS, NoSpaceError
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+from tests.conftest import drive
+
+MIB = 1024 * 1024
+
+
+class TestNamespace:
+    def test_starts_empty(self, local_fs):
+        assert local_fs.paths() == []
+        assert local_fs.used_bytes == 0
+
+    def test_add_file_populates(self, sim, local_fs):
+        local_fs.add_file("/data/a", 1000)
+        assert local_fs.exists("/data/a")
+        assert local_fs.file_size("/data/a") == 1000
+        assert local_fs.used_bytes == 1000
+
+    def test_add_duplicate_raises(self, local_fs):
+        local_fs.add_file("/a", 10)
+        with pytest.raises(ValueError):
+            local_fs.add_file("/a", 10)
+
+    def test_add_beyond_capacity_raises(self, local_fs):
+        with pytest.raises(NoSpaceError):
+            local_fs.add_file("/big", local_fs.capacity_bytes + 1)
+
+    def test_file_size_missing_raises(self, local_fs):
+        with pytest.raises(FileNotFoundInFS):
+            local_fs.file_size("/nope")
+
+    def test_paths_sorted(self, local_fs):
+        local_fs.add_file("/b", 1)
+        local_fs.add_file("/a", 1)
+        assert local_fs.paths() == ["/a", "/b"]
+
+
+class TestOpenReadWrite:
+    def test_open_missing_read_raises(self, sim, local_fs):
+        def job():
+            yield from local_fs.open("/missing", "r")
+
+        with pytest.raises(FileNotFoundInFS):
+            drive(sim, job())
+
+    def test_create_write_read_roundtrip(self, sim, local_fs):
+        def job():
+            h = yield from local_fs.open("/f", "w")
+            yield from local_fs.pwrite(h, 0, 4096)
+            rh = yield from local_fs.open("/f", "r")
+            n = yield from local_fs.pread(rh, 0, 10000)
+            return n
+
+        assert drive(sim, job()) == 4096
+        assert local_fs.used_bytes == 4096
+
+    def test_read_past_eof_returns_zero(self, sim, local_fs):
+        local_fs.add_file("/f", 100)
+
+        def job():
+            h = yield from local_fs.open("/f")
+            return (yield from local_fs.pread(h, 100, 50))
+
+        assert drive(sim, job()) == 0
+
+    def test_partial_read_at_eof(self, sim, local_fs):
+        local_fs.add_file("/f", 100)
+
+        def job():
+            h = yield from local_fs.open("/f")
+            return (yield from local_fs.pread(h, 80, 50))
+
+        assert drive(sim, job()) == 20
+
+    def test_write_on_readonly_handle_fails(self, sim, local_fs):
+        local_fs.add_file("/f", 10)
+
+        def job():
+            h = yield from local_fs.open("/f", "r")
+            yield from local_fs.pwrite(h, 0, 10)
+
+        with pytest.raises(PermissionError):
+            drive(sim, job())
+
+    def test_write_truncate_reclaims_space(self, sim, local_fs):
+        local_fs.add_file("/f", 1000)
+
+        def job():
+            h = yield from local_fs.open("/f", "w")
+            assert local_fs.used_bytes == 0  # truncated
+            yield from local_fs.pwrite(h, 0, 500)
+
+        drive(sim, job())
+        assert local_fs.used_bytes == 500
+
+    def test_enospc_on_overflow_write(self, sim, local_fs):
+        def job():
+            h = yield from local_fs.open("/f", "w")
+            yield from local_fs.pwrite(h, 0, local_fs.capacity_bytes + 1)
+
+        with pytest.raises(NoSpaceError):
+            drive(sim, job())
+        # nothing was accounted
+        assert local_fs.used_bytes == 0
+
+    def test_overwrite_does_not_grow(self, sim, local_fs):
+        def job():
+            h = yield from local_fs.open("/f", "w")
+            yield from local_fs.pwrite(h, 0, 1000)
+            yield from local_fs.pwrite(h, 0, 1000)  # same range again
+
+        drive(sim, job())
+        assert local_fs.used_bytes == 1000
+
+    def test_negative_offsets_rejected(self, sim, local_fs):
+        local_fs.add_file("/f", 10)
+
+        def job():
+            h = yield from local_fs.open("/f")
+            yield from local_fs.pread(h, -1, 10)
+
+        with pytest.raises(ValueError):
+            drive(sim, job())
+
+    def test_read_takes_device_time(self, sim, local_fs):
+        local_fs.add_file("/f", 52 * MIB)
+
+        def job():
+            h = yield from local_fs.open("/f")
+            yield from local_fs.pread(h, 0, 52 * MIB)
+            return sim.now
+
+        t = drive(sim, job())
+        assert t == pytest.approx(0.1, rel=1e-2)
+
+
+class TestMetadata:
+    def test_stat_returns_meta(self, sim, local_fs):
+        local_fs.add_file("/dir/f", 123)
+
+        def job():
+            meta = yield from local_fs.stat("/dir/f")
+            return meta
+
+        meta = drive(sim, job())
+        assert meta.size == 123
+        assert meta.name == "f"
+
+    def test_stat_missing_raises(self, sim, local_fs):
+        def job():
+            yield from local_fs.stat("/nope")
+
+        with pytest.raises(FileNotFoundInFS):
+            drive(sim, job())
+
+    def test_listdir_recursive_prefix(self, sim, local_fs):
+        local_fs.add_file("/d/a", 1)
+        local_fs.add_file("/d/sub/b", 1)
+        local_fs.add_file("/other/c", 1)
+
+        def job():
+            return (yield from local_fs.listdir("/d"))
+
+        assert drive(sim, job()) == ["/d/a", "/d/sub/b"]
+
+    def test_stats_counters(self, sim, local_fs):
+        local_fs.add_file("/f", 100)
+
+        def job():
+            h = yield from local_fs.open("/f")
+            yield from local_fs.pread(h, 0, 100)
+            yield from local_fs.stat("/f")
+            yield from local_fs.listdir("/")
+
+        drive(sim, job())
+        snap = local_fs.stats.snapshot()
+        assert snap.open_ops == 1
+        assert snap.read_ops == 1
+        assert snap.stat_ops == 1
+        assert snap.listdir_ops == 1
+        assert snap.bytes_read == 100
+
+
+class TestUnlinkAndTimes:
+    def test_unlink_reclaims(self, sim, local_fs):
+        local_fs.add_file("/f", 500)
+        local_fs.unlink("/f")
+        assert not local_fs.exists("/f")
+        assert local_fs.used_bytes == 0
+
+    def test_unlink_missing_raises(self, local_fs):
+        with pytest.raises(FileNotFoundInFS):
+            local_fs.unlink("/nope")
+
+    def test_last_access_updates_on_read(self, sim, local_fs):
+        local_fs.add_file("/f", 100)
+
+        def job():
+            yield sim.timeout(5.0)
+            h = yield from local_fs.open("/f")
+            yield from local_fs.pread(h, 0, 10)
+
+        drive(sim, job())
+        assert local_fs.last_access_time("/f") >= 5.0
+
+    def test_created_time(self, sim, local_fs):
+        def job():
+            yield sim.timeout(3.0)
+            yield from local_fs.open("/f", "w")
+
+        drive(sim, job())
+        assert local_fs.created_time("/f") == pytest.approx(3.0, abs=1e-3)
+
+
+class TestWithPageCache:
+    def test_second_read_hits_cache(self, sim, ssd):
+        fs = LocalFileSystem(sim, ssd, capacity_bytes=64 * MIB,
+                             page_cache=PageCache(32 * MIB))
+        fs.add_file("/f", 10 * MIB)
+
+        def job():
+            h = yield from fs.open("/f")
+            t0 = sim.now
+            yield from fs.pread(h, 0, 10 * MIB)
+            cold = sim.now - t0
+            t0 = sim.now
+            yield from fs.pread(h, 0, 10 * MIB)
+            warm = sim.now - t0
+            return cold, warm
+
+        cold, warm = drive(sim, job())
+        assert warm < cold / 10
+
+    def test_write_primes_cache(self, sim, ssd):
+        fs = LocalFileSystem(sim, ssd, capacity_bytes=64 * MIB,
+                             page_cache=PageCache(32 * MIB))
+
+        def job():
+            h = yield from fs.open("/f", "w")
+            yield from fs.pwrite(h, 0, 8 * MIB)
+            t0 = sim.now
+            rh = yield from fs.open("/f")
+            yield from fs.pread(rh, 0, 8 * MIB)
+            return sim.now - t0
+
+        warm = drive(sim, job())
+        # RAM-speed, far below the ~15ms SSD read time
+        assert warm < 0.005
+
+    def test_unlink_discards_cached(self, sim, ssd):
+        cache = PageCache(32 * MIB)
+        fs = LocalFileSystem(sim, ssd, capacity_bytes=64 * MIB, page_cache=cache)
+        fs.add_file("/f", MIB)
+
+        def job():
+            h = yield from fs.open("/f")
+            yield from fs.pread(h, 0, MIB)
+
+        drive(sim, job())
+        assert "/f" in cache
+        fs.unlink("/f")
+        assert "/f" not in cache

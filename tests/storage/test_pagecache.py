@@ -1,0 +1,88 @@
+"""Unit tests for the page-cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.pagecache import PageCache
+
+MIB = 1024 * 1024
+
+
+class TestPageCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+        with pytest.raises(ValueError):
+            PageCache(10, ram_bw_mib=0)
+
+    def test_miss_then_hit(self):
+        pc = PageCache(10 * MIB)
+        assert not pc.lookup("/f")
+        pc.insert("/f", MIB)
+        assert pc.lookup("/f")
+        assert pc.hits == 1
+        assert pc.misses == 1
+
+    def test_hit_time_scales_with_bytes(self):
+        pc = PageCache(10 * MIB, ram_bw_mib=1024)
+        assert pc.hit_time(2 * MIB) > pc.hit_time(MIB)
+        assert pc.hit_time(1024 * MIB) == pytest.approx(1.0, rel=0.01)
+
+    def test_lru_eviction_order(self):
+        pc = PageCache(3 * MIB)
+        pc.insert("/a", MIB)
+        pc.insert("/b", MIB)
+        pc.insert("/c", MIB)
+        pc.lookup("/a")  # touch /a so /b is LRU
+        pc.insert("/d", MIB)
+        assert "/b" not in pc
+        assert "/a" in pc
+        assert "/c" in pc
+        assert "/d" in pc
+
+    def test_used_bytes_accounting(self):
+        pc = PageCache(10 * MIB)
+        pc.insert("/a", 4 * MIB)
+        pc.insert("/b", 4 * MIB)
+        assert pc.used_bytes == 8 * MIB
+        pc.discard("/a")
+        assert pc.used_bytes == 4 * MIB
+
+    def test_reinsert_updates_size(self):
+        pc = PageCache(10 * MIB)
+        pc.insert("/a", 2 * MIB)
+        pc.insert("/a", 5 * MIB)
+        assert pc.used_bytes == 5 * MIB
+
+    def test_oversized_file_not_cached(self):
+        pc = PageCache(MIB)
+        pc.insert("/huge", 2 * MIB)
+        assert "/huge" not in pc
+        assert pc.used_bytes == 0
+
+    def test_oversized_insert_discards_stale_entry(self):
+        pc = PageCache(2 * MIB)
+        pc.insert("/f", MIB)
+        pc.insert("/f", 3 * MIB)  # grew past budget
+        assert "/f" not in pc
+
+    def test_discard_unknown_is_noop(self):
+        pc = PageCache(MIB)
+        pc.discard("/nope")
+
+    def test_hit_ratio(self):
+        pc = PageCache(10 * MIB)
+        pc.insert("/a", MIB)
+        pc.lookup("/a")
+        pc.lookup("/b")
+        assert pc.hit_ratio() == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert PageCache(MIB).hit_ratio() == 0.0
+
+    def test_never_exceeds_budget(self):
+        pc = PageCache(5 * MIB)
+        for i in range(50):
+            pc.insert(f"/f{i}", MIB + i)
+        assert pc.used_bytes <= 5 * MIB

@@ -1,0 +1,186 @@
+"""Unit tests for the Lustre-like parallel file system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.base import FileNotFoundInFS
+from repro.storage.interference import ConstantInterference
+from repro.storage.pfs import ParallelFileSystem, PFSConfig
+from tests.conftest import drive
+
+MIB = 1024 * 1024
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PFSConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PFSConfig(n_osts=0)
+        with pytest.raises(ValueError):
+            PFSConfig(stripe_size=0)
+        with pytest.raises(ValueError):
+            PFSConfig(random_read_penalty=0.0)
+        with pytest.raises(ValueError):
+            PFSConfig(random_read_penalty=1.5)
+
+
+class TestNamespace:
+    def test_add_and_stat(self, sim, pfs):
+        pfs.add_file("/dataset/x", 1234)
+        assert pfs.exists("/dataset/x")
+        assert pfs.file_size("/dataset/x") == 1234
+        assert pfs.used_bytes == 1234
+
+    def test_duplicate_add_raises(self, pfs):
+        pfs.add_file("/x", 1)
+        with pytest.raises(ValueError):
+            pfs.add_file("/x", 1)
+
+    def test_unbounded_capacity(self, pfs):
+        assert pfs.capacity_bytes is None
+        assert pfs.free_bytes is None
+
+    def test_listdir_costs_mds_time(self, sim, pfs):
+        for i in range(4):
+            pfs.add_file(f"/dataset/f{i}", 100)
+
+        def job():
+            entries = yield from pfs.listdir("/dataset")
+            return entries, sim.now
+
+        entries, t = drive(sim, job())
+        assert len(entries) == 4
+        assert t >= pfs.config.mds_latency_s * 0.9
+
+    def test_unlink(self, pfs):
+        pfs.add_file("/x", 100)
+        pfs.unlink("/x")
+        assert not pfs.exists("/x")
+        assert pfs.used_bytes == 0
+
+
+class TestReads:
+    def test_read_missing_file_raises(self, sim, pfs):
+        def job():
+            yield from pfs.open("/nope", "r")
+
+        with pytest.raises(FileNotFoundInFS):
+            drive(sim, job())
+
+    def test_read_returns_clamped_bytes(self, sim, pfs):
+        pfs.add_file("/f", 1000)
+
+        def job():
+            h = yield from pfs.open("/f")
+            full = yield from pfs.pread(h, 0, 500)
+            tail = yield from pfs.pread(h, 900, 500)
+            eof = yield from pfs.pread(h, 1000, 10)
+            return full, tail, eof
+
+        assert drive(sim, job()) == (500, 100, 0)
+
+    def test_sequential_faster_than_random(self, sim):
+        cfg = PFSConfig(random_read_penalty=0.5)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        pfs.add_file("/f", 64 * MIB)
+
+        def timed(sequential):
+            h = yield from pfs.open("/f")
+            t0 = sim.now
+            # sub-stripe reads so each hits one OST
+            for off in range(0, 8 * MIB, 256 * 1024):
+                yield from pfs.pread(h, off, 256 * 1024, sequential=sequential)
+            return sim.now - t0
+
+        t_rand = drive(sim, timed(False))
+        t_seq = drive(sim, timed(True))
+        assert t_seq < t_rand
+        assert t_rand / t_seq == pytest.approx(1 / cfg.random_read_penalty, rel=0.15)
+
+    def test_striped_read_parallelizes_across_osts(self, sim):
+        cfg = PFSConfig(n_osts=8, stripe_size=MIB)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        pfs.add_file("/f", 64 * MIB)
+
+        def timed(nbytes):
+            h = yield from pfs.open("/f")
+            t0 = sim.now
+            yield from pfs.pread(h, 0, nbytes, sequential=True)
+            return sim.now - t0
+
+        one_stripe = drive(sim, timed(MIB))
+        eight_stripes = drive(sim, timed(8 * MIB))
+        # eight stripes land on eight OSTs concurrently: far less than 8x
+        assert eight_stripes < 2.0 * one_stripe
+
+    def test_aggregate_bandwidth_cap(self, sim):
+        """Many concurrent sequential streams cannot exceed client bw."""
+        cfg = PFSConfig(n_osts=4, stripe_size=MIB, jitter_sigma=0.0)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        total = 256 * MIB
+        for i in range(16):
+            pfs.add_file(f"/f{i}", total // 16)
+
+        def job(i):
+            h = yield from pfs.open(f"/f{i}")
+            yield from pfs.pread(h, 0, total // 16, sequential=True)
+
+        for i in range(16):
+            sim.spawn(job(i))
+        sim.run()
+        floor = total / (cfg.client_read_bw_mib * MIB)
+        assert sim.now >= floor * 0.95
+
+    def test_interference_slows_reads(self, sim):
+        quiet = ParallelFileSystem(sim, interference=ConstantInterference(1.0), name="q")
+        busy = ParallelFileSystem(sim, interference=ConstantInterference(0.5), name="b")
+        quiet.add_file("/f", 8 * MIB)
+        busy.add_file("/f", 8 * MIB)
+
+        def timed(fs):
+            h = yield from fs.open("/f")
+            t0 = sim.now
+            yield from fs.pread(h, 0, 8 * MIB, sequential=True)
+            return sim.now - t0
+
+        t_q = drive(sim, timed(quiet))
+        t_b = drive(sim, timed(busy))
+        assert t_b == pytest.approx(2.0 * t_q, rel=0.1)
+
+    def test_stats_count_ops_and_bytes(self, sim, pfs):
+        pfs.add_file("/f", 1000)
+
+        def job():
+            h = yield from pfs.open("/f")
+            yield from pfs.pread(h, 0, 600)
+            yield from pfs.pread(h, 600, 600)
+
+        drive(sim, job())
+        snap = pfs.stats.snapshot()
+        assert snap.open_ops == 1
+        assert snap.read_ops == 2
+        assert snap.bytes_read == 1000
+
+
+class TestWrites:
+    def test_write_extends_file(self, sim, pfs):
+        def job():
+            h = yield from pfs.open("/new", "w")
+            yield from pfs.pwrite(h, 0, 5000)
+            return h.size
+
+        assert drive(sim, job()) == 5000
+        assert pfs.used_bytes == 5000
+
+    def test_write_on_readonly_handle_fails(self, sim, pfs):
+        pfs.add_file("/f", 10)
+
+        def job():
+            h = yield from pfs.open("/f", "r")
+            yield from pfs.pwrite(h, 0, 10)
+
+        with pytest.raises(PermissionError):
+            drive(sim, job())

@@ -1,0 +1,90 @@
+"""Cross-client PFS contention tests.
+
+The distributed study's premise is that N nodes share the same OST and
+MDS queues: adding readers adds pressure, not bandwidth.  These tests pin
+that behaviour of the model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.pfs import ParallelFileSystem, PFSConfig
+from tests.conftest import drive
+
+MIB = 1024 * 1024
+
+
+def stream(pfs, path, nbytes):
+    def job():
+        h = yield from pfs.open(path)
+        yield from pfs.pread(h, 0, nbytes, sequential=True)
+
+    return job()
+
+
+class TestSharedBandwidth:
+    def test_two_streams_halve_per_stream_rate(self, sim):
+        cfg = PFSConfig(n_osts=4, stripe_size=MIB, jitter_sigma=0.0)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        pfs.add_file("/a", 64 * MIB)
+        pfs.add_file("/b", 64 * MIB)
+
+        # one stream alone
+        p = sim.spawn(stream(pfs, "/a", 64 * MIB))
+        sim.run(p)
+        solo = sim.now
+
+        # two concurrent streams of the same size
+        sim2_base = sim.now
+        p1 = sim.spawn(stream(pfs, "/a", 64 * MIB))
+        p2 = sim.spawn(stream(pfs, "/b", 64 * MIB))
+        sim.run(sim.all_of([p1, p2]))
+        duo = sim.now - sim2_base
+        assert duo == pytest.approx(2 * solo, rel=0.15)
+
+    def test_mds_shared_across_clients(self, sim):
+        cfg = PFSConfig(mds_channels=2, jitter_sigma=0.0)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        for i in range(64):
+            pfs.add_file(f"/f{i}", 100)
+
+        def opener(lo, hi):
+            for i in range(lo, hi):
+                yield from pfs.open(f"/f{i}")
+
+        t0 = sim.now
+        p = sim.spawn(opener(0, 16))
+        sim.run(p)
+        solo = sim.now - t0
+
+        t0 = sim.now
+        procs = [sim.spawn(opener(16 + 16 * k, 32 + 16 * k)) for k in range(3)]
+        sim.run(sim.all_of(procs))
+        trio = sim.now - t0
+        # 3 clients, 2 MDS channels: at least 1.4x one client's time
+        assert trio > 1.4 * solo
+
+    def test_interleaved_files_land_on_different_osts(self, sim):
+        """Round-robin stripe_offset spreads files across OSTs."""
+        cfg = PFSConfig(n_osts=4, stripe_size=MIB, jitter_sigma=0.0)
+        pfs = ParallelFileSystem(sim, config=cfg)
+        for i in range(4):
+            pfs.add_file(f"/f{i}", MIB)
+
+        # reading the first stripe of 4 consecutive files uses 4 OSTs in
+        # parallel: the whole thing takes about one stripe's service time
+        def job(i):
+            h = yield from pfs.open(f"/f{i}")
+            yield from pfs.pread(h, 0, MIB, sequential=True)
+
+        t0 = sim.now
+        procs = [sim.spawn(job(i)) for i in range(4)]
+        sim.run(sim.all_of(procs))
+        parallel_time = sim.now - t0
+
+        t0 = sim.now
+        p = sim.spawn(job(0))
+        sim.run(p)
+        single = sim.now - t0
+        assert parallel_time < 1.5 * single

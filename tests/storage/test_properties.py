@@ -1,0 +1,88 @@
+"""Property-based tests for the storage substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.core import Simulator
+from repro.storage.base import NoSpaceError
+from repro.storage.blockmath import split_into_chunks
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=1 << 40),
+    nbytes=st.integers(min_value=0, max_value=1 << 24),
+    chunk=st.integers(min_value=4096, max_value=1 << 22),
+)
+@settings(max_examples=100, deadline=None)
+def test_split_into_chunks_partitions_the_range(offset, nbytes, chunk):
+    """Pieces are contiguous, non-empty, chunk-bounded, and sum to nbytes."""
+    pieces = split_into_chunks(offset, nbytes, chunk)
+    assert sum(n for _, n in pieces) == nbytes
+    pos = offset
+    for off, n in pieces:
+        assert off == pos
+        assert 0 < n <= chunk
+        # each piece stays inside one chunk
+        assert off // chunk == (off + n - 1) // chunk
+        pos += n
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["create", "write", "unlink"]),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=4 * 1024 * 1024),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_localfs_capacity_accounting_is_exact(ops):
+    """used_bytes always equals the sum of file sizes and never exceeds capacity."""
+    sim = Simulator()
+    fs = LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=8 * 1024 * 1024)
+
+    def run_ops():
+        for kind, idx, size in ops:
+            path = f"/f{idx}"
+            try:
+                if kind == "create":
+                    h = yield from fs.open(path, "w")
+                    yield from fs.pwrite(h, 0, size)
+                elif kind == "write" and fs.exists(path):
+                    h = yield from fs.open(path, "a")
+                    yield from fs.pwrite(h, fs.file_size(path), size)
+                elif kind == "unlink" and fs.exists(path):
+                    fs.unlink(path)
+            except NoSpaceError:
+                pass
+            expected = sum(fs.file_size(p) for p in fs.paths())
+            assert fs.used_bytes == expected
+            assert fs.used_bytes <= fs.capacity_bytes
+
+    p = sim.spawn(run_ops())
+    sim.run(p)
+
+
+@given(
+    budget_mib=st.integers(min_value=1, max_value=64),
+    inserts=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20),
+                  st.integers(min_value=0, max_value=8 * 1024 * 1024)),
+        max_size=60,
+    ),
+)
+@settings(max_examples=40)
+def test_pagecache_budget_invariant(budget_mib, inserts):
+    """used_bytes <= capacity after any insert sequence; entries consistent."""
+    pc = PageCache(budget_mib * 1024 * 1024)
+    for idx, size in inserts:
+        pc.insert(f"/f{idx}", size)
+        assert pc.used_bytes <= pc.capacity_bytes
+        assert pc.used_bytes >= 0

@@ -1,0 +1,75 @@
+"""Unit tests for backend I/O accounting."""
+
+from __future__ import annotations
+
+from repro.storage.stats import BackendStats, StatsSnapshot
+
+
+class TestBackendStats:
+    def test_record_read_write(self):
+        s = BackendStats(name="t")
+        s.record_read(100)
+        s.record_read(50)
+        s.record_write(200)
+        snap = s.snapshot()
+        assert snap.read_ops == 2
+        assert snap.write_ops == 1
+        assert snap.bytes_read == 150
+        assert snap.bytes_written == 200
+
+    def test_metadata_counters(self):
+        s = BackendStats()
+        s.record_open()
+        s.record_stat()
+        s.record_stat()
+        s.record_listdir()
+        snap = s.snapshot()
+        assert snap.open_ops == 1
+        assert snap.stat_ops == 2
+        assert snap.listdir_ops == 1
+        assert snap.metadata_ops == 4
+
+    def test_total_ops(self):
+        s = BackendStats()
+        s.record_read(1)
+        s.record_open()
+        assert s.snapshot().total_ops == 2
+
+    def test_snapshot_is_immutable_copy(self):
+        s = BackendStats()
+        s.record_read(10)
+        snap = s.snapshot()
+        s.record_read(10)
+        assert snap.read_ops == 1
+        assert s.snapshot().read_ops == 2
+
+    def test_delta(self):
+        a = StatsSnapshot(read_ops=5, bytes_read=500, open_ops=2)
+        b = StatsSnapshot(read_ops=8, bytes_read=900, open_ops=3)
+        d = b.delta(a)
+        assert d.read_ops == 3
+        assert d.bytes_read == 400
+        assert d.open_ops == 1
+
+    def test_mark_epoch_returns_delta(self):
+        s = BackendStats()
+        s.record_read(100)
+        d1 = s.mark_epoch()
+        assert d1.read_ops == 1
+        s.record_read(100)
+        s.record_read(100)
+        d2 = s.mark_epoch()
+        assert d2.read_ops == 2
+
+    def test_epoch_deltas(self):
+        s = BackendStats()
+        s.record_read(10)
+        s.mark_epoch()
+        s.record_write(20)
+        s.mark_epoch()
+        deltas = s.epoch_deltas()
+        assert len(deltas) == 2
+        assert deltas[0].read_ops == 1
+        assert deltas[0].write_ops == 0
+        assert deltas[1].write_ops == 1
+        assert deltas[1].read_ops == 0

@@ -1,0 +1,99 @@
+"""Unit tests for the mount table / POSIX-ish routing layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.base import StorageError
+from repro.storage.vfs import MountTable
+from tests.conftest import drive
+
+
+class TestMounting:
+    def test_mount_and_resolve(self, mounts, pfs, local_fs):
+        fs, rel = mounts.resolve("/mnt/pfs/dataset/a")
+        assert fs is pfs
+        assert rel == "/dataset/a"
+        fs, rel = mounts.resolve("/mnt/ssd/x")
+        assert fs is local_fs
+        assert rel == "/x"
+
+    def test_longest_prefix_wins(self, sim, pfs, local_fs):
+        mt = MountTable()
+        mt.mount("/mnt", pfs)
+        mt.mount("/mnt/ssd", local_fs)
+        fs, rel = mt.resolve("/mnt/ssd/f")
+        assert fs is local_fs
+        assert rel == "/f"
+        fs, rel = mt.resolve("/mnt/other")
+        assert fs is pfs
+
+    def test_duplicate_mount_raises(self, mounts, pfs):
+        with pytest.raises(StorageError):
+            mounts.mount("/mnt/pfs", pfs)
+
+    def test_unmount(self, mounts):
+        mounts.unmount("/mnt/ssd")
+        with pytest.raises(StorageError):
+            mounts.resolve("/mnt/ssd/x")
+
+    def test_unmount_missing_raises(self, mounts):
+        with pytest.raises(StorageError):
+            mounts.unmount("/not/mounted")
+
+    def test_unresolvable_path_raises(self, mounts):
+        with pytest.raises(StorageError):
+            mounts.resolve("/elsewhere/f")
+
+    def test_mounts_snapshot(self, mounts, pfs, local_fs):
+        snap = mounts.mounts()
+        assert snap["/mnt/pfs"] is pfs
+        assert snap["/mnt/ssd"] is local_fs
+
+
+class TestForwarding:
+    def test_open_read_through_mount(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 1000)
+
+        def job():
+            h = yield from mounts.open("/mnt/pfs/dataset/a")
+            return (yield from mounts.pread(h, 0, 400))
+
+        assert drive(sim, job()) == 400
+
+    def test_write_through_mount(self, sim, mounts, local_fs):
+        def job():
+            h = yield from mounts.open("/mnt/ssd/f", "w")
+            yield from mounts.pwrite(h, 0, 2048)
+
+        drive(sim, job())
+        assert local_fs.file_size("/f") == 2048
+
+    def test_stat_through_mount(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 777)
+
+        def job():
+            return (yield from mounts.stat("/mnt/pfs/dataset/a"))
+
+        assert drive(sim, job()).size == 777
+
+    def test_listdir_reprefixes_results(self, sim, mounts, pfs):
+        pfs.add_file("/dataset/a", 1)
+        pfs.add_file("/dataset/b", 1)
+
+        def job():
+            return (yield from mounts.listdir("/mnt/pfs/dataset"))
+
+        assert drive(sim, job()) == ["/mnt/pfs/dataset/a", "/mnt/pfs/dataset/b"]
+
+    def test_exists_and_file_size(self, mounts, pfs):
+        pfs.add_file("/dataset/a", 9)
+        assert mounts.exists("/mnt/pfs/dataset/a")
+        assert not mounts.exists("/mnt/pfs/dataset/b")
+        assert not mounts.exists("/unmounted/x")
+        assert mounts.file_size("/mnt/pfs/dataset/a") == 9
+
+    def test_unlink_through_mount(self, mounts, local_fs):
+        local_fs.add_file("/f", 10)
+        mounts.unlink("/mnt/ssd/f")
+        assert not local_fs.exists("/f")

@@ -1,0 +1,65 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry, _quantile
+
+
+class TestCountersAndGauges:
+    def test_incr(self):
+        m = MetricsRegistry()
+        m.incr("reads")
+        m.incr("reads", by=4)
+        assert m.counters["reads"] == 5
+
+    def test_gauge_overwrites(self):
+        m = MetricsRegistry()
+        m.gauge("load", 0.5)
+        m.gauge("load", 0.7)
+        assert m.gauges["load"] == 0.7
+
+
+class TestHistograms:
+    def test_observe_and_summary(self):
+        m = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            m.observe("lat", v)
+        s = m.summary("lat")
+        assert s.count == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.min == 1.0
+        assert s.max == 5.0
+        assert s.p50 == pytest.approx(3.0)
+
+    def test_empty_summary_raises(self):
+        m = MetricsRegistry()
+        with pytest.raises(KeyError):
+            m.summary("nope")
+        m.histograms["empty"] = []
+        with pytest.raises(KeyError):
+            m.summary("empty")
+
+    def test_p95_interpolates(self):
+        m = MetricsRegistry()
+        for v in range(101):
+            m.observe("x", float(v))
+        assert m.summary("x").p95 == pytest.approx(95.0)
+
+
+class TestQuantile:
+    def test_single_value(self):
+        assert _quantile([7.0], 0.5) == 7.0
+
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0]
+        assert _quantile(data, 0.0) == 1.0
+        assert _quantile(data, 1.0) == 3.0
+
+    def test_midpoint_interpolation(self):
+        assert _quantile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            _quantile([1.0], 1.5)

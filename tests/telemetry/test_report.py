@@ -1,0 +1,40 @@
+"""Unit tests for table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("longer")
+        # columns align: 'value' header position matches cell position
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in text
+        assert "3.1415" not in text
+
+    def test_bool_not_treated_as_number(self):
+        text = format_table(["flag"], [[True]])
+        assert "True" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,123 @@
+"""Unit tests for I/O tracing and variability analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.stats import BackendStats
+from repro.telemetry.tracing import (
+    IOTrace,
+    TraceEvent,
+    throughput_series,
+    variability,
+)
+from tests.conftest import drive
+
+
+class TestIOTrace:
+    def test_attach_records_events(self, sim):
+        trace = IOTrace(sim)
+        stats = BackendStats(name="dev")
+        trace.attach(stats)
+
+        def job():
+            yield sim.timeout(1.0)
+            stats.record_read(100)
+            yield sim.timeout(1.0)
+            stats.record_write(200)
+
+        drive(sim, job())
+        assert len(trace) == 2
+        assert trace.events[0] == TraceEvent(1.0, "dev", "read", 100)
+        assert trace.events[1] == TraceEvent(2.0, "dev", "write", 200)
+
+    def test_original_counters_still_update(self, sim):
+        trace = IOTrace(sim)
+        stats = BackendStats(name="dev")
+        trace.attach(stats)
+        stats.record_read(64)
+        assert stats.read_ops == 1
+        assert stats.bytes_read == 64
+
+    def test_double_attach_rejected(self, sim):
+        trace = IOTrace(sim)
+        stats = BackendStats(name="dev")
+        trace.attach(stats)
+        with pytest.raises(ValueError, match="already traced"):
+            trace.attach(stats)
+
+    def test_filtered(self, sim):
+        trace = IOTrace(sim)
+        a, b = BackendStats(name="a"), BackendStats(name="b")
+        trace.attach(a)
+        trace.attach(b)
+        a.record_read(1)
+        a.record_write(2)
+        b.record_read(3)
+        assert len(trace.filtered(backend="a")) == 2
+        assert len(trace.filtered(kind="read")) == 2
+        assert len(trace.filtered(backend="a", kind="write")) == 1
+
+    def test_live_backend_integration(self, sim, pfs):
+        """Tracing a real PFS picks up its pread traffic."""
+        trace = IOTrace(sim)
+        trace.attach(pfs.stats)
+        pfs.add_file("/f", 10_000)
+
+        def job():
+            h = yield from pfs.open("/f")
+            yield from pfs.pread(h, 0, 4_000)
+            yield from pfs.pread(h, 4_000, 4_000)
+
+        drive(sim, job())
+        reads = trace.filtered(kind="read")
+        assert len(reads) == 2
+        assert sum(e.nbytes for e in reads) == 8_000
+
+
+class TestThroughputSeries:
+    def make_events(self):
+        return [
+            TraceEvent(0.5, "pfs", "read", 1000),
+            TraceEvent(1.5, "pfs", "read", 3000),
+            TraceEvent(2.5, "pfs", "read", 2000),
+        ]
+
+    def test_binning(self):
+        t, bps = throughput_series(self.make_events(), 0.0, 3.0, bins=3)
+        assert len(t) == 3
+        assert bps.tolist() == [1000.0, 3000.0, 2000.0]
+
+    def test_events_outside_window_excluded(self):
+        events = [*self.make_events(), TraceEvent(10.0, "pfs", "read", 1 << 30)]
+        _, bps = throughput_series(events, 0.0, 3.0, bins=3)
+        assert bps.sum() * 1.0 == pytest.approx(6000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_series([], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            throughput_series([], 0.0, 1.0, bins=0)
+
+
+class TestVariability:
+    def test_constant_series_has_zero_cv(self):
+        v = variability(np.array([100.0, 100.0, 100.0]))
+        assert v.cv == 0.0
+        assert v.mean_bps == 100.0
+
+    def test_idle_edges_trimmed(self):
+        v = variability(np.array([0.0, 0.0, 10.0, 20.0, 0.0]))
+        assert v.mean_bps == pytest.approx(15.0)
+        assert v.min_bps == 10.0
+
+    def test_empty_series(self):
+        v = variability(np.zeros(5))
+        assert v.mean_bps == 0.0
+        assert v.cv == 0.0
+
+    def test_cv_orders_noisiness(self):
+        smooth = variability(np.array([90.0, 100.0, 110.0]))
+        noisy = variability(np.array([10.0, 100.0, 190.0]))
+        assert noisy.cv > smooth.cv

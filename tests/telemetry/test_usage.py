@@ -1,0 +1,56 @@
+"""Unit tests for resource-usage summarization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.pipeline import PipelineConfig
+from repro.framework.training import EpochResult, TrainResult
+from repro.storage.blockmath import GIB
+from repro.telemetry.usage import memory_estimate_bytes, summarize_usage
+
+
+def epoch(idx, wall, cpu, gpu):
+    return EpochResult(index=idx, wall_time_s=wall, steps=10, records=100,
+                       cpu_utilization=cpu, gpu_utilization=gpu)
+
+
+class TestMemoryEstimate:
+    def test_near_paper_10gib(self):
+        cfg = PipelineConfig(shuffle_buffer_records=4096, prefetch_batches=8,
+                             batch_size=128)
+        mem = memory_estimate_bytes(cfg, mean_sample_bytes=119_000)
+        assert 9.5 * GIB < mem < 11 * GIB
+
+    def test_flat_across_dataset_sizes(self):
+        cfg = PipelineConfig()
+        a = memory_estimate_bytes(cfg, 119_000)
+        b = memory_estimate_bytes(cfg, 70_000)
+        # paper: "memory consumption is identical for all setups" ~10 GiB
+        assert abs(a - b) / a < 0.05
+
+    def test_grows_with_buffers(self):
+        small = PipelineConfig(shuffle_buffer_records=128)
+        big = PipelineConfig(shuffle_buffer_records=65536)
+        assert memory_estimate_bytes(big, 119_000) > memory_estimate_bytes(small, 119_000)
+
+
+class TestSummarizeUsage:
+    def test_time_weighted_average(self):
+        result = TrainResult(epochs=[
+            epoch(0, wall=10.0, cpu=0.2, gpu=0.4),
+            epoch(1, wall=30.0, cpu=0.6, gpu=0.8),
+        ])
+        usage = summarize_usage(result, PipelineConfig(), 119_000)
+        assert usage.cpu_percent == pytest.approx(100 * (0.2 * 10 + 0.6 * 30) / 40)
+        assert usage.gpu_percent == pytest.approx(100 * (0.4 * 10 + 0.8 * 30) / 40)
+        assert usage.memory_gib > 9.0
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_usage(TrainResult(), PipelineConfig(), 119_000)
+
+    def test_zero_duration_rejected(self):
+        result = TrainResult(epochs=[epoch(0, wall=0.0, cpu=0.1, gpu=0.1)])
+        with pytest.raises(ValueError):
+            summarize_usage(result, PipelineConfig(), 119_000)

@@ -1,0 +1,59 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+SCALE = "1/4096"
+
+
+class TestCli:
+    def test_run_vanilla(self, capsys):
+        rc = cli.main(["run", "vanilla-lustre", "--scale", SCALE,
+                       "--epochs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vanilla-lustre / lenet / 100g" in out
+        assert "total" in out
+
+    def test_run_monarch_reports_init(self, capsys):
+        rc = cli.main(["run", "monarch", "--scale", SCALE, "--epochs", "1"])
+        assert rc == 0
+        assert "init" in capsys.readouterr().out
+
+    def test_dist(self, capsys):
+        rc = cli.main(["dist", "monarch", "--nodes", "2", "--scale", SCALE,
+                       "--epochs", "1"])
+        assert rc == 0
+        assert "N=2" in capsys.readouterr().out
+
+    def test_torch(self, capsys):
+        rc = cli.main(["torch", "vanilla-lustre", "--scale", SCALE,
+                       "--epochs", "1"])
+        assert rc == 0
+        assert "torch-style" in capsys.readouterr().out
+
+    def test_figures_delegation(self, capsys):
+        rc = cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1"])
+        assert rc == 0
+        assert "TAB-META" in capsys.readouterr().out
+
+    def test_200g_defaults_to_busy_regime(self, capsys):
+        rc = cli.main(["run", "vanilla-lustre", "--dataset", "200g",
+                       "--scale", SCALE, "--epochs", "1"])
+        assert rc == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_rejects_bad_setup(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "nonsense"])
+
+    def test_scale_accepts_fractions(self, capsys):
+        rc = cli.main(["run", "vanilla-local", "--scale", "1/4096",
+                       "--epochs", "1"])
+        assert rc == 0

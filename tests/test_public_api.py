@@ -1,0 +1,38 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module", [
+        "repro.simkernel", "repro.storage", "repro.data", "repro.framework",
+        "repro.core", "repro.telemetry", "repro.experiments",
+    ])
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+    def test_docstring_quickstart_runs(self):
+        """The README / package docstring quickstart must actually work."""
+        from repro.data import IMAGENET_100G
+        from repro.experiments import run_once
+
+        record = run_once("monarch", "lenet", IMAGENET_100G, scale=1 / 4096, seed=0)
+        assert len(record.epoch_times_s) == 3
+        assert all(t > 0 for t in record.epoch_times_s)

@@ -1,0 +1,122 @@
+"""Unit tests for the PyTorch-style DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework.io_layer import PosixReader
+from repro.torchlike.dataset import FileSampleDataset, materialize_loose_files
+from repro.torchlike.loader import DataLoader, DataLoaderConfig
+
+
+@pytest.fixture
+def loose_dataset(sim, pfs, tiny_spec):
+    ds = FileSampleDataset.from_spec(tiny_spec, "/dataset/images")
+    materialize_loose_files(ds, pfs)
+    return ds
+
+
+def run_epoch(sim, loader):
+    def consumer():
+        batches = []
+        while True:
+            b = yield from loader.next_batch()
+            if b is None:
+                return batches
+            batches.append(b)
+
+    loader.start()
+    return sim.run(sim.spawn(consumer()))
+
+
+def make_loader(sim, loose_dataset, mounts, node, fast_model, **cfg):
+    defaults = dict(num_workers=4, batch_size=16, prefetch_batches=2,
+                    reference_batch=16)
+    defaults.update(cfg)
+    return DataLoader(
+        sim=sim,
+        config=DataLoaderConfig(**defaults),
+        dataset=loose_dataset,
+        reader=PosixReader(mounts),
+        node=node,
+        model=fast_model,
+        shuffle_rng=np.random.default_rng(5),
+        path_prefix="/mnt/pfs",
+    )
+
+
+class TestDataLoaderConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            DataLoaderConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DataLoaderConfig(prefetch_batches=0)
+
+    def test_host_scale(self):
+        assert DataLoaderConfig(batch_size=32, reference_batch=128).host_scale == 0.25
+
+
+class TestDataLoader:
+    def test_delivers_every_sample_once(self, sim, loose_dataset, mounts, node, fast_model):
+        loader = make_loader(sim, loose_dataset, mounts, node, fast_model)
+        batches = run_epoch(sim, loader)
+        samples = [s for b in batches for s in b]
+        assert sorted(s.index for s in samples) == list(range(96))
+
+    def test_batch_sizes_and_remainder(self, sim, loose_dataset, mounts, node, fast_model):
+        loader = make_loader(sim, loose_dataset, mounts, node, fast_model, batch_size=36)
+        batches = run_epoch(sim, loader)
+        assert [len(b) for b in batches] == [36, 36, 24]
+        assert loader.total_batches == 3
+
+    def test_one_open_and_read_per_sample(self, sim, loose_dataset, mounts, node,
+                                          fast_model, pfs):
+        loader = make_loader(sim, loose_dataset, mounts, node, fast_model)
+        run_epoch(sim, loader)
+        assert pfs.stats.open_ops == 96
+        assert pfs.stats.read_ops == 96
+        assert pfs.stats.bytes_read == loose_dataset.total_bytes
+
+    def test_cpu_charged_per_sample(self, sim, loose_dataset, mounts, node, fast_model):
+        loader = make_loader(sim, loose_dataset, mounts, node, fast_model)
+        run_epoch(sim, loader)
+        busy = node.cpu.monitor.mean_level(0.0, sim.now) * sim.now
+        expected = sum(fast_model.preprocess_time(s.size) for s in loose_dataset.samples)
+        assert busy == pytest.approx(expected, rel=0.05)
+
+    def test_shuffle_order_changes_with_rng(self, sim, loose_dataset, mounts, node,
+                                            fast_model):
+        rng = np.random.default_rng(0)
+        cfg = DataLoaderConfig(num_workers=2, batch_size=16, reference_batch=16)
+        l1 = DataLoader(sim, cfg, loose_dataset, PosixReader(mounts), node,
+                        fast_model, rng, path_prefix="/mnt/pfs")
+        l2 = DataLoader(sim, cfg, loose_dataset, PosixReader(mounts), node,
+                        fast_model, rng, path_prefix="/mnt/pfs")
+        assert l1._indices != l2._indices
+
+    def test_empty_dataset_rejected(self, sim, mounts, node, fast_model, tiny_spec):
+        empty = FileSampleDataset(spec=tiny_spec, directory="/x", samples=[])
+        with pytest.raises(ValueError):
+            DataLoader(sim, DataLoaderConfig(), empty, PosixReader(mounts), node,
+                       fast_model, np.random.default_rng(0))
+
+    def test_worker_failure_propagates(self, sim, loose_dataset, node, fast_model):
+        class Broken:
+            def open(self, path):
+                raise RuntimeError("loader worker died")
+                yield  # pragma: no cover
+
+            def pread(self, f, o, n):
+                yield  # pragma: no cover
+
+            def close(self, f):
+                pass
+
+        loader = DataLoader(sim, DataLoaderConfig(num_workers=2, batch_size=16),
+                            loose_dataset, Broken(), node, fast_model,
+                            np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="loader worker died"):
+            run_epoch(sim, loader)

@@ -1,0 +1,98 @@
+"""Unit and integration tests for the PyTorch-style trainer + scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.torch_scenarios import build_torch_run, run_torch_once
+from repro.framework.io_layer import PosixReader
+from repro.torchlike.dataset import FileSampleDataset, materialize_loose_files
+from repro.torchlike.loader import DataLoaderConfig
+from repro.torchlike.trainer import TorchTrainer
+
+SCALE = 1 / 4096
+
+
+class TestTorchTrainer:
+    @pytest.fixture
+    def trainer(self, sim, pfs, mounts, node, fast_model, tiny_spec):
+        ds = FileSampleDataset.from_spec(tiny_spec, "/dataset/images")
+        materialize_loose_files(ds, pfs)
+        return TorchTrainer(
+            sim=sim, node=node, model=fast_model,
+            config=DataLoaderConfig(num_workers=4, batch_size=16, reference_batch=16),
+            dataset=ds, reader=PosixReader(mounts),
+            shuffle_rng=np.random.default_rng(2),
+            backends={"pfs": pfs.stats}, epochs=2, path_prefix="/mnt/pfs",
+        )
+
+    def test_epochs_and_records(self, sim, trainer):
+        result = sim.run(sim.spawn(trainer.run()))
+        assert len(result.epochs) == 2
+        assert all(e.records == 96 for e in result.epochs)
+        assert all(e.steps == 6 for e in result.epochs)
+
+    def test_pfs_ops_per_epoch(self, sim, trainer):
+        result = sim.run(sim.spawn(trainer.run()))
+        for e in result.epochs:
+            # one open + one read per sample per epoch
+            assert e.backend_ops["pfs"].open_ops == 96
+            assert e.backend_ops["pfs"].read_ops == 96
+
+    def test_epochs_validation(self, sim, pfs, mounts, node, fast_model, tiny_spec):
+        ds = FileSampleDataset.from_spec(tiny_spec)
+        with pytest.raises(ValueError):
+            TorchTrainer(sim=sim, node=node, model=fast_model,
+                         config=DataLoaderConfig(), dataset=ds,
+                         reader=PosixReader(mounts),
+                         shuffle_rng=np.random.default_rng(0), epochs=0)
+
+
+class TestTorchScenarios:
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(ValueError):
+            build_torch_run("vanilla-local", "lenet", IMAGENET_100G,
+                            DEFAULT_CALIBRATION, SCALE)
+
+    def test_vanilla_run_completes(self):
+        rec = run_torch_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                             scale=SCALE, seed=1, epochs=2)
+        assert len(rec.epoch_times_s) == 2
+        assert rec.setup == "torch-vanilla-lustre"
+        # one PFS open per sample per epoch (unscaled ~= 900k + reads)
+        assert rec.pfs_ops_per_epoch[0] > 1e6
+
+    def test_monarch_absorbs_steady_state_opens(self):
+        rec = run_torch_once("monarch", "lenet", IMAGENET_100G,
+                             scale=SCALE, seed=1, epochs=3)
+        # epoch 1 still touches the PFS; epochs 2-3 are fully local
+        assert rec.pfs_ops_per_epoch[0] > 0
+        assert rec.pfs_ops_per_epoch[1] == 0
+        assert rec.pfs_ops_per_epoch[2] == 0
+
+    def test_monarch_init_scales_with_file_count(self):
+        """Per-sample namespaces make init enormous — the §VI finding."""
+        rec = run_torch_once("monarch", "lenet", IMAGENET_100G,
+                             scale=SCALE, seed=1, epochs=1)
+        # ~900k files at ~16 ms/stat, unscaled: hours, not seconds
+        assert rec.init_time_s > 1000
+
+    def test_monarch_steady_epochs_faster_than_vanilla(self):
+        vanilla = run_torch_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                                 scale=SCALE, seed=1, epochs=2)
+        monarch = run_torch_once("monarch", "lenet", IMAGENET_100G,
+                                 scale=SCALE, seed=1, epochs=2)
+        assert monarch.epoch_times_s[1] < 0.5 * vanilla.epoch_times_s[1]
+
+    def test_loose_files_slower_than_record_shards(self):
+        """§I's motivation: record formats cut metadata ops and win."""
+        from repro.experiments.runner import run_once
+
+        loose = run_torch_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                               scale=SCALE, seed=1, epochs=1)
+        shards = run_once("vanilla-lustre", "lenet", IMAGENET_100G,
+                          scale=SCALE, seed=1, epochs=1)
+        assert loose.epoch_times_s[0] > 2 * shards.epoch_times_s[0]
