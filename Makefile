@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-kernel
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Simulator-throughput gate: fails if events/sec regresses more than 20%
+# below the committed BENCH_kernel.json baseline.  After an intentional
+# kernel change, refresh with: REPRO_BENCH_UPDATE=1 make bench-kernel
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/test_kernel_speed.py -q -s

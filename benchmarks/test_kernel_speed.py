@@ -1,0 +1,99 @@
+"""KERNEL — simulator throughput: events/sec and FIG3-grid wall time.
+
+Every other benchmark asserts *simulated* outcomes; this one measures the
+simulator itself, so larger experiment grids stay tractable.  It counts
+kernel events (heap pushes) for a representative contended cell, times it
+(best of three, single-core boxes are noisy), times one full FIG3 grid
+pass, and writes the measurements to ``BENCH_kernel.json`` at the repo
+root.  If a committed baseline exists, events/sec must stay within 20 %
+of it — the regression gate behind ``make bench-kernel``.
+
+Set ``REPRO_BENCH_UPDATE=1`` to refresh the committed baseline after an
+intentional kernel change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import repro.simkernel.core as _core
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.figures import fig3
+from repro.experiments.runner import run_once
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+#: tolerated slowdown vs the committed baseline before the gate trips
+REGRESSION_FACTOR = 0.8
+
+
+def _count_events(fn):
+    """Run ``fn`` while counting kernel heap pushes; returns (result, n)."""
+    real = _core.heapq.heappush
+    n = 0
+
+    def counting(heap, item):
+        nonlocal n
+        n += 1
+        real(heap, item)
+
+    _core.heapq.heappush = counting
+    try:
+        out = fn()
+    finally:
+        _core.heapq.heappush = real
+    return out, n
+
+
+def _probe_cell(scale: float):
+    return run_once(
+        "vanilla-lustre", "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=scale, seed=0,
+    )
+
+
+def test_kernel_speed(bench_scale):
+    # Events for the probe cell are deterministic; wall time is not, so
+    # take the fastest of three timed repetitions.
+    _, events = _count_events(lambda: _probe_cell(bench_scale))
+    walls = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _probe_cell(bench_scale)
+        walls.append(time.perf_counter() - t0)
+    cell_wall = min(walls)
+    events_per_sec = events / cell_wall
+
+    t0 = time.perf_counter()
+    fig3(scale=bench_scale, runs=1)
+    fig3_wall = time.perf_counter() - t0
+
+    measured = {
+        "probe": "vanilla-lustre/resnet50",
+        "scale": bench_scale,
+        "probe_events": events,
+        "probe_wall_s": round(cell_wall, 4),
+        "events_per_sec": round(events_per_sec),
+        "fig3_wall_s": round(fig3_wall, 2),
+    }
+    print(f"\nKERNEL: {events} events in {cell_wall:.2f}s -> "
+          f"{events_per_sec:,.0f} events/s; fig3 grid {fig3_wall:.2f}s")
+
+    baseline = None
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        BASELINE.write_text(json.dumps(measured, indent=2) + "\n")
+        return
+    if baseline.get("scale") != bench_scale:
+        # Baseline recorded at a different scale: report, don't gate.
+        print(f"KERNEL: baseline at scale {baseline.get('scale')}, no gate applied")
+        return
+    floor = REGRESSION_FACTOR * baseline["events_per_sec"]
+    assert events_per_sec >= floor, (
+        f"kernel throughput regressed: {events_per_sec:,.0f} events/s < "
+        f"{floor:,.0f} (80% of committed {baseline['events_per_sec']:,})"
+    )

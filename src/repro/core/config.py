@@ -7,6 +7,7 @@ evaluation uses 6), and the copy chunking used for background fetches.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.storage.blockmath import MIB
@@ -49,6 +50,16 @@ class MonarchConfig:
     full_fetch_on_partial_read: bool = True
     #: eviction policy name: "none" (paper default), "lru", "fifo", "random"
     eviction: str = "none"
+    #: use the analytic bulk-transfer fast path for background copies.
+    #: Purely an execution strategy: simulated results are identical with
+    #: it off (the ``REPRO_DISABLE_BULK_IO=1`` escape hatch forces that).
+    bulk_io: bool = True
+
+    def bulk_io_enabled(self) -> bool:
+        """Effective bulk-I/O setting, honouring ``REPRO_DISABLE_BULK_IO``."""
+        if os.environ.get("REPRO_DISABLE_BULK_IO", "").strip().lower() in ("1", "true", "yes"):
+            return False
+        return self.bulk_io
 
     def __post_init__(self) -> None:
         if len(self.tiers) < 2:

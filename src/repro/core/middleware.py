@@ -20,6 +20,7 @@ descriptor).
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Generator
 from dataclasses import dataclass, field
 from typing import Any
@@ -40,13 +41,13 @@ __all__ = ["Monarch", "MonarchReader", "MonarchStats"]
 class MonarchStats:
     """Where reads were served from, per tier level."""
 
-    reads_per_level: dict[int, int] = field(default_factory=dict)
-    bytes_per_level: dict[int, int] = field(default_factory=dict)
+    reads_per_level: Counter[int] = field(default_factory=Counter)
+    bytes_per_level: Counter[int] = field(default_factory=Counter)
 
     def record(self, level: int, nbytes: int) -> None:
-        """Account one read served from ``level``."""
-        self.reads_per_level[level] = self.reads_per_level.get(level, 0) + 1
-        self.bytes_per_level[level] = self.bytes_per_level.get(level, 0) + nbytes
+        """Account one read served from ``level`` (hot path: one op each)."""
+        self.reads_per_level[level] += 1
+        self.bytes_per_level[level] += nbytes
 
     @property
     def total_reads(self) -> int:
@@ -84,6 +85,8 @@ class Monarch:
             copy_chunk=config.copy_chunk,
             full_fetch_on_partial_read=config.full_fetch_on_partial_read,
             eviction=make_eviction_policy(config.eviction, rng),
+            rng=rng,
+            bulk_io=config.bulk_io_enabled(),
         )
         self.stats = MonarchStats()
         self._initialized = False
@@ -144,15 +147,21 @@ class Monarch:
         if not self._initialized:
             raise RuntimeError("Monarch.read before initialize()")
         info = self.metadata.lookup(name)
+        # Handle resolution + pread are inlined (rather than calling
+        # driver.read) to keep one generator frame off every resume on the
+        # framework's hottest path.
         if info.state is FileState.CACHED:
             driver = self.hierarchy[info.level]
-            n = yield from driver.read(name, offset, nbytes)
+            handle = yield from driver._handle_for(name)
+            n = yield from driver.fs.pread(handle, offset, nbytes)
             self.stats.record(info.level, n)
             return n
         # Still (or permanently) on the PFS: serve from the last tier and
         # let the placement handler decide on a background copy.
         pfs_level = self.hierarchy.pfs_level
-        n = yield from self.hierarchy.pfs.read(name, offset, nbytes)
+        pfs = self.hierarchy.pfs
+        handle = yield from pfs._handle_for(name)
+        n = yield from pfs.fs.pread(handle, offset, nbytes)
         self.stats.record(pfs_level, n)
         covered_full = offset == 0 and n >= info.size
         self.placement.on_read(info, offset, nbytes, covered_full)

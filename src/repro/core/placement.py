@@ -34,9 +34,13 @@ import numpy as np
 
 from repro.core.hierarchy import StorageHierarchy
 from repro.core.metadata import FileInfo, FileState, MetadataContainer
+from repro.simkernel.bulk import hold_series
 from repro.simkernel.core import Process, Simulator
 from repro.simkernel.resources import Store
+from repro.storage.base import NoSpaceError
+from repro.storage.blockmath import jitter_from_normal
 from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
 
 __all__ = [
     "EvictionPolicy",
@@ -60,6 +64,8 @@ class _CopyTask:
     have_content: bool = False
     #: write-through mode only: bytes of the triggering read to mirror
     increment: int | None = None
+    #: private jitter substream, spawned at enqueue (see _enqueue)
+    rng: np.random.Generator | None = None
 
 
 @dataclass
@@ -126,11 +132,18 @@ class LruEviction(EvictionPolicy):
     def select_victims(
         self, handler: "PlacementHandler", level: int, need_bytes: int
     ) -> list[FileInfo]:
-        def access_time(info: FileInfo) -> float:
-            fs = handler.hierarchy[level].fs
-            if isinstance(fs, LocalFileSystem):
-                return fs.last_access_time(handler.hierarchy[level].local_path(info.name))
-            return 0.0
+        # Resolve the tier and its type once, not per sort-key call.
+        tier = handler.hierarchy[level]
+        fs = tier.fs
+        if isinstance(fs, LocalFileSystem):
+            local_path = tier.local_path
+            last_access = fs.last_access_time
+
+            def access_time(info: FileInfo) -> float:
+                return last_access(local_path(info.name))
+        else:
+            def access_time(info: FileInfo) -> float:
+                return 0.0
 
         ordered = sorted(handler.cached_on_level(level), key=access_time)
         return self._collect(handler, level, need_bytes, ordered)
@@ -193,6 +206,8 @@ class PlacementHandler:
         copy_chunk: int = 1 << 20,
         full_fetch_on_partial_read: bool = True,
         eviction: EvictionPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        bulk_io: bool = True,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -202,6 +217,8 @@ class PlacementHandler:
         self.copy_chunk = copy_chunk
         self.full_fetch = full_fetch_on_partial_read
         self.eviction = eviction or NoEviction()
+        self.bulk_io = bulk_io
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = PlacementStats()
         self._queue = Store(sim, capacity=None, name="placement-queue")
         self._reserved: dict[int, int] = {lvl: 0 for lvl, _ in hierarchy.upper_levels()}
@@ -327,6 +344,10 @@ class PlacementHandler:
 
     # -- pool workers -----------------------------------------------------------
     def _enqueue(self, task: _CopyTask) -> None:
+        # Every task gets a private jitter substream, *spawned* (never
+        # drawn) off the handler stream: spawn order — hence every copy's
+        # jitter — is identical whether or not bulk I/O is enabled.
+        task.rng = self._rng.spawn(1)[0]
         self._outstanding += 1
         self._queue.put(task)
 
@@ -358,6 +379,126 @@ class PlacementHandler:
                 self._task_done()
 
     def _copy_full(self, task: _CopyTask) -> Generator[Any, Any, None]:
+        """Copy a whole file to its target tier as one chunk train.
+
+        The transfer is planned up front as an alternating read-chunk /
+        write-chunk schedule and executed through
+        :func:`~repro.simkernel.bulk.hold_series`: while the OSTs and the
+        target device channel are idle the whole train occupies them with
+        a *single* event, and the moment anything else wants a channel the
+        remainder degrades to exact per-chunk execution.  Bookkeeping side
+        effects (tier growth, page-cache residency, I/O counters) land
+        once at completion in *both* modes, so ``REPRO_DISABLE_BULK_IO=1``
+        replays the identical simulation, event for event.
+        """
+        info = task.info
+        driver = self.hierarchy[task.target_level]
+        pfs_driver = self.hierarchy.pfs
+        local_fs = driver.fs
+        pfs_fs = pfs_driver.fs
+        fetching = not task.have_content
+        size = info.size
+        chunk = self.copy_chunk
+        aligned = True
+        if fetching and isinstance(pfs_fs, ParallelFileSystem):
+            stripe = pfs_fs.config.stripe_size
+            # Sub-stripe alignment keeps every read leg on a single OST,
+            # which is what makes the train linear (one resource per leg).
+            aligned = chunk <= stripe and stripe % chunk == 0
+        if (
+            not isinstance(local_fs, LocalFileSystem)
+            or (fetching and not isinstance(pfs_fs, ParallelFileSystem))
+            or not aligned
+        ):
+            yield from self._copy_full_chunked(task)
+            return
+        if size == 0:
+            self._finish(task)
+            return
+        if not driver.fits(size):
+            raise NoSpaceError(f"tier {driver.mount_point}: quota exceeded for {info.name}")
+        # One open per side, paid up front (the chunk loop pays the same
+        # cost on its first chunk; later chunks hit the handle cache).
+        if fetching:
+            yield from pfs_driver._handle_for(info.name)
+        handle = yield from driver._handle_for(info.name, "a")
+
+        rng = task.rng
+        device = local_fs.device
+        write_ch = device.channel
+        sigma_w = device.profile.jitter_sigma
+        jit_w = device.rng is not None and sigma_w > 0.0 and rng is not None
+        jit_r = False
+        pfs_path = ""
+        if fetching:
+            sigma_r = pfs_fs.config.jitter_sigma
+            jit_r = pfs_fs.rng is not None and sigma_r > 0.0 and rng is not None
+            pfs_path = pfs_driver.local_path(info.name)
+        n_chunks = -(-size // chunk)
+        # Jitters are pre-drawn in chunk order from the task's private
+        # substream: the same draws land whichever way the train executes.
+        z_read = [rng.normal(0.0, sigma_r) for _ in range(n_chunks)] if jit_r else []
+        z_write = [rng.normal(0.0, sigma_w) for _ in range(n_chunks)] if jit_w else []
+
+        # A time-varying interference model without lookahead support
+        # cannot be queried at future instants, so read-leg times can only
+        # be computed at execution time (per chunk).
+        use_bulk = self.bulk_io and (not fetching or pfs_fs.bulk_capable)
+        steps: list[tuple[bool, int, int]] = []  # (is_read, chunk index, nbytes)
+        schedule: list[tuple[Any, float]] = []
+        acc = self.sim.now
+        pos = 0
+        i = 0
+        while pos < size:
+            take = min(chunk, size - pos)
+            if fetching:
+                t_r = 0.0
+                if use_bulk:
+                    t_r = pfs_fs.base_time(take, False, True, at=acc)
+                    if jit_r:
+                        t_r *= jitter_from_normal(z_read[i])
+                schedule.append((pfs_fs.ost_for(pfs_path, pos), t_r))
+                steps.append((True, i, take))
+                acc += t_r
+            t_w = device.write_time(take)
+            if jit_w:
+                t_w *= jitter_from_normal(z_write[i])
+            schedule.append((write_ch, t_w))
+            steps.append((False, i, take))
+            acc += t_w
+            pos += take
+            i += 1
+
+        def chunk_exec(j: int) -> Generator[Any, Any, None]:
+            is_read, ci, nbytes = steps[j]
+            res = schedule[j][0]
+            if is_read:
+                t = pfs_fs.base_time(nbytes, False, True)
+                if jit_r:
+                    t *= jitter_from_normal(z_read[ci])
+                yield from res.using(t)
+            else:
+                yield from res.using(schedule[j][1])
+
+        if use_bulk:
+            # Read legs depend on interference at their start instant, so
+            # a delayed start invalidates the plan (shiftable only when
+            # the train is writes-only).
+            yield from hold_series(
+                self.sim, schedule, chunk_exec=chunk_exec, shiftable=not fetching
+            )
+        else:
+            for j in range(len(schedule)):
+                yield from chunk_exec(j)
+
+        if fetching:
+            pfs_fs.stats.record_reads(n_chunks, size)
+            self.stats.pfs_bytes_fetched += size
+        local_fs.apply_bulk_write(handle, size, n_chunks)
+        self._finish(task)
+
+    def _copy_full_chunked(self, task: _CopyTask) -> Generator[Any, Any, None]:
+        """Straightforward per-chunk copy for exotic tier combinations."""
         info = task.info
         driver = self.hierarchy[task.target_level]
         pfs = self.hierarchy.pfs

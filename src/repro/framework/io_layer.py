@@ -57,5 +57,9 @@ class PosixReader(DataReader):
         return OpenFile(path=path, size=handle.size, token=handle)
 
     def pread(self, f: OpenFile, offset: int, nbytes: int) -> Generator[Any, Any, int]:
-        n = yield from self.mounts.pread(f.token, offset, nbytes)
+        # The handle already knows its backend; dispatching on it directly
+        # (rather than re-routing through the mount table) keeps one
+        # generator frame off every hot-path resume.
+        handle: FileHandle = f.token
+        n = yield from handle.fs.pread(handle, offset, nbytes)
         return n

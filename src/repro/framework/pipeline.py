@@ -10,12 +10,13 @@ prefetching and parallel preprocessing optimizations enabled"):
   :class:`~repro.framework.io_layer.DataReader`,
 * records flow through a bounded shuffle buffer into
   ``num_map_workers`` parallel preprocess workers holding CPU cores,
-* processed records are batched and pushed into a bounded ``prefetch``
-  buffer that the training loop consumes.
+* processed records are batched (inline, by the mapper that completes a
+  batch — batching itself is untimed bookkeeping) and pushed into a
+  bounded ``prefetch`` buffer that the training loop consumes.
 
 Stage buffers are bounded :class:`~repro.simkernel.resources.Store`\\ s, so
 backpressure propagates exactly as in a real pipeline: a stalled GPU fills
-prefetch, which stalls the batcher, the mappers, and finally the readers.
+prefetch, which stalls the mappers, and finally the readers.
 
 Fidelity note: the shuffle buffer bounds and delays the record stream but
 does not physically reorder it — record *identity* has no timing effect in
@@ -43,6 +44,9 @@ __all__ = ["EpochPipeline", "PipelineConfig", "RecordRef", "ShardInfo", "shards_
 
 #: sentinel flowing through the stage stores to signal end-of-stream
 _SENTINEL = object()
+
+#: max records a map worker claims per combined CPU hold (see _map_worker)
+_PREPROCESS_RUN = 4
 
 
 @dataclass(frozen=True)
@@ -153,10 +157,18 @@ class EpochPipeline:
         self._total_records = sum(s.n_records for s in self.shards)
         self.total_batches = -(-self._total_records // config.batch_size)
         self._record_store = Store(sim, capacity=config.shuffle_buffer_records, name="shuffle")
-        self._mapped_store = Store(sim, capacity=2 * config.batch_size, name="mapped")
         self.prefetch = Store(sim, capacity=config.prefetch_batches, name="prefetch")
+        # Batch assembly is plain bookkeeping (no timed ops), so mappers
+        # deposit straight into the forming batch instead of routing every
+        # record through a dedicated batcher process — one store round
+        # trip less per record on the hot path.
+        self._batch: list[RecordRef] = []
+        self._finished_mappers = 0
         self._procs: list[Any] = []
         self.error: BaseException | None = None
+        # Fires once if any stage process dies; lets next_batch wait on a
+        # single persistent event instead of re-watching every process.
+        self._failed = sim.event(name="pipeline-failed")
 
     # -- stage processes -------------------------------------------------
     def _reader_worker(self) -> Generator[Any, Any, None]:
@@ -173,40 +185,78 @@ class EpochPipeline:
                 if self.cache is not None and self.cache_writing:
                     yield from self.cache.write_chunk(shard.path, n)
                 pos += n
-                # Emit every record whose frame is now fully buffered.
+                # Emit every record whose frame is now fully buffered,
+                # as one group: under backpressure the producer is woken
+                # once per chunk instead of once per record.
+                recs: list[RecordRef] = []
                 while emitted < shard.n_records:
                     off, frame, sid, payload = shard.records[emitted]
                     if off + frame > pos:
                         break
-                    yield self._record_store.put(RecordRef(sid, payload))
+                    recs.append(RecordRef(sid, payload))
                     emitted += 1
+                if recs:
+                    store = self._record_store
+                    k = store.try_put_many(recs)
+                    if k < len(recs):
+                        yield store.put_many(recs[k:])
             self.reader.close(f)
 
     def _map_worker(self) -> Generator[Any, Any, None]:
+        records = self._record_store
+        cpu_using = self.node.cpu.using
+        preprocess_time = self.model.preprocess_time
+        batch_size = self.config.batch_size
+        prefetch = self.prefetch
+        run_cap = _PREPROCESS_RUN
         while True:
-            item = yield self._record_store.get()
+            ok, item = records.try_get()
+            if not ok:
+                item = yield records.get()
             if item is _SENTINEL:
-                yield self._mapped_store.put(_SENTINEL)
+                yield from self._mapper_finished()
                 return
-            yield from self.node.cpu.using(self.model.preprocess_time(item.payload_len))
-            yield self._mapped_store.put(item)
+            # Claim a short run of already-buffered records and hold the
+            # core once for their summed time: back-to-back holds on one
+            # core are indistinguishable from a single combined hold, so
+            # this only quantizes the *emission* instants of the interior
+            # records to the run's end — a shift bounded by the run
+            # duration (hence the small cap), invisible at epoch scale.
+            run = [item]
+            total = preprocess_time(item.payload_len)
+            got_sentinel = False
+            while len(run) < run_cap:
+                ok, nxt = records.try_get()
+                if not ok:
+                    break
+                if nxt is _SENTINEL:
+                    got_sentinel = True  # consumed this worker's sentinel
+                    break
+                run.append(nxt)
+                total += preprocess_time(nxt.payload_len)
+            yield from cpu_using(total)
+            for rec in run:
+                batch = self._batch
+                batch.append(rec)
+                if len(batch) == batch_size:
+                    self._batch = []
+                    if not prefetch.try_put(batch):
+                        yield prefetch.put(batch)
+            if got_sentinel:
+                yield from self._mapper_finished()
+                return
 
-    def _batcher(self) -> Generator[Any, Any, None]:
-        cfg = self.config
-        batch: list[RecordRef] = []
-        finished_mappers = 0
-        while finished_mappers < cfg.num_map_workers:
-            item = yield self._mapped_store.get()
-            if item is _SENTINEL:
-                finished_mappers += 1
-                continue
-            batch.append(item)
-            if len(batch) == cfg.batch_size:
+    def _mapper_finished(self) -> Generator[Any, Any, None]:
+        """Last mapper out flushes the partial batch and the sentinel."""
+        self._finished_mappers += 1
+        if self._finished_mappers < self.config.num_map_workers:
+            return
+        if self._batch:
+            batch, self._batch = self._batch, []
+            if not self.prefetch.try_put(batch):
                 yield self.prefetch.put(batch)
-                batch = []
-        if batch:
-            yield self.prefetch.put(batch)
-        yield self.prefetch.put(_SENTINEL)
+        if not self.prefetch.try_put(_SENTINEL):
+            yield self.prefetch.put(_SENTINEL)
 
     def _supervisor(self, readers: list[Any]) -> Generator[Any, Any, None]:
         yield self.sim.all_of(readers)
@@ -225,15 +275,20 @@ class EpochPipeline:
             self.sim.spawn(self._map_worker(), name=f"mapper-{i}")
             for i in range(cfg.num_map_workers)
         ]
-        batcher = self.sim.spawn(self._batcher(), name="batcher")
         supervisor = self.sim.spawn(self._supervisor(readers), name="supervisor")
-        self._procs = [*readers, *mappers, batcher, supervisor]
+        self._procs = [*readers, *mappers, supervisor]
         for p in self._procs:
             p.add_callback(self._on_proc_done)
 
     def _on_proc_done(self, ev: Any) -> None:
         if not ev.ok and self.error is None:
             self.error = ev.exception
+            # Poison the prefetch buffer so a consumer blocked in
+            # next_batch wakes immediately instead of deadlocking.  The
+            # sentinel jumps the capacity bound on purpose: the pipeline
+            # is dead, nothing else will drain the buffer.
+            self.prefetch._items.append(_SENTINEL)
+            self.prefetch._drain()
 
     def next_batch(self) -> Generator[Any, Any, list[RecordRef] | None]:
         """Get the next batch, or ``None`` at end of epoch.
@@ -243,19 +298,11 @@ class EpochPipeline:
         """
         if self.error is not None:
             raise self.error
-        get_ev = self.prefetch.get()
-        while not get_ev.triggered:
+        ok, item = self.prefetch.try_get()
+        if not ok:
+            item = yield self.prefetch.get()
             if self.error is not None:
                 raise self.error
-            # Wait for either the batch or any stage failure.  Stages that
-            # already died must stay in the watch set (their failure event
-            # fires the composite immediately); only cleanly-finished ones
-            # are dropped, or the composite would spin.
-            watch = [p for p in self._procs if p.is_alive or not p.ok]
-            yield self.sim.any_of([get_ev, *watch])
-            if self.error is not None:
-                raise self.error
-        item = get_ev.value
         if item is _SENTINEL:
             return None
         return item

@@ -1,0 +1,224 @@
+"""Analytic bulk-transfer fast path for serialized chunk trains.
+
+A background full-file copy is a long train of short holds: ``read chunk
+k on OST i, write chunk k on the SSD channel, read chunk k+1, ...``.
+Executed chunk-by-chunk, every link in that train costs a resource
+acquire, a timeout heap push and a release — tens of thousands of events
+for one 100 GiB file.  When the involved channels are otherwise idle the
+whole train's timing is known in closed form (the per-chunk service
+times are pre-computed by the caller), so the train can occupy its
+channels *virtually* and schedule a single completion event at the
+analytic end time.
+
+Correctness under contention is preserved by **arrival preemption**: a
+virtual hold registers itself on every involved resource, and the moment
+any other request arrives, :meth:`_VirtualHold.materialize` converts the
+virtual state back into exactly the chunk-level state the per-chunk path
+would be in at that instant — the in-progress chunk becomes a real hold
+released at its analytic boundary, the arriver queues behind it FIFO,
+and the bulk controller resumes per-chunk execution from the next chunk.
+Chunk boundaries are accumulated with the same float additions the
+per-chunk path performs, so simulated times are bit-identical, not just
+close.
+
+Eligibility for a bulk segment mirrors the per-chunk path being
+uncontended: every distinct resource in the remaining schedule must be a
+single-slot channel that is idle, unqueued, and not already virtually
+held.  Anything else falls back to the per-chunk loop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.simkernel.core import Event, Simulator
+from repro.simkernel.resources import Resource
+
+__all__ = ["hold_series"]
+
+#: schedule entry: (resource or None for a pure delay, service time)
+Step = "tuple[Resource | None, float]"
+
+
+def _eligible(schedule: list[tuple[Resource | None, float]], idx: int) -> bool:
+    """Whether steps ``idx:`` can run as one virtual bulk segment."""
+    seen: set[int] = set()
+    for res, _t in schedule[idx:]:
+        if res is None or id(res) in seen:
+            continue
+        seen.add(id(res))
+        if res.capacity != 1 or res._in_use or res._queue or res._virtual_holds:
+            return False
+    return True
+
+
+class _VirtualHold:
+    """One active bulk segment: virtual occupancy + analytic boundaries."""
+
+    __slots__ = (
+        "sim",
+        "schedule",
+        "start_idx",
+        "t0",
+        "bounds",
+        "end",
+        "resume_index",
+        "active",
+        "wake",
+        "_distinct",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: list[tuple[Resource | None, float]],
+        start_idx: int,
+    ) -> None:
+        self.sim = sim
+        self.schedule = schedule
+        self.start_idx = start_idx
+        # Accumulate boundaries with the same one-add-per-chunk float
+        # arithmetic the per-chunk path performs (now + t each step).
+        acc = sim.now
+        self.t0 = acc
+        bounds: list[float] = []
+        for _res, t in schedule[start_idx:]:
+            acc = acc + t
+            bounds.append(acc)
+        self.bounds = bounds
+        self.end = acc
+        seen: set[int] = set()
+        distinct: list[Resource] = []
+        for res, _t in schedule[start_idx:]:
+            if res is not None and id(res) not in seen:
+                seen.add(id(res))
+                distinct.append(res)
+        self._distinct = distinct
+        self.resume_index = len(schedule)
+        self.active = False
+        self.wake = Event(sim, "bulk-hold")
+
+    def activate(self) -> Event:
+        """Register virtual occupancy and schedule the analytic completion."""
+        for res in self._distinct:
+            res._virtual_holds.append(self)
+        self.active = True
+        done = self.sim.timeout_at(self.end)
+        done.add_callback(self._on_complete)
+        return self.wake
+
+    def _on_complete(self, _ev: Event) -> None:
+        if not self.active:
+            return  # preempted earlier; a resume event drives the wake
+        self._teardown()
+        self._commit_areas(len(self.bounds), None, 0.0)
+        self.wake.succeed()
+
+    def _teardown(self) -> None:
+        self.active = False
+        for res in self._distinct:
+            res._virtual_holds.remove(self)
+
+    def materialize(self) -> None:
+        """Convert virtual occupancy to per-chunk state (arrival preemption).
+
+        Called from :meth:`Resource.request` when any request lands on an
+        involved resource mid-segment.  After this returns, the resource
+        state is exactly what the per-chunk path would show: the chunk in
+        progress holds its channel (released at its analytic boundary) and
+        the controller resumes per-chunk execution from the next chunk.
+        """
+        now = self.sim.now
+        self._teardown()
+        k = bisect_right(self.bounds, now)
+        if k >= len(self.bounds):
+            # The arriver ran at the exact completion instant, ahead of the
+            # completion event: the last chunk is still holding.
+            k = len(self.bounds) - 1
+        res_k, _t_k = self.schedule[self.start_idx + k]
+        chunk_start = self.t0 if k == 0 else self.bounds[k - 1]
+        self._commit_areas(k, res_k, now - chunk_start)
+        boundary = self.bounds[k]
+        if res_k is not None:
+            res_k._in_use += 1
+            res_k.monitor.record(res_k._in_use)
+            rel = self.sim.timeout_at(boundary)
+            rel.add_callback(lambda _e, res=res_k: res._release_slot())
+        resume = self.sim.timeout_at(boundary)
+        resume.add_callback(lambda _e: self.wake.succeed())
+        self.resume_index = self.start_idx + k + 1
+
+    def _commit_areas(
+        self, completed: int, inprog_res: Resource | None, inprog_elapsed: float
+    ) -> None:
+        """Credit utilization-monitor area the virtual occupancy earned."""
+        areas: dict[int, float] = {}
+        resolve: dict[int, Resource] = {}
+        for i in range(completed):
+            res, t = self.schedule[self.start_idx + i]
+            if res is not None:
+                areas[id(res)] = areas.get(id(res), 0.0) + t
+                resolve[id(res)] = res
+        if inprog_res is not None and inprog_elapsed > 0.0:
+            areas[id(inprog_res)] = areas.get(id(inprog_res), 0.0) + inprog_elapsed
+            resolve[id(inprog_res)] = inprog_res
+        for key, area in areas.items():
+            resolve[key].monitor.add_area(area)
+
+
+def hold_series(
+    sim: Simulator,
+    schedule: list[tuple[Resource | None, float]],
+    chunk_exec: Callable[[int], Generator[Any, Any, None]] | None = None,
+    shiftable: bool = True,
+    on_bulk_done: Callable[[int, int], None] | None = None,
+) -> Generator[Any, Any, None]:
+    """Execute a serialized train of holds, bulking idle stretches.
+
+    ``schedule`` lists ``(resource, service_time)`` steps run back to back;
+    ``resource`` may be ``None`` for a pure delay (e.g. a page-cache hit or
+    a local metadata latency).  Equivalent — bit-identically in simulated
+    time — to::
+
+        for res, t in schedule:
+            yield sim.timeout(t) if res is None else (yield from res.using(t))
+
+    but stretches whose resources are all idle single-slot channels are
+    executed as one virtual hold with a single completion event.
+
+    ``chunk_exec(i)`` optionally overrides per-chunk execution of step
+    ``i`` for fallback stretches (used when service times must be
+    re-derived at the actual start instant, e.g. PFS interference).
+    ``shiftable`` declares whether the pre-computed times stay valid when
+    the train is delayed by queueing; when False, bulk segments are only
+    attempted while execution is exactly on the analytic timeline.
+    ``on_bulk_done(lo, hi)`` is invoked after a bulk segment covering
+    steps ``lo:hi`` completed, so callers can apply the side effects the
+    per-chunk path would have applied along the way.
+    """
+    n = len(schedule)
+    idx = 0
+    expected = sim.now
+    diverged = False
+    while idx < n:
+        if not diverged and sim.now != expected:
+            diverged = True
+        if (shiftable or not diverged) and _eligible(schedule, idx):
+            vh = _VirtualHold(sim, schedule, idx)
+            yield vh.activate()
+            if on_bulk_done is not None:
+                on_bulk_done(idx, vh.resume_index)
+            idx = vh.resume_index
+            expected = sim.now
+            continue
+        res, t = schedule[idx]
+        if chunk_exec is not None:
+            yield from chunk_exec(idx)
+        elif res is None:
+            yield sim.timeout(t)
+        else:
+            yield from res.using(t)
+        idx += 1
+        expected = expected + t

@@ -76,7 +76,9 @@ class Event:
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.callbacks: list[Callable[[Event], None]] = []
+        # Lazily allocated: most events (timeouts, immediate grants) only
+        # ever get a single waiter, and many get none at all.
+        self.callbacks: list[Callable[[Event], None]] | None = None
         self._value: Any = None
         self._exc: BaseException | None = None
         self._triggered = False
@@ -142,14 +144,18 @@ class Event:
         """
         if self._processed:
             fn(self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
     def _process(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
@@ -210,6 +216,31 @@ class AnyOf(_Condition):
         self.succeed((ev, ev._value))
 
 
+class _StartEvent(Event):
+    """Internal kick-off event for a freshly spawned :class:`Process`.
+
+    Skips the generic callback machinery: processing it resumes the
+    process directly, which saves a callback-list allocation and a
+    closure per spawn on the hot path.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, sim: "Simulator", proc: "Process") -> None:
+        self.sim = sim
+        self.proc = proc
+        self.callbacks = None
+        self._value = None
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        self.name = "start"
+
+    def _process(self) -> None:
+        self._processed = True
+        self.proc._resume(self)
+
+
 class Process(Event):
     """A simulated thread of control.
 
@@ -230,9 +261,7 @@ class Process(Event):
         self._started = False
         # Kick off the process at the current instant, urgently so that
         # spawn-then-advance sequences behave intuitively.
-        start = Event(sim, name=f"start:{self.name}")
-        start.add_callback(self._resume)
-        start.succeed(priority=PRIORITY_URGENT)
+        sim._schedule(_StartEvent(sim, self), PRIORITY_URGENT)
 
     @property
     def is_alive(self) -> bool:
@@ -265,7 +294,7 @@ class Process(Event):
     def _detach(self) -> None:
         target = self._waiting_on
         self._waiting_on = None
-        if target is not None and not target.processed:
+        if target is not None and not target._processed and target.callbacks:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
@@ -285,21 +314,37 @@ class Process(Event):
             self._wait_on(nxt)
 
     def _resume(self, ev: Event) -> None:
-        if not self.is_alive:
+        if self._triggered:  # process already finished (killed)
             return
         self._waiting_on = None
         try:
-            if ev.exception is not None:
-                nxt = self.gen.throw(ev.exception)
+            if ev._exc is not None:
+                nxt = self.gen.throw(ev._exc)
+            elif self._started:
+                nxt = self.gen.send(ev._value)
             else:
-                nxt = self.gen.send(ev._value if self._started else None)
+                self._started = True
+                nxt = self.gen.send(None)
         except StopIteration as stop:
             self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
         except BaseException as err:  # noqa: BLE001 - propagate into waiters
             self.fail(err, priority=PRIORITY_URGENT)
-        else:
-            self._started = True
-            self._wait_on(nxt)
+            return
+        self._started = True
+        # Hot path: the overwhelmingly common yield target is an event of
+        # this simulator; fall back to the validating slow path otherwise.
+        if isinstance(nxt, Event) and nxt.sim is self.sim:
+            if nxt._processed:
+                self._resume(nxt)
+            else:
+                self._waiting_on = nxt
+                if nxt.callbacks is None:
+                    nxt.callbacks = [self._resume]
+                else:
+                    nxt.callbacks.append(self._resume)
+            return
+        self._wait_on(nxt)
 
     def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
@@ -324,6 +369,8 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._process_count = 0
+        # Free list of recycled timeout events (see _pooled_timeout).
+        self._timeout_pool: list[Event] = []
 
     @property
     def now(self) -> float:
@@ -342,8 +389,49 @@ class Simulator:
         ev = Event(self, name or "timeout")
         ev._triggered = True
         ev._value = value
-        self._schedule(ev, PRIORITY_NORMAL, at=self._now + delay)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, PRIORITY_NORMAL, self._seq, ev))
         return ev
+
+    def timeout_at(self, when: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires at absolute simulated time ``when``.
+
+        Used by the bulk-transfer fast path, where chunk boundaries are
+        pre-accumulated absolute times: re-deriving a delay from ``now``
+        would lose bit-identity with the chunk-by-chunk float accumulation.
+        """
+        if when < self._now:
+            raise ValueError(f"timeout_at({when}) is in the past (now={self._now})")
+        ev = Event(self, name or "timeout")
+        ev._triggered = True
+        ev._value = value
+        self._seq += 1
+        heapq.heappush(self._heap, (when, PRIORITY_NORMAL, self._seq, ev))
+        return ev
+
+    def _pooled_timeout(self, delay: float) -> Event:
+        """A recyclable timeout for ``Resource.using``-style owned waits.
+
+        The caller guarantees it is the only holder of the event and gives
+        it back via :meth:`_recycle` once processed, so the allocation is
+        amortized away on the hot path.
+        """
+        pool = self._timeout_pool
+        ev = pool.pop() if pool else Event(self, "timeout")
+        ev._triggered = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, PRIORITY_NORMAL, self._seq, ev))
+        return ev
+
+    def _recycle(self, ev: Event) -> None:
+        """Return a processed :meth:`_pooled_timeout` event to the pool."""
+        if ev._processed and len(self._timeout_pool) < 128:
+            ev._triggered = False
+            ev._processed = False
+            ev._value = None
+            ev._exc = None
+            ev.callbacks = None
+            self._timeout_pool.append(ev)
 
     def spawn(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
         """Create and start a :class:`Process` from a generator."""
@@ -360,9 +448,12 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, ev: Event, priority: int, at: float | None = None) -> None:
-        when = self._now if at is None else at
-        if when < self._now:
-            raise SimulationError(f"cannot schedule into the past ({when} < {self._now})")
+        if at is None:
+            when = self._now
+        elif at < self._now:
+            raise SimulationError(f"cannot schedule into the past ({at} < {self._now})")
+        else:
+            when = at
         self._seq += 1
         heapq.heappush(self._heap, (when, priority, self._seq, ev))
 
@@ -387,25 +478,33 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
             if until is None:
-                while self._heap:
-                    self.step()
+                while heap:
+                    when, _prio, _seq, ev = pop(heap)
+                    self._now = when
+                    ev._process()
                 return None
             if isinstance(until, Event):
                 target = until
-                while not target.processed:
-                    if not self._heap:
+                while not target._processed:
+                    if not heap:
                         raise DeadlockError(
                             f"event queue drained before {target!r} fired"
                         )
-                    self.step()
+                    when, _prio, _seq, ev = pop(heap)
+                    self._now = when
+                    ev._process()
                 return target.value
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError(f"until={horizon} is in the past (now={self._now})")
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
+            while heap and heap[0][0] <= horizon:
+                when, _prio, _seq, ev = pop(heap)
+                self._now = when
+                ev._process()
             self._now = max(self._now, horizon)
             return None
         finally:

@@ -56,6 +56,17 @@ class UtilizationMonitor:
         self._advance()
         self._level = level
 
+    def add_area(self, area: float) -> None:
+        """Credit pre-integrated busy area directly (bulk virtual holds).
+
+        The bulk-transfer fast path occupies a channel without per-chunk
+        ``record`` calls; on completion (or preemption) it deposits the
+        exact ``level*dt`` area its virtual occupancy earned so that
+        :meth:`mean_level` / :meth:`utilization` match the per-chunk path.
+        """
+        self._advance()
+        self._area += area
+
     def mark(self) -> None:
         """Drop a window boundary (e.g. at an epoch edge)."""
         self._advance()

@@ -24,7 +24,57 @@ from repro.simkernel.core import Event, Simulator
 from repro.simkernel.errors import SimulationError
 from repro.simkernel.monitor import UtilizationMonitor
 
-__all__ = ["Container", "Resource", "SimLock", "Store"]
+__all__ = ["Container", "Resource", "SimLock", "Store", "parallel_using"]
+
+
+def parallel_using(sim: Simulator, holds: list[tuple["Resource", float]]) -> Event:
+    """Hold several resources concurrently; fires when every hold released.
+
+    A callback-level replacement for spawning one process per hold (the
+    striped-read fan-out pattern): each uncontended hold costs a single
+    timeout event instead of a process start/finish pair.  Semantics match
+    independent holders — each hold queues FIFO on its resource and the
+    returned event fires when the slowest one completes.  The holds run to
+    completion even if the waiter is killed, exactly like detached holder
+    processes would.
+    """
+    done = Event(sim, "parallel-using")
+    remaining = len(holds)
+    if remaining == 0:
+        done.succeed(())
+        return done
+
+    def _one_done(_ev: Event) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            done.succeed(())
+
+    for res, t in holds:
+        if res._in_use < res.capacity and not res._queue and not res._virtual_holds:
+            res._in_use += 1
+            res.monitor.record(res._in_use)
+            ev = sim.timeout(t)
+
+            def _rel(_e: Event, res: "Resource" = res) -> None:
+                res._release_slot()
+                _one_done(_e)
+
+            ev.add_callback(_rel)
+        else:
+            req = res.request()
+
+            def _granted(_e: Event, res: "Resource" = res, t: float = t) -> None:
+                ev2 = sim.timeout(t)
+
+                def _rel2(_e2: Event, res: "Resource" = res, req: Event = _e) -> None:
+                    res.release(req)
+                    _one_done(_e2)
+
+                ev2.add_callback(_rel2)
+
+            req.add_callback(_granted)
+    return done
 
 
 class Resource:
@@ -48,13 +98,19 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = name + ".request"
         self._in_use = 0
         self._queue: deque[Event] = deque()
+        # Active bulk-transfer virtual holds (see repro.simkernel.bulk);
+        # empty except while a bulk stream occupies this resource.
+        self._virtual_holds: list[Any] = []
         self.monitor = UtilizationMonitor(sim, capacity=capacity, name=name)
 
     @property
     def in_use(self) -> int:
-        """Number of currently held slots."""
+        """Number of currently held slots (bulk virtual holds included)."""
+        if self._virtual_holds:
+            return self._in_use + 1
         return self._in_use
 
     @property
@@ -62,9 +118,18 @@ class Resource:
         """Number of waiters not yet granted a slot."""
         return len(self._queue)
 
+    @property
+    def idle(self) -> bool:
+        """True when no slot is held, queued, or virtually held."""
+        return not (self._in_use or self._queue or self._virtual_holds)
+
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        ev = self.sim.event(name=f"{self.name}.request")
+        if self._virtual_holds:
+            # A bulk stream virtually occupies the channel: convert it to
+            # real chunk-level state before deciding this request's fate.
+            self._virtual_holds[0].materialize()
+        ev = Event(self.sim, self._req_name)
         if self._in_use < self.capacity and not self._queue:
             self._grant(ev)
         else:
@@ -85,6 +150,9 @@ class Resource:
                     f"release of unknown request on {self.name!r}"
                 ) from err
             return
+        self._release_slot()
+
+    def _release_slot(self) -> None:
         self._in_use -= 1
         if self._in_use < 0:
             raise SimulationError(f"double release on resource {self.name!r}")
@@ -103,13 +171,56 @@ class Resource:
         The acquisition itself sits inside the ``try`` so that a process
         killed (or interrupted) while still *waiting* for the slot cancels
         its queued request instead of leaking a granted-to-nobody slot.
+
+        When a slot is free and nobody queues, the request round trip is
+        skipped entirely: the slot is granted synchronously and only the
+        hold timeout enters the event heap.  Grant/release instants are
+        identical to the queued path, so simulated times do not change.
         """
+        if self._in_use < self.capacity and not self._queue and not self._virtual_holds:
+            sim = self.sim
+            m = self.monitor
+            # Inlined monitor.record(+1)/record(-1): this pair runs once
+            # per uncontended hold, the hottest call site in the kernel.
+            now = sim._now
+            m._area += m._level * (now - m._last_t)
+            m._last_t = now
+            self._in_use += 1
+            m._level = self._in_use
+            ev = sim._pooled_timeout(hold_time)
+            try:
+                yield ev
+            finally:
+                self._in_use -= 1
+                now = sim._now
+                m._area += m._level * (now - m._last_t)
+                m._last_t = now
+                m._level = self._in_use
+                if self._queue and self._in_use < self.capacity:
+                    self._grant(self._queue.popleft())
+            sim._recycle(ev)
+            return
         req = self.request()
         try:
             yield req
-            yield self.sim.timeout(hold_time)
+            ev = self.sim._pooled_timeout(hold_time)
+            yield ev
         finally:
             self.release(req)
+        self.sim._recycle(ev)
+
+    def using_many(self, hold_times: list[float]) -> Generator[Event, Any, None]:
+        """Hold the resource for a serialized chunk train in O(1) events.
+
+        Equivalent to ``for t in hold_times: yield from self.using(t)`` —
+        bit-identically so, including under contention: when the channel is
+        busy (or another waiter arrives mid-stream) the bulk hold falls back
+        to / is preempted into the per-chunk path (see
+        :mod:`repro.simkernel.bulk`).
+        """
+        from repro.simkernel.bulk import hold_series
+
+        yield from hold_series(self.sim, [(self, t) for t in hold_times])
 
 
 class SimLock:
@@ -235,6 +346,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Any, Event]] = deque()
@@ -249,17 +362,82 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event firing once ``item`` has been accepted into the store."""
-        ev = self.sim.event(name=f"{self.name}.put")
+        ev = Event(self.sim, self._put_name)
         self._putters.append((item, ev))
         self._drain()
         return ev
 
     def get(self) -> Event:
         """Event firing with the next item once one is available."""
-        ev = self.sim.event(name=f"{self.name}.get")
+        ev = Event(self.sim, self._get_name)
         self._getters.append(ev)
         self._drain()
         return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Accept ``item`` synchronously if it cannot block; else False.
+
+        Equivalent to ``put`` succeeding at the current instant, but with
+        no event allocation or heap traffic — the fast path for pipeline
+        stages whose buffers are rarely full.
+        """
+        if self._putters or self.full:
+            return False
+        self._items.append(item)
+        if self._getters:
+            self._drain()
+        return True
+
+    def try_put_many(self, items: list[Any]) -> int:
+        """Accept a prefix of ``items`` synchronously; returns the count.
+
+        Identical to calling :meth:`try_put` per item until one would
+        block.  The caller queues the remainder with :meth:`put_many`.
+        """
+        if self._putters:
+            return 0
+        n = 0
+        total = len(items)
+        while n < total and not self.full:
+            self._items.append(items[n])
+            n += 1
+        if n and self._getters:
+            self._drain()
+        return n
+
+    def put_many(self, items: list[Any]) -> Event:
+        """Event firing once the *last* of ``items`` has been accepted.
+
+        Items enter the buffer FIFO exactly as back-to-back :meth:`put`
+        calls would — each slips in the instant capacity frees — but the
+        producer is woken only once, when the final item lands, instead
+        of once per item.  (The intermediate wake-ups of the per-item
+        pattern exist only to issue the next ``put`` at the same instant,
+        so eliding them leaves all simulated times unchanged.)
+        """
+        if not items:
+            raise ValueError("put_many of no items")
+        ev = Event(self.sim, self._put_name)
+        putters = self._putters
+        for item in items[:-1]:
+            putters.append((item, None))
+        putters.append((items[-1], ev))
+        self._drain()
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Withdraw the next item synchronously if one is ready.
+
+        Returns ``(True, item)`` when an item was available and no earlier
+        getter is queued; ``(False, None)`` otherwise (caller falls back to
+        the event-based :meth:`get`).
+        """
+        if self._getters or not self._items:
+            return False, None
+        item = self._items.popleft()
+        if self._putters:
+            self._drain()
+        return True, item
 
     def _drain(self) -> None:
         progressed = True
@@ -269,7 +447,8 @@ class Store:
             while self._putters and not self.full:
                 item, ev = self._putters.popleft()
                 self._items.append(item)
-                ev.succeed(item)
+                if ev is not None:  # None: interior item of a put_many
+                    ev.succeed(item)
                 progressed = True
             # Satisfy pending gets from the buffer.
             while self._getters and self._items:

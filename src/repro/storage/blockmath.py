@@ -21,6 +21,7 @@ __all__ = [
     "mib_per_s",
     "transfer_time",
     "jitter_factor",
+    "jitter_from_normal",
     "split_into_chunks",
 ]
 
@@ -53,7 +54,17 @@ def jitter_factor(rng: np.random.Generator | None, sigma: float) -> float:
     """
     if rng is None or sigma <= 0:
         return 1.0
-    f = float(np.exp(rng.normal(0.0, sigma)))
+    return jitter_from_normal(rng.normal(0.0, sigma))
+
+
+def jitter_from_normal(x: float) -> float:
+    """The jitter factor for a pre-drawn ``normal(0, sigma)`` sample.
+
+    Split out of :func:`jitter_factor` so bulk-transfer planners can draw
+    the raw normals up front (preserving RNG stream order) and turn them
+    into factors later, bit-identically to the inline draw.
+    """
+    f = float(np.exp(x))
     return min(max(f, 0.25), 4.0)
 
 

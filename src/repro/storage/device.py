@@ -123,17 +123,77 @@ class Device:
             self.profile.write_latency_us * 1e-6,
         )
 
-    def read(self, nbytes: int) -> Generator[Any, Any, int]:
-        """Timed read: queue for a channel, hold it for the service time."""
-        t = self.read_time(nbytes) * jitter_factor(self.rng, self.profile.jitter_sigma)
+    def read(
+        self, nbytes: int, rng: np.random.Generator | None = None
+    ) -> Generator[Any, Any, int]:
+        """Timed read: queue for a channel, hold it for the service time.
+
+        ``rng`` overrides the device's jitter stream — bulk-capable callers
+        pass a private per-task substream so that pre-drawing a whole
+        chunk train's jitters does not perturb other consumers.
+        """
+        t = self.read_service_time(nbytes, rng)
         yield from self._channel.using(t)
         return nbytes
 
-    def write(self, nbytes: int) -> Generator[Any, Any, int]:
+    def write(
+        self, nbytes: int, rng: np.random.Generator | None = None
+    ) -> Generator[Any, Any, int]:
         """Timed write: queue for a channel, hold it for the service time."""
-        t = self.write_time(nbytes) * jitter_factor(self.rng, self.profile.jitter_sigma)
+        t = self.write_service_time(nbytes, rng)
         yield from self._channel.using(t)
         return nbytes
+
+    def read_service_time(
+        self, nbytes: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Jittered service time for one read, drawing from ``rng``."""
+        return self.read_time(nbytes) * jitter_factor(
+            self.rng if rng is None else rng, self.profile.jitter_sigma
+        )
+
+    def write_service_time(
+        self, nbytes: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Jittered service time for one write, drawing from ``rng``."""
+        return self.write_time(nbytes) * jitter_factor(
+            self.rng if rng is None else rng, self.profile.jitter_sigma
+        )
+
+    def read_bulk(
+        self, sizes: list[int], rng: np.random.Generator | None = None
+    ) -> Generator[Any, Any, int]:
+        """Read a train of chunks back to back, bulking idle stretches.
+
+        Bit-identical in simulated time to ``for n in sizes: yield from
+        self.read(n, rng)`` — under contention the bulk hold is preempted
+        into exactly that per-chunk execution (see
+        :mod:`repro.simkernel.bulk`).  The jitter draws happen up front, so
+        ``rng`` must not be shared with concurrent consumers; pass a
+        per-task substream (or run jitter-free).
+        """
+        from repro.simkernel.bulk import hold_series
+
+        ch = self._channel
+        schedule = [(ch, self.read_service_time(n, rng)) for n in sizes]
+        yield from hold_series(self.sim, schedule)
+        return sum(sizes)
+
+    def write_bulk(
+        self, sizes: list[int], rng: np.random.Generator | None = None
+    ) -> Generator[Any, Any, int]:
+        """Write a train of chunks back to back, bulking idle stretches."""
+        from repro.simkernel.bulk import hold_series
+
+        ch = self._channel
+        schedule = [(ch, self.write_service_time(n, rng)) for n in sizes]
+        yield from hold_series(self.sim, schedule)
+        return sum(sizes)
+
+    @property
+    def channel(self) -> Resource:
+        """The underlying channel resource (for composed bulk schedules)."""
+        return self._channel
 
     @property
     def queue_len(self) -> int:

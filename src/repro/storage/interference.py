@@ -28,6 +28,12 @@ __all__ = [
 class InterferenceModel:
     """Interface: available bandwidth share at simulated time ``t``."""
 
+    #: Whether ``share_at`` is a pure function of ``t`` (memoized grid), so
+    #: the bulk fast path may query future instants without perturbing what
+    #: later callers observe.  Models that mutate state destructively on
+    #: advance must leave this False, which disables bulk PFS transfers.
+    supports_lookahead = False
+
     def share_at(self, t: float) -> float:
         """Fraction of nominal PFS bandwidth available at time ``t``."""
         raise NotImplementedError
@@ -39,6 +45,8 @@ class InterferenceModel:
 
 class ConstantInterference(InterferenceModel):
     """Fixed bandwidth share — a perfectly quiet (or steadily loaded) PFS."""
+
+    supports_lookahead = True
 
     def __init__(self, share: float = 1.0) -> None:
         if not 0.0 < share <= 1.0:
@@ -85,21 +93,26 @@ class ARInterference(InterferenceModel):
         self.rho = rho
         self.interval = interval
         self.max_load = max_load
-        self._step = 0
-        self._load = mean_load
+        # Memoized per-step loads: _loads[k] is the load after k updates.
+        # Keeping the history (instead of only the latest value) makes
+        # share_at a pure function of t for any already-materialized step,
+        # so bulk transfers may look ahead without changing what later
+        # per-chunk callers see at the same instants.
+        self._loads = [mean_load]
+
+    supports_lookahead = True
 
     def share_at(self, t: float) -> float:
         target = int(t // self.interval)
-        while self._step < target:
+        loads = self._loads
+        while len(loads) <= target:
             eps = self.rng.normal(0.0, self.sigma)
-            self._load = self.rho * self._load + (1 - self.rho) * self.mean_load + eps
-            self._load = min(max(self._load, 0.0), self.max_load)
-            self._step += 1
-        return 1.0 - self._load
+            load = self.rho * loads[-1] + (1 - self.rho) * self.mean_load + eps
+            loads.append(min(max(load, 0.0), self.max_load))
+        return 1.0 - loads[target]
 
     def reset(self) -> None:
-        self._step = 0
-        self._load = self.mean_load
+        self._loads = [self.mean_load]
 
 
 class BurstInterference(InterferenceModel):
@@ -131,24 +144,27 @@ class BurstInterference(InterferenceModel):
         self.p_burst = p_burst
         self.p_recover = p_recover
         self.interval = interval
-        self._step = 0
-        self._bursting = False
+        # Memoized per-step states (see ARInterference._loads).
+        self._states = [False]
+
+    supports_lookahead = True
 
     def share_at(self, t: float) -> float:
         target = int(t // self.interval)
-        while self._step < target:
+        states = self._states
+        while len(states) <= target:
             u = self.rng.random()
-            if self._bursting:
+            bursting = states[-1]
+            if bursting:
                 if u < self.p_recover:
-                    self._bursting = False
+                    bursting = False
             elif u < self.p_burst:
-                self._bursting = True
-            self._step += 1
-        return self.burst_share if self._bursting else self.quiet_share
+                bursting = True
+            states.append(bursting)
+        return self.burst_share if states[target] else self.quiet_share
 
     def reset(self) -> None:
-        self._step = 0
-        self._bursting = False
+        self._states = [False]
 
 
 class CompositeInterference(InterferenceModel):
@@ -167,6 +183,10 @@ class CompositeInterference(InterferenceModel):
         if not models:
             raise ValueError("composite needs at least one model")
         self.models = models
+
+    @property
+    def supports_lookahead(self) -> bool:  # type: ignore[override]
+        return all(m.supports_lookahead for m in self.models)
 
     def share_at(self, t: float) -> float:
         share = 1.0

@@ -30,7 +30,7 @@ from typing import Any
 import numpy as np
 
 from repro.simkernel.core import Simulator
-from repro.simkernel.resources import Resource
+from repro.simkernel.resources import Resource, parallel_using
 from repro.storage.base import (
     FileHandle,
     FileMeta,
@@ -38,7 +38,13 @@ from repro.storage.base import (
     FileSystem,
     norm_path,
 )
-from repro.storage.blockmath import MIB, jitter_factor, mib_per_s, split_into_chunks
+from repro.storage.blockmath import (
+    MIB,
+    jitter_factor,
+    jitter_from_normal,
+    mib_per_s,
+    split_into_chunks,
+)
 from repro.storage.interference import ConstantInterference, InterferenceModel
 from repro.storage.stats import BackendStats
 
@@ -158,26 +164,56 @@ class ParallelFileSystem(FileSystem):
     def _bandwidth_share(self) -> float:
         return self.interference.share_at(self.sim.now)
 
-    def _data_time(self, nbytes: int, write: bool, sequential: bool) -> float:
-        """Service time for one piece on one OST.
+    def base_time(
+        self, nbytes: int, write: bool, sequential: bool, at: float | None = None
+    ) -> float:
+        """Jitter-free service time for one piece on one OST at time ``at``.
 
         Each OST serves at ``client_bw / n_osts``, so the client reaches
         its aggregate bandwidth only by keeping all OSTs busy — which is
         exactly what striped sequential fetches do and scattered random
         chunk reads do imperfectly (on top of the explicit random
         penalty modelling lost readahead / RPC amortization).
+
+        ``at`` defaults to the current instant; bulk planners pass future
+        instants (valid only when ``interference.supports_lookahead``).
         """
         cfg = self.config
         bw = cfg.client_write_bw_mib if write else cfg.client_read_bw_mib
-        bw_bps = mib_per_s(bw) / cfg.n_osts * self._bandwidth_share()
+        share = self.interference.share_at(self.sim.now if at is None else at)
+        bw_bps = mib_per_s(bw) / cfg.n_osts * share
         if not write and not sequential:
             bw_bps *= cfg.random_read_penalty
-        t = cfg.rpc_latency_s + nbytes / bw_bps
-        return t * jitter_factor(self.rng, cfg.jitter_sigma)
+        return cfg.rpc_latency_s + nbytes / bw_bps
+
+    def _data_time(
+        self,
+        nbytes: int,
+        write: bool,
+        sequential: bool,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Jittered service time for one piece, drawing from ``rng``."""
+        return self.base_time(nbytes, write, sequential) * jitter_factor(
+            self.rng if rng is None else rng, self.config.jitter_sigma
+        )
 
     def _ost_for(self, entry: _PFSEntry, offset: int) -> Resource:
         idx = (entry.stripe_offset + offset // self.config.stripe_size) % self.config.n_osts
         return self._osts[idx]
+
+    # -- bulk-transfer planning hooks ------------------------------------
+    @property
+    def bulk_capable(self) -> bool:
+        """Whether service times may be pre-computed for future instants."""
+        return bool(self.interference.supports_lookahead)
+
+    def ost_for(self, path: str, offset: int) -> Resource:
+        """The OST channel serving ``path`` at ``offset`` (for planners)."""
+        entry = self._entries.get(norm_path(path))
+        if entry is None:
+            raise FileNotFoundInFS(f"{self.name}: {path}")
+        return self._ost_for(entry, offset)
 
     def _mds_op(self) -> Generator[Any, Any, None]:
         t = self.config.mds_latency_s * jitter_factor(self.rng, self.config.jitter_sigma)
@@ -208,12 +244,14 @@ class ParallelFileSystem(FileSystem):
         offset: int,
         nbytes: int,
         sequential: bool = False,
+        rng: np.random.Generator | None = None,
     ) -> Generator[Any, Any, int]:
         """Read; ``sequential`` marks streaming access (full-file fetches).
 
         Streaming reads skip the random-read bandwidth penalty — the model
         hook behind MONARCH's observation that background full-file copies
         extract more from Lustre than the framework's scattered part reads.
+        ``rng`` overrides the shared jitter stream (per-task substreams).
         """
         if offset < 0 or nbytes < 0:
             raise ValueError("negative offset or length")
@@ -226,25 +264,104 @@ class ParallelFileSystem(FileSystem):
             yield from self._mds_op()
             return 0
         # Split on stripe boundaries; pieces on distinct OSTs are serviced
-        # concurrently by forked processes, the slowest one gates return.
+        # concurrently, the slowest one gates return.
         pieces = split_into_chunks(offset, take, self.config.stripe_size)
         if len(pieces) == 1:
             off, ln = pieces[0]
-            yield from self._ost_for(entry, off).using(self._data_time(ln, False, sequential))
-            return take
-
-        def piece_proc(ost: Resource, t: float) -> Generator[Any, Any, None]:
-            yield from ost.using(t)
-
-        procs = [
-            self.sim.spawn(
-                piece_proc(self._ost_for(entry, off), self._data_time(ln, False, sequential)),
-                name=f"{self.name}.read-piece",
+            yield from self._ost_for(entry, off).using(
+                self._data_time(ln, False, sequential, rng)
             )
-            for off, ln in pieces
-        ]
-        yield self.sim.all_of(procs)
+            return take
+        yield parallel_using(
+            self.sim,
+            [
+                (self._ost_for(entry, off), self._data_time(ln, False, sequential, rng))
+                for off, ln in pieces
+            ],
+        )
         return take
+
+    def pread_bulk(
+        self,
+        handle: FileHandle,
+        offset: int,
+        sizes: list[int],
+        sequential: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> Generator[Any, Any, int]:
+        """Read a back-to-back train of chunks starting at ``offset``.
+
+        Simulated completion time is identical to one ``pread`` per chunk.
+        When every chunk lands on a single OST piece and the interference
+        model supports lookahead, the whole train is planned analytically
+        and occupies the (idle) OSTs with a single event, degrading to
+        exact per-chunk execution the moment anything else arrives.
+        Jitter draws come from ``rng`` in chunk order, so pass a private
+        substream (or run jitter-free) — sharing a stream with concurrent
+        readers reorders draws versus the chunked equivalent.
+        """
+        if offset < 0 or any(n < 0 for n in sizes):
+            raise ValueError("negative offset or length")
+        entry = self._entries.get(handle.meta.path)
+        if entry is None:
+            raise FileNotFoundInFS(f"{self.name}: {handle.meta.path}")
+        total = sum(sizes)
+        if offset + total > handle.meta.size:
+            raise ValueError(f"{self.name}: bulk read past EOF")
+        self.stats.record_reads(len(sizes), total)
+        if total == 0:
+            yield from self._mds_op()
+            return 0
+        stripe = self.config.stripe_size
+        chunks: list[tuple[int, int]] = []  # (file offset, nbytes)
+        pos = offset
+        single_piece = True
+        for n in sizes:
+            chunks.append((pos, n))
+            if len(split_into_chunks(pos, n, stripe)) > 1:
+                single_piece = False
+            pos += n
+        if single_piece and self.bulk_capable:
+            from repro.simkernel.bulk import hold_series
+
+            sigma = self.config.jitter_sigma
+            jit = (self.rng is not None or rng is not None) and sigma > 0.0
+            draw = (self.rng if rng is None else rng).normal if jit else None
+            zs = [draw(0.0, sigma) for _ in chunks] if jit else []
+            schedule: list[tuple[Resource, float]] = []
+            acc = self.sim.now
+            for i, (off, n) in enumerate(chunks):
+                t = self.base_time(n, False, sequential, at=acc)
+                if jit:
+                    t *= jitter_from_normal(zs[i])
+                schedule.append((self._ost_for(entry, off), t))
+                acc += t
+
+            def chunk_exec(j: int) -> Generator[Any, Any, None]:
+                off_j, n_j = chunks[j]
+                t_j = self.base_time(n_j, False, sequential)
+                if jit:
+                    t_j *= jitter_from_normal(zs[j])
+                yield from self._ost_for(entry, off_j).using(t_j)
+
+            yield from hold_series(self.sim, schedule, chunk_exec=chunk_exec, shiftable=False)
+            return total
+        for off, n in chunks:
+            pieces = split_into_chunks(off, n, stripe)
+            if len(pieces) == 1:
+                poff, ln = pieces[0]
+                yield from self._ost_for(entry, poff).using(
+                    self._data_time(ln, False, sequential, rng)
+                )
+            else:
+                yield parallel_using(
+                    self.sim,
+                    [
+                        (self._ost_for(entry, poff), self._data_time(ln, False, sequential, rng))
+                        for poff, ln in pieces
+                    ],
+                )
+        return total
 
     def pwrite(self, handle: FileHandle, offset: int, nbytes: int) -> Generator[Any, Any, int]:
         if offset < 0 or nbytes < 0:

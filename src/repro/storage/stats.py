@@ -79,6 +79,16 @@ class BackendStats:
         self.write_ops += 1
         self.bytes_written += int(nbytes)
 
+    def record_reads(self, ops: int, nbytes: int) -> None:
+        """Account ``ops`` reads totalling ``nbytes`` (bulk fast path)."""
+        self.read_ops += ops
+        self.bytes_read += int(nbytes)
+
+    def record_writes(self, ops: int, nbytes: int) -> None:
+        """Account ``ops`` writes totalling ``nbytes`` (bulk fast path)."""
+        self.write_ops += ops
+        self.bytes_written += int(nbytes)
+
     def record_open(self) -> None:
         """Account one open()."""
         self.open_ops += 1

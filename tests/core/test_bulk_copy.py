@@ -1,0 +1,102 @@
+"""Placement bulk copies: bit-exact vs chunked mode, fewer kernel events.
+
+``bulk_io`` only changes how the background copy's chunk train is
+*executed* (one analytic hold vs one event per chunk); every simulated
+instant, counter and placement decision must be identical either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+MIB = 1 << 20
+SHARDS = ("/dataset/shard-0", "/dataset/shard-1", "/dataset/shard-2")
+
+
+def _build(bulk_io: bool) -> tuple[Simulator, Monarch, LocalFileSystem, ParallelFileSystem]:
+    sim = Simulator()
+    ssd = Device(sim, SATA_SSD, rng=np.random.default_rng(3))
+    local = LocalFileSystem(sim, ssd, capacity_bytes=64 * MIB)
+    pfs = ParallelFileSystem(sim, rng=np.random.default_rng(4))
+    for i, size in enumerate((3 * MIB + 4096, 2 * MIB + 123, MIB // 2)):
+        pfs.add_file(f"/dataset/shard-{i}", size)
+    mounts = MountTable()
+    mounts.mount("/mnt/ssd", local)
+    mounts.mount("/mnt/pfs", pfs)
+    cfg = MonarchConfig(
+        tiers=(TierSpec("/mnt/ssd"), TierSpec("/mnt/pfs")),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=256 * 1024,
+        bulk_io=bulk_io,
+    )
+    return sim, Monarch(sim, cfg, mounts, rng=np.random.default_rng(11)), local, pfs
+
+
+def _drive(sim: Simulator, monarch: Monarch, names) -> float:
+    def job():
+        yield from monarch.initialize()
+        for name in names:
+            yield from monarch.read(name, 0, 4096)
+        yield from monarch.placement.drain()
+
+    sim.run(sim.spawn(job(), name="driver"))
+    return sim.now
+
+
+def test_uncontended_copy_bit_exact_and_fewer_events(monkeypatch):
+    """A lone background copy: bulk mode must finish at the identical
+    instant while scheduling strictly fewer kernel events."""
+    import repro.simkernel.core as core
+
+    real_push = core.heapq.heappush
+    results = {}
+    for bulk_io in (True, False):
+        sim, monarch, local, pfs = _build(bulk_io)
+        pushes = 0
+
+        def counting(heap, item, _real=real_push):
+            nonlocal pushes
+            pushes += 1
+            _real(heap, item)
+
+        monkeypatch.setattr(core.heapq, "heappush", counting)
+        try:
+            end = _drive(sim, monarch, SHARDS[:1])
+        finally:
+            monkeypatch.setattr(core.heapq, "heappush", real_push)
+        results[bulk_io] = (end, pushes, local.stats.snapshot(), pfs.stats.snapshot())
+
+    assert results[True][0] == results[False][0]
+    assert results[True][2] == results[False][2]
+    assert results[True][3] == results[False][3]
+    assert results[True][1] < results[False][1]
+
+
+def test_contended_copies_fall_back_bit_exact():
+    """Concurrent copies sharing the one SATA-SSD channel: the bulk path
+    must degrade to exactly the chunked interleaving (and everything the
+    placement layer records must agree)."""
+    ends = {}
+    stats = {}
+    for bulk_io in (True, False):
+        sim, monarch, local, pfs = _build(bulk_io)
+        ends[bulk_io] = _drive(sim, monarch, SHARDS)
+        p = monarch.placement.stats
+        stats[bulk_io] = (
+            local.stats.snapshot(),
+            pfs.stats.snapshot(),
+            p.completed,
+            p.bytes_copied,
+            p.pfs_bytes_fetched,
+        )
+    assert ends[True] == ends[False]
+    assert stats[True] == stats[False]

@@ -1,0 +1,25 @@
+"""The bulk-I/O escape hatch must not change simulated results.
+
+``REPRO_DISABLE_BULK_IO=1`` forces every background copy onto the legacy
+per-chunk execution path.  Because the bulk engine is equivalence
+preserving (and falls back to per-chunk under contention anyway), the
+*entire* experiment grid must come out bit-identical either way — this is
+the regression gate for the fast path.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3_bit_identical_with_bulk_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_DISABLE_BULK_IO", raising=False)
+    with_bulk = fig3(scale=1 / 256, runs=2)
+    monkeypatch.setenv("REPRO_DISABLE_BULK_IO", "1")
+    without_bulk = fig3(scale=1 / 256, runs=2)
+
+    assert set(with_bulk) == set(without_bulk)
+    for key, on in with_bulk.items():
+        off = without_bulk[key]
+        assert on.total_mean == off.total_mean, key
+        assert on.epoch_mean_std() == off.epoch_mean_std(), key
