@@ -1,0 +1,87 @@
+"""FIG-FAULT — graceful degradation when the node-local SSD dies mid-run.
+
+The scenario: MONARCH over the 100 GiB dataset (LeNet), with the SSD tier
+hard-failing halfway through epoch 1.  The middleware must quarantine the
+dead tier and route every subsequent read through the PFS — the job
+completes all epochs, slower than fault-free MONARCH but no slower than
+never having had the fast tier at all (vanilla-lustre).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_in_benchmark
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.scenarios import build_run, ssd_tier_down_plan
+
+SEED = 0
+
+
+def _run_fault_grid(scale: float) -> dict:
+    # Fault-free MONARCH baseline; also fixes the failure instant at the
+    # midpoint of its first epoch (init included — the plan clock is
+    # absolute simulated time).
+    base = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, scale=scale, seed=SEED
+    ).execute()
+    t_fail = base.init_time_s + base.epochs[0].wall_time_s / 2
+
+    lustre = build_run(
+        "vanilla-lustre", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, scale=scale, seed=SEED
+    ).execute()
+
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=scale, seed=SEED, fault_plan=ssd_tier_down_plan(t_fail),
+    )
+    snapshot = {}
+
+    def spy():
+        # Sample the served-from-SSD counter at the failure instant; the
+        # end-of-run value must equal it (the dead tier serves nothing).
+        yield handle.sim.timeout(t_fail)
+        snapshot["reads_l0"] = handle.monarch.stats.reads_per_level.get(0, 0)
+
+    handle.sim.spawn(spy(), name="fault-spy")
+    faulted = handle.execute()
+    return {
+        "base": base,
+        "lustre": lustre,
+        "faulted": faulted,
+        "handle": handle,
+        "t_fail": t_fail,
+        "reads_l0_at_failure": snapshot["reads_l0"],
+    }
+
+
+def test_fig_fault_tier_down_graceful_degradation(benchmark, bench_scale):
+    out = run_in_benchmark(benchmark, lambda: _run_fault_grid(bench_scale))
+    base, lustre, faulted = out["base"], out["lustre"], out["faulted"]
+    monarch = out["handle"].monarch
+
+    print()
+    print("FIG-FAULT: SSD tier down at midpoint of epoch 1 (LeNet, 100 GiB)")
+    print(f"  failure instant      : {out['t_fail']:.3f} s")
+    for name, res in (("monarch", base), ("monarch+fault", faulted), ("lustre", lustre)):
+        epochs = ", ".join(f"{t:.2f}" for t in res.epoch_times)
+        print(f"  {name:14s}: total {res.total_time_s:7.3f} s  (epochs: {epochs})")
+    print(
+        f"  quarantines={monarch.health.quarantines} "
+        f"readmissions={monarch.health.readmissions} "
+        f"fallback_reads={monarch.stats.fallback_reads}"
+    )
+
+    # The job survives: all epochs complete with every record read.
+    assert len(faulted.epochs) == len(base.epochs)
+    assert all(e.records == out["handle"].dataset.n_samples for e in faulted.epochs)
+
+    # Degradation is graceful and bounded: slower than fault-free MONARCH,
+    # no slower than vanilla-lustre (which never had the fast tier).
+    assert base.total_time_s <= faulted.total_time_s <= lustre.total_time_s
+
+    # The dead tier was quarantined and never re-admitted...
+    assert monarch.health.quarantines >= 1
+    assert monarch.health.readmissions == 0
+    # ... and served zero reads after the failure instant.
+    assert monarch.stats.reads_per_level.get(0, 0) == out["reads_l0_at_failure"]
+    assert monarch.stats.fallback_reads > 0

@@ -54,6 +54,17 @@ class MonarchConfig:
     #: Purely an execution strategy: simulated results are identical with
     #: it off (the ``REPRO_DISABLE_BULK_IO=1`` escape hatch forces that).
     bulk_io: bool = True
+    #: transient-fault retries for a background copy before it gives up
+    copy_retries: int = 3
+    #: transient-fault retries for a PFS (last-resort) read before the
+    #: error propagates to the framework
+    read_retries: int = 3
+    #: base of the exponential retry backoff (doubles per attempt)
+    retry_backoff_s: float = 0.01
+    #: consecutive faults on a tier before it is quarantined
+    quarantine_threshold: int = 3
+    #: cooldown before a quarantined tier is probed for re-admission
+    probe_interval_s: float = 1.0
 
     def bulk_io_enabled(self) -> bool:
         """Effective bulk-I/O setting, honouring ``REPRO_DISABLE_BULK_IO``."""
@@ -70,3 +81,11 @@ class MonarchConfig:
             raise ValueError("copy_chunk must be >= 1")
         if self.eviction not in ("none", "lru", "fifo", "random"):
             raise ValueError(f"unknown eviction policy {self.eviction!r}")
+        if self.copy_retries < 0 or self.read_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        if self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")

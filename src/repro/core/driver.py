@@ -98,10 +98,19 @@ class StorageDriver:
         return n
 
     def remove(self, name: str) -> None:
-        """Drop ``name`` from this tier (eviction ablations, cleanup)."""
+        """Drop ``name`` from this tier (eviction ablations, cleanup).
+
+        The cached :class:`FileHandle` is dropped *and* truncated: handles
+        are cheap descriptors that may outlive the file, so any stale copy
+        held elsewhere must observe EOF (reads return 0 bytes) rather than
+        the pre-eviction size — a post-eviction re-read then re-opens a
+        fresh entry instead of consuming phantom bytes.
+        """
         key = self.local_path(name)
-        self._handles.pop(key, None)
+        stale = self._handles.pop(key, None)
         self.fs.unlink(key)
+        if stale is not None:
+            stale.meta.size = 0
 
     def drop_handles(self) -> None:
         """Forget cached handles (job teardown)."""

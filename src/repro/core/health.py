@@ -1,0 +1,128 @@
+"""Per-tier health tracking: quarantine and re-admission.
+
+The middleware treats tier faults the way a production tiering layer
+must: a tier that keeps failing is *quarantined* — reads route around it
+(ultimately to the PFS, which always holds the data) and the placement
+handler stops sending copies to it.  A quarantined tier is probed again
+after a cooldown; a successful probe re-admits it.
+
+Rules, all driven by the simulation clock (hence deterministic):
+
+* ``quarantine_threshold`` (K) consecutive faults quarantine a tier.
+* The PFS level is never quarantined — it is the data source of last
+  resort; its faults only surface after the read-retry budget.
+* While quarantined, :meth:`should_attempt` stays False until
+  ``probe_interval_s`` has elapsed since the last fault; then one request
+  is let through as a probe.  Success re-admits the tier, failure pushes
+  the next probe another interval out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["TierHealthTracker"]
+
+
+class TierHealthTracker:
+    """Consecutive-fault accounting and quarantine state per tier level."""
+
+    def __init__(
+        self,
+        n_levels: int,
+        pfs_level: int,
+        clock: Callable[[], float],
+        quarantine_threshold: int = 3,
+        probe_interval_s: float = 1.0,
+    ) -> None:
+        if n_levels < 1:
+            raise ValueError("need at least one level")
+        if not 0 <= pfs_level < n_levels:
+            raise ValueError(f"pfs_level {pfs_level} outside [0, {n_levels})")
+        if quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        self._clock = clock
+        self.pfs_level = pfs_level
+        self.threshold = quarantine_threshold
+        self.probe_interval_s = probe_interval_s
+        self._consecutive = [0] * n_levels
+        self._quarantined = [False] * n_levels
+        self._next_probe = [0.0] * n_levels
+        #: False until the first fault — lets hot read paths skip all
+        #: health bookkeeping while the hierarchy has never misbehaved
+        self.dirty = False
+        # Lifetime counters (deterministic; surfaced via telemetry).
+        self.faults = [0] * n_levels
+        self.quarantines = 0
+        self.readmissions = 0
+        self.probes = 0
+
+    # -- queries ----------------------------------------------------------
+    def ok(self, level: int) -> bool:
+        """True while ``level`` is not quarantined."""
+        return not self._quarantined[level]
+
+    is_placeable = ok  # placement never probes: copies go to healthy tiers only
+
+    def should_attempt(self, level: int) -> bool:
+        """Whether a read may try ``level`` now (healthy, or probe due)."""
+        if not self._quarantined[level]:
+            return True
+        if self._clock() >= self._next_probe[level]:
+            self.probes += 1
+            return True
+        return False
+
+    def quarantined_levels(self) -> list[int]:
+        """Currently quarantined level indices, ascending."""
+        return [lvl for lvl, q in enumerate(self._quarantined) if q]
+
+    @property
+    def any_quarantined(self) -> bool:
+        """True while at least one tier sits in quarantine."""
+        return any(self._quarantined)
+
+    def consecutive_faults(self, level: int) -> int:
+        """Faults since the last success on ``level``."""
+        return self._consecutive[level]
+
+    # -- state transitions -------------------------------------------------
+    def record_fault(self, level: int) -> None:
+        """One failed operation on ``level``; may trip the quarantine."""
+        self.dirty = True
+        self.faults[level] += 1
+        self._consecutive[level] += 1
+        if self._quarantined[level]:
+            # Failed probe: stay out, try again after another cooldown.
+            self._next_probe[level] = self._clock() + self.probe_interval_s
+        elif level != self.pfs_level and self._consecutive[level] >= self.threshold:
+            self._quarantined[level] = True
+            self.quarantines += 1
+            self._next_probe[level] = self._clock() + self.probe_interval_s
+
+    def record_success(self, level: int, readmit: bool = True) -> None:
+        """One successful operation on ``level``; re-admits after a probe.
+
+        Pass ``readmit=False`` for operations that are not probes — e.g. a
+        background copy that *started* before the tier failed and happened
+        to finish after quarantine tripped: its success says nothing about
+        the device's health *now*.
+        """
+        if self._consecutive[level]:
+            self._consecutive[level] = 0
+        if readmit and self._quarantined[level]:
+            self._quarantined[level] = False
+            self.readmissions += 1
+
+    def counters(self) -> dict[str, int]:
+        """Flat counter view for the metrics registry."""
+        out = {
+            "health.quarantines": self.quarantines,
+            "health.readmissions": self.readmissions,
+            "health.probes": self.probes,
+        }
+        for level, count in enumerate(self.faults):
+            out[f"health.faults.l{level}"] = count
+        return out

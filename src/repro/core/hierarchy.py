@@ -9,9 +9,14 @@ holds the full dataset.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.config import MonarchConfig
 from repro.core.driver import LocalDriver, PFSDriver, StorageDriver
 from repro.storage.vfs import MountTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.health import TierHealthTracker
 
 __all__ = ["StorageHierarchy"]
 
@@ -28,6 +33,9 @@ class StorageHierarchy:
         if drivers[-1].writable:
             raise ValueError("the last level must be the read-only PFS driver")
         self._drivers = list(drivers)
+        #: per-tier health tracker, attached by the middleware; placement
+        #: honours it (quarantined tiers take no new files) when present
+        self.health: "TierHealthTracker | None" = None
 
     @classmethod
     def from_config(cls, config: MonarchConfig, mounts: MountTable) -> "StorageHierarchy":
@@ -69,10 +77,22 @@ class StorageHierarchy:
 
         Returns the level index, or ``None`` when every read-write tier is
         full — at which point the file is served from the PFS for the rest
-        of the job (no evictions by default).
+        of the job (no evictions by default).  Quarantined tiers are
+        skipped: a dying device must not receive new placements.
         """
+        health = self.health
         for level, driver in self.upper_levels():
+            if health is not None and not health.is_placeable(level):
+                continue
             if driver.fits(nbytes):
+                return level
+        return None
+
+    def level_for_mount(self, mount_point: str) -> int | None:
+        """Level index whose driver sits on ``mount_point`` (or None)."""
+        normalized = mount_point.rstrip("/") or "/"
+        for level, driver in enumerate(self._drivers):
+            if driver.mount_point == normalized:
                 return level
         return None
 

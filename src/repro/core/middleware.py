@@ -28,21 +28,30 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import MonarchConfig
+from repro.core.health import TierHealthTracker
 from repro.core.hierarchy import StorageHierarchy
 from repro.core.metadata import FileState, MetadataContainer
 from repro.core.placement import PlacementHandler, make_eviction_policy
 from repro.framework.io_layer import DataReader, OpenFile
+from repro.storage.base import IOFaultError
 from repro.storage.vfs import MountTable
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["Monarch", "MonarchReader", "MonarchStats"]
 
 
 @dataclass
 class MonarchStats:
-    """Where reads were served from, per tier level."""
+    """Where reads were served from, per tier level — plus fault accounting."""
 
     reads_per_level: Counter[int] = field(default_factory=Counter)
     bytes_per_level: Counter[int] = field(default_factory=Counter)
+    #: failed operations attributed to each tier level
+    tier_faults: Counter[int] = field(default_factory=Counter)
+    #: reads whose home tier was faulted/quarantined, served elsewhere
+    fallback_reads: int = 0
+    #: extra attempts spent in the PFS read-retry loop
+    read_retries: int = 0
 
     def record(self, level: int, nbytes: int) -> None:
         """Account one read served from ``level`` (hot path: one op each)."""
@@ -54,12 +63,30 @@ class MonarchStats:
         """All reads served through the middleware."""
         return sum(self.reads_per_level.values())
 
+    @property
+    def total_faults(self) -> int:
+        """All failed operations the middleware observed."""
+        return sum(self.tier_faults.values())
+
     def hit_ratio(self, pfs_level: int) -> float:
         """Fraction of reads served from tiers above the PFS."""
         total = self.total_reads
         if total == 0:
             return 0.0
         return 1.0 - self.reads_per_level.get(pfs_level, 0) / total
+
+    def counters(self) -> dict[str, int]:
+        """Flat, deterministic counter view (metrics + test assertions)."""
+        out: dict[str, int] = {}
+        for level in sorted(self.reads_per_level):
+            out[f"monarch.reads.l{level}"] = self.reads_per_level[level]
+        for level in sorted(self.bytes_per_level):
+            out[f"monarch.bytes.l{level}"] = self.bytes_per_level[level]
+        for level in sorted(self.tier_faults):
+            out[f"monarch.tier_faults.l{level}"] = self.tier_faults[level]
+        out["monarch.fallback_reads"] = self.fallback_reads
+        out["monarch.read_retries"] = self.read_retries
+        return out
 
 
 class Monarch:
@@ -77,6 +104,16 @@ class Monarch:
         self.mounts = mounts
         self.hierarchy = StorageHierarchy.from_config(config, mounts)
         self.metadata = MetadataContainer()
+        self._health = TierHealthTracker(
+            n_levels=len(self.hierarchy),
+            pfs_level=self.hierarchy.pfs_level,
+            clock=lambda: sim.now,
+            quarantine_threshold=config.quarantine_threshold,
+            probe_interval_s=config.probe_interval_s,
+        )
+        # Placement consults the same tracker: quarantined tiers take no
+        # new files until a read probe re-admits them.
+        self.hierarchy.health = self._health
         self.placement = PlacementHandler(
             sim=sim,
             hierarchy=self.hierarchy,
@@ -87,9 +124,16 @@ class Monarch:
             eviction=make_eviction_policy(config.eviction, rng),
             rng=rng,
             bulk_io=config.bulk_io_enabled(),
+            copy_retries=config.copy_retries,
+            retry_backoff_s=config.retry_backoff_s,
         )
         self.stats = MonarchStats()
         self._initialized = False
+
+    @property
+    def health(self) -> TierHealthTracker:
+        """Per-tier quarantine/re-admission state."""
+        return self._health
 
     # -- lifecycle ---------------------------------------------------------
     def initialize(self) -> Generator[Any, Any, None]:
@@ -149,23 +193,141 @@ class Monarch:
         info = self.metadata.lookup(name)
         # Handle resolution + pread are inlined (rather than calling
         # driver.read) to keep one generator frame off every resume on the
-        # framework's hottest path.
+        # framework's hottest path.  Until the first fault is observed the
+        # only degradation overhead on this path is the try frame and one
+        # attribute check (``health.dirty``).
+        health = self._health
         if info.state is FileState.CACHED:
-            driver = self.hierarchy[info.level]
-            handle = yield from driver._handle_for(name)
-            n = yield from driver.fs.pread(handle, offset, nbytes)
-            self.stats.record(info.level, n)
+            level = info.level
+            if not health.dirty or health.should_attempt(level):
+                driver = self.hierarchy[level]
+                try:
+                    handle = yield from driver._handle_for(name)
+                    n = yield from driver.fs.pread(handle, offset, nbytes)
+                except IOFaultError:
+                    health.record_fault(level)
+                    self.stats.tier_faults[level] += 1
+                else:
+                    if health.dirty:
+                        health.record_success(level)
+                    self.stats.record(level, n)
+                    return n
+            # Home tier faulted or quarantined: route around it.
+            n = yield from self._fallback_read(info, offset, nbytes)
             return n
         # Still (or permanently) on the PFS: serve from the last tier and
         # let the placement handler decide on a background copy.
         pfs_level = self.hierarchy.pfs_level
         pfs = self.hierarchy.pfs
-        handle = yield from pfs._handle_for(name)
-        n = yield from pfs.fs.pread(handle, offset, nbytes)
+        try:
+            handle = yield from pfs._handle_for(name)
+            n = yield from pfs.fs.pread(handle, offset, nbytes)
+        except IOFaultError:
+            self.stats.tier_faults[pfs_level] += 1
+            health.record_fault(pfs_level)
+            n = yield from self._pfs_read_retrying(name, offset, nbytes)
         self.stats.record(pfs_level, n)
         covered_full = offset == 0 and n >= info.size
         self.placement.on_read(info, offset, nbytes, covered_full)
         return n
+
+    def _fallback_read(self, info: Any, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Serve a read whose home tier is faulted or quarantined.
+
+        Routes through the next healthy tier that actually holds the
+        bytes, ultimately the PFS (which, as the data source, always
+        does).  The PFS leg gets the bounded retry budget; intermediate
+        tiers fail over immediately.
+        """
+        health = self._health
+        name = info.name
+        pfs_level = self.hierarchy.pfs_level
+        for level in range(info.level + 1, pfs_level):
+            driver = self.hierarchy[level]
+            if not health.should_attempt(level) or not driver.has(name):
+                continue
+            try:
+                handle = yield from driver._handle_for(name)
+                n = yield from driver.fs.pread(handle, offset, nbytes)
+            except IOFaultError:
+                health.record_fault(level)
+                self.stats.tier_faults[level] += 1
+                continue
+            health.record_success(level)
+            self.stats.record(level, n)
+            self.stats.fallback_reads += 1
+            return n
+        pfs = self.hierarchy.pfs
+        try:
+            handle = yield from pfs._handle_for(name)
+            n = yield from pfs.fs.pread(handle, offset, nbytes)
+        except IOFaultError:
+            self.stats.tier_faults[pfs_level] += 1
+            health.record_fault(pfs_level)
+            n = yield from self._pfs_read_retrying(name, offset, nbytes)
+        self.stats.record(pfs_level, n)
+        self.stats.fallback_reads += 1
+        return n
+
+    def _pfs_read_retrying(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        """Retry a last-resort PFS read with exponential backoff.
+
+        Entered after a first attempt already failed.  Backoff holds reuse
+        the simulator's pooled timeout events; on exhaustion the last
+        fault propagates to the framework — there is nowhere left to read
+        from.
+        """
+        pfs = self.hierarchy.pfs
+        pfs_level = self.hierarchy.pfs_level
+        backoff = self.config.retry_backoff_s
+        last: IOFaultError | None = None
+        for attempt in range(self.config.read_retries):
+            self.stats.read_retries += 1
+            if backoff > 0.0:
+                ev = self.sim._pooled_timeout(backoff * (2 ** attempt))
+                yield ev
+                self.sim._recycle(ev)
+            try:
+                handle = yield from pfs._handle_for(name)
+                n = yield from pfs.fs.pread(handle, offset, nbytes)
+            except IOFaultError as err:
+                last = err
+                self.stats.tier_faults[pfs_level] += 1
+                self._health.record_fault(pfs_level)
+                continue
+            self._health.record_success(pfs_level)
+            return n
+        if last is None:
+            last = IOFaultError(f"PFS read of {name}: no retry budget")
+        raise last
+
+    def publish_metrics(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Surface every middleware counter through the telemetry registry.
+
+        Read/fault/fallback/retry counts from :class:`MonarchStats`, the
+        placement handler's copy accounting, and the health tracker's
+        quarantine history — one flat namespace, suitable for diffing two
+        runs in determinism tests.
+        """
+        reg = registry if registry is not None else MetricsRegistry()
+        for name, value in self.stats.counters().items():
+            reg.incr(name, value)
+        ps = self.placement.stats
+        for field_name in (
+            "scheduled",
+            "completed",
+            "unplaceable",
+            "evictions",
+            "bytes_copied",
+            "pfs_bytes_fetched",
+            "copy_retries",
+            "copy_giveups",
+            "deferred",
+        ):
+            reg.incr(f"placement.{field_name}", getattr(ps, field_name))
+        for name, value in self._health.counters().items():
+            reg.incr(name, value)
+        return reg
 
 
 class MonarchReader(DataReader):

@@ -37,7 +37,7 @@ from repro.core.metadata import FileInfo, FileState, MetadataContainer
 from repro.simkernel.bulk import hold_series
 from repro.simkernel.core import Process, Simulator
 from repro.simkernel.resources import Store
-from repro.storage.base import NoSpaceError
+from repro.storage.base import IOFaultError, NoSpaceError, TierFailedError
 from repro.storage.blockmath import jitter_from_normal
 from repro.storage.localfs import LocalFileSystem
 from repro.storage.pfs import ParallelFileSystem
@@ -78,6 +78,12 @@ class PlacementStats:
     evictions: int = 0
     bytes_copied: int = 0
     pfs_bytes_fetched: int = 0
+    #: transient-fault retries spent by copy tasks
+    copy_retries: int = 0
+    #: copy tasks that gave up (hard failure, ENOSPC, retry budget spent)
+    copy_giveups: int = 0
+    #: placements deferred because a quarantined tier blocked first-fit
+    deferred: int = 0
 
 
 class EvictionPolicy:
@@ -208,9 +214,15 @@ class PlacementHandler:
         eviction: EvictionPolicy | None = None,
         rng: np.random.Generator | None = None,
         bulk_io: bool = True,
+        copy_retries: int = 3,
+        retry_backoff_s: float = 0.01,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
+        if copy_retries < 0:
+            raise ValueError("copy_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.sim = sim
         self.hierarchy = hierarchy
         self.metadata = metadata
@@ -218,6 +230,8 @@ class PlacementHandler:
         self.full_fetch = full_fetch_on_partial_read
         self.eviction = eviction or NoEviction()
         self.bulk_io = bulk_io
+        self.copy_retries = copy_retries
+        self.retry_backoff_s = retry_backoff_s
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = PlacementStats()
         self._queue = Store(sim, capacity=None, name="placement-queue")
@@ -243,7 +257,10 @@ class PlacementHandler:
         return free - self._reserved[level]
 
     def _first_fit(self, nbytes: int) -> int | None:
+        health = self.hierarchy.health
         for level, _driver in self.hierarchy.upper_levels():
+            if health is not None and not health.is_placeable(level):
+                continue
             free = self.effective_free(level)
             if free is None or nbytes <= free:
                 return level
@@ -281,6 +298,13 @@ class PlacementHandler:
         if target is None:
             target = self._try_evict_for(info.size)
         if target is None:
+            health = self.hierarchy.health
+            if health is not None and health.any_quarantined:
+                # A quarantined tier may be re-admitted later; keep the
+                # file PFS-resident so a post-recovery read can place it,
+                # rather than writing it off for the rest of the job.
+                self.stats.deferred += 1
+                return
             info.state = FileState.UNPLACEABLE
             self.stats.unplaceable += 1
             return
@@ -371,12 +395,108 @@ class PlacementHandler:
             if task is _STOP:
                 return
             try:
-                if task.increment is None:
-                    yield from self._copy_full(task)
-                else:
-                    yield from self._copy_increment(task)
+                yield from self._run_task(task)
             finally:
                 self._task_done()
+
+    def _run_task(self, task: _CopyTask) -> Generator[Any, Any, None]:
+        """Execute one copy task with bounded retry and clean give-up.
+
+        Transient faults retry up to ``copy_retries`` times with
+        exponential backoff (partial bytes are discarded first, so every
+        attempt starts from scratch); a hard tier failure or ENOSPC gives
+        up immediately.  Giving up fully unwinds the placement — space
+        reservation, metadata state and partial bytes — leaving the file
+        PFS-resident.
+        """
+        info = task.info
+        if task.increment is not None:
+            # Write-through increments carry no retry budget: the next
+            # framework read re-drives progress anyway.
+            if info.pending_level != task.target_level:
+                return  # placement was abandoned while this increment queued
+            try:
+                yield from self._copy_increment(task)
+            except (IOFaultError, NoSpaceError) as err:
+                self._record_copy_fault(task, err)
+                self._abandon(task)
+            return
+        health = self.hierarchy.health
+        attempt = 0
+        while True:
+            if health is not None and not health.is_placeable(task.target_level):
+                # Tier went under quarantine while this task queued.
+                self._abandon(task)
+                return
+            try:
+                yield from self._copy_full(task)
+            except NoSpaceError as err:
+                self._record_copy_fault(task, err)
+                self._abandon(task)
+                return
+            except TierFailedError as err:
+                self._record_copy_fault(task, err)
+                self._abandon(task)
+                return
+            except IOFaultError as err:
+                self._record_copy_fault(task, err)
+                self._discard_partial(task)
+                if attempt >= self.copy_retries:
+                    self._abandon(task)
+                    return
+                self.stats.copy_retries += 1
+                delay = self.retry_backoff_s * (2 ** attempt)
+                if delay > 0.0:
+                    ev = self.sim._pooled_timeout(delay)
+                    yield ev
+                    self.sim._recycle(ev)
+                attempt += 1
+            else:
+                if health is not None and health.dirty:
+                    # A completed copy is not a probe: it may have started
+                    # before the tier failed, so it never re-admits.
+                    health.record_success(task.target_level, readmit=False)
+                return
+
+    def _record_copy_fault(self, task: _CopyTask, err: Exception) -> None:
+        """Attribute a copy failure to the faulting tier's health record.
+
+        Injected errors carry the faulting mount point; without one, the
+        fault is charged to the copy's target tier.  ENOSPC is a capacity
+        condition, not a device fault — it never counts against health.
+        """
+        health = self.hierarchy.health
+        if health is None or not isinstance(err, IOFaultError):
+            return
+        level = None
+        mount = getattr(err, "mount", None)
+        if mount is not None:
+            level = self.hierarchy.level_for_mount(mount)
+        if level is None:
+            level = task.target_level
+        health.record_fault(level)
+
+    def _discard_partial(self, task: _CopyTask) -> None:
+        """Drop partially copied bytes so a retry starts from scratch."""
+        driver = self.hierarchy[task.target_level]
+        if driver.has(task.info.name):
+            driver.remove(task.info.name)
+
+    def _abandon(self, task: _CopyTask) -> None:
+        """Give up on a placement cleanly.
+
+        Reservation, partial bytes and metadata all return to the
+        pre-schedule world: the file stays PFS-resident (a later read may
+        place it again once the hierarchy recovers).
+        """
+        info = task.info
+        level = task.target_level
+        self._discard_partial(task)
+        self._reserved[level] -= info.size
+        info.state = FileState.PFS_ONLY
+        info.pending_level = None
+        self._partial_written.pop(info.name, None)
+        self.stats.copy_giveups += 1
 
     def _copy_full(self, task: _CopyTask) -> Generator[Any, Any, None]:
         """Copy a whole file to its target tier as one chunk train.

@@ -26,6 +26,7 @@ def run_once(
     seed: int = 0,
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
+    fault_plan=None,
 ) -> RunRecord:
     """One seeded run; all measurements un-scaled to paper units."""
     calib = calib or DEFAULT_CALIBRATION
@@ -38,6 +39,7 @@ def run_once(
         seed=seed,
         epochs=epochs,
         monarch_overrides=monarch_overrides,
+        fault_plan=fault_plan,
     )
     result = handle.execute()
     inv = 1.0 / scale
@@ -83,6 +85,7 @@ def run_experiment(
     base_seed: int = 100,
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
+    fault_plan=None,
 ) -> ExperimentResult:
     """Repeat :func:`run_once` over ``runs`` seeds (paper methodology: 7)."""
     if runs < 1:
@@ -99,6 +102,7 @@ def run_experiment(
                 seed=base_seed + i,
                 epochs=epochs,
                 monarch_overrides=monarch_overrides,
+                fault_plan=fault_plan,
             )
         )
     return result

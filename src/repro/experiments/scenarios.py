@@ -22,6 +22,8 @@ from dataclasses import dataclass, replace
 from repro.core.config import MonarchConfig, TierSpec
 from repro.core.middleware import Monarch, MonarchReader
 from repro.data.dataset import DatasetSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, TierDown
 from repro.data.imagenet import scaled
 from repro.data.sharding import ShardManifest, build_shards
 from repro.data.virtual import materialize
@@ -46,7 +48,7 @@ from repro.storage.pagecache import PageCache
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
 
-__all__ = ["RunHandle", "SETUPS", "build_run"]
+__all__ = ["RunHandle", "SETUPS", "build_run", "ssd_tier_down_plan"]
 
 SETUPS = ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch")
 
@@ -70,6 +72,8 @@ class RunHandle:
     local_fs: LocalFileSystem | None = None
     monarch: Monarch | None = None
     manifest: ShardManifest | None = None
+    fault_plan: FaultPlan | None = None
+    injector: FaultInjector | None = None
 
     def execute(self) -> TrainResult:
         """Run the job to completion; returns the trainer's result."""
@@ -78,6 +82,16 @@ class RunHandle:
         if self.monarch is not None:
             self.monarch.shutdown()
         return result
+
+
+def ssd_tier_down_plan(at_s: float, recover_at_s: float | None = None) -> FaultPlan:
+    """The FIG-FAULT schedule: the node-local SSD dies at ``at_s``.
+
+    ``at_s`` is in *simulated* seconds from job start (init included).
+    With ``recover_at_s`` the device comes back — the quarantined tier is
+    then re-admitted by the first successful probe read.
+    """
+    return FaultPlan({SSD_MOUNT: (TierDown(at=at_s, recover_at=recover_at_s),)})
 
 
 def build_run(
@@ -89,13 +103,18 @@ def build_run(
     seed: int = 0,
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> RunHandle:
     """Wire a complete environment for one experimental run.
 
     ``dataset`` is the unscaled spec; it is shrunk by ``scale`` here, with
     tier capacities scaled to match.  ``monarch_overrides`` lets ablation
     benchmarks tweak :class:`MonarchConfig` fields (thread-pool size,
-    eviction policy, full-fetch flag).
+    eviction policy, full-fetch flag).  ``fault_plan`` arms a fault
+    schedule against the planned mounts (``REPRO_FAULT_PLAN`` in the
+    environment supplies one when the argument is omitted); fault draws
+    come from the dedicated ``"faults"`` RNG stream, so a (seed, plan)
+    pair replays identically.
     """
     if setup not in SETUPS:
         raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
@@ -138,8 +157,17 @@ def build_run(
     manifest = build_shards(sspec)
     pfs_paths = materialize(manifest, pfs, DATASET_DIR)
 
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    injector: FaultInjector | None = None
+    if fault_plan is not None and not fault_plan.is_empty():
+        injector = FaultInjector(sim, fault_plan, rngs.stream("faults"))
+
+    def faulted(mount: str, fs):
+        return fs if injector is None else injector.wrap_fs(mount, fs)
+
     mounts = MountTable()
-    mounts.mount(PFS_MOUNT, pfs)
+    mounts.mount(PFS_MOUNT, faulted(PFS_MOUNT, pfs))
 
     local_fs: LocalFileSystem | None = None
     if setup != "vanilla-lustre":
@@ -153,7 +181,7 @@ def build_run(
                 env.page_cache_bytes, ram_bw_mib=calib.page_cache_ram_bw_mib
             ),
         )
-        mounts.mount(SSD_MOUNT, local_fs)
+        mounts.mount(SSD_MOUNT, faulted(SSD_MOUNT, local_fs))
 
     node = ComputeNode(sim, calib.node)
     n_epochs = epochs if epochs is not None else calib.epochs
@@ -199,7 +227,7 @@ def build_run(
                 capacity_bytes=max(1, int(round(ram_bytes * scale))),
                 name="ram",
             )
-            mounts.mount(RAM_MOUNT, ram_fs)
+            mounts.mount(RAM_MOUNT, faulted(RAM_MOUNT, ram_fs))
             backends["ram"] = ram_fs.stats
             tiers = (TierSpec(mount_point=RAM_MOUNT), *tiers)
         config = MonarchConfig(
@@ -254,4 +282,6 @@ def build_run(
         local_fs=local_fs,
         monarch=monarch,
         manifest=manifest,
+        fault_plan=fault_plan,
+        injector=injector,
     )

@@ -1,0 +1,31 @@
+"""Seeded, deterministic fault injection for the simulated hierarchy.
+
+Declare *what goes wrong and when* with a :class:`FaultPlan` (transient
+I/O errors with probability p, latency spikes, hard ``tier_down``
+events), then arm it with a :class:`FaultInjector`, which wraps the
+planned mounts' file systems or devices in delegating proxies.  The
+middleware's degradation machinery (per-tier health tracking, read
+fallback, copy retry, quarantine/re-admission) lives in
+:mod:`repro.core`; this package only produces the failures.
+
+Everything is driven by a dedicated ``"faults"`` RNG stream, so a given
+(seed, plan) pair replays the exact same fault sequence — including
+bit-identical runs with ``REPRO_DISABLE_BULK_IO`` on or off.
+"""
+
+from repro.faults.injector import FaultInjector, FaultyDevice, FaultyFileSystem, TierFaultState
+from repro.faults.plan import FaultPlan, LatencySpike, TierDown, TransientFaults
+from repro.storage.base import IOFaultError, TierFailedError
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyDevice",
+    "FaultyFileSystem",
+    "IOFaultError",
+    "LatencySpike",
+    "TierDown",
+    "TierFaultState",
+    "TierFailedError",
+    "TransientFaults",
+]

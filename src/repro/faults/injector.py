@@ -1,0 +1,324 @@
+"""Seeded, deterministic fault injection for simulated backends.
+
+:class:`FaultInjector` arms a :class:`~repro.faults.plan.FaultPlan`
+against a simulation: it wraps each planned mount's
+:class:`~repro.storage.base.FileSystem` (or raw
+:class:`~repro.storage.device.Device`) in a delegating proxy that
+consults the plan before every timed operation.
+
+Determinism contract:
+
+* Each mount gets a private RNG substream, spawned from the injector's
+  stream in sorted-mount order — wrapping more mounts never perturbs the
+  draws of another mount.
+* A probability draw happens *only* while a transient window covering the
+  current instant has ``p > 0`` for the op's direction, so the draw
+  sequence is a pure function of the (deterministic) op sequence.
+* Faulted operations consume **zero** simulated time: the error surfaces
+  before the backend is touched, like an EIO from a dead device.
+* Latency spikes stretch an op by holding the extra time *after* the
+  inner op completes, using the simulator's pooled timeout events.
+
+The file-system proxy is deliberately *not* a ``LocalFileSystem`` /
+``ParallelFileSystem`` subclass: the placement handler's analytic bulk
+fast path requires those concrete types and falls back to exact per-chunk
+execution otherwise, which guarantees every copy byte passes through the
+proxy — and makes faulted runs trivially bit-identical with
+``REPRO_DISABLE_BULK_IO`` on or off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.faults.plan import FaultEvent, FaultPlan, LatencySpike, TierDown, TransientFaults
+from repro.storage.base import FileHandle, IOFaultError, NoSpaceError, TierFailedError
+
+__all__ = ["FaultInjector", "FaultyDevice", "FaultyFileSystem", "TierFaultState"]
+
+
+class TierFaultState:
+    """Evaluates one mount's fault schedule against the simulation clock."""
+
+    def __init__(
+        self,
+        sim: Any,
+        mount: str,
+        events: Sequence[FaultEvent],
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.mount = mount
+        self.rng = rng
+        self._transients = tuple(e for e in events if isinstance(e, TransientFaults))
+        self._spikes = tuple(e for e in events if isinstance(e, LatencySpike))
+        self._downs = tuple(e for e in events if isinstance(e, TierDown))
+        # Injected-fault counters, by kind.
+        self.transient_reads = 0
+        self.transient_writes = 0
+        self.down_rejections = 0
+
+    def is_down(self, at: float | None = None) -> bool:
+        """Whether a ``tier_down`` covers ``at`` (default: now)."""
+        now = self.sim.now if at is None else at
+        return any(d.active(now) for d in self._downs)
+
+    def check(self, write: bool) -> None:
+        """Raise the scheduled fault for one op starting now, if any.
+
+        Zero simulated time passes: call before delegating to the backend.
+        """
+        now = self.sim.now
+        if self.is_down(now):
+            self.down_rejections += 1
+            raise TierFailedError(f"{self.mount}: tier is down (fault plan)", mount=self.mount)
+        for window in self._transients:
+            p = window.write_p if write else window.read_p
+            if p <= 0.0 or not window.active(now):
+                continue
+            if self.rng.random() < p:
+                if write:
+                    self.transient_writes += 1
+                else:
+                    self.transient_reads += 1
+                kind = "write" if write else "read"
+                if window.error == "nospace":
+                    err: IOFaultError | NoSpaceError = NoSpaceError(
+                        f"{self.mount}: injected ENOSPC on {kind}"
+                    )
+                    err.mount = self.mount  # type: ignore[attr-defined]
+                    raise err
+                raise IOFaultError(
+                    f"{self.mount}: injected {kind} fault", mount=self.mount
+                )
+
+    def latency_multiplier(self, at: float | None = None) -> float:
+        """Product of active latency-spike multipliers at ``at`` (>= 1)."""
+        now = self.sim.now if at is None else at
+        mult = 1.0
+        for spike in self._spikes:
+            if spike.active(now):
+                mult *= spike.multiplier
+        return mult
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults this mount has raised."""
+        return self.transient_reads + self.transient_writes + self.down_rejections
+
+
+class FaultInjector:
+    """Arms a fault plan: builds per-mount states and wraps backends."""
+
+    def __init__(self, sim: Any, plan: FaultPlan, rng: np.random.Generator) -> None:
+        self.sim = sim
+        self.plan = plan
+        mounts = plan.mounts()
+        streams = rng.spawn(len(mounts)) if mounts else []
+        self._states = {
+            mount: TierFaultState(sim, mount, plan.for_mount(mount), stream)
+            for mount, stream in zip(mounts, streams)
+        }
+
+    def state_for(self, mount: str) -> TierFaultState | None:
+        """The mount's fault state, or None when it has no events."""
+        return self._states.get(mount)
+
+    def wrap_fs(self, mount: str, fs: Any) -> Any:
+        """Wrap ``fs`` if the plan targets ``mount``; else return it as is."""
+        state = self._states.get(mount)
+        if state is None:
+            return fs
+        return FaultyFileSystem(fs, state)
+
+    def wrap_device(self, mount: str, device: Any) -> Any:
+        """Wrap a raw device if the plan targets ``mount``."""
+        state = self._states.get(mount)
+        if state is None:
+            return device
+        return FaultyDevice(device, state)
+
+    def counters(self) -> dict[str, int]:
+        """Flat ``{mount/kind: count}`` view of every injected fault."""
+        out: dict[str, int] = {}
+        for mount, state in sorted(self._states.items()):
+            out[f"{mount}/transient_reads"] = state.transient_reads
+            out[f"{mount}/transient_writes"] = state.transient_writes
+            out[f"{mount}/down_rejections"] = state.down_rejections
+        return out
+
+
+class _FaultProxy:
+    """Shared delegation + latency-stretch machinery of the two proxies."""
+
+    def __init__(self, inner: Any, state: TierFaultState) -> None:
+        self._inner = inner
+        self._state = state
+        self.sim = state.sim
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self) -> Any:
+        """The wrapped backend (escape hatch for tests/diagnostics)."""
+        return self._inner
+
+    @property
+    def fault_state(self) -> TierFaultState:
+        """This backend's schedule evaluator."""
+        return self._state
+
+    def _stretched(self, gen: Generator[Any, Any, Any]) -> Generator[Any, Any, Any]:
+        """Run ``gen``, then hold the latency-spike surcharge.
+
+        The multiplier is sampled at op start (the instant the plan
+        schedules); the surcharge reuses the simulator's pooled timeout
+        events so spiked runs allocate no extra Event objects.
+        """
+        mult = self._state.latency_multiplier()
+        if mult <= 1.0:
+            result = yield from gen
+            return result
+        t0 = self.sim.now
+        result = yield from gen
+        extra = (mult - 1.0) * (self.sim.now - t0)
+        if extra > 0.0:
+            ev = self.sim._pooled_timeout(extra)
+            yield ev
+            self.sim._recycle(ev)
+        return result
+
+
+class FaultyFileSystem(_FaultProxy):
+    """FileSystem proxy that consults the fault schedule on every timed op.
+
+    Untimed bookkeeping (``exists``, ``file_size``, ``unlink``,
+    ``add_file``, ``apply_bulk_write``, stats, ...) passes straight
+    through — cleanup after a failed copy must always succeed, exactly as
+    dropping an in-memory descriptor table does on a dead device.
+    """
+
+    # -- timed metadata ops (count as reads) ------------------------------
+    def open(self, path: str, flags: str = "r") -> Generator[Any, Any, FileHandle]:
+        self._state.check(write=flags != "r")
+        handle = yield from self._stretched(self._inner.open(path, flags))
+        # Re-bind the handle to the proxy: callers route follow-up I/O via
+        # ``handle.fs`` and must not tunnel past the injector.
+        return FileHandle(fs=self, meta=handle.meta, flags=handle.flags)
+
+    def stat(self, path: str) -> Generator[Any, Any, Any]:
+        self._state.check(write=False)
+        meta = yield from self._stretched(self._inner.stat(path))
+        return meta
+
+    def listdir(self, path: str) -> Generator[Any, Any, list[str]]:
+        self._state.check(write=False)
+        entries = yield from self._stretched(self._inner.listdir(path))
+        return entries
+
+    # -- timed data ops ----------------------------------------------------
+    def pread(
+        self, handle: FileHandle, offset: int, nbytes: int, *args: Any, **kwargs: Any
+    ) -> Generator[Any, Any, int]:
+        self._state.check(write=False)
+        n = yield from self._stretched(self._inner.pread(handle, offset, nbytes, *args, **kwargs))
+        return n
+
+    def pwrite(self, handle: FileHandle, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+        self._state.check(write=True)
+        n = yield from self._stretched(self._inner.pwrite(handle, offset, nbytes))
+        return n
+
+    # -- bulk train ops ----------------------------------------------------
+    def _bulk(
+        self,
+        write: bool,
+        handle: FileHandle,
+        offset: int,
+        sizes: list[int],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Generator[Any, Any, int]:
+        """Common bulk path: draw per chunk, run the surviving prefix.
+
+        Draws are made in chunk order (matching what a chunk-at-a-time
+        caller would consume from this mount's substream); the prefix
+        before the first fault executes and its bookkeeping lands, then
+        the fault surfaces — mirroring a chunk loop dying mid-train.
+        """
+        n_ok = len(sizes)
+        fault: Exception | None = None
+        for i in range(len(sizes)):
+            try:
+                self._state.check(write=write)
+            except (IOFaultError, NoSpaceError) as err:
+                n_ok, fault = i, err
+                break
+        total = 0
+        if n_ok > 0:
+            op = self._inner.pwrite_bulk if write else self._inner.pread_bulk
+            total = yield from self._stretched(
+                op(handle, offset, list(sizes[:n_ok]), *args, **kwargs)
+            )
+        if fault is not None:
+            raise fault
+        return total
+
+    def pread_bulk(
+        self, handle: FileHandle, offset: int, sizes: list[int], *args: Any, **kwargs: Any
+    ) -> Generator[Any, Any, int]:
+        n = yield from self._bulk(False, handle, offset, sizes, *args, **kwargs)
+        return n
+
+    def pwrite_bulk(
+        self, handle: FileHandle, offset: int, sizes: list[int], *args: Any, **kwargs: Any
+    ) -> Generator[Any, Any, int]:
+        n = yield from self._bulk(True, handle, offset, sizes, *args, **kwargs)
+        return n
+
+
+class FaultyDevice(_FaultProxy):
+    """Device proxy: same schedule semantics at the block layer."""
+
+    def read(self, nbytes: int, *args: Any, **kwargs: Any) -> Generator[Any, Any, int]:
+        self._state.check(write=False)
+        n = yield from self._stretched(self._inner.read(nbytes, *args, **kwargs))
+        return n
+
+    def write(self, nbytes: int, *args: Any, **kwargs: Any) -> Generator[Any, Any, int]:
+        self._state.check(write=True)
+        n = yield from self._stretched(self._inner.write(nbytes, *args, **kwargs))
+        return n
+
+    def _bulk_sizes(self, write: bool, sizes: list[int]) -> tuple[int, Exception | None]:
+        n_ok = len(sizes)
+        fault: Exception | None = None
+        for i in range(len(sizes)):
+            try:
+                self._state.check(write=write)
+            except (IOFaultError, NoSpaceError) as err:
+                n_ok, fault = i, err
+                break
+        return n_ok, fault
+
+    def read_bulk(self, sizes: list[int], *args: Any, **kwargs: Any) -> Generator[Any, Any, int]:
+        n_ok, fault = self._bulk_sizes(False, sizes)
+        total = 0
+        if n_ok > 0:
+            total = yield from self._stretched(self._inner.read_bulk(list(sizes[:n_ok]), *args, **kwargs))
+        if fault is not None:
+            raise fault
+        return total
+
+    def write_bulk(self, sizes: list[int], *args: Any, **kwargs: Any) -> Generator[Any, Any, int]:
+        n_ok, fault = self._bulk_sizes(True, sizes)
+        total = 0
+        if n_ok > 0:
+            total = yield from self._stretched(self._inner.write_bulk(list(sizes[:n_ok]), *args, **kwargs))
+        if fault is not None:
+            raise fault
+        return total

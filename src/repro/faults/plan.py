@@ -1,0 +1,237 @@
+"""Declarative fault schedules for the simulated storage hierarchy.
+
+A :class:`FaultPlan` maps mount points to a schedule of fault events:
+
+* :class:`TransientFaults` — over a time window, each read (write) op
+  fails with probability ``read_p`` (``write_p``), raising
+  :class:`~repro.storage.base.IOFaultError` (or
+  :class:`~repro.storage.base.NoSpaceError` with ``error="nospace"``).
+* :class:`LatencySpike` — over a time window, every operation on the
+  backend takes ``multiplier`` times as long (a degraded link, a firmware
+  garbage-collection stall, a noisy neighbour).
+* :class:`TierDown` — hard failure at ``at``: every operation raises
+  :class:`~repro.storage.base.TierFailedError` until ``recover_at``
+  (forever when ``recover_at`` is None).
+
+Plans are plain data — building one neither arms anything nor touches the
+simulator.  :class:`~repro.faults.injector.FaultInjector` turns a plan
+into wrapped backends.  The ``REPRO_FAULT_PLAN`` environment variable can
+carry a JSON-encoded plan into any experiment entry point::
+
+    REPRO_FAULT_PLAN='{"/mnt/ssd": [{"kind": "tier_down", "at": 30.0}]}'
+
+See :meth:`FaultPlan.from_dict` for the JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = ["FaultPlan", "LatencySpike", "TierDown", "TransientFaults"]
+
+#: error kinds a TransientFaults window may raise
+_ERROR_KINDS = ("io", "nospace")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Probabilistic per-op failures over ``[start, end)``."""
+
+    start: float
+    end: float
+    read_p: float = 0.0
+    write_p: float = 0.0
+    #: "io" raises IOFaultError, "nospace" raises NoSpaceError
+    error: str = "io"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"transient window ends ({self.end}) before it starts ({self.start})")
+        for p in (self.read_p, self.write_p):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"fault probability {p} outside [0, 1]")
+        if self.error not in _ERROR_KINDS:
+            raise ValueError(f"unknown error kind {self.error!r}; expected one of {_ERROR_KINDS}")
+        if self.error == "nospace" and self.read_p > 0.0:
+            # ENOSPC is a write-path condition; a read can never run out
+            # of space, so such a plan is a spec mistake, not a scenario.
+            raise ValueError("nospace faults apply to writes only (read_p must be 0)")
+
+    def active(self, now: float) -> bool:
+        """Whether the window covers instant ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Every op over ``[start, end)`` takes ``multiplier`` times as long."""
+
+    start: float
+    end: float
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"latency window ends ({self.end}) before it starts ({self.start})")
+        if self.multiplier < 1.0:
+            raise ValueError(f"latency multiplier must be >= 1, got {self.multiplier}")
+
+    def active(self, now: float) -> bool:
+        """Whether the window covers instant ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class TierDown:
+    """Hard backend failure at ``at``; optional recovery at ``recover_at``."""
+
+    at: float
+    recover_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError(
+                f"recover_at ({self.recover_at}) must come after the failure ({self.at})"
+            )
+
+    def active(self, now: float) -> bool:
+        """Whether the backend is down at instant ``now``."""
+        if now < self.at:
+            return False
+        return self.recover_at is None or now < self.recover_at
+
+
+#: any single schedulable fault event
+FaultEvent = TransientFaults | LatencySpike | TierDown
+
+
+class FaultPlan:
+    """Immutable schedule of fault events, keyed by mount point."""
+
+    def __init__(self, events: Mapping[str, Sequence[FaultEvent]]) -> None:
+        plan: dict[str, tuple[FaultEvent, ...]] = {}
+        for mount, evs in events.items():
+            for ev in evs:
+                if not isinstance(ev, (TransientFaults, LatencySpike, TierDown)):
+                    raise TypeError(f"not a fault event: {ev!r}")
+            plan[mount] = tuple(evs)
+        self._events = plan
+
+    # -- queries ----------------------------------------------------------
+    def mounts(self) -> list[str]:
+        """Mount points with scheduled events, sorted (deterministic)."""
+        return sorted(self._events)
+
+    def for_mount(self, mount: str) -> tuple[FaultEvent, ...]:
+        """Events scheduled for ``mount`` (empty tuple if none)."""
+        return self._events.get(mount, ())
+
+    def is_empty(self) -> bool:
+        """True when no mount has any event."""
+        return not any(self._events.values())
+
+    def __contains__(self, mount: str) -> bool:
+        return bool(self._events.get(mount))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self._events!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._events == other._events
+
+    # -- (de)serialization ------------------------------------------------
+    def to_dict(self) -> dict[str, list[dict]]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        out: dict[str, list[dict]] = {}
+        for mount, evs in self._events.items():
+            rows = []
+            for ev in evs:
+                if isinstance(ev, TransientFaults):
+                    rows.append(
+                        {
+                            "kind": "transient",
+                            "start": ev.start,
+                            "end": ev.end,
+                            "read_p": ev.read_p,
+                            "write_p": ev.write_p,
+                            "error": ev.error,
+                        }
+                    )
+                elif isinstance(ev, LatencySpike):
+                    rows.append(
+                        {
+                            "kind": "latency",
+                            "start": ev.start,
+                            "end": ev.end,
+                            "multiplier": ev.multiplier,
+                        }
+                    )
+                else:
+                    row: dict = {"kind": "tier_down", "at": ev.at}
+                    if ev.recover_at is not None:
+                        row["recover_at"] = ev.recover_at
+                    rows.append(row)
+            out[mount] = rows
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[Mapping]]) -> "FaultPlan":
+        """Parse ``{mount: [{"kind": ..., ...}, ...]}``.
+
+        Kinds: ``transient`` (``start``, ``end``, ``read_p``, ``write_p``,
+        ``error``), ``latency`` (``start``, ``end``, ``multiplier``) and
+        ``tier_down`` (``at``, optional ``recover_at``).
+        """
+        events: dict[str, list[FaultEvent]] = {}
+        for mount, rows in data.items():
+            parsed: list[FaultEvent] = []
+            for row in rows:
+                kind = row.get("kind")
+                if kind == "transient":
+                    parsed.append(
+                        TransientFaults(
+                            start=float(row["start"]),
+                            end=float(row["end"]),
+                            read_p=float(row.get("read_p", 0.0)),
+                            write_p=float(row.get("write_p", 0.0)),
+                            error=str(row.get("error", "io")),
+                        )
+                    )
+                elif kind == "latency":
+                    parsed.append(
+                        LatencySpike(
+                            start=float(row["start"]),
+                            end=float(row["end"]),
+                            multiplier=float(row["multiplier"]),
+                        )
+                    )
+                elif kind == "tier_down":
+                    rec = row.get("recover_at")
+                    parsed.append(
+                        TierDown(
+                            at=float(row["at"]),
+                            recover_at=None if rec is None else float(rec),
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r} for mount {mount!r}")
+            events[mount] = parsed
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON-encoded plan (the ``REPRO_FAULT_PLAN`` format)."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "FaultPlan | None":
+        """Plan from ``REPRO_FAULT_PLAN``, or None when unset/empty."""
+        raw = (env if env is not None else os.environ).get("REPRO_FAULT_PLAN", "").strip()
+        if not raw:
+            return None
+        return cls.from_json(raw)

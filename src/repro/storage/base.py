@@ -22,8 +22,10 @@ __all__ = [
     "FileMeta",
     "FileNotFoundInFS",
     "FileSystem",
+    "IOFaultError",
     "NoSpaceError",
     "StorageError",
+    "TierFailedError",
     "norm_path",
 ]
 
@@ -42,6 +44,24 @@ class FileExistsInFS(StorageError):
 
 class NoSpaceError(StorageError):
     """Backend ran out of capacity (ENOSPC)."""
+
+
+class IOFaultError(StorageError):
+    """Transient I/O failure (EIO) injected by a fault plan.
+
+    ``mount`` names the faulting backend's mount point (when known) so the
+    middleware can attribute the fault to the right tier's health record.
+    Raised *before* any simulated time is consumed: a faulted operation
+    fails instantly, like a device returning EIO from its completion queue.
+    """
+
+    def __init__(self, message: str, mount: str | None = None) -> None:
+        super().__init__(message)
+        self.mount = mount
+
+
+class TierFailedError(IOFaultError):
+    """Hard tier failure: the backend is down (``tier_down``), not flaky."""
 
 
 def norm_path(path: str) -> str:

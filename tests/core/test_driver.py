@@ -78,6 +78,48 @@ class TestLocalDriver:
         # one open for the write handle; reads reuse it
         assert local_fs.stats.open_ops == 1
 
+    def test_remove_drops_cached_handle(self, sim, local_fs):
+        # Regression: remove() must evict the handle cache, or the next
+        # read reuses a descriptor for an unlinked file.
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+
+        def write_then_remove():
+            yield from d.write("/dataset/a", 0, 2048)
+            yield from d.read("/dataset/a", 0, 2048)
+
+        drive(sim, write_then_remove())
+        d.remove("/dataset/a")
+        assert d._handles == {}
+
+        def replace():
+            yield from d.write("/dataset/a", 0, 512)
+            n = yield from d.read("/dataset/a", 0, 2048)
+            return n
+
+        # The re-placed (smaller) file is re-opened fresh: reads see the
+        # new size, not phantom bytes from the removed incarnation.
+        assert drive(sim, replace()) == 512
+        assert d.occupancy_bytes == 512
+
+    def test_stale_handle_sees_eof_after_remove(self, sim, local_fs):
+        # Regression: a handle captured *before* remove() may be held by a
+        # concurrent reader; it must observe EOF, not the stale size.
+        d = LocalDriver(local_fs, "/mnt/ssd", None)
+
+        def write_and_grab():
+            yield from d.write("/dataset/a", 0, 2048)
+            handle = yield from d._handle_for("/dataset/a")
+            return handle
+
+        stale = drive(sim, write_and_grab())
+        d.remove("/dataset/a")
+
+        def read_via_stale():
+            n = yield from local_fs.pread(stale, 0, 2048)
+            return n
+
+        assert drive(sim, read_via_stale()) == 0
+
     def test_writable(self, local_fs):
         assert LocalDriver(local_fs, "/mnt/ssd", None).writable
 

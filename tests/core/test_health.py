@@ -1,0 +1,133 @@
+"""TierHealthTracker: quarantine, probing and re-admission rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.health import TierHealthTracker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock: FakeClock) -> TierHealthTracker:
+    return TierHealthTracker(
+        n_levels=2, pfs_level=1, clock=clock, quarantine_threshold=3, probe_interval_s=1.0
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self, clock):
+        with pytest.raises(ValueError):
+            TierHealthTracker(0, 0, clock)
+        with pytest.raises(ValueError):
+            TierHealthTracker(2, 2, clock)
+        with pytest.raises(ValueError):
+            TierHealthTracker(2, 1, clock, quarantine_threshold=0)
+        with pytest.raises(ValueError):
+            TierHealthTracker(2, 1, clock, probe_interval_s=0.0)
+
+
+class TestQuarantine:
+    def test_k_consecutive_faults_trip(self, tracker):
+        assert not tracker.dirty
+        tracker.record_fault(0)
+        tracker.record_fault(0)
+        assert tracker.ok(0)
+        tracker.record_fault(0)
+        assert not tracker.ok(0)
+        assert tracker.dirty
+        assert tracker.quarantines == 1
+        assert tracker.quarantined_levels() == [0]
+        assert tracker.any_quarantined
+
+    def test_success_resets_the_streak(self, tracker):
+        tracker.record_fault(0)
+        tracker.record_fault(0)
+        tracker.record_success(0)
+        tracker.record_fault(0)
+        tracker.record_fault(0)
+        assert tracker.ok(0)  # streak restarted: 2 < 3
+        assert tracker.consecutive_faults(0) == 2
+
+    def test_pfs_level_never_quarantined(self, tracker):
+        for _ in range(10):
+            tracker.record_fault(1)
+        assert tracker.ok(1)
+        assert tracker.faults[1] == 10
+        assert tracker.quarantines == 0
+
+
+class TestProbing:
+    def _quarantine(self, tracker):
+        for _ in range(3):
+            tracker.record_fault(0)
+
+    def test_no_attempts_until_cooldown(self, tracker, clock):
+        self._quarantine(tracker)
+        assert not tracker.should_attempt(0)
+        clock.now = 0.5
+        assert not tracker.should_attempt(0)
+        clock.now = 1.0
+        assert tracker.should_attempt(0)
+        assert tracker.probes == 1
+
+    def test_failed_probe_pushes_next_window(self, tracker, clock):
+        self._quarantine(tracker)
+        clock.now = 1.0
+        assert tracker.should_attempt(0)
+        tracker.record_fault(0)  # the probe failed
+        clock.now = 1.5
+        assert not tracker.should_attempt(0)
+        clock.now = 2.0
+        assert tracker.should_attempt(0)
+
+    def test_successful_probe_readmits(self, tracker, clock):
+        self._quarantine(tracker)
+        clock.now = 1.0
+        assert tracker.should_attempt(0)
+        tracker.record_success(0)
+        assert tracker.ok(0)
+        assert tracker.readmissions == 1
+        assert not tracker.any_quarantined
+
+    def test_non_probe_success_never_readmits(self, tracker, clock):
+        self._quarantine(tracker)
+        # e.g. a background copy that started before the failure.
+        tracker.record_success(0, readmit=False)
+        assert not tracker.ok(0)
+        assert tracker.readmissions == 0
+
+    def test_placement_never_probes(self, tracker, clock):
+        self._quarantine(tracker)
+        clock.now = 10.0
+        assert tracker.should_attempt(0)  # reads may probe
+        assert not tracker.is_placeable(0)  # copies stay away regardless
+
+
+class TestCounters:
+    def test_counter_view(self, tracker):
+        tracker.record_fault(0)
+        tracker.record_fault(1)
+        counters = tracker.counters()
+        assert counters["health.faults.l0"] == 1
+        assert counters["health.faults.l1"] == 1
+        assert counters["health.quarantines"] == 0
+        assert set(counters) == {
+            "health.quarantines",
+            "health.readmissions",
+            "health.probes",
+            "health.faults.l0",
+            "health.faults.l1",
+        }

@@ -1,0 +1,244 @@
+"""Property-based placement invariants (hypothesis).
+
+Randomized workloads — file sizes, tier shapes and fault plans — against
+four invariants the placement layer must never violate:
+
+1. tier occupancy never exceeds the tier's quota,
+2. no file is ever lost from the virtual namespace,
+3. ``FileInfo``'s tier always names a tier that actually holds the bytes,
+4. first-fit-descending order is preserved under no-eviction.
+
+Everything is seeded: hypothesis is derandomized and the simulation
+itself draws nothing outside the injected fault plan's substreams, so a
+failing example reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import numpy as np
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.faults import FaultInjector, FaultPlan, LatencySpike, TierDown, TransientFaults
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+KIB = 1024
+UPPER_MOUNTS = ("/mnt/ram", "/mnt/ssd")
+PFS_MOUNT = "/mnt/pfs"
+
+# -- strategies --------------------------------------------------------------
+
+file_sizes = st.lists(
+    st.integers(min_value=4 * KIB, max_value=3 * 1024 * KIB),
+    min_size=1,
+    max_size=14,
+)
+tier_capacities = st.lists(
+    st.integers(min_value=256 * KIB, max_value=4 * 1024 * KIB),
+    min_size=1,
+    max_size=2,
+)
+
+
+@st.composite
+def fault_events(draw):
+    """A small schedule of fault events for one mount."""
+    events = []
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        length = draw(st.floats(min_value=0.01, max_value=3.0))
+        error = draw(st.sampled_from(["io", "nospace"]))
+        events.append(
+            TransientFaults(
+                start=start,
+                end=start + length,
+                read_p=0.0 if error == "nospace" else draw(st.floats(min_value=0.0, max_value=1.0)),
+                write_p=draw(st.floats(min_value=0.0, max_value=1.0)),
+                error=error,
+            )
+        )
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        events.append(
+            LatencySpike(
+                start=start,
+                end=start + draw(st.floats(min_value=0.01, max_value=2.0)),
+                multiplier=draw(st.floats(min_value=1.0, max_value=8.0)),
+            )
+        )
+    if draw(st.booleans()):
+        at = draw(st.floats(min_value=0.0, max_value=2.0))
+        recover = draw(st.one_of(st.none(), st.floats(min_value=0.01, max_value=3.0)))
+        events.append(TierDown(at=at, recover_at=None if recover is None else at + recover))
+    return tuple(events)
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def build_stack(sizes, capacities, events=(), seed=0):
+    """A fresh simulator + Monarch over ``len(capacities)`` upper tiers."""
+    sim = Simulator()
+    pfs = ParallelFileSystem(sim)
+    names = []
+    for i, size in enumerate(sizes):
+        path = f"/dataset/f{i:03d}"
+        pfs.add_file(path, size)
+        names.append(path)
+    locals_ = [
+        LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=cap)
+        for cap in capacities
+    ]
+    mounts = MountTable()
+    tier_mounts = list(UPPER_MOUNTS[: len(capacities)])
+    plan = FaultPlan({tier_mounts[-1]: events} if events else {})
+    injector = FaultInjector(sim, plan, np.random.default_rng(seed))
+    for mount, fs in zip(tier_mounts, locals_):
+        mounts.mount(mount, injector.wrap_fs(mount, fs))
+    mounts.mount(PFS_MOUNT, pfs)
+    config = MonarchConfig(
+        tiers=tuple(TierSpec(mount_point=m) for m in (*tier_mounts, PFS_MOUNT)),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=256 * KIB,
+    )
+    monarch = Monarch(sim, config, mounts)
+    proc = sim.spawn(monarch.initialize(), name="init")
+    sim.run(proc)
+    return sim, monarch, locals_, names
+
+
+def run_epochs(sim, monarch, names, epochs=2):
+    """Read every file fully, in name order, ``epochs`` times; then drain."""
+
+    def job():
+        for _ in range(epochs):
+            for name in names:
+                yield from monarch.read(name, 0, monarch.file_size(name))
+        yield from monarch.placement.drain()
+
+    proc = sim.spawn(job(), name="reader")
+    sim.run(proc)
+
+
+def check_safety_invariants(monarch, locals_, names, sizes):
+    """The four invariants that must hold in any terminal placement state."""
+    hierarchy = monarch.hierarchy
+    # 1. Occupancy never exceeds the quota.
+    for fs in locals_:
+        assert fs.used_bytes <= fs.capacity_bytes
+        # ... and the occupancy ledger matches the per-file ledger.
+        assert fs.used_bytes == sum(fs.file_size(p) for p in fs.paths())
+    # 2. No file is ever lost from the namespace, nor resized.
+    assert len(monarch.metadata) == len(names)
+    for name, size in zip(names, sizes):
+        info = monarch.metadata.lookup(name)
+        assert info.size == size
+        # 3. The recorded tier actually holds the bytes.
+        if info.state is FileState.CACHED:
+            driver = hierarchy[info.level]
+            assert driver.has(name)
+            assert driver.fs.file_size(driver.local_path(name)) == size
+        else:
+            assert info.state in (FileState.PFS_ONLY, FileState.UNPLACEABLE)
+        assert hierarchy.pfs.has(name)  # the PFS never loses the source copy
+    # After a full drain nothing may still hold a reservation.
+    assert all(v == 0 for v in monarch.placement._reserved.values())
+
+
+def snapshot(sim, monarch, locals_):
+    """Everything that must be identical across same-seed replays."""
+    return {
+        "now": sim.now,
+        "stats": monarch.stats.counters(),
+        "health": monarch.health.counters(),
+        "placement": vars(monarch.placement.stats).copy(),
+        "used": [fs.used_bytes for fs in locals_],
+        "states": {
+            info.name: (info.state.name, info.level) for info in monarch.metadata.files()
+        },
+    }
+
+
+# -- properties --------------------------------------------------------------
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(sizes=file_sizes, capacities=tier_capacities)
+def test_fault_free_placement_is_first_fit_descending(sizes, capacities):
+    """Without faults the terminal state is exactly first-fit in read order."""
+    sim, monarch, locals_, names = build_stack(sizes, capacities)
+    run_epochs(sim, monarch, names)
+    # Reservations happen inline at read completion, and the reads are
+    # strictly sequential — so placement decisions replay first-fit over
+    # the read order against the tier quotas.
+    free = [fs.capacity_bytes for fs in locals_]
+    for name, size in zip(names, sizes):
+        expect_level = None
+        for level, room in enumerate(free):
+            if size <= room:
+                expect_level = level
+                free[level] -= size
+                break
+        info = monarch.metadata.lookup(name)
+        if expect_level is None:
+            assert info.state is FileState.UNPLACEABLE
+        else:
+            assert info.state is FileState.CACHED
+            assert info.level == expect_level
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=file_sizes,
+    capacities=tier_capacities,
+    events=fault_events(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_invariants_hold_under_arbitrary_fault_plans(sizes, capacities, events, seed):
+    """No fault schedule may corrupt occupancy, the namespace or tier truth."""
+    sim, monarch, locals_, names = build_stack(sizes, capacities, events=events, seed=seed)
+    run_epochs(sim, monarch, names)
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=file_sizes,
+    capacities=tier_capacities,
+    events=fault_events(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_faulted_runs_replay_deterministically(sizes, capacities, events, seed):
+    """The same seed and fault plan give a bit-identical terminal state."""
+    snaps = []
+    for _ in range(2):
+        sim, monarch, locals_, names = build_stack(
+            sizes, capacities, events=events, seed=seed
+        )
+        run_epochs(sim, monarch, names)
+        snaps.append(snapshot(sim, monarch, locals_))
+    assert snaps[0] == snaps[1]

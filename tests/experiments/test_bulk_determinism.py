@@ -9,7 +9,11 @@ the regression gate for the fast path.
 
 from __future__ import annotations
 
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
 from repro.experiments.figures import fig3
+from repro.experiments.scenarios import build_run
+from repro.faults import FaultPlan, LatencySpike, TierDown, TransientFaults
 
 
 def test_fig3_bit_identical_with_bulk_disabled(monkeypatch):
@@ -23,3 +27,51 @@ def test_fig3_bit_identical_with_bulk_disabled(monkeypatch):
         off = without_bulk[key]
         assert on.total_mean == off.total_mean, key
         assert on.epoch_mean_std() == off.epoch_mean_std(), key
+
+
+def _chaos_plan() -> FaultPlan:
+    """A busy schedule: flaky SSD, a latency spike, one brief outage."""
+    return FaultPlan(
+        {
+            "/mnt/ssd": [
+                TransientFaults(start=0.0, end=1e9, read_p=0.1, write_p=0.1),
+                LatencySpike(start=0.5, end=1.5, multiplier=2.0),
+                TierDown(at=2.0, recover_at=2.5),
+            ]
+        }
+    )
+
+
+def _faulted_fingerprint() -> dict:
+    """One faulted MONARCH run reduced to everything that must replay."""
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=1 / 512, seed=5, epochs=2, fault_plan=_chaos_plan(),
+    )
+    result = handle.execute()
+    registry = handle.monarch.publish_metrics()
+    assert handle.injector is not None
+    return {
+        "init": result.init_time_s,
+        "epochs": [e.wall_time_s for e in result.epochs],
+        "counters": dict(sorted(registry.counters.items())),
+        "injector": handle.injector.counters(),
+    }
+
+
+def test_fault_injection_bit_identical_with_bulk_disabled(monkeypatch):
+    """Chaos determinism: the fault draws come from a dedicated RNG
+    substream, so the bulk-I/O escape hatch changes nothing faulted either."""
+    monkeypatch.delenv("REPRO_DISABLE_BULK_IO", raising=False)
+    on = _faulted_fingerprint()
+    monkeypatch.setenv("REPRO_DISABLE_BULK_IO", "1")
+    off = _faulted_fingerprint()
+    assert sum(on["injector"].values()) > 0  # the plan really fired
+    assert on == off
+
+
+def test_same_seed_faulted_runs_replay_identically(monkeypatch):
+    """Acceptance: same seed + same FaultPlan → identical MonarchStats
+    counters and epoch times, run to run."""
+    monkeypatch.delenv("REPRO_DISABLE_BULK_IO", raising=False)
+    assert _faulted_fingerprint() == _faulted_fingerprint()

@@ -1,0 +1,121 @@
+"""FaultPlan: validation, schedule queries and (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, LatencySpike, TierDown, TransientFaults
+
+
+class TestEventValidation:
+    def test_transient_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            TransientFaults(start=0.0, end=1.0, read_p=1.5)
+        with pytest.raises(ValueError):
+            TransientFaults(start=0.0, end=1.0, write_p=-0.1)
+
+    def test_transient_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            TransientFaults(start=2.0, end=1.0)
+
+    def test_transient_rejects_unknown_error_kind(self):
+        with pytest.raises(ValueError):
+            TransientFaults(start=0.0, end=1.0, read_p=0.5, error="eperm")
+
+    def test_nospace_is_write_only(self):
+        with pytest.raises(ValueError):
+            TransientFaults(start=0.0, end=1.0, read_p=0.5, error="nospace")
+
+    def test_latency_rejects_submultiplier(self):
+        with pytest.raises(ValueError):
+            LatencySpike(start=0.0, end=1.0, multiplier=0.5)
+
+    def test_tier_down_rejects_recovery_before_failure(self):
+        with pytest.raises(ValueError):
+            TierDown(at=5.0, recover_at=4.0)
+
+    def test_window_membership(self):
+        w = TransientFaults(start=1.0, end=2.0, read_p=0.5)
+        assert not w.active(0.5)
+        assert w.active(1.0)  # closed at the start
+        assert not w.active(2.0)  # open at the end
+
+    def test_tier_down_membership(self):
+        d = TierDown(at=3.0, recover_at=5.0)
+        assert not d.active(2.9)
+        assert d.active(3.0)
+        assert d.active(4.9)
+        assert not d.active(5.0)
+        forever = TierDown(at=3.0)
+        assert forever.active(1e9)
+
+
+class TestPlan:
+    def test_mounts_sorted_and_queries(self):
+        plan = FaultPlan(
+            {
+                "/mnt/ssd": [TierDown(at=1.0)],
+                "/mnt/pfs": [LatencySpike(start=0.0, end=1.0, multiplier=2.0)],
+            }
+        )
+        assert plan.mounts() == ["/mnt/pfs", "/mnt/ssd"]
+        assert "/mnt/ssd" in plan
+        assert "/mnt/ram" not in plan
+        assert plan.for_mount("/mnt/ram") == ()
+        assert not plan.is_empty()
+
+    def test_empty_plan(self):
+        assert FaultPlan({}).is_empty()
+        assert FaultPlan({"/mnt/ssd": []}).is_empty()
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan({"/mnt/ssd": ["tier_down"]})  # type: ignore[list-item]
+
+    def test_round_trip_through_json(self):
+        plan = FaultPlan(
+            {
+                "/mnt/ssd": [
+                    TransientFaults(start=0.5, end=2.0, read_p=0.1, write_p=0.2),
+                    TransientFaults(start=2.5, end=3.0, write_p=0.4, error="nospace"),
+                    LatencySpike(start=1.0, end=3.0, multiplier=4.0),
+                    TierDown(at=5.0, recover_at=9.0),
+                    TierDown(at=20.0),
+                ]
+            }
+        )
+        again = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert again == plan
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"/mnt/ssd": [{"kind": "meteor", "at": 1.0}]})
+
+
+class TestEnvHook:
+    def test_absent_and_blank_give_none(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({"REPRO_FAULT_PLAN": "  "}) is None
+
+    def test_json_env_parses(self):
+        env = {"REPRO_FAULT_PLAN": '{"/mnt/ssd": [{"kind": "tier_down", "at": 12.5}]}'}
+        plan = FaultPlan.from_env(env)
+        assert plan is not None
+        assert plan.for_mount("/mnt/ssd") == (TierDown(at=12.5),)
+
+    def test_build_run_picks_up_env_plan(self, monkeypatch):
+        from repro.experiments.calibration import DEFAULT_CALIBRATION
+        from repro.experiments.scenarios import build_run
+        from repro.data.imagenet import IMAGENET_100G
+
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", '{"/mnt/ssd": [{"kind": "tier_down", "at": 1e9}]}'
+        )
+        handle = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION, scale=1 / 4096, seed=0
+        )
+        assert handle.injector is not None
+        assert handle.fault_plan is not None
+        assert handle.fault_plan.for_mount("/mnt/ssd") == (TierDown(at=1e9),)

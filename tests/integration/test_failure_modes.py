@@ -48,6 +48,57 @@ class TestCapacityFailures:
         assert handle.local_fs.used_bytes <= handle.env.local_capacity_bytes
 
 
+class TestInjectedNoSpace:
+    def test_nospace_mid_copy_keeps_trainer_running(self):
+        """ENOSPC faults during placement: copies give up cleanly, the
+        occupancy ledger stays consistent and training never notices."""
+        from repro.faults import FaultPlan, TransientFaults
+        from repro.data.imagenet import IMAGENET_100G
+
+        # Every tier write in the first half-second of the run fails with
+        # ENOSPC; placements retried by later epochs' reads succeed.
+        plan = FaultPlan(
+            {"/mnt/ssd": [TransientFaults(start=0.0, end=0.5, write_p=1.0, error="nospace")]}
+        )
+        handle = build_run("monarch", "lenet", IMAGENET_100G,
+                           calib=DEFAULT_CALIBRATION, scale=1 / 256, seed=3,
+                           epochs=2, fault_plan=plan)
+        result = handle.execute()
+        assert len(result.epochs) == 2
+        assert all(e.records == handle.dataset.n_samples for e in result.epochs)
+        stats = handle.monarch.placement.stats
+        assert stats.copy_giveups > 0  # the window really hit copies
+        assert stats.completed > 0  # ... and placement recovered after it
+        # Clean unwind: occupancy matches the per-file ledger, within
+        # capacity, and no reservation leaked.
+        local = handle.local_fs
+        assert local.used_bytes == sum(local.file_size(p) for p in local.paths())
+        assert local.used_bytes <= local.capacity_bytes
+        assert all(v == 0 for v in handle.monarch.placement._reserved.values())
+        # Capacity pressure is not a device fault: no quarantine happened.
+        assert handle.monarch.health.quarantines == 0
+
+    def test_unrecoverable_nospace_serves_everything_from_pfs(self):
+        """A permanent ENOSPC condition degrades to PFS-only service."""
+        from repro.faults import FaultPlan, TransientFaults
+        from repro.data.imagenet import IMAGENET_100G
+
+        plan = FaultPlan(
+            {"/mnt/ssd": [TransientFaults(start=0.0, end=1e9, write_p=1.0, error="nospace")]}
+        )
+        handle = build_run("monarch", "lenet", IMAGENET_100G,
+                           calib=DEFAULT_CALIBRATION, scale=1 / 512, seed=3,
+                           epochs=2, fault_plan=plan)
+        result = handle.execute()
+        assert len(result.epochs) == 2
+        stats = handle.monarch.placement.stats
+        assert stats.completed == 0
+        assert stats.copy_giveups > 0
+        assert handle.local_fs.used_bytes == 0
+        pfs_level = handle.monarch.hierarchy.pfs_level
+        assert handle.monarch.stats.reads_per_level[pfs_level] == handle.monarch.stats.total_reads
+
+
 class TestMidRunRobustness:
     def test_pipeline_error_does_not_hang_the_trainer(self, sim, mounts, node,
                                                       pfs, tiny_manifest):

@@ -21,7 +21,7 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize("module", [
         "repro.simkernel", "repro.storage", "repro.data", "repro.framework",
-        "repro.core", "repro.telemetry", "repro.experiments",
+        "repro.core", "repro.telemetry", "repro.experiments", "repro.faults",
     ])
     def test_subpackage_alls_resolve(self, module):
         mod = importlib.import_module(module)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Line-coverage gate for ``src/repro`` with no third-party dependencies.
+
+Runs the test suite in-process under a line tracer and fails when total
+line coverage drops below the floor recorded in the Makefile.  Uses
+coverage.py when it is installed; otherwise falls back to a stdlib
+``sys.settrace`` tracer, so the gate works in hermetic environments where
+``pip install`` is unavailable.
+
+Executable lines are derived from the compiled code objects'
+``co_lines()`` tables — the same ground truth the tracer reports against —
+so the two modes agree on the denominator.
+
+Usage::
+
+    python tools/coverage_gate.py --fail-under 80 [pytest args...]
+
+Default pytest args: ``tests -q`` (the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from collections import defaultdict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def iter_source_files(root: str) -> list[str]:
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def executable_lines(path: str) -> set[int]:
+    """Line numbers with executable bytecode, from the compiled module."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    lines: set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _start, _end, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    # The implicit module epilogue (`return None` at line 0/1 of the
+    # module object) is not a meaningful target; co_lines already maps it
+    # to real lines, so nothing to scrub.
+    return lines
+
+
+class LineTracer:
+    """Minimal settrace hook: records executed lines under one prefix."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.hits: dict[str, set[int]] = defaultdict(set)
+
+    def __call__(self, frame, event, arg):
+        # Scope tracing at frame-entry: frames outside the source tree
+        # return None so their line events are never generated at all.
+        if event != "call":
+            return None
+        if not frame.f_code.co_filename.startswith(self.prefix):
+            return None
+        return self._local
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+
+def run_pytest(pytest_args: list[str]) -> int:
+    import pytest
+
+    return pytest.main(pytest_args)
+
+
+def measure_with_coverage_py(pytest_args: list[str]):
+    """Preferred mode when coverage.py is installed; None when it is not."""
+    try:
+        import coverage
+    except ImportError:
+        return None
+    cov = coverage.Coverage(source=[SRC_ROOT])
+    cov.start()
+    status = run_pytest(pytest_args)
+    cov.stop()
+    hits: dict[str, set[int]] = {}
+    data = cov.get_data()
+    for path in data.measured_files():
+        hits[path] = set(data.lines(path) or ())
+    return status, hits
+
+
+def measure_with_settrace(pytest_args: list[str]):
+    tracer = LineTracer(SRC_ROOT)
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        status = run_pytest(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return status, tracer.hits
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fail-under", type=float, default=None, metavar="PCT",
+        help="exit non-zero when total line coverage is below PCT",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="total percentage only, no per-file table"
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", help="arguments forwarded to pytest (default: tests -q)"
+    )
+    args, extra = parser.parse_known_args(argv)
+    # Unrecognized flags (e.g. pytest's own -q/-x) pass through to pytest.
+    pytest_args = args.pytest_args + extra or ["tests", "-q"]
+
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    os.chdir(REPO_ROOT)
+
+    measured = measure_with_coverage_py(pytest_args)
+    mode = "coverage.py"
+    if measured is None:
+        measured = measure_with_settrace(pytest_args)
+        mode = "sys.settrace"
+    status, hits = measured
+    if status != 0:
+        print(f"coverage_gate: test run failed (pytest exit {status})", file=sys.stderr)
+        return int(status)
+
+    total_lines = 0
+    total_hit = 0
+    rows = []
+    for path in iter_source_files(SRC_ROOT):
+        lines = executable_lines(path)
+        hit = len(lines & hits.get(path, set()))
+        total_lines += len(lines)
+        total_hit += hit
+        pct = 100.0 * hit / len(lines) if lines else 100.0
+        rows.append((os.path.relpath(path, REPO_ROOT), len(lines), hit, pct))
+
+    if not args.quiet:
+        width = max(len(r[0]) for r in rows)
+        print(f"{'file':<{width}}  lines   hit   cover")
+        for rel, n, hit, pct in rows:
+            print(f"{rel:<{width}}  {n:5d} {hit:5d}  {pct:5.1f}%")
+    total_pct = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"TOTAL ({mode}): {total_hit}/{total_lines} lines, {total_pct:.2f}%")
+
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(
+            f"coverage_gate: FAIL — {total_pct:.2f}% is below the floor "
+            f"({args.fail_under:.2f}%)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
