@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 92
 
-.PHONY: test bench bench-kernel coverage check
+.PHONY: test bench bench-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,4 +26,9 @@ bench-kernel:
 coverage:
 	$(PYTHON) tools/coverage_gate.py --quiet --fail-under $(COV_FLOOR)
 
-check: test coverage
+# RunReport determinism gate: a tiny seeded scenario exported twice must
+# produce byte-identical JSON (the contract behind `repro report`).
+report-check:
+	$(PYTHON) tools/report_check.py
+
+check: test coverage report-check

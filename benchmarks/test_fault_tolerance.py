@@ -13,6 +13,7 @@ from benchmarks.conftest import run_in_benchmark
 from repro.data.imagenet import IMAGENET_100G
 from repro.experiments.calibration import DEFAULT_CALIBRATION
 from repro.experiments.scenarios import build_run, ssd_tier_down_plan
+from repro.telemetry.runreport import build_run_report
 
 SEED = 0
 
@@ -33,6 +34,7 @@ def _run_fault_grid(scale: float) -> dict:
     handle = build_run(
         "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
         scale=scale, seed=SEED, fault_plan=ssd_tier_down_plan(t_fail),
+        telemetry=True,
     )
     snapshot = {}
 
@@ -50,6 +52,7 @@ def _run_fault_grid(scale: float) -> dict:
         "faulted": faulted,
         "handle": handle,
         "t_fail": t_fail,
+        "scale": scale,
         "reads_l0_at_failure": snapshot["reads_l0"],
     }
 
@@ -85,3 +88,18 @@ def test_fig_fault_tier_down_graceful_degradation(benchmark, bench_scale):
     # ... and served zero reads after the failure instant.
     assert monarch.stats.reads_per_level.get(0, 0) == out["reads_l0_at_failure"]
     assert monarch.stats.fallback_reads > 0
+
+    # The RunReport's event stream captures the failure story: quarantine
+    # after the failure instant, fallback reads, and no re-admission.
+    tele = out["handle"].telemetry
+    rep = build_run_report(
+        tele, faulted, setup="monarch", model="lenet",
+        dataset=IMAGENET_100G.name, scale=out["scale"], seed=SEED,
+    )
+    kinds = rep.event_kinds()
+    assert kinds.get("tier.quarantined", 0) == monarch.health.quarantines
+    assert kinds.get("tier.readmitted", 0) == 0
+    assert kinds.get("read.fallback", 0) == monarch.stats.fallback_reads
+    quarantine_events = [e for e in rep.events if e["kind"] == "tier.quarantined"]
+    assert all(e["t"] >= out["t_fail"] for e in quarantine_events)
+    print(f"  report events        : {dict(kinds)}")

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_in_benchmark
 from repro.experiments.figures import PAPER_TOTALS_100G, fig1, render_grid
+from repro.telemetry.runreport import RunReport
 
 
 def test_fig1_motivation(benchmark, bench_scale, bench_runs):
-    grid = run_in_benchmark(benchmark, lambda: fig1(scale=bench_scale, runs=bench_runs))
+    grid = run_in_benchmark(
+        benchmark, lambda: fig1(scale=bench_scale, runs=bench_runs, report=True)
+    )
     print()
     print(render_grid(grid, PAPER_TOTALS_100G,
                       "FIG1: motivation, 100 GiB ImageNet (paper Fig. 1)"))
@@ -37,3 +40,13 @@ def test_fig1_motivation(benchmark, bench_scale, bench_runs):
     resnet = [grid[("resnet50", s)].total_mean
               for s in ("vanilla-lustre", "vanilla-local", "vanilla-caching")]
     assert max(resnet) / min(resnet) < 1.10
+
+    # Each run ships a RunReport whose traced I/O re-sums to the backend
+    # counters it shadowed.
+    for (model, setup), res in grid.items():
+        for rec in res.runs:
+            rep = RunReport.from_dict(rec.report)
+            assert len(rep.epochs) == len(rec.epoch_times_s), (model, setup)
+            for name, b in rep.backends.items():
+                assert b["traced_bytes_read"] == b["bytes_read"], (setup, name)
+                assert b["traced_bytes_written"] == b["bytes_written"], (setup, name)

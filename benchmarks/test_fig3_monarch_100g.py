@@ -10,10 +10,38 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_in_benchmark
 from repro.experiments.figures import PAPER_TOTALS_100G, fig3, render_grid
+from repro.experiments.runner import run_once
+from repro.data.imagenet import IMAGENET_100G
+from repro.telemetry.runreport import RunReport
 
 
-def test_fig3_monarch_100g(benchmark, bench_scale, bench_runs):
-    grid = run_in_benchmark(benchmark, lambda: fig3(scale=bench_scale, runs=bench_runs))
+def _check_report_consistency(rep: RunReport) -> None:
+    """The RunReport's independent accounting paths must agree exactly.
+
+    * per-epoch × per-tier read deltas re-sum to the middleware's
+      published ``monarch.reads.l*`` totals;
+    * traced I/O (IOTrace wrapping the backend stats) re-sums to the
+      backend counters it shadowed, byte for byte.
+    """
+    if rep.counters:
+        published = {
+            k.rsplit(".", 1)[1]: v
+            for k, v in rep.counters.items()
+            if k.startswith("monarch.reads.")
+        }
+        assert rep.tier_read_totals() == published
+        assert rep.total_tier_reads() == sum(published.values())
+    for name, b in rep.backends.items():
+        assert b["traced_bytes_read"] == b["bytes_read"], name
+        assert b["traced_bytes_written"] == b["bytes_written"], name
+        assert b["traced_read_ops"] == b["read_ops"], name
+        assert b["traced_write_ops"] == b["write_ops"], name
+
+
+def test_fig3_monarch_100g(benchmark, bench_scale, bench_runs, tmp_path):
+    grid = run_in_benchmark(
+        benchmark, lambda: fig3(scale=bench_scale, runs=bench_runs, report=True)
+    )
     print()
     print(render_grid(grid, PAPER_TOTALS_100G,
                       "FIG3: MONARCH vs baselines, 100 GiB (paper Fig. 3)"))
@@ -36,3 +64,36 @@ def test_fig3_monarch_100g(benchmark, bench_scale, bench_runs):
     resnet_ratio = grid[("resnet50", "monarch")].total_mean / \
         grid[("resnet50", "vanilla-lustre")].total_mean
     assert 0.9 < resnet_ratio < 1.1
+
+    # Every run carries a RunReport whose cross-checks hold; export the
+    # MONARCH/LeNet one as the figure's observability artifact.
+    for (model, setup), res in grid.items():
+        for rec in res.runs:
+            assert rec.report is not None, (model, setup)
+            _check_report_consistency(RunReport.from_dict(rec.report))
+    artifact = tmp_path / "fig3_lenet_monarch.report.json"
+    artifact.write_text(
+        RunReport.from_dict(grid[("lenet", "monarch")].runs[0].report).to_json()
+    )
+    print(f"RunReport artifact: {artifact}")
+
+
+def test_fig3_report_bit_identical_with_bulk_disabled(monkeypatch):
+    """The bulk-I/O escape hatch must not change the exported report.
+
+    Placement bookkeeping lands once at copy completion on both paths, so
+    the traced byte totals — and with them the whole serialized report —
+    must come out byte-identical with ``REPRO_DISABLE_BULK_IO`` set."""
+    def one() -> str:
+        rec = run_once(
+            "monarch", "lenet", IMAGENET_100G, scale=1 / 1024, seed=3, report=True
+        )
+        rep = RunReport.from_dict(rec.report)
+        _check_report_consistency(rep)
+        return rep.to_json()
+
+    monkeypatch.delenv("REPRO_DISABLE_BULK_IO", raising=False)
+    with_bulk = one()
+    monkeypatch.setenv("REPRO_DISABLE_BULK_IO", "1")
+    without_bulk = one()
+    assert with_bulk == without_bulk

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_in_benchmark
 from repro.experiments.figures import PAPER_TOTALS_200G, fig4, render_grid
+from repro.telemetry.runreport import RunReport
 
 
 def test_fig4_monarch_200g(benchmark, bench_scale, bench_runs):
-    grid = run_in_benchmark(benchmark, lambda: fig4(scale=bench_scale, runs=bench_runs))
+    grid = run_in_benchmark(
+        benchmark, lambda: fig4(scale=bench_scale, runs=bench_runs, report=True)
+    )
     print()
     print(render_grid(grid, PAPER_TOTALS_200G,
                       "FIG4: MONARCH vs vanilla-lustre, 200 GiB (paper Fig. 4)"))
@@ -33,3 +36,14 @@ def test_fig4_monarch_200g(benchmark, bench_scale, bench_runs):
     # MONARCH's epochs 2-3 improve over its own epoch 1 (partial tier hits)
     monarch_lenet = grid[("lenet", "monarch")].epoch_mean_std()
     assert monarch_lenet[1][0] < monarch_lenet[0][0]
+
+    # The 200 GiB dataset overflows the SSD: the RunReport must show the
+    # steady-state PFS leg (l1 reads in epochs 2+) alongside eviction-free
+    # partial tiering, and its traced I/O must re-sum to the counters.
+    for rec in grid[("lenet", "monarch")].runs:
+        rep = RunReport.from_dict(rec.report)
+        steady = [e["tier_reads"] for e in rep.epochs[1:]]
+        assert all(t.get("l1", 0) > 0 for t in steady), "no PFS leg in steady state"
+        for name, b in rep.backends.items():
+            assert b["traced_bytes_read"] == b["bytes_read"], name
+            assert b["traced_bytes_written"] == b["bytes_written"], name

@@ -4,6 +4,9 @@ Subcommands:
 
 * ``run`` — one seeded single-node experiment (any setup × model ×
   dataset), printing per-epoch times and I/O counters in paper units.
+* ``report`` — one seeded run with full telemetry, exporting the
+  deterministic :class:`~repro.telemetry.runreport.RunReport` JSON.
+* ``diff`` — structural comparison of two exported RunReport JSONs.
 * ``figures`` — regenerate a paper artifact (delegates to
   :mod:`repro.experiments.figures`).
 * ``dist`` — one distributed run (§VI future work).
@@ -61,6 +64,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
           + (f", init {rec.init_time_s:.0f} s" if rec.init_time_s else "")
           + f", memory ~{rec.memory_gib:.1f} GiB")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_once
+    from repro.telemetry.runreport import RunReport, render_report
+
+    rec = run_once(
+        args.setup, args.model, DATASETS[args.dataset],
+        calib=_calib(args.dataset, args.busy),
+        scale=args.scale, seed=args.seed, epochs=args.epochs,
+        report=True,
+    )
+    assert rec.report is not None
+    rep = RunReport.from_dict(rec.report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rep.to_json())
+        print(f"wrote {args.out}")
+        print(render_report(rep))
+    else:
+        print(rep.to_json(), end="")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry.runreport import RunReport, diff_reports, render_diff
+
+    reports = []
+    for path in (args.a, args.b):
+        with open(path) as fh:
+            reports.append(RunReport.from_json(fh.read()))
+    diffs = diff_reports(reports[0], reports[1])
+    print(render_diff(diffs))
+    return 0 if not diffs else 1
 
 
 def _cmd_dist(args: argparse.Namespace) -> int:
@@ -142,6 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
                                          "vanilla-caching", "monarch"])
     _add_common(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="one run with full telemetry; "
+                                          "export the RunReport JSON")
+    p_rep.add_argument("setup", choices=["vanilla-lustre", "vanilla-local",
+                                         "vanilla-caching", "monarch"])
+    p_rep.add_argument("--out", default=None,
+                       help="write the JSON here (default: stdout)")
+    _add_common(p_rep)
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_diff = sub.add_parser("diff", help="compare two RunReport JSON files")
+    p_diff.add_argument("a", help="first RunReport JSON file")
+    p_diff.add_argument("b", help="second RunReport JSON file")
+    p_diff.set_defaults(fn=_cmd_diff)
 
     p_dist = sub.add_parser("dist", help="one distributed run (§VI)")
     p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch"])

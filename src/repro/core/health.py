@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.telemetry.events import NULL_RECORDER
+
 __all__ = ["TierHealthTracker"]
 
 
@@ -34,6 +36,7 @@ class TierHealthTracker:
         clock: Callable[[], float],
         quarantine_threshold: int = 3,
         probe_interval_s: float = 1.0,
+        recorder=None,
     ) -> None:
         if n_levels < 1:
             raise ValueError("need at least one level")
@@ -44,6 +47,7 @@ class TierHealthTracker:
         if probe_interval_s <= 0:
             raise ValueError("probe_interval_s must be positive")
         self._clock = clock
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.pfs_level = pfs_level
         self.threshold = quarantine_threshold
         self.probe_interval_s = probe_interval_s
@@ -72,6 +76,8 @@ class TierHealthTracker:
             return True
         if self._clock() >= self._next_probe[level]:
             self.probes += 1
+            if self.recorder.enabled:
+                self.recorder.emit("tier.probe", f"l{level}")
             return True
         return False
 
@@ -101,6 +107,10 @@ class TierHealthTracker:
             self._quarantined[level] = True
             self.quarantines += 1
             self._next_probe[level] = self._clock() + self.probe_interval_s
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "tier.quarantined", f"l{level}", consecutive=self._consecutive[level]
+                )
 
     def record_success(self, level: int, readmit: bool = True) -> None:
         """One successful operation on ``level``; re-admits after a probe.
@@ -115,6 +125,8 @@ class TierHealthTracker:
         if readmit and self._quarantined[level]:
             self._quarantined[level] = False
             self.readmissions += 1
+            if self.recorder.enabled:
+                self.recorder.emit("tier.readmitted", f"l{level}")
 
     def counters(self) -> dict[str, int]:
         """Flat counter view for the metrics registry."""

@@ -35,6 +35,7 @@ from repro.core.placement import PlacementHandler, make_eviction_policy
 from repro.framework.io_layer import DataReader, OpenFile
 from repro.storage.base import IOFaultError
 from repro.storage.vfs import MountTable
+from repro.telemetry.events import NULL_RECORDER
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["Monarch", "MonarchReader", "MonarchStats"]
@@ -98,10 +99,12 @@ class Monarch:
         config: MonarchConfig,
         mounts: MountTable,
         rng: np.random.Generator | None = None,
+        recorder=None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.mounts = mounts
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.hierarchy = StorageHierarchy.from_config(config, mounts)
         self.metadata = MetadataContainer()
         self._health = TierHealthTracker(
@@ -110,6 +113,7 @@ class Monarch:
             clock=lambda: sim.now,
             quarantine_threshold=config.quarantine_threshold,
             probe_interval_s=config.probe_interval_s,
+            recorder=self.recorder,
         )
         # Placement consults the same tracker: quarantined tiers take no
         # new files until a read probe re-admits them.
@@ -126,6 +130,7 @@ class Monarch:
             bulk_io=config.bulk_io_enabled(),
             copy_retries=config.copy_retries,
             retry_backoff_s=config.retry_backoff_s,
+            recorder=self.recorder,
         )
         self.stats = MonarchStats()
         self._initialized = False
@@ -256,6 +261,8 @@ class Monarch:
             health.record_success(level)
             self.stats.record(level, n)
             self.stats.fallback_reads += 1
+            if self.recorder.enabled:
+                self.recorder.emit("read.fallback", name, level=level)
             return n
         pfs = self.hierarchy.pfs
         try:
@@ -267,6 +274,8 @@ class Monarch:
             n = yield from self._pfs_read_retrying(name, offset, nbytes)
         self.stats.record(pfs_level, n)
         self.stats.fallback_reads += 1
+        if self.recorder.enabled:
+            self.recorder.emit("read.fallback", name, level=pfs_level)
         return n
 
     def _pfs_read_retrying(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
@@ -283,6 +292,8 @@ class Monarch:
         last: IOFaultError | None = None
         for attempt in range(self.config.read_retries):
             self.stats.read_retries += 1
+            if self.recorder.enabled:
+                self.recorder.emit("read.retry", name, attempt=attempt + 1)
             if backoff > 0.0:
                 ev = self.sim._pooled_timeout(backoff * (2 ** attempt))
                 yield ev
@@ -308,10 +319,14 @@ class Monarch:
         placement handler's copy accounting, and the health tracker's
         quarantine history — one flat namespace, suitable for diffing two
         runs in determinism tests.
+
+        Every value is a *snapshot* of a lifetime total, so publishing is
+        set-on-publish: re-publishing into the same registry refreshes the
+        values instead of double-counting them.
         """
         reg = registry if registry is not None else MetricsRegistry()
         for name, value in self.stats.counters().items():
-            reg.incr(name, value)
+            reg.set_counter(name, value)
         ps = self.placement.stats
         for field_name in (
             "scheduled",
@@ -324,9 +339,9 @@ class Monarch:
             "copy_giveups",
             "deferred",
         ):
-            reg.incr(f"placement.{field_name}", getattr(ps, field_name))
+            reg.set_counter(f"placement.{field_name}", getattr(ps, field_name))
         for name, value in self._health.counters().items():
-            reg.incr(name, value)
+            reg.set_counter(name, value)
         return reg
 
 

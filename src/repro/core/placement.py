@@ -41,6 +41,7 @@ from repro.storage.base import IOFaultError, NoSpaceError, TierFailedError
 from repro.storage.blockmath import jitter_from_normal
 from repro.storage.localfs import LocalFileSystem
 from repro.storage.pfs import ParallelFileSystem
+from repro.telemetry.events import NULL_RECORDER
 
 __all__ = [
     "EvictionPolicy",
@@ -216,6 +217,7 @@ class PlacementHandler:
         bulk_io: bool = True,
         copy_retries: int = 3,
         retry_backoff_s: float = 0.01,
+        recorder=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -233,6 +235,7 @@ class PlacementHandler:
         self.copy_retries = copy_retries
         self.retry_backoff_s = retry_backoff_s
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.stats = PlacementStats()
         self._queue = Store(sim, capacity=None, name="placement-queue")
         self._reserved: dict[int, int] = {lvl: 0 for lvl, _ in hierarchy.upper_levels()}
@@ -304,14 +307,20 @@ class PlacementHandler:
                 # file PFS-resident so a post-recovery read can place it,
                 # rather than writing it off for the rest of the job.
                 self.stats.deferred += 1
+                if self.recorder.enabled:
+                    self.recorder.emit("copy.deferred", info.name)
                 return
             info.state = FileState.UNPLACEABLE
             self.stats.unplaceable += 1
+            if self.recorder.enabled:
+                self.recorder.emit("copy.unplaceable", info.name)
             return
         self._reserved[target] += info.size
         info.state = FileState.COPYING
         info.pending_level = target
         self.stats.scheduled += 1
+        if self.recorder.enabled:
+            self.recorder.emit("copy.scheduled", info.name, level=target, nbytes=info.size)
         self._enqueue(_CopyTask(info=info, target_level=target, have_content=covered_full_file))
 
     def _try_evict_for(self, nbytes: int) -> int | None:
@@ -336,6 +345,8 @@ class PlacementHandler:
         if info.name in self._placed[level]:
             self._placed[level].remove(info.name)
         self.stats.evictions += 1
+        if self.recorder.enabled:
+            self.recorder.emit("eviction", info.name, level=level, nbytes=info.size)
 
     # -- write-through mode (ABL-FETCH: no full-file fetch) -------------------
     def _write_through(self, info: FileInfo, offset: int, nbytes: int) -> None:
@@ -353,6 +364,11 @@ class PlacementHandler:
             info.pending_level = target
             self._partial_written[info.name] = 0
             self.stats.scheduled += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "copy.scheduled", info.name, level=target, nbytes=info.size,
+                    write_through=True,
+                )
         self._enqueue(
             _CopyTask(
                 info=info,
@@ -422,6 +438,8 @@ class PlacementHandler:
                 self._abandon(task)
             return
         health = self.hierarchy.health
+        if self.recorder.enabled:
+            self.recorder.emit("copy.started", info.name, level=task.target_level)
         attempt = 0
         while True:
             if health is not None and not health.is_placeable(task.target_level):
@@ -445,6 +463,8 @@ class PlacementHandler:
                     self._abandon(task)
                     return
                 self.stats.copy_retries += 1
+                if self.recorder.enabled:
+                    self.recorder.emit("copy.retried", info.name, attempt=attempt + 1)
                 delay = self.retry_backoff_s * (2 ** attempt)
                 if delay > 0.0:
                     ev = self.sim._pooled_timeout(delay)
@@ -497,6 +517,8 @@ class PlacementHandler:
         info.pending_level = None
         self._partial_written.pop(info.name, None)
         self.stats.copy_giveups += 1
+        if self.recorder.enabled:
+            self.recorder.emit("copy.gave_up", info.name, level=level)
 
     def _copy_full(self, task: _CopyTask) -> Generator[Any, Any, None]:
         """Copy a whole file to its target tier as one chunk train.
@@ -658,6 +680,8 @@ class PlacementHandler:
         self._partial_written.pop(info.name, None)
         self.stats.completed += 1
         self.stats.bytes_copied += info.size
+        if self.recorder.enabled:
+            self.recorder.emit("copy.completed", info.name, level=level, nbytes=info.size)
 
     # -- lifecycle -----------------------------------------------------------------
     def shutdown(self) -> None:

@@ -67,6 +67,7 @@ def _grid(
     scale: float,
     runs: int,
     models: Sequence[str] = MODELS,
+    report: bool = False,
 ) -> dict[tuple[str, str], ExperimentResult]:
     out: dict[tuple[str, str], ExperimentResult] = {}
     for model in models:
@@ -78,11 +79,14 @@ def _grid(
                 calib=calib,
                 scale=scale,
                 runs=runs,
+                report=report,
             )
     return out
 
 
-def fig1(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], ExperimentResult]:
+def fig1(
+    scale: float = 1 / 128, runs: int = 3, report: bool = False
+) -> dict[tuple[str, str], ExperimentResult]:
     """FIG1 — motivation: baselines × models, 100 GiB dataset."""
     return _grid(
         ("vanilla-lustre", "vanilla-local", "vanilla-caching"),
@@ -90,10 +94,13 @@ def fig1(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], Experim
         DEFAULT_CALIBRATION,
         scale,
         runs,
+        report=report,
     )
 
 
-def fig3(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], ExperimentResult]:
+def fig3(
+    scale: float = 1 / 128, runs: int = 3, report: bool = False
+) -> dict[tuple[str, str], ExperimentResult]:
     """FIG3 — evaluation: baselines + MONARCH, 100 GiB dataset."""
     return _grid(
         ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch"),
@@ -101,10 +108,13 @@ def fig3(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], Experim
         DEFAULT_CALIBRATION,
         scale,
         runs,
+        report=report,
     )
 
 
-def fig4(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], ExperimentResult]:
+def fig4(
+    scale: float = 1 / 128, runs: int = 3, report: bool = False
+) -> dict[tuple[str, str], ExperimentResult]:
     """FIG4 — evaluation: lustre vs MONARCH, 200 GiB dataset (busy regime)."""
     return _grid(
         ("vanilla-lustre", "monarch"),
@@ -112,6 +122,7 @@ def fig4(scale: float = 1 / 128, runs: int = 3) -> dict[tuple[str, str], Experim
         DEFAULT_CALIBRATION.busy(),
         scale,
         runs,
+        report=report,
     )
 
 

@@ -48,6 +48,10 @@ class RunRecord:
     local_ops_per_epoch: list[int] = field(default_factory=list)
     pfs_bytes_read: int = 0
     local_bytes_read: int = 0
+    #: full RunReport payload (``RunReport.to_dict()``) when the run was
+    #: executed with telemetry; ``None`` otherwise.  Stored as a plain
+    #: dict so ``asdict``/``RunRecord(**raw)`` round-trips it untouched.
+    report: dict | None = None
 
     @property
     def total_time_s(self) -> float:

@@ -11,6 +11,7 @@ from repro.data.dataset import DatasetSpec
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.formats import ExperimentResult, RunRecord
 from repro.experiments.scenarios import build_run
+from repro.telemetry.runreport import build_run_report
 from repro.telemetry.usage import memory_estimate_bytes
 from repro.storage.blockmath import GIB
 
@@ -27,8 +28,14 @@ def run_once(
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
     fault_plan=None,
+    report: bool = False,
 ) -> RunRecord:
-    """One seeded run; all measurements un-scaled to paper units."""
+    """One seeded run; all measurements un-scaled to paper units.
+
+    ``report=True`` executes with the telemetry layer armed and attaches
+    the full :class:`~repro.telemetry.runreport.RunReport` payload (in
+    *simulated* units, not un-scaled) to :attr:`RunRecord.report`.
+    """
     calib = calib or DEFAULT_CALIBRATION
     handle = build_run(
         setup=setup,
@@ -40,6 +47,7 @@ def run_once(
         epochs=epochs,
         monarch_overrides=monarch_overrides,
         fault_plan=fault_plan,
+        telemetry=report,
     )
     result = handle.execute()
     inv = 1.0 / scale
@@ -72,6 +80,17 @@ def run_once(
             else 0
         ),
     )
+    if report:
+        assert handle.telemetry is not None
+        record.report = build_run_report(
+            handle.telemetry,
+            result,
+            setup=setup,
+            model=model_name,
+            dataset=dataset.name,
+            scale=scale,
+            seed=seed,
+        ).to_dict()
     return record
 
 
@@ -86,6 +105,7 @@ def run_experiment(
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
     fault_plan=None,
+    report: bool = False,
 ) -> ExperimentResult:
     """Repeat :func:`run_once` over ``runs`` seeds (paper methodology: 7)."""
     if runs < 1:
@@ -103,6 +123,7 @@ def run_experiment(
                 epochs=epochs,
                 monarch_overrides=monarch_overrides,
                 fault_plan=fault_plan,
+                report=report,
             )
         )
     return result

@@ -47,6 +47,7 @@ from repro.storage.localfs import LocalFileSystem
 from repro.storage.pagecache import PageCache
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
+from repro.telemetry.runreport import RunTelemetry
 
 __all__ = ["RunHandle", "SETUPS", "build_run", "ssd_tier_down_plan"]
 
@@ -74,6 +75,8 @@ class RunHandle:
     manifest: ShardManifest | None = None
     fault_plan: FaultPlan | None = None
     injector: FaultInjector | None = None
+    #: live observability harness (None unless built with telemetry=True)
+    telemetry: RunTelemetry | None = None
 
     def execute(self) -> TrainResult:
         """Run the job to completion; returns the trainer's result."""
@@ -104,6 +107,7 @@ def build_run(
     epochs: int | None = None,
     monarch_overrides: dict | None = None,
     fault_plan: FaultPlan | None = None,
+    telemetry: bool = False,
 ) -> RunHandle:
     """Wire a complete environment for one experimental run.
 
@@ -114,7 +118,11 @@ def build_run(
     schedule against the planned mounts (``REPRO_FAULT_PLAN`` in the
     environment supplies one when the argument is omitted); fault draws
     come from the dedicated ``"faults"`` RNG stream, so a (seed, plan)
-    pair replays identically.
+    pair replays identically.  ``telemetry=True`` arms the RunReport
+    observability layer: an event recorder threaded through the
+    middleware/placement/health stack, an I/O trace on every backend and
+    per-epoch middleware snapshots (slightly slower; off by default so
+    the hot paths keep their no-op recorder).
     """
     if setup not in SETUPS:
         raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
@@ -125,6 +133,8 @@ def build_run(
     env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
     sim = Simulator()
     rngs = RngRegistry(seed)
+    tele = RunTelemetry(sim) if telemetry else None
+    recorder = tele.recorder if tele is not None else None
 
     # -- shared substrate: the PFS always exists (it owns the dataset) ----
     interference: ARInterference | CompositeInterference = ARInterference(
@@ -240,7 +250,7 @@ def build_run(
         )
         if "tiers" in overrides:
             config = replace(config, tiers=overrides["tiers"])
-        monarch = Monarch(sim, config, mounts, rng=rngs.stream("monarch"))
+        monarch = Monarch(sim, config, mounts, rng=rngs.stream("monarch"), recorder=recorder)
         shard_paths = [PFS_MOUNT + p for p in pfs_paths]
         reader = MonarchReader(monarch)
         if overrides.get("prestage"):
@@ -257,6 +267,9 @@ def build_run(
         shard_paths = [PFS_MOUNT + p for p in pfs_paths]
         reader = PosixReader(mounts)
 
+    if tele is not None:
+        tele.attach_backends(backends)
+        tele.monarch = monarch
     shards = shards_from_manifest(manifest, shard_paths)
     trainer = Trainer(
         sim=sim,
@@ -270,6 +283,8 @@ def build_run(
         cache=cache,
         epochs=n_epochs,
         init_hook=init_hook,
+        epoch_end_hook=tele.on_epoch_end if tele is not None else None,
+        recorder=recorder,
     )
     return RunHandle(
         setup=setup,
@@ -284,4 +299,5 @@ def build_run(
         manifest=manifest,
         fault_plan=fault_plan,
         injector=injector,
+        telemetry=tele,
     )

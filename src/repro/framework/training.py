@@ -22,6 +22,7 @@ from repro.framework.pipeline import EpochPipeline, PipelineConfig, ShardInfo
 from repro.framework.resources import ComputeNode
 from repro.simkernel.core import Simulator
 from repro.storage.stats import BackendStats, StatsSnapshot
+from repro.telemetry.events import NULL_RECORDER
 
 __all__ = ["EpochResult", "TrainResult", "Trainer"]
 
@@ -79,6 +80,7 @@ class Trainer:
         epochs: int = 3,
         init_hook: Callable[[], Generator[Any, Any, None]] | None = None,
         epoch_end_hook: Callable[[int], None] | None = None,
+        recorder=None,
     ) -> None:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -94,6 +96,7 @@ class Trainer:
         self.epochs = epochs
         self.init_hook = init_hook
         self.epoch_end_hook = epoch_end_hook
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.result = TrainResult()
 
     def run(self) -> Generator[Any, Any, TrainResult]:
@@ -110,6 +113,8 @@ class Trainer:
 
     def _run_epoch(self, epoch: int) -> Generator[Any, Any, None]:
         t0 = self.sim.now
+        if self.recorder.enabled:
+            self.recorder.emit("epoch.start", str(epoch))
         base_ops = {name: s.snapshot() for name, s in self.backends.items()}
         cache_writing = self.cache is not None and not self.cache.ready
         pipe = EpochPipeline(
@@ -158,6 +163,8 @@ class Trainer:
             raise
         if self.cache is not None and cache_writing:
             self.cache.finalize_epoch()
+        if self.recorder.enabled:
+            self.recorder.emit("epoch.end", str(epoch), steps=steps, records=records)
         if self.epoch_end_hook is not None:
             self.epoch_end_hook(epoch)
         self.node.mark_epoch()

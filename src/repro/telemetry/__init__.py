@@ -1,25 +1,51 @@
-"""Telemetry: usage summaries and report formatting.
+"""Telemetry: the unified observability layer.
 
-* :mod:`~repro.telemetry.usage` — CPU/GPU/memory usage summarization in the
-  units the paper reports (percent utilization, GiB).
-* :mod:`~repro.telemetry.report` — plain-text tables for experiment output
-  (figures and tables are printed, not plotted; every benchmark regenerates
-  the same rows/series the paper shows).
-* :mod:`~repro.telemetry.metrics` — a small counter/gauge registry used by
-  examples and diagnostics.
+* :mod:`~repro.telemetry.events` — the structured run-event stream
+  (sim-time-stamped spans for epoch boundaries, the placement-copy
+  lifecycle, tier quarantine/probe/re-admission, evictions), recorded by a
+  no-op-when-disabled :class:`EventRecorder`.
+* :mod:`~repro.telemetry.runreport` — :class:`RunReport`, the exportable
+  per-run artifact (per-epoch × per-tier counters, traced byte
+  cross-checks, throughput variability, time-in-phase breakdown) with
+  deterministic JSON serialization and structural diffing.
+* :mod:`~repro.telemetry.tracing` — raw I/O event tracing
+  (:class:`IOTrace`) and throughput-variability analysis.
+* :mod:`~repro.telemetry.metrics` — a small counter/gauge registry used
+  for the middleware's flat ``publish_metrics`` namespace.
+* :mod:`~repro.telemetry.usage` — CPU/GPU/memory usage summarization in
+  the units the paper reports (percent utilization, GiB).
+* :mod:`~repro.telemetry.report` — plain-text tables for experiment output.
 """
 
+from repro.telemetry.events import EventRecorder, NULL_RECORDER, RunEvent
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.report import format_table
+from repro.telemetry.runreport import (
+    RunReport,
+    RunTelemetry,
+    build_run_report,
+    diff_reports,
+    render_diff,
+    render_report,
+)
 from repro.telemetry.tracing import IOTrace, throughput_series, variability
 from repro.telemetry.usage import ResourceUsage, memory_estimate_bytes, summarize_usage
 
 __all__ = [
+    "EventRecorder",
     "IOTrace",
     "MetricsRegistry",
+    "NULL_RECORDER",
     "ResourceUsage",
+    "RunEvent",
+    "RunReport",
+    "RunTelemetry",
+    "build_run_report",
+    "diff_reports",
     "format_table",
     "memory_estimate_bytes",
+    "render_diff",
+    "render_report",
     "summarize_usage",
     "throughput_series",
     "variability",

@@ -1,0 +1,103 @@
+"""Structured run-event stream: the observability layer's backbone.
+
+Every interesting state transition in a run — epoch boundaries, the
+placement-copy lifecycle (``scheduled → started → completed`` with
+``retried``/``deferred``/``gave_up`` exits), tier quarantine/probe/
+re-admission, evictions — is emitted as a sim-time-stamped
+:class:`RunEvent` through an :class:`EventRecorder`.
+
+Instrumented code never pays for disabled telemetry: emission sites hold a
+:data:`NULL_RECORDER` by default and guard with its ``enabled`` flag, so
+the hot paths keep their PR-1 characteristics (one attribute check, no
+allocation) unless a run explicitly opts in.
+
+Event kinds are dotted names (``copy.scheduled``, ``tier.quarantined``,
+``epoch.end`` …); ``subject`` identifies the entity (a file name, a tier
+label like ``l0``, an epoch index) and ``detail`` carries small
+JSON-serializable extras.  :meth:`EventRecorder.to_payload` renders the
+stream deterministically for :mod:`~repro.telemetry.runreport`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["EventRecorder", "NULL_RECORDER", "NullRecorder", "RunEvent"]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One sim-time-stamped state transition."""
+
+    t: float
+    kind: str
+    subject: str = ""
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (detail keys sorted)."""
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "subject": self.subject,
+            "detail": {k: self.detail[k] for k in sorted(self.detail)},
+        }
+
+
+class NullRecorder:
+    """Disabled recorder: emission sites see ``enabled`` False and skip.
+
+    ``emit`` still exists (and does nothing) so unguarded call sites are
+    safe; guarded sites never reach it.
+    """
+
+    enabled = False
+
+    def emit(self, kind: str, subject: str = "", **detail: object) -> None:
+        """No-op."""
+
+
+#: process-wide disabled recorder, shared by every uninstrumented component
+NULL_RECORDER = NullRecorder()
+
+
+class EventRecorder:
+    """Appends :class:`RunEvent`\\ s stamped with the simulation clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.events: list[RunEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, kind: str, subject: str = "", **detail: object) -> None:
+        """Record one event at the current simulated time."""
+        self.events.append(RunEvent(self._clock(), kind, subject, detail))
+
+    def filtered(self, kind: str | None = None, subject: str | None = None) -> list[RunEvent]:
+        """Events matching ``kind`` and/or ``subject`` (prefix match on kind).
+
+        ``kind="copy"`` matches ``copy.scheduled``, ``copy.completed``, …;
+        an exact kind matches only itself.
+        """
+        out = []
+        for e in self.events:
+            if kind is not None and e.kind != kind and not e.kind.startswith(kind + "."):
+                continue
+            if subject is not None and e.subject != subject:
+                continue
+            out.append(e)
+        return out
+
+    def kind_counts(self) -> Counter[str]:
+        """How many events of each kind were recorded."""
+        return Counter(e.kind for e in self.events)
+
+    def to_payload(self) -> list[dict]:
+        """The whole stream as deterministic plain dicts, in emission order."""
+        return [e.to_dict() for e in self.events]

@@ -38,6 +38,15 @@ class MetricsRegistry:
         """Increment counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + by
 
+    def set_counter(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value.
+
+        For publishing snapshot-valued counters (lifetime totals owned by
+        some other object): re-publishing overwrites instead of
+        double-counting, so the registry always mirrors the source.
+        """
+        self.counters[name] = int(value)
+
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name``."""
         self.gauges[name] = float(value)

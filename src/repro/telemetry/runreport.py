@@ -1,0 +1,447 @@
+"""The RunReport observability layer: one exportable artifact per run.
+
+The paper's claims are observability claims — per-epoch tier hit counts,
+PFS op reduction, throughput variability.  This module unifies the five
+previously disconnected telemetry mechanisms (:class:`MonarchStats`,
+:class:`~repro.storage.stats.BackendStats`, the metrics registry,
+:class:`~repro.telemetry.tracing.IOTrace`, health counters) into a single
+structured :class:`RunReport` that every experiment can emit, serialize
+deterministically (same seed ⇒ byte-identical JSON) and diff across runs.
+
+Two halves:
+
+* :class:`RunTelemetry` — the *live* collection harness wired into a run
+  by :func:`repro.experiments.scenarios.build_run`: an
+  :class:`~repro.telemetry.events.EventRecorder` for the structured event
+  stream, an :class:`~repro.telemetry.tracing.IOTrace` attached to every
+  backend (bulk paths included), per-epoch snapshots of the middleware's
+  per-tier counters via the trainer's epoch hook.
+* :class:`RunReport` + :func:`build_run_report` — the post-run aggregate:
+  per-epoch × per-tier reads/bytes/faults, per-backend op/byte totals with
+  traced cross-checks, throughput series + variability summaries, a
+  time-in-phase breakdown (compute vs I/O wait vs placement activity) and
+  the full event stream.
+
+:func:`diff_reports` compares two reports field by field;
+:func:`render_report` / :func:`render_diff` print them as the usual
+aligned tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.events import EventRecorder
+from repro.telemetry.report import format_table
+from repro.telemetry.tracing import IOTrace, throughput_series, variability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.framework.training import TrainResult
+    from repro.simkernel.core import Simulator
+    from repro.storage.stats import BackendStats
+
+__all__ = [
+    "RunReport",
+    "RunTelemetry",
+    "SCHEMA_VERSION",
+    "build_run_report",
+    "diff_reports",
+    "render_diff",
+    "render_report",
+]
+
+#: bump when the report layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: bins for every per-backend throughput series (fixed for comparability)
+_SERIES_BINS = 50
+
+
+class RunTelemetry:
+    """Live telemetry harness for one run.
+
+    Create it right after the simulator, attach backends as they come up,
+    point it at the middleware once built, and install
+    :meth:`on_epoch_end` as the trainer's epoch hook.  Everything it
+    gathers is turned into a :class:`RunReport` by
+    :func:`build_run_report` after the run completes.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.recorder = EventRecorder(clock=lambda: sim.now)
+        self.trace = IOTrace(sim)
+        self.backends: dict[str, "BackendStats"] = {}
+        self._base: dict[str, Any] = {}
+        self.monarch: Any = None
+        #: one entry per completed epoch: sim time + middleware counters
+        self.epoch_marks: list[dict[str, Any]] = []
+
+    def track_backend(self, name: str, stats: "BackendStats") -> None:
+        """Instrument one backend: trace its I/O, remember its baseline."""
+        self.backends[name] = stats
+        self._base[name] = stats.snapshot()
+        self.trace.attach(stats)
+
+    def attach_backends(self, backends: dict[str, "BackendStats"]) -> None:
+        """Instrument every backend not already tracked."""
+        for name, stats in backends.items():
+            if name not in self.backends:
+                self.track_backend(name, stats)
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Trainer epoch hook: snapshot the middleware's per-tier counters."""
+        mark: dict[str, Any] = {"t": self.sim.now}
+        if self.monarch is not None:
+            st = self.monarch.stats
+            mark["reads"] = dict(st.reads_per_level)
+            mark["bytes"] = dict(st.bytes_per_level)
+            mark["faults"] = dict(st.tier_faults)
+        self.epoch_marks.append(mark)
+
+
+@dataclass
+class RunReport:
+    """The unified, serializable observability artifact of one run.
+
+    All nested values are plain JSON types, so ``to_json`` is trivially
+    deterministic and ``diff_reports`` can walk two reports structurally.
+    """
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    #: per-epoch entries: wall time, window, backend op deltas, tier
+    #: deltas (monarch runs) and the time-in-phase breakdown
+    epochs: list[dict[str, Any]] = field(default_factory=list)
+    #: per-backend totals, traced cross-checks and throughput summaries
+    backends: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: the middleware's flat counter namespace (``publish_metrics``)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: the structured event stream, in emission order
+    events: list[dict[str, Any]] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- derived views ----------------------------------------------------
+    def tier_read_totals(self) -> dict[str, int]:
+        """Middleware reads per tier label, summed over epochs."""
+        out: dict[str, int] = {}
+        for entry in self.epochs:
+            for tier, count in entry.get("tier_reads", {}).items():
+                out[tier] = out.get(tier, 0) + count
+        return out
+
+    def total_tier_reads(self) -> int:
+        """All middleware-served reads (must equal MonarchStats.total_reads)."""
+        return sum(self.tier_read_totals().values())
+
+    def backend_ops_per_epoch(self, backend: str) -> list[int]:
+        """Per-epoch total ops (data + metadata) of one backend."""
+        out = []
+        for entry in self.epochs:
+            ops = entry["backend_ops"].get(backend)
+            if ops is None:
+                continue
+            out.append(
+                ops["read_ops"] + ops["write_ops"] + ops["open_ops"]
+                + ops["stat_ops"] + ops["listdir_ops"]
+            )
+        return out
+
+    def event_kinds(self) -> dict[str, int]:
+        """How many events of each kind the stream holds."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e["kind"]] = out.get(e["kind"], 0) + 1
+        return out
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (already all JSON types)."""
+        return {
+            "schema_version": self.schema_version,
+            "meta": self.meta,
+            "epochs": self.epochs,
+            "backends": self.backends,
+            "counters": self.counters,
+            "events": self.events,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: sorted keys, fixed indentation, newline-terminated.
+
+        Two runs with the same seed produce byte-identical output — the
+        determinism gate (``make report-check``) asserts exactly this.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "RunReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            meta=raw.get("meta", {}),
+            epochs=raw.get("epochs", []),
+            backends=raw.get("backends", {}),
+            counters=raw.get("counters", {}),
+            events=raw.get("events", []),
+            schema_version=raw.get("schema_version", SCHEMA_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+# -- report construction ---------------------------------------------------
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping ``(start, end)`` intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap(intervals: list[tuple[float, float]], t0: float, t1: float) -> float:
+    """Total time the (merged) intervals spend inside ``[t0, t1]``."""
+    total = 0.0
+    for start, end in intervals:
+        lo, hi = max(start, t0), min(end, t1)
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def _copy_spans(recorder: EventRecorder, t_final: float) -> list[tuple[float, float]]:
+    """[started, finished] interval of every full-file background copy.
+
+    Started events pair FIFO per file with the first later terminal event
+    (``copy.completed`` / ``copy.gave_up``); a copy still in flight at run
+    end closes at ``t_final``.
+    """
+    open_starts: dict[str, list[float]] = {}
+    spans: list[tuple[float, float]] = []
+    for e in recorder.events:
+        if e.kind == "copy.started":
+            open_starts.setdefault(e.subject, []).append(e.t)
+        elif e.kind in ("copy.completed", "copy.gave_up"):
+            starts = open_starts.get(e.subject)
+            if starts:
+                spans.append((starts.pop(0), e.t))
+    for starts in open_starts.values():
+        spans.extend((s, t_final) for s in starts)
+    return _merge_intervals(spans)
+
+
+def _tier_delta(cur: dict, prev: dict) -> dict[str, int]:
+    """Per-level counter delta as a ``{"l<level>": n}`` dict, sorted."""
+    levels = sorted(set(cur) | set(prev))
+    return {f"l{lvl}": int(cur.get(lvl, 0)) - int(prev.get(lvl, 0)) for lvl in levels}
+
+
+def build_run_report(
+    telemetry: RunTelemetry,
+    result: "TrainResult",
+    *,
+    setup: str = "",
+    model: str = "",
+    dataset: str = "",
+    scale: float = 1.0,
+    seed: int = 0,
+) -> RunReport:
+    """Aggregate everything a finished run left in its telemetry harness."""
+    marks = telemetry.epoch_marks
+    epochs = result.epochs
+    t_final = marks[-1]["t"] if marks else telemetry.sim.now
+    spans = _copy_spans(telemetry.recorder, t_final)
+
+    epoch_entries: list[dict[str, Any]] = []
+    prev_mark: dict[str, Any] = {"reads": {}, "bytes": {}, "faults": {}}
+    for i, er in enumerate(epochs):
+        mark = marks[i] if i < len(marks) else {"t": t_final}
+        t_end = float(mark["t"])
+        t_start = t_end - er.wall_time_s
+        compute_s = er.gpu_utilization * er.wall_time_s
+        entry: dict[str, Any] = {
+            "index": er.index,
+            "t_start": t_start,
+            "t_end": t_end,
+            "wall_time_s": er.wall_time_s,
+            "steps": er.steps,
+            "records": er.records,
+            "cpu_utilization": er.cpu_utilization,
+            "gpu_utilization": er.gpu_utilization,
+            "backend_ops": {
+                name: asdict(snap) for name, snap in sorted(er.backend_ops.items())
+            },
+            "phases": {
+                "compute_s": compute_s,
+                "io_wait_s": er.wall_time_s - compute_s,
+                "placement_active_s": _overlap(spans, t_start, t_end),
+            },
+        }
+        if "reads" in mark:
+            entry["tier_reads"] = _tier_delta(mark["reads"], prev_mark["reads"])
+            entry["tier_bytes"] = _tier_delta(mark["bytes"], prev_mark["bytes"])
+            entry["tier_faults"] = _tier_delta(mark["faults"], prev_mark["faults"])
+            prev_mark = mark
+        epoch_entries.append(entry)
+
+    backend_entries: dict[str, dict[str, Any]] = {}
+    for name in sorted(telemetry.backends):
+        stats = telemetry.backends[name]
+        delta = stats.snapshot().delta(telemetry._base[name])
+        read_events = telemetry.trace.filtered(name, "read")
+        if t_final > 0.0:
+            _, series = throughput_series(read_events, 0.0, t_final, bins=_SERIES_BINS)
+            series_bps = [float(v) for v in series]
+        else:
+            series_bps = []
+        var = variability(series_bps)
+        backend_entries[name] = {
+            **asdict(delta),
+            "traced_read_ops": telemetry.trace.total_ops(name, "read"),
+            "traced_write_ops": telemetry.trace.total_ops(name, "write"),
+            "traced_bytes_read": telemetry.trace.total_bytes(name, "read"),
+            "traced_bytes_written": telemetry.trace.total_bytes(name, "write"),
+            "read_throughput": {
+                "mean_bps": var.mean_bps,
+                "std_bps": var.std_bps,
+                "min_bps": var.min_bps,
+                "max_bps": var.max_bps,
+                "cv": var.cv,
+            },
+            "read_series_bps": series_bps,
+        }
+
+    counters: dict[str, int] = {}
+    if telemetry.monarch is not None:
+        counters = dict(sorted(telemetry.monarch.publish_metrics().counters.items()))
+
+    return RunReport(
+        meta={
+            "setup": setup,
+            "model": model,
+            "dataset": dataset,
+            "scale": scale,
+            "seed": seed,
+            "n_epochs": len(epochs),
+            "init_time_s": result.init_time_s,
+            "total_time_s": result.total_time_s,
+        },
+        epochs=epoch_entries,
+        backends=backend_entries,
+        counters=counters,
+        events=telemetry.recorder.to_payload(),
+    )
+
+
+# -- diffing ---------------------------------------------------------------
+def diff_reports(a: RunReport, b: RunReport) -> list[tuple[str, Any, Any]]:
+    """Structural difference of two reports as ``(path, a_value, b_value)``.
+
+    Missing keys/indices surface with the sentinel string ``"<absent>"``.
+    An empty list means the reports are identical.
+    """
+    out: list[tuple[str, Any, Any]] = []
+    _diff_value("", a.to_dict(), b.to_dict(), out)
+    return out
+
+
+_ABSENT = "<absent>"
+
+
+def _diff_value(path: str, va: Any, vb: Any, out: list) -> None:
+    if isinstance(va, dict) and isinstance(vb, dict):
+        for key in sorted(set(va) | set(vb)):
+            sub = f"{path}.{key}" if path else str(key)
+            _diff_value(sub, va.get(key, _ABSENT), vb.get(key, _ABSENT), out)
+        return
+    if isinstance(va, list) and isinstance(vb, list):
+        for i in range(max(len(va), len(vb))):
+            sub = f"{path}[{i}]"
+            ia = va[i] if i < len(va) else _ABSENT
+            ib = vb[i] if i < len(vb) else _ABSENT
+            _diff_value(sub, ia, ib, out)
+        return
+    if va != vb:
+        out.append((path, va, vb))
+
+
+# -- rendering -------------------------------------------------------------
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def render_report(report: RunReport) -> str:
+    """Human-readable summary: meta line, epoch table, backend table."""
+    meta = report.meta
+    lines = [
+        f"RunReport: {meta.get('setup', '?')} / {meta.get('model', '?')} / "
+        f"{meta.get('dataset', '?')} (scale {meta.get('scale', 1.0):g}, "
+        f"seed {meta.get('seed', 0)})",
+        f"init {meta.get('init_time_s', 0.0):.3f} s, "
+        f"total {meta.get('total_time_s', 0.0):.3f} s, "
+        f"{len(report.events)} events",
+        "",
+    ]
+    epoch_rows = []
+    has_tiers = any("tier_reads" in e for e in report.epochs)
+    for e in report.epochs:
+        phases = e["phases"]
+        row = [
+            e["index"] + 1,
+            f"{e['wall_time_s']:.3f}",
+            f"{phases['compute_s']:.3f}",
+            f"{phases['io_wait_s']:.3f}",
+            f"{phases['placement_active_s']:.3f}",
+        ]
+        if has_tiers:
+            row.append(_fmt(e.get("tier_reads", {})))
+        epoch_rows.append(row)
+    headers = ["epoch", "wall (s)", "compute (s)", "io wait (s)", "placement (s)"]
+    if has_tiers:
+        headers.append("tier reads")
+    lines.append(format_table(headers, epoch_rows, title="per-epoch"))
+    lines.append("")
+    backend_rows = []
+    for name, b in sorted(report.backends.items()):
+        backend_rows.append([
+            name,
+            b["read_ops"],
+            b["write_ops"],
+            b["bytes_read"],
+            b["bytes_written"],
+            f"{b['read_throughput']['mean_bps'] / 1e6:.1f}",
+            f"{b['read_throughput']['cv']:.2f}",
+        ])
+    lines.append(format_table(
+        ["backend", "reads", "writes", "bytes read", "bytes written",
+         "mean MB/s", "cv"],
+        backend_rows,
+        title="per-backend",
+    ))
+    if report.counters:
+        lines.append("")
+        nonzero = [(k, v) for k, v in sorted(report.counters.items()) if v]
+        lines.append(format_table(["counter", "value"], nonzero, title="counters (nonzero)"))
+    return "\n".join(lines)
+
+
+def render_diff(diffs: list[tuple[str, Any, Any]], limit: int = 40) -> str:
+    """Aligned table of the first ``limit`` differences."""
+    if not diffs:
+        return "reports are identical"
+    rows = [(path, _fmt(va), _fmt(vb)) for path, va, vb in diffs[:limit]]
+    table = format_table(["path", "a", "b"], rows,
+                         title=f"{len(diffs)} differing field(s)")
+    if len(diffs) > limit:
+        table += f"\n... and {len(diffs) - limit} more"
+    return table

@@ -30,12 +30,14 @@ __all__ = ["IOTrace", "TraceEvent", "VariabilitySummary", "throughput_series", "
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded I/O completion."""
+    """One recorded I/O completion (a bulk train completes as one event)."""
 
     t: float
     backend: str
     kind: str  #: "read" or "write"
     nbytes: int
+    #: operations folded into this event (> 1 for bulk-path completions)
+    ops: int = 1
 
 
 class IOTrace:
@@ -51,12 +53,17 @@ class IOTrace:
     def attach(self, stats: BackendStats) -> None:
         """Instrument a backend: every future read/write lands in the trace.
 
-        Wraps the stats object's record methods; idempotent per backend
-        object (attaching twice raises to avoid double counting).
+        Wraps the stats object's record methods — the singular ones *and*
+        the bulk ``record_reads``/``record_writes`` the fast path accounts
+        through (a bulk train lands as one event carrying its op count),
+        so traced byte totals always equal the backend's counters.
+        Idempotent per backend object (attaching twice raises to avoid
+        double counting).
         """
         if getattr(stats, "_trace_attached", False):
             raise ValueError(f"backend {stats.name!r} already traced")
         orig_read, orig_write = stats.record_read, stats.record_write
+        orig_reads, orig_writes = stats.record_reads, stats.record_writes
         backend = stats.name
 
         def traced_read(nbytes: int) -> None:
@@ -67,8 +74,22 @@ class IOTrace:
             orig_write(nbytes)
             self.events.append(TraceEvent(self.sim.now, backend, "write", int(nbytes)))
 
+        def traced_reads(ops: int, nbytes: int) -> None:
+            orig_reads(ops, nbytes)
+            self.events.append(
+                TraceEvent(self.sim.now, backend, "read", int(nbytes), ops=int(ops))
+            )
+
+        def traced_writes(ops: int, nbytes: int) -> None:
+            orig_writes(ops, nbytes)
+            self.events.append(
+                TraceEvent(self.sim.now, backend, "write", int(nbytes), ops=int(ops))
+            )
+
         stats.record_read = traced_read  # type: ignore[method-assign]
         stats.record_write = traced_write  # type: ignore[method-assign]
+        stats.record_reads = traced_reads  # type: ignore[method-assign]
+        stats.record_writes = traced_writes  # type: ignore[method-assign]
         stats._trace_attached = True  # type: ignore[attr-defined]
 
     def filtered(self, backend: str | None = None, kind: str | None = None) -> list[TraceEvent]:
@@ -78,6 +99,14 @@ class IOTrace:
             if (backend is None or e.backend == backend)
             and (kind is None or e.kind == kind)
         ]
+
+    def total_bytes(self, backend: str | None = None, kind: str | None = None) -> int:
+        """Summed bytes over the matching events."""
+        return sum(e.nbytes for e in self.filtered(backend, kind))
+
+    def total_ops(self, backend: str | None = None, kind: str | None = None) -> int:
+        """Summed operation count over the matching events (bulk-aware)."""
+        return sum(e.ops for e in self.filtered(backend, kind))
 
 
 @dataclass(frozen=True)
@@ -103,6 +132,10 @@ def throughput_series(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Bin events into a bandwidth time series over ``[t0, t1]``.
 
+    The window is closed on both sides: an event at exactly ``t1`` — e.g.
+    the final I/O completion of a run binned over ``[0, sim.now]`` — lands
+    in the last bin instead of being dropped.
+
     Returns ``(bin_centers_seconds, bytes_per_second)``.
     """
     if t1 <= t0:
@@ -113,7 +146,7 @@ def throughput_series(
     width = edges[1] - edges[0]
     totals = np.zeros(bins)
     for e in events:
-        if t0 <= e.t < t1:
+        if t0 <= e.t <= t1:
             idx = min(bins - 1, int((e.t - t0) / width))
             totals[idx] += e.nbytes
     centers = (edges[:-1] + edges[1:]) / 2

@@ -131,3 +131,36 @@ class TestCounters:
             "health.faults.l0",
             "health.faults.l1",
         }
+
+
+class TestRecorderEvents:
+    def test_quarantine_probe_readmit_lifecycle_emitted(self, clock):
+        from repro.telemetry.events import EventRecorder
+
+        rec = EventRecorder(clock)
+        tracker = TierHealthTracker(
+            n_levels=2, pfs_level=1, clock=clock,
+            quarantine_threshold=3, probe_interval_s=1.0, recorder=rec,
+        )
+        for _ in range(3):
+            tracker.record_fault(0)
+        clock.now = 1.0
+        assert tracker.should_attempt(0)
+        tracker.record_success(0)
+        kinds = rec.kind_counts()
+        assert kinds == {"tier.quarantined": 1, "tier.probe": 1,
+                         "tier.readmitted": 1}
+        quarantined = rec.filtered("tier.quarantined")[0]
+        assert quarantined.subject == "l0"
+        assert quarantined.detail["consecutive"] == 3
+        assert [e.kind for e in rec.events] == [
+            "tier.quarantined", "tier.probe", "tier.readmitted"
+        ]
+
+    def test_default_recorder_emits_nothing(self, tracker):
+        from repro.telemetry.events import NULL_RECORDER
+
+        assert tracker.recorder is NULL_RECORDER
+        for _ in range(3):
+            tracker.record_fault(0)  # must not raise without a recorder
+        assert tracker.quarantines == 1

@@ -209,3 +209,70 @@ class TestMonarchReader:
 
         assert drive(sim, job()) == 2048
         assert monarch.stats.total_reads == 1
+
+
+class TestPublishMetrics:
+    def test_republish_into_same_registry_does_not_double_count(
+        self, sim, monarch, dataset_paths
+    ):
+        """Regression: counters used to be published with ``incr``, so a
+        second publish into a long-lived registry doubled every value."""
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, 4096)
+            yield sim.timeout(10.0)  # drain the background copy
+
+        drive(sim, job())
+        reg = monarch.publish_metrics()
+        first = dict(reg.counters)
+        assert first["monarch.reads.l1"] == 1
+        monarch.publish_metrics(reg)
+        assert dict(reg.counters) == first
+
+    def test_republish_refreshes_changed_values(self, sim, monarch, dataset_paths):
+        reg = monarch.publish_metrics()
+
+        def job():
+            yield from monarch.read(dataset_paths[0], 0, 4096)
+            yield sim.timeout(10.0)
+
+        drive(sim, job())
+        monarch.publish_metrics(reg)
+        assert reg.counters["monarch.reads.l1"] == 1
+
+
+class TestRecorderEvents:
+    def test_read_driven_copy_lifecycle_is_emitted(
+        self, sim, mounts, monarch_config, dataset_paths
+    ):
+        from repro.telemetry.events import EventRecorder
+
+        recorder = EventRecorder(clock=lambda: sim.now)
+        m = Monarch(sim, monarch_config, mounts, recorder=recorder)
+        drive(sim, m.initialize(), name="monarch-init")
+
+        def job():
+            yield from m.read(dataset_paths[0], 0, 4096)
+            yield sim.timeout(10.0)  # let the background copy finish
+
+        drive(sim, job())
+        kinds = recorder.kind_counts()
+        assert kinds["copy.scheduled"] == 1
+        assert kinds["copy.started"] == 1
+        assert kinds["copy.completed"] == 1
+        sched = recorder.filtered("copy.scheduled")[0]
+        assert sched.subject == dataset_paths[0]
+        assert sched.detail["level"] == 0
+        assert sched.detail["nbytes"] > 0
+        started, completed = (
+            recorder.filtered("copy.started")[0],
+            recorder.filtered("copy.completed")[0],
+        )
+        assert started.t <= completed.t
+
+    def test_default_recorder_is_the_shared_null(self, sim, mounts, monarch_config):
+        from repro.telemetry.events import NULL_RECORDER
+
+        m = Monarch(sim, monarch_config, mounts)
+        assert m.recorder is NULL_RECORDER
+        assert m.placement.recorder is NULL_RECORDER
+        assert m.health.recorder is NULL_RECORDER

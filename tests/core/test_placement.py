@@ -213,3 +213,79 @@ class TestEvictionPolicies:
         assert m.metadata.lookup(dataset_paths[0]).state is FileState.PFS_ONLY
         assert m.metadata.lookup(dataset_paths[1]).state is FileState.CACHED
         assert m.metadata.lookup(dataset_paths[2]).state is FileState.CACHED
+
+
+class TestRecorderEvents:
+    def test_unplaceable_emitted_when_tier_full(self, sim, mounts, dataset_paths,
+                                                tiny_manifest):
+        from repro.telemetry.events import EventRecorder
+
+        rec = EventRecorder(lambda: sim.now)
+        shard = tiny_manifest.shards[0].size_bytes
+        cfg = MonarchConfig(
+            tiers=(
+                TierSpec(mount_point="/mnt/ssd", quota_bytes=3 * shard + 10),
+                TierSpec(mount_point="/mnt/pfs"),
+            ),
+            dataset_dir="/dataset",
+            placement_threads=2,
+            copy_chunk=256 * 1024,
+        )
+        m = Monarch(sim, cfg, mounts, rng=np.random.default_rng(0), recorder=rec)
+        drive(sim, m.initialize())
+        read_all_and_settle(sim, m, dataset_paths)
+        kinds = rec.kind_counts()
+        stats = m.placement.stats
+        assert stats.unplaceable > 0
+        assert kinds["copy.unplaceable"] == stats.unplaceable
+        assert kinds["copy.scheduled"] == stats.scheduled
+        assert kinds["copy.completed"] == stats.completed
+        assert kinds["copy.started"] == stats.scheduled
+
+    def test_eviction_emitted_per_victim(self, sim, mounts, dataset_paths,
+                                         tiny_manifest):
+        from repro.telemetry.events import EventRecorder
+
+        rec = EventRecorder(lambda: sim.now)
+        shard = tiny_manifest.shards[0].size_bytes
+        cfg = MonarchConfig(
+            tiers=(
+                TierSpec(mount_point="/mnt/ssd", quota_bytes=2 * shard + 10),
+                TierSpec(mount_point="/mnt/pfs"),
+            ),
+            dataset_dir="/dataset",
+            placement_threads=2,
+            copy_chunk=256 * 1024,
+            eviction="fifo",
+        )
+        m = Monarch(sim, cfg, mounts, rng=np.random.default_rng(0), recorder=rec)
+        drive(sim, m.initialize())
+        read_all_and_settle(sim, m, dataset_paths)
+        kinds = rec.kind_counts()
+        stats = m.placement.stats
+        assert stats.evictions > 0
+        assert kinds["eviction"] == stats.evictions
+        ev = rec.filtered("eviction")[0]
+        assert ev.detail["level"] == 0
+        assert ev.detail["nbytes"] > 0
+
+    def test_deferred_emitted_when_target_quarantined(self, sim, mounts,
+                                                      dataset_paths):
+        from repro.telemetry.events import EventRecorder
+
+        rec = EventRecorder(lambda: sim.now)
+        cfg = MonarchConfig(
+            tiers=(TierSpec(mount_point="/mnt/ssd"), TierSpec(mount_point="/mnt/pfs")),
+            dataset_dir="/dataset",
+            placement_threads=2,
+            copy_chunk=256 * 1024,
+        )
+        m = Monarch(sim, cfg, mounts, rng=np.random.default_rng(0), recorder=rec)
+        drive(sim, m.initialize())
+        for _ in range(3):
+            m.health.record_fault(0)  # quarantine the fast tier
+        read_all_and_settle(sim, m, dataset_paths[:2])
+        stats = m.placement.stats
+        assert stats.deferred > 0
+        assert rec.kind_counts()["copy.deferred"] == stats.deferred
+        assert rec.filtered("copy.deferred")[0].subject == dataset_paths[0]

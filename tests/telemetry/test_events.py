@@ -1,0 +1,86 @@
+"""Unit tests for the structured run-event stream."""
+
+from __future__ import annotations
+
+from repro.telemetry.events import (
+    EventRecorder,
+    NULL_RECORDER,
+    NullRecorder,
+    RunEvent,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRunEvent:
+    def test_to_dict_sorts_detail_keys(self):
+        e = RunEvent(1.5, "copy.scheduled", "/f", {"z": 1, "a": 2})
+        d = e.to_dict()
+        assert list(d["detail"]) == ["a", "z"]
+        assert d == {"t": 1.5, "kind": "copy.scheduled", "subject": "/f",
+                     "detail": {"a": 2, "z": 1}}
+
+    def test_defaults(self):
+        e = RunEvent(0.0, "epoch.start")
+        assert e.subject == ""
+        assert e.detail == {}
+
+
+class TestNullRecorder:
+    def test_disabled_and_silent(self):
+        r = NullRecorder()
+        assert r.enabled is False
+        r.emit("copy.scheduled", "/f", level=0)  # must be a harmless no-op
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        assert NULL_RECORDER.enabled is False
+
+
+class TestEventRecorder:
+    def test_emit_stamps_the_clock(self):
+        clock = FakeClock()
+        rec = EventRecorder(clock)
+        assert rec.enabled is True
+        rec.emit("epoch.start", "0")
+        clock.now = 2.5
+        rec.emit("epoch.end", "0", steps=10)
+        assert len(rec) == 2
+        assert rec.events[0] == RunEvent(0.0, "epoch.start", "0", {})
+        assert rec.events[1] == RunEvent(2.5, "epoch.end", "0", {"steps": 10})
+
+    def test_filtered_exact_and_prefix(self):
+        rec = EventRecorder(FakeClock())
+        rec.emit("copy.scheduled", "/a")
+        rec.emit("copy.completed", "/a")
+        rec.emit("copy.completed", "/b")
+        rec.emit("copyish.other", "/a")
+        rec.emit("eviction", "/c")
+        assert len(rec.filtered("copy")) == 3  # prefix, not substring
+        assert len(rec.filtered("copy.completed")) == 2
+        assert len(rec.filtered("copy", subject="/a")) == 2
+        assert len(rec.filtered(subject="/c")) == 1
+        assert len(rec.filtered()) == 5
+
+    def test_kind_counts(self):
+        rec = EventRecorder(FakeClock())
+        rec.emit("tier.probe", "l0")
+        rec.emit("tier.probe", "l0")
+        rec.emit("tier.readmitted", "l0")
+        assert rec.kind_counts() == {"tier.probe": 2, "tier.readmitted": 1}
+
+    def test_to_payload_preserves_emission_order(self):
+        clock = FakeClock()
+        rec = EventRecorder(clock)
+        rec.emit("a", "1")
+        clock.now = 1.0
+        rec.emit("b", "2", z=1, a=2)
+        payload = rec.to_payload()
+        assert [p["kind"] for p in payload] == ["a", "b"]
+        assert list(payload[1]["detail"]) == ["a", "z"]

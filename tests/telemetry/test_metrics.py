@@ -20,6 +20,20 @@ class TestCountersAndGauges:
         m.gauge("load", 0.7)
         assert m.gauges["load"] == 0.7
 
+    def test_set_counter_is_absolute(self):
+        m = MetricsRegistry()
+        m.set_counter("reads", 10)
+        m.set_counter("reads", 10)  # snapshot semantics: no accumulation
+        assert m.counters["reads"] == 10
+        m.set_counter("reads", 7)  # may move down (e.g. a fresh registry)
+        assert m.counters["reads"] == 7
+
+    def test_set_counter_coerces_int(self):
+        m = MetricsRegistry()
+        m.set_counter("x", 3.0)
+        assert m.counters["x"] == 3
+        assert isinstance(m.counters["x"], int)
+
 
 class TestHistograms:
     def test_observe_and_summary(self):

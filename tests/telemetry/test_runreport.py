@@ -1,0 +1,239 @@
+"""RunReport: aggregation, serialization determinism, and diffing.
+
+The unit half exercises the interval/pairing helpers and the report
+dataclass directly; the integration half runs real (tiny) experiments and
+asserts the contracts the observability layer advertises: same seed ⇒
+byte-identical JSON, tier-read deltas re-sum to the middleware counters,
+traced bytes equal backend counters, and the paper's Fig. 5 op-reduction
+shape is visible straight from the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_once
+from repro.experiments.scenarios import build_run
+from repro.faults import FaultPlan, TierDown
+from repro.simkernel.core import Simulator
+from repro.storage.stats import BackendStats
+from repro.telemetry.events import EventRecorder, RunEvent
+from repro.telemetry.runreport import (
+    RunReport,
+    RunTelemetry,
+    _copy_spans,
+    _merge_intervals,
+    _overlap,
+    _tier_delta,
+    build_run_report,
+    diff_reports,
+    render_diff,
+    render_report,
+)
+
+SCALE = 1 / 4096
+
+
+def _report(setup: str = "monarch", seed: int = 7, scale: float = SCALE,
+            **kwargs) -> RunReport:
+    rec = run_once(setup, "lenet", IMAGENET_100G, scale=scale, seed=seed,
+                   report=True, **kwargs)
+    assert rec.report is not None
+    return RunReport.from_dict(rec.report)
+
+
+class TestIntervalHelpers:
+    def test_merge_overlapping(self):
+        assert _merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_touching(self):
+        assert _merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_overlap_clips_to_window(self):
+        spans = [(0.0, 2.0), (5.0, 7.0)]
+        assert _overlap(spans, 1.0, 6.0) == pytest.approx(2.0)
+        assert _overlap(spans, 10.0, 11.0) == 0.0
+
+    def test_tier_delta_labels_and_subtracts(self):
+        assert _tier_delta({0: 10, 1: 4}, {0: 3}) == {"l0": 7, "l1": 4}
+
+
+class TestCopySpans:
+    def test_fifo_pairing_and_unmatched_close_at_final(self):
+        rec = EventRecorder(lambda: 0.0)
+        rec.events[:] = [
+            RunEvent(1.0, "copy.started", "/a"),
+            RunEvent(2.0, "copy.started", "/b"),
+            RunEvent(3.0, "copy.completed", "/a"),
+            RunEvent(4.0, "copy.started", "/a"),
+            RunEvent(5.0, "copy.gave_up", "/a"),
+        ]
+        spans = _copy_spans(rec, t_final=10.0)
+        # /b never finished: closes at t_final; /a pairs FIFO twice
+        assert spans == _merge_intervals([(1.0, 3.0), (4.0, 5.0), (2.0, 10.0)])
+
+    def test_terminal_without_start_ignored(self):
+        rec = EventRecorder(lambda: 0.0)
+        rec.events[:] = [RunEvent(3.0, "copy.completed", "/a")]
+        assert _copy_spans(rec, t_final=5.0) == []
+
+
+class TestRunTelemetry:
+    def test_attach_backends_skips_tracked(self):
+        sim = Simulator()
+        tele = RunTelemetry(sim)
+        stats = BackendStats(name="dev")
+        tele.track_backend("dev", stats)
+        tele.attach_backends({"dev": stats})  # second attach must not raise
+        assert list(tele.backends) == ["dev"]
+
+    def test_epoch_mark_without_monarch_has_no_tier_counters(self):
+        tele = RunTelemetry(Simulator())
+        tele.on_epoch_end(0)
+        assert tele.epoch_marks == [{"t": 0.0}]
+
+
+class TestSerialization:
+    def test_roundtrip_and_newline_termination(self):
+        rep = _report()
+        js = rep.to_json()
+        assert js.endswith("\n")
+        again = RunReport.from_json(js)
+        assert again.to_dict() == rep.to_dict()
+        assert again.to_json() == js
+
+    def test_same_seed_byte_identical(self):
+        assert _report(seed=11).to_json() == _report(seed=11).to_json()
+
+    def test_different_seed_differs(self):
+        assert _report(seed=11).to_json() != _report(seed=12).to_json()
+
+    def test_schema_version_present(self):
+        assert _report().to_dict()["schema_version"] == 1
+
+
+class TestReportContents:
+    def test_tier_reads_resum_to_published_counters(self):
+        rep = _report()
+        published = {
+            k.rsplit(".", 1)[1]: v
+            for k, v in rep.counters.items()
+            if k.startswith("monarch.reads.")
+        }
+        assert rep.tier_read_totals() == published
+        assert rep.total_tier_reads() == sum(published.values())
+
+    def test_traced_bytes_equal_backend_counters(self):
+        rep = _report()
+        for name, b in rep.backends.items():
+            assert b["traced_bytes_read"] == b["bytes_read"], name
+            assert b["traced_bytes_written"] == b["bytes_written"], name
+            assert b["traced_read_ops"] == b["read_ops"], name
+            assert b["traced_write_ops"] == b["write_ops"], name
+
+    def test_phase_breakdown_sums_to_wall_time(self):
+        rep = _report()
+        for e in rep.epochs:
+            p = e["phases"]
+            assert p["compute_s"] + p["io_wait_s"] == pytest.approx(e["wall_time_s"])
+            assert 0.0 <= p["placement_active_s"] <= e["wall_time_s"] + 1e-9
+
+    def test_epoch_windows_are_contiguous(self):
+        rep = _report()
+        for prev, cur in zip(rep.epochs, rep.epochs[1:]):
+            assert cur["t_start"] == pytest.approx(prev["t_end"])
+
+    def test_event_stream_has_epoch_boundaries(self):
+        rep = _report()
+        kinds = rep.event_kinds()
+        n = rep.meta["n_epochs"]
+        assert kinds["epoch.start"] == n
+        assert kinds["epoch.end"] == n
+
+    def test_vanilla_run_has_no_middleware_sections(self):
+        rep = _report(setup="vanilla-lustre")
+        assert rep.counters == {}
+        assert all("tier_reads" not in e for e in rep.epochs)
+        assert "pfs" in rep.backends
+
+    def test_fig5_shape_pfs_ops_collapse_after_epoch_one(self):
+        """Paper Fig. 5: with MONARCH the PFS absorbs nearly all ops in
+        epoch 1 (cold cache + background copies); epochs 2-3 run from the
+        local tier and barely touch it."""
+        rep = _report(scale=1 / 1024, seed=0)
+        pfs_ops = rep.backend_ops_per_epoch("pfs")
+        assert len(pfs_ops) == 3
+        assert pfs_ops[0] > 10 * max(pfs_ops[1], pfs_ops[2], 1)
+        # and the mirror image: the local tier serves the steady state
+        tier_reads = [e["tier_reads"] for e in rep.epochs]
+        assert tier_reads[1]["l1"] == 0
+        assert tier_reads[2]["l1"] == 0
+        assert tier_reads[1]["l0"] > 0
+
+
+class TestFaultedRunEvents:
+    def test_quarantine_story_lands_in_the_event_stream(self):
+        plan = FaultPlan({"/mnt/ssd": (TierDown(at=0.05),)})
+        handle = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=SCALE, seed=3, fault_plan=plan, telemetry=True,
+        )
+        result = handle.execute()
+        rep = build_run_report(handle.telemetry, result, setup="monarch",
+                               model="lenet", dataset="100g", scale=SCALE, seed=3)
+        kinds = rep.event_kinds()
+        monarch = handle.monarch
+        assert kinds.get("tier.quarantined", 0) == monarch.health.quarantines >= 1
+        assert kinds.get("read.fallback", 0) == monarch.stats.fallback_reads > 0
+        assert kinds.get("tier.readmitted", 0) == 0
+        # every quarantine event names the tier and its fault streak
+        for e in rep.events:
+            if e["kind"] == "tier.quarantined":
+                assert e["subject"] == "l0"
+                assert e["detail"]["consecutive"] >= 1
+
+
+class TestDiff:
+    def test_identical_reports_have_no_diff(self):
+        rep = _report()
+        assert diff_reports(rep, rep) == []
+
+    def test_value_change_surfaces_with_path(self):
+        a, b = _report(), _report()
+        b.meta["seed"] = 999
+        diffs = diff_reports(a, b)
+        assert ("meta.seed", 7, 999) in diffs
+
+    def test_missing_list_entry_uses_absent_sentinel(self):
+        a, b = _report(), _report()
+        b.events = b.events[:-1]
+        diffs = diff_reports(a, b)
+        assert any(vb == "<absent>" for _, _, vb in diffs)
+
+    def test_render_diff(self):
+        a, b = _report(), _report()
+        assert render_diff(diff_reports(a, b)) == "reports are identical"
+        b.meta["seed"] = 999
+        text = render_diff(diff_reports(a, b))
+        assert "meta.seed" in text and "999" in text
+
+    def test_render_diff_truncates(self):
+        diffs = [(f"p{i}", i, -i) for i in range(50)]
+        text = render_diff(diffs, limit=40)
+        assert "and 10 more" in text
+
+
+class TestRender:
+    def test_render_report_mentions_the_run(self):
+        text = render_report(_report())
+        assert "monarch / lenet" in text
+        assert "per-epoch" in text
+        assert "per-backend" in text
+        assert "counters (nonzero)" in text
+
+    def test_render_vanilla_report_omits_tier_column(self):
+        text = render_report(_report(setup="vanilla-lustre"))
+        assert "tier reads" not in text
+        assert "counters" not in text

@@ -59,6 +59,34 @@ class TestIOTrace:
         assert len(trace.filtered(kind="read")) == 2
         assert len(trace.filtered(backend="a", kind="write")) == 1
 
+    def test_bulk_record_reads_traced_with_op_count(self, sim):
+        """Regression: the bulk fast path accounts through
+        ``record_reads``/``record_writes``; the trace must wrap those too,
+        or every background chunk train goes unseen."""
+        trace = IOTrace(sim)
+        stats = BackendStats(name="dev")
+        trace.attach(stats)
+        stats.record_reads(5, 5000)
+        stats.record_writes(3, 3000)
+        assert len(trace) == 2
+        assert trace.events[0] == TraceEvent(0.0, "dev", "read", 5000, ops=5)
+        assert trace.events[1] == TraceEvent(0.0, "dev", "write", 3000, ops=3)
+        # the wrapped counters still advanced underneath
+        assert stats.read_ops == 5 and stats.bytes_read == 5000
+        assert stats.write_ops == 3 and stats.bytes_written == 3000
+
+    def test_totals_are_bulk_aware(self, sim):
+        trace = IOTrace(sim)
+        stats = BackendStats(name="dev")
+        trace.attach(stats)
+        stats.record_read(100)
+        stats.record_reads(4, 400)
+        stats.record_write(50)
+        assert trace.total_ops("dev", "read") == 5
+        assert trace.total_bytes("dev", "read") == 500
+        assert trace.total_ops("dev", "write") == 1
+        assert trace.total_bytes("dev") == 550
+
     def test_live_backend_integration(self, sim, pfs):
         """Tracing a real PFS picks up its pread traffic."""
         trace = IOTrace(sim)
@@ -99,6 +127,42 @@ class TestThroughputSeries:
             throughput_series([], 1.0, 1.0)
         with pytest.raises(ValueError):
             throughput_series([], 0.0, 1.0, bins=0)
+
+    def test_event_at_exact_right_edge_lands_in_last_bin(self):
+        """Regression: the window used to be half-open (``t < t1``), so a
+        completion at exactly ``t1`` — the last I/O of a run binned over
+        ``[0, sim.now]`` — silently vanished from the series."""
+        events = [*self.make_events(), TraceEvent(3.0, "pfs", "read", 900)]
+        _, bps = throughput_series(events, 0.0, 3.0, bins=3)
+        assert bps[-1] == pytest.approx(2900.0)  # 2000 + the edge event
+
+
+class TestTraceMatchesBackendCounters:
+    """Satellite contract: traced totals equal the backend counters they
+    shadow, on both the bulk and the per-chunk copy execution paths."""
+
+    @pytest.mark.parametrize("disable_bulk", [False, True])
+    def test_full_run_traced_totals(self, monkeypatch, disable_bulk):
+        from repro.data.imagenet import IMAGENET_100G
+        from repro.experiments.calibration import DEFAULT_CALIBRATION
+        from repro.experiments.scenarios import build_run
+
+        if disable_bulk:
+            monkeypatch.setenv("REPRO_DISABLE_BULK_IO", "1")
+        else:
+            monkeypatch.delenv("REPRO_DISABLE_BULK_IO", raising=False)
+        handle = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=1 / 2048, seed=1, telemetry=True,
+        )
+        handle.execute()
+        tele = handle.telemetry
+        assert tele is not None
+        for name, stats in tele.backends.items():
+            assert tele.trace.total_bytes(name, "read") == stats.bytes_read, name
+            assert tele.trace.total_bytes(name, "write") == stats.bytes_written, name
+            assert tele.trace.total_ops(name, "read") == stats.read_ops, name
+            assert tele.trace.total_ops(name, "write") == stats.write_ops, name
 
 
 class TestVariability:

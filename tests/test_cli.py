@@ -57,3 +57,43 @@ class TestCli:
         rc = cli.main(["run", "vanilla-local", "--scale", "1/4096",
                        "--epochs", "1"])
         assert rc == 0
+
+
+class TestReportCli:
+    def test_report_to_stdout_is_json(self, capsys):
+        rc = cli.main(["report", "monarch", "--scale", SCALE, "--seed", "7"])
+        assert rc == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["meta"]["setup"] == "monarch"
+        assert payload["epochs"]
+
+    def test_report_to_file_prints_summary(self, tmp_path, capsys):
+        out = tmp_path / "rep.json"
+        rc = cli.main(["report", "monarch", "--scale", SCALE, "--seed", "7",
+                       "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert f"wrote {out}" in text
+        assert "RunReport: monarch / lenet" in text
+        assert out.read_text().endswith("\n")
+
+    def test_diff_identical_returns_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            cli.main(["report", "monarch", "--scale", SCALE, "--seed", "7",
+                      "--out", str(path)])
+        rc = cli.main(["diff", str(a), str(b)])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different_seeds_returns_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        cli.main(["report", "monarch", "--scale", SCALE, "--seed", "7",
+                  "--out", str(a)])
+        cli.main(["report", "monarch", "--scale", SCALE, "--seed", "8",
+                  "--out", str(b)])
+        rc = cli.main(["diff", str(a), str(b)])
+        assert rc == 1
+        assert "differing field" in capsys.readouterr().out

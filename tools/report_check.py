@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Determinism gate for the RunReport observability layer.
+
+Runs one tiny seeded MONARCH scenario twice and fails unless the two
+exported reports are byte-identical JSON.  This is the CI-facing contract
+behind ``repro report``: same seed ⇒ same report, down to the last byte —
+every float in the payload must come from the deterministic simulation,
+never from wall clocks, dict ordering, or accumulation-order drift.
+
+Usage::
+
+    python tools/report_check.py [--scale 1/4096] [--seed 7] [--setup monarch]
+
+Exits 0 when the reports match, 1 (with the first divergences printed)
+when they do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from fractions import Fraction
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.data.imagenet import IMAGENET_100G  # noqa: E402
+from repro.experiments.runner import run_once  # noqa: E402
+from repro.telemetry.runreport import (  # noqa: E402
+    RunReport,
+    diff_reports,
+    render_diff,
+)
+
+
+def one_report(setup: str, scale: float, seed: int) -> RunReport:
+    rec = run_once(setup, "lenet", IMAGENET_100G, scale=scale, seed=seed, report=True)
+    assert rec.report is not None
+    return RunReport.from_dict(rec.report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="RunReport determinism gate")
+    parser.add_argument("--setup", default="monarch")
+    parser.add_argument("--scale", type=lambda s: float(Fraction(s)), default=1 / 4096)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    a = one_report(args.setup, args.scale, args.seed)
+    b = one_report(args.setup, args.scale, args.seed)
+    ja, jb = a.to_json(), b.to_json()
+    if ja == jb:
+        print(
+            f"report-check OK: {args.setup} scale={args.scale:g} seed={args.seed} "
+            f"-> {len(ja)} bytes, byte-identical across runs"
+        )
+        return 0
+    print("report-check FAILED: same-seed runs diverged", file=sys.stderr)
+    print(render_diff(diff_reports(a, b)), file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
