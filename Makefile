@@ -2,14 +2,19 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 # Line-coverage floor enforced by `make coverage` (and thus `make check`).
-# Measured 94.6% on 2026-08-06; the floor leaves slack for legitimate
+# Measured 94.3% on 2026-08-07; the floor leaves slack for legitimate
 # hard-to-reach lines, not for untested subsystems.
-COV_FLOOR ?= 92
+COV_FLOOR ?= 94
 
-.PHONY: test bench bench-kernel coverage report-check check
+.PHONY: test test-fast bench bench-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Quick inner-loop run: skips the hypothesis-heavy property suites
+# (marker `hypothesis_heavy`), which dominate full-suite wall time.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not hypothesis_heavy"
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

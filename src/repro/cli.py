@@ -7,6 +7,8 @@ Subcommands:
 * ``report`` — one seeded run with full telemetry, exporting the
   deterministic :class:`~repro.telemetry.runreport.RunReport` JSON.
 * ``diff`` — structural comparison of two exported RunReport JSONs.
+* ``multi`` — N concurrent jobs sharing one hierarchy (FIG-MULTI),
+  with the serial baseline alongside.
 * ``figures`` — regenerate a paper artifact (delegates to
   :mod:`repro.experiments.figures`).
 * ``dist`` — one distributed run (§VI future work).
@@ -93,11 +95,38 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
     reports = []
     for path in (args.a, args.b):
-        with open(path) as fh:
-            reports.append(RunReport.from_json(fh.read()))
+        try:
+            with open(path) as fh:
+                reports.append(RunReport.from_json(fh.read()))
+        except OSError as err:
+            print(f"error: cannot read report {path!r}: {err}", file=sys.stderr)
+            return 2
+        except (ValueError, TypeError, KeyError, AttributeError) as err:
+            print(f"error: {path!r} is not a RunReport JSON: {err}", file=sys.stderr)
+            return 2
     diffs = diff_reports(reports[0], reports[1])
     print(render_diff(diffs))
     return 0 if not diffs else 1
+
+
+def _cmd_multi(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import fig_multi, render_multi
+    from repro.telemetry.runreport import RunReport
+
+    result = fig_multi(
+        scale=args.scale, seed=args.seed, n_jobs=args.jobs,
+        report=args.out is not None,
+    )
+    print(render_multi(
+        result, f"FIG-MULTI: {args.jobs} concurrent jobs (scale {args.scale:g}, "
+                f"seed {args.seed})"))
+    if args.out:
+        concurrent = result["concurrent"]
+        assert concurrent.report is not None
+        with open(args.out, "w") as fh:
+            fh.write(RunReport.from_dict(concurrent.report).to_json())
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_dist(args: argparse.Namespace) -> int:
@@ -152,7 +181,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
     return figures.main([args.artifact, "--scale", str(args.scale),
-                         "--runs", str(args.runs)])
+                         "--runs", str(args.runs), "--seed", str(args.seed),
+                         "--jobs", str(args.jobs)])
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -194,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("b", help="second RunReport JSON file")
     p_diff.set_defaults(fn=_cmd_diff)
 
+    p_multi = sub.add_parser(
+        "multi", help="N concurrent jobs on one hierarchy vs serial (FIG-MULTI)"
+    )
+    p_multi.add_argument("--jobs", type=int, default=2,
+                         help="concurrent job count (2-4)")
+    p_multi.add_argument("--scale", type=_fraction, default=1 / 256,
+                         help="simulation scale, e.g. 1/128")
+    p_multi.add_argument("--seed", type=int, default=0)
+    p_multi.add_argument("--out", default=None,
+                         help="also write the aggregate RunReport JSON here")
+    p_multi.set_defaults(fn=_cmd_multi)
+
     p_dist = sub.add_parser("dist", help="one distributed run (§VI)")
     p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch"])
     p_dist.add_argument("--nodes", type=int, default=2)
@@ -209,10 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
     p_fig.add_argument("artifact",
-                       choices=["fig1", "fig3", "fig4", "io", "meta",
+                       choices=["fig1", "fig3", "fig4", "multi", "io", "meta",
                                 "usage", "all"])
     p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
     p_fig.add_argument("--runs", type=int, default=3)
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--jobs", type=int, default=2)
     p_fig.set_defaults(fn=_cmd_figures)
 
     return parser

@@ -33,18 +33,22 @@ from repro.core.placement import (
     PlacementHandler,
     RandomEviction,
 )
+from repro.core.tenancy import FairShareArbiter, JobContext, NamespaceViolationError
 
 __all__ = [
     "EvictionPolicy",
+    "FairShareArbiter",
     "FifoEviction",
     "FileInfo",
     "FileState",
+    "JobContext",
     "LocalDriver",
     "LruEviction",
     "MetadataContainer",
     "Monarch",
     "MonarchConfig",
     "MonarchReader",
+    "NamespaceViolationError",
     "NoEviction",
     "PFSDriver",
     "PlacementHandler",

@@ -42,14 +42,24 @@ class FileInfo:
     state: FileState = FileState.PFS_ONLY
     #: tier the in-flight copy targets, while state is COPYING
     pending_level: int | None = None
+    #: job that owns this entry ("" = the single-tenant global namespace)
+    owner: str = ""
 
 
 class MetadataContainer:
-    """The virtual namespace over the whole storage hierarchy."""
+    """The virtual namespace over the whole storage hierarchy.
+
+    In multi-job runs the one container holds every job's entries; each
+    entry's ``owner`` partitions it into per-job namespaces (files of
+    different jobs never alias — names are full PFS-relative paths under
+    per-job dataset directories).
+    """
 
     def __init__(self) -> None:
         self._files: dict[str, FileInfo] = {}
         self.init_time_s: float | None = None
+        #: per-owner namespace-build times (multi-job runs)
+        self.init_times: dict[str, float] = {}
 
     def __len__(self) -> int:
         return len(self._files)
@@ -65,9 +75,14 @@ class MetadataContainer:
         """Like :meth:`lookup` but returns ``None`` when unknown."""
         return self._files.get(name)
 
-    def files(self) -> list[FileInfo]:
-        """All entries, in name order."""
-        return [self._files[k] for k in sorted(self._files)]
+    def files(self, owner: str | None = None) -> list[FileInfo]:
+        """Entries in name order; ``owner`` restricts to one job's namespace."""
+        if owner is None:
+            return [self._files[k] for k in sorted(self._files)]
+        return [
+            self._files[k] for k in sorted(self._files)
+            if self._files[k].owner == owner
+        ]
 
     def add(self, info: FileInfo) -> None:
         """Insert one entry (startup population)."""
@@ -89,11 +104,14 @@ class MetadataContainer:
         dataset_dir: str,
         pfs_level: int,
         clock_now: Any,
+        owner: str = "",
     ) -> Generator[Any, Any, None]:
         """Populate the namespace by traversing ``dataset_dir`` on the PFS.
 
         One timed ``listdir`` plus one timed ``stat`` per file; the elapsed
-        simulated time is recorded as :attr:`init_time_s`.
+        simulated time is recorded as :attr:`init_time_s` (and, keyed by
+        ``owner``, in :attr:`init_times`).  Multi-job runs call this once
+        per job with that job's dataset directory and owner tag.
         """
         t0 = clock_now()
         entries = yield from pfs_driver.listdir(dataset_dir)
@@ -103,10 +121,13 @@ class MetadataContainer:
             if rel.startswith(mount):
                 rel = rel[len(mount):] or "/"
             meta = yield from pfs_driver.stat(rel)
-            self.add(FileInfo(name=rel, size=meta.size, level=pfs_level))
-        self.init_time_s = clock_now() - t0
+            self.add(FileInfo(name=rel, size=meta.size, level=pfs_level, owner=owner))
+        elapsed = clock_now() - t0
+        self.init_time_s = elapsed
+        self.init_times[owner] = elapsed
 
     def clear(self) -> None:
         """Drop the namespace (ephemeral model: removed at job end)."""
         self._files.clear()
         self.init_time_s = None
+        self.init_times.clear()

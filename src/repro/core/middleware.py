@@ -32,7 +32,9 @@ from repro.core.health import TierHealthTracker
 from repro.core.hierarchy import StorageHierarchy
 from repro.core.metadata import FileState, MetadataContainer
 from repro.core.placement import PlacementHandler, make_eviction_policy
+from repro.core.tenancy import FairShareArbiter, JobContext, NamespaceViolationError
 from repro.framework.io_layer import DataReader, OpenFile
+from repro.simkernel.monitor import TagAccounting
 from repro.storage.base import IOFaultError
 from repro.storage.vfs import MountTable
 from repro.telemetry.events import NULL_RECORDER
@@ -100,11 +102,13 @@ class Monarch:
         mounts: MountTable,
         rng: np.random.Generator | None = None,
         recorder=None,
+        accounting: TagAccounting | None = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.mounts = mounts
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.accounting = accounting
         self.hierarchy = StorageHierarchy.from_config(config, mounts)
         self.metadata = MetadataContainer()
         self._health = TierHealthTracker(
@@ -131,8 +135,13 @@ class Monarch:
             copy_retries=config.copy_retries,
             retry_backoff_s=config.retry_backoff_s,
             recorder=self.recorder,
+            accounting=accounting,
         )
         self.stats = MonarchStats()
+        #: per-job read accounting, keyed by job id (multi-job runs)
+        self.job_stats: dict[str, MonarchStats] = {}
+        #: fair-share admission caps; created by the first register_job
+        self.arbiter: FairShareArbiter | None = None
         self._initialized = False
 
     @property
@@ -154,6 +163,42 @@ class Monarch:
             self.config.dataset_dir,
             self.hierarchy.pfs_level,
             clock_now=lambda: self.sim.now,
+        )
+        self._initialized = True
+
+    # -- multi-job tenancy -------------------------------------------------
+    def register_job(self, job_id: str, dataset_dir: str, share: float = 1.0) -> JobContext:
+        """Attach one more concurrent job to this hierarchy.
+
+        The first registration creates the :class:`FairShareArbiter` and
+        hands it to the placement handler; from then on every registered
+        job's placements are capped at its fair share of each tier's
+        quota.  Untimed — the job's own (timed) namespace build happens in
+        :meth:`JobContext.initialize`.
+        """
+        if self.arbiter is None:
+            self.arbiter = FairShareArbiter()
+            self.placement.arbiter = self.arbiter
+        self.arbiter.register(job_id, share)
+        self.job_stats[job_id] = MonarchStats()
+        return JobContext(monarch=self, job_id=job_id, dataset_dir=dataset_dir, share=share)
+
+    def initialize_job(self, ctx: JobContext) -> Generator[Any, Any, None]:
+        """Build one job's namespace (its dataset directory, owner-tagged).
+
+        Timed like single-tenant :meth:`initialize`; concurrent jobs
+        traverse their directories through the same contended MDS.  Reads
+        are enabled once the first job's namespace is up — each job only
+        reads its own files, which exist exactly when *its* build is done.
+        """
+        if ctx.job_id not in self.job_stats:
+            raise RuntimeError(f"job {ctx.job_id!r} not registered")
+        yield from self.metadata.build(
+            self.hierarchy.pfs,
+            ctx.dataset_dir,
+            self.hierarchy.pfs_level,
+            clock_now=lambda: self.sim.now,
+            owner=ctx.job_id,
         )
         self._initialized = True
 
@@ -187,15 +232,22 @@ class Monarch:
         """Size from the virtual namespace (no storage round trip)."""
         return self.metadata.lookup(name).size
 
-    def read(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+    def read(self, name: str, offset: int, nbytes: int, job: str = "") -> Generator[Any, Any, int]:
         """The middleware's replacement for POSIX ``pread``.
 
         ``name`` is the file's logical (PFS-relative) path — the paper's
         ``Monarch.read`` takes a filename rather than a descriptor.
+        ``job`` identifies the calling job in multi-job runs; reads are
+        confined to the caller's own namespace.
         """
         if not self._initialized:
             raise RuntimeError("Monarch.read before initialize()")
         info = self.metadata.lookup(name)
+        if info.owner != job:
+            raise NamespaceViolationError(
+                f"job {job!r} read {name!r} owned by job {info.owner!r}"
+            )
+        job_stats = self.job_stats[job] if job else None
         # Handle resolution + pread are inlined (rather than calling
         # driver.read) to keep one generator frame off every resume on the
         # framework's hottest path.  Until the first fault is observed the
@@ -216,9 +268,11 @@ class Monarch:
                     if health.dirty:
                         health.record_success(level)
                     self.stats.record(level, n)
+                    if job_stats is not None:
+                        job_stats.record(level, n)
                     return n
             # Home tier faulted or quarantined: route around it.
-            n = yield from self._fallback_read(info, offset, nbytes)
+            n = yield from self._fallback_read(info, offset, nbytes, job_stats)
             return n
         # Still (or permanently) on the PFS: serve from the last tier and
         # let the placement handler decide on a background copy.
@@ -232,11 +286,15 @@ class Monarch:
             health.record_fault(pfs_level)
             n = yield from self._pfs_read_retrying(name, offset, nbytes)
         self.stats.record(pfs_level, n)
+        if job_stats is not None:
+            job_stats.record(pfs_level, n)
         covered_full = offset == 0 and n >= info.size
         self.placement.on_read(info, offset, nbytes, covered_full)
         return n
 
-    def _fallback_read(self, info: Any, offset: int, nbytes: int) -> Generator[Any, Any, int]:
+    def _fallback_read(
+        self, info: Any, offset: int, nbytes: int, job_stats: MonarchStats | None = None
+    ) -> Generator[Any, Any, int]:
         """Serve a read whose home tier is faulted or quarantined.
 
         Routes through the next healthy tier that actually holds the
@@ -260,6 +318,9 @@ class Monarch:
                 continue
             health.record_success(level)
             self.stats.record(level, n)
+            if job_stats is not None:
+                job_stats.record(level, n)
+                job_stats.fallback_reads += 1
             self.stats.fallback_reads += 1
             if self.recorder.enabled:
                 self.recorder.emit("read.fallback", name, level=level)
@@ -273,6 +334,9 @@ class Monarch:
             health.record_fault(pfs_level)
             n = yield from self._pfs_read_retrying(name, offset, nbytes)
         self.stats.record(pfs_level, n)
+        if job_stats is not None:
+            job_stats.record(pfs_level, n)
+            job_stats.fallback_reads += 1
         self.stats.fallback_reads += 1
         if self.recorder.enabled:
             self.recorder.emit("read.fallback", name, level=pfs_level)
@@ -342,14 +406,25 @@ class Monarch:
             reg.set_counter(f"placement.{field_name}", getattr(ps, field_name))
         for name, value in self._health.counters().items():
             reg.set_counter(name, value)
+        if self.arbiter is not None:
+            for name, value in self.arbiter.counters().items():
+                reg.set_counter(name, value)
+        for job_id in sorted(self.job_stats):
+            for name, value in self.job_stats[job_id].counters().items():
+                reg.set_counter(f"jobs.{job_id}.{name}", value)
         return reg
 
 
 class MonarchReader(DataReader):
-    """The framework-side shim: DataReader backed by ``Monarch.read``."""
+    """The framework-side shim: DataReader backed by ``Monarch.read``.
 
-    def __init__(self, monarch: Monarch) -> None:
+    ``job`` binds the reader to one job's namespace in multi-job runs;
+    the default empty job is the single-tenant global namespace.
+    """
+
+    def __init__(self, monarch: Monarch, job: str = "") -> None:
         self.monarch = monarch
+        self.job = job
 
     def open(self, path: str) -> Generator[Any, Any, OpenFile]:
         """Resolve size from the virtual namespace (no PFS open)."""
@@ -360,7 +435,7 @@ class MonarchReader(DataReader):
         return OpenFile(path=name, size=size, token=None)
 
     def pread(self, f: OpenFile, offset: int, nbytes: int) -> Generator[Any, Any, int]:
-        n = yield from self.monarch.read(f.path, offset, nbytes)
+        n = yield from self.monarch.read(f.path, offset, nbytes, self.job)
         return n
 
     def _logical_name(self, path: str) -> str:

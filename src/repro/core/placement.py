@@ -22,10 +22,19 @@ Implements the paper's §III-A/§III-B placement machinery:
 
 Space is *reserved* at enqueue time so concurrent copies can never
 overcommit a tier.
+
+Multi-job tenancy (see :mod:`repro.core.tenancy`) threads through here in
+two places: an optional :class:`~repro.core.tenancy.FairShareArbiter`
+vetoes first-fit levels where the owning job is at its admission cap, and
+the copy queue drains per-job backlogs round-robin so one job's burst of
+scheduled copies cannot monopolise the background pool.  Without an
+arbiter (single-tenant runs) both mechanisms reduce to the original
+first-fit + FIFO behaviour, event for event.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Generator
 from dataclasses import dataclass
 from typing import Any
@@ -34,6 +43,8 @@ import numpy as np
 
 from repro.core.hierarchy import StorageHierarchy
 from repro.core.metadata import FileInfo, FileState, MetadataContainer
+from repro.core.tenancy import FairShareArbiter
+from repro.simkernel.monitor import TagAccounting
 from repro.simkernel.bulk import hold_series
 from repro.simkernel.core import Process, Simulator
 from repro.simkernel.resources import Store
@@ -56,6 +67,9 @@ __all__ = [
 #: queue sentinel telling a pool worker to exit
 _STOP = object()
 
+#: wake-up token for the worker store; tasks live in the per-job queues
+_TASK = object()
+
 
 @dataclass
 class _CopyTask:
@@ -67,6 +81,8 @@ class _CopyTask:
     increment: int | None = None
     #: private jitter substream, spawned at enqueue (see _enqueue)
     rng: np.random.Generator | None = None
+    #: owning job ("" for the single-tenant namespace)
+    job: str = ""
 
 
 @dataclass
@@ -218,6 +234,8 @@ class PlacementHandler:
         copy_retries: int = 3,
         retry_backoff_s: float = 0.01,
         recorder=None,
+        arbiter: FairShareArbiter | None = None,
+        accounting: TagAccounting | None = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -236,8 +254,14 @@ class PlacementHandler:
         self.retry_backoff_s = retry_backoff_s
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.arbiter = arbiter
+        self.accounting = accounting
         self.stats = PlacementStats()
         self._queue = Store(sim, capacity=None, name="placement-queue")
+        # Copy-bandwidth fair share: one backlog per job, drained
+        # round-robin.  With a single job this is exactly a FIFO.
+        self._job_queues: dict[str, deque[_CopyTask]] = {}
+        self._rr: deque[str] = deque()
         self._reserved: dict[int, int] = {lvl: 0 for lvl, _ in hierarchy.upper_levels()}
         self._placed: dict[int, list[str]] = {lvl: [] for lvl, _ in hierarchy.upper_levels()}
         self._order_counter = 0
@@ -259,14 +283,23 @@ class PlacementHandler:
             return None
         return free - self._reserved[level]
 
-    def _first_fit(self, nbytes: int) -> int | None:
+    def _first_fit(self, nbytes: int, owner: str = "") -> int | None:
         health = self.hierarchy.health
-        for level, _driver in self.hierarchy.upper_levels():
+        arbiter = self.arbiter
+        for level, driver in self.hierarchy.upper_levels():
             if health is not None and not health.is_placeable(level):
                 continue
             free = self.effective_free(level)
-            if free is None or nbytes <= free:
-                return level
+            if free is not None and nbytes > free:
+                continue
+            if arbiter is not None and not arbiter.may_admit(
+                owner, level, nbytes, driver.quota_bytes
+            ):
+                # The tier has room but this job is at its fair-share cap;
+                # the remaining space is other jobs' reserved slice.
+                arbiter.record_rejection()
+                continue
+            return level
         return None
 
     def cached_on_level(self, level: int) -> list[FileInfo]:
@@ -297,7 +330,7 @@ class PlacementHandler:
         if not self.full_fetch and not covered_full_file:
             self._write_through(info, offset, nbytes)
             return
-        target = self._first_fit(info.size)
+        target = self._first_fit(info.size, info.owner)
         if target is None:
             target = self._try_evict_for(info.size)
         if target is None:
@@ -316,12 +349,24 @@ class PlacementHandler:
                 self.recorder.emit("copy.unplaceable", info.name)
             return
         self._reserved[target] += info.size
+        if self.arbiter is not None:
+            self.arbiter.admit(info.owner, target, info.size)
         info.state = FileState.COPYING
         info.pending_level = target
         self.stats.scheduled += 1
         if self.recorder.enabled:
-            self.recorder.emit("copy.scheduled", info.name, level=target, nbytes=info.size)
-        self._enqueue(_CopyTask(info=info, target_level=target, have_content=covered_full_file))
+            self.recorder.emit(
+                "copy.scheduled", info.name, level=target, nbytes=info.size,
+                **({"job": info.owner} if info.owner else {}),
+            )
+        self._enqueue(
+            _CopyTask(
+                info=info,
+                target_level=target,
+                have_content=covered_full_file,
+                job=info.owner,
+            )
+        )
 
     def _try_evict_for(self, nbytes: int) -> int | None:
         """Ask the eviction policy to make room (ablations only)."""
@@ -339,6 +384,8 @@ class PlacementHandler:
 
     def _evict(self, level: int, info: FileInfo) -> None:
         self.hierarchy[level].remove(info.name)
+        if self.arbiter is not None:
+            self.arbiter.release(info.owner, level, info.size)
         info.level = self.hierarchy.pfs_level
         info.state = FileState.PFS_ONLY
         info.pending_level = None
@@ -355,12 +402,14 @@ class PlacementHandler:
             return
         written = self._partial_written.get(info.name)
         if written is None:
-            target = self._first_fit(info.size)
+            target = self._first_fit(info.size, info.owner)
             if target is None:
                 info.state = FileState.UNPLACEABLE
                 self.stats.unplaceable += 1
                 return
             self._reserved[target] += info.size
+            if self.arbiter is not None:
+                self.arbiter.admit(info.owner, target, info.size)
             info.pending_level = target
             self._partial_written[info.name] = 0
             self.stats.scheduled += 1
@@ -375,6 +424,7 @@ class PlacementHandler:
                 target_level=info.pending_level,
                 have_content=True,
                 increment=take,
+                job=info.owner,
             )
         )
         # Track the range; completion check happens in the worker.
@@ -389,7 +439,24 @@ class PlacementHandler:
         # jitter — is identical whether or not bulk I/O is enabled.
         task.rng = self._rng.spawn(1)[0]
         self._outstanding += 1
-        self._queue.put(task)
+        # The Store carries wake-up tokens; the tasks themselves sit in
+        # per-job backlogs so workers can drain jobs round-robin.  A job
+        # enters the rotation when its backlog goes non-empty and leaves
+        # it when drained, so with one job the rotation degenerates to
+        # the original strict FIFO.
+        backlog = self._job_queues.setdefault(task.job, deque())
+        if not backlog:
+            self._rr.append(task.job)
+        backlog.append(task)
+        self._queue.put(_TASK)
+
+    def _next_task(self) -> _CopyTask:
+        job = self._rr.popleft()
+        backlog = self._job_queues[job]
+        task = backlog.popleft()
+        if backlog:
+            self._rr.append(job)
+        return task
 
     def _task_done(self) -> None:
         self._outstanding -= 1
@@ -407,12 +474,16 @@ class PlacementHandler:
 
     def _worker(self) -> Generator[Any, Any, None]:
         while True:
-            task = yield self._queue.get()
-            if task is _STOP:
+            token = yield self._queue.get()
+            if token is _STOP:
                 return
+            task = self._next_task()
+            t0 = self.sim.now
             try:
                 yield from self._run_task(task)
             finally:
+                if self.accounting is not None:
+                    self.accounting.charge(task.job, seconds=self.sim.now - t0)
                 self._task_done()
 
     def _run_task(self, task: _CopyTask) -> Generator[Any, Any, None]:
@@ -513,6 +584,8 @@ class PlacementHandler:
         level = task.target_level
         self._discard_partial(task)
         self._reserved[level] -= info.size
+        if self.arbiter is not None:
+            self.arbiter.release(info.owner, level, info.size)
         info.state = FileState.PFS_ONLY
         info.pending_level = None
         self._partial_written.pop(info.name, None)
@@ -680,8 +753,13 @@ class PlacementHandler:
         self._partial_written.pop(info.name, None)
         self.stats.completed += 1
         self.stats.bytes_copied += info.size
+        if self.accounting is not None:
+            self.accounting.charge(task.job, nbytes=info.size, ops=1)
         if self.recorder.enabled:
-            self.recorder.emit("copy.completed", info.name, level=level, nbytes=info.size)
+            self.recorder.emit(
+                "copy.completed", info.name, level=level, nbytes=info.size,
+                **({"job": info.owner} if info.owner else {}),
+            )
 
     # -- lifecycle -----------------------------------------------------------------
     def shutdown(self) -> None:
@@ -692,4 +770,4 @@ class PlacementHandler:
     @property
     def queue_depth(self) -> int:
         """Copy tasks waiting for a worker."""
-        return len(self._queue)
+        return sum(len(q) for q in self._job_queues.values())

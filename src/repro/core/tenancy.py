@@ -1,0 +1,165 @@
+"""Multi-job tenancy: several trainers sharing one storage hierarchy.
+
+The paper evaluates MONARCH with one training job per node, but frames the
+PFS as a *shared* resource whose contention is the problem being solved
+(§II).  This module makes sharing a first-class concept on the middleware
+side: N concurrent jobs mount the *same* :class:`~repro.core.middleware.
+Monarch` hierarchy, each with
+
+* its own **metadata namespace** — every :class:`~repro.core.metadata.
+  FileInfo` carries an owner, and a job can only read files it owns
+  (:class:`NamespaceViolationError` otherwise),
+* a **fair share** of every read-write tier — the shared placement
+  handler consults a :class:`FairShareArbiter` before admitting a file,
+  so no job can fill a tier before a later-starting job's epoch-1
+  warm-up places anything (the cap *reserves* each job's share), and
+* its own slice of the **copy bandwidth** — the placement pool drains
+  per-job queues round-robin instead of strictly FIFO, so a job with a
+  deep backlog cannot monopolise the background copy workers.
+
+A :class:`JobContext` is the per-job handle: it builds the job's
+namespace (its own dataset directory), exposes its reader and its
+per-job :class:`~repro.core.middleware.MonarchStats`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.middleware import Monarch, MonarchReader, MonarchStats
+
+__all__ = ["FairShareArbiter", "JobContext", "NamespaceViolationError"]
+
+
+class NamespaceViolationError(PermissionError):
+    """A job tried to access a file owned by another job's namespace."""
+
+
+class FairShareArbiter:
+    """Per-job admission caps over the shared tiers' quotas.
+
+    Each registered job may keep at most ``quota * share_j / sum(shares)``
+    bytes admitted (resident + in-flight reservations) on each tier.
+    Because no job can exceed its own cap, every other job's share is
+    implicitly *reserved*: a job that starts late still finds its slice
+    free — the no-starvation guarantee the warm-up epoch needs.  The cost
+    is that a job cannot borrow a sibling's unused share; admission caps
+    trade peak tier utilisation for isolation.
+
+    Files whose owner is unregistered (the single-tenant ``""`` owner)
+    are tracked but never capped, so arbitrated and unarbitrated
+    hierarchies behave identically until a second job registers.
+    """
+
+    def __init__(self) -> None:
+        self._shares: dict[str, float] = {}
+        #: job -> level -> admitted bytes (resident + reserved in-flight)
+        self._admitted: dict[str, dict[int, int]] = {}
+        #: admissions refused because the job was at its cap
+        self.cap_rejections: int = 0
+
+    # -- registration ------------------------------------------------------
+    def register(self, job_id: str, share: float = 1.0) -> None:
+        """Register one job with a relative fair-share weight."""
+        if not job_id:
+            raise ValueError("job_id must be non-empty")
+        if share <= 0:
+            raise ValueError("share must be positive")
+        if job_id in self._shares:
+            raise ValueError(f"job {job_id!r} already registered")
+        self._shares[job_id] = share
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of registered jobs."""
+        return len(self._shares)
+
+    def jobs(self) -> list[str]:
+        """Registered job ids, in registration order."""
+        return list(self._shares)
+
+    # -- the cap -----------------------------------------------------------
+    def cap_bytes(self, job_id: str, quota_bytes: int | None) -> int | None:
+        """This job's byte cap on a tier of ``quota_bytes`` (None = no cap)."""
+        share = self._shares.get(job_id)
+        if share is None or quota_bytes is None:
+            return None
+        total = sum(self._shares.values())
+        return int(quota_bytes * share / total)
+
+    def admitted_bytes(self, job_id: str, level: int) -> int:
+        """Bytes currently admitted for ``job_id`` on ``level``."""
+        return self._admitted.get(job_id, {}).get(level, 0)
+
+    def may_admit(self, job_id: str, level: int, nbytes: int, quota_bytes: int | None) -> bool:
+        """Whether admitting ``nbytes`` keeps the job within its cap."""
+        cap = self.cap_bytes(job_id, quota_bytes)
+        if cap is None:
+            return True
+        return self.admitted_bytes(job_id, level) + nbytes <= cap
+
+    # -- accounting --------------------------------------------------------
+    def admit(self, job_id: str, level: int, nbytes: int) -> None:
+        """Account ``nbytes`` admitted for ``job_id`` on ``level``."""
+        per_level = self._admitted.setdefault(job_id, {})
+        per_level[level] = per_level.get(level, 0) + nbytes
+
+    def release(self, job_id: str, level: int, nbytes: int) -> None:
+        """Return ``nbytes`` (abandoned copy or eviction) to the job's cap."""
+        per_level = self._admitted.setdefault(job_id, {})
+        left = per_level.get(level, 0) - nbytes
+        if left < 0:
+            raise ValueError(
+                f"release of {nbytes} bytes for job {job_id!r} on level {level} "
+                f"exceeds its admitted total"
+            )
+        per_level[level] = left
+
+    def record_rejection(self) -> None:
+        """Count one admission refused at the cap (telemetry)."""
+        self.cap_rejections += 1
+
+    def counters(self) -> dict[str, int]:
+        """Flat, deterministic counter view for metrics publication."""
+        out: dict[str, int] = {"tenancy.cap_rejections": self.cap_rejections}
+        for job_id in sorted(self._admitted):
+            for level in sorted(self._admitted[job_id]):
+                out[f"tenancy.admitted.{job_id}.l{level}"] = self._admitted[job_id][level]
+        return out
+
+
+@dataclass
+class JobContext:
+    """Per-job handle into a shared :class:`Monarch` hierarchy."""
+
+    monarch: "Monarch"
+    job_id: str
+    dataset_dir: str
+    share: float = 1.0
+
+    def initialize(self) -> Generator[Any, Any, None]:
+        """Build this job's namespace by traversing its dataset directory.
+
+        Timed, like single-tenant ``Monarch.initialize`` — this is the
+        job's own metadata-initialization phase; concurrent jobs traverse
+        their directories through the same (contended) MDS.
+        """
+        yield from self.monarch.initialize_job(self)
+
+    def reader(self) -> "MonarchReader":
+        """The framework-side shim bound to this job's namespace."""
+        from repro.core.middleware import MonarchReader
+
+        return MonarchReader(self.monarch, job=self.job_id)
+
+    @property
+    def stats(self) -> "MonarchStats":
+        """Per-job read accounting (where *this job's* reads were served)."""
+        return self.monarch.job_stats[self.job_id]
+
+    def files(self):
+        """This job's namespace entries, in name order."""
+        return self.monarch.metadata.files(owner=self.job_id)

@@ -23,9 +23,15 @@ def _parse_scale(raw: str) -> float:
     """Accept both '1/128' and '0.0078125'."""
     return float(Fraction(raw))
 
-from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.formats import ExperimentResult, mean
+from repro.experiments.multi_scenarios import (
+    JobPlan,
+    run_jobs_serially,
+    run_multi_once,
+    serial_total,
+)
 from repro.experiments.runner import run_experiment
 from repro.telemetry.report import format_table
 
@@ -33,9 +39,12 @@ __all__ = [
     "fig1",
     "fig3",
     "fig4",
+    "fig_multi",
     "io_reduction",
     "metadata_init",
+    "multi_job_plans",
     "render_grid",
+    "render_multi",
     "resource_usage",
 ]
 
@@ -126,6 +135,65 @@ def fig4(
     )
 
 
+def multi_job_plans(n_jobs: int = 2) -> list[JobPlan]:
+    """The canonical FIG-MULTI job mix for ``n_jobs`` concurrent jobs.
+
+    One compute-bound ResNet-50 on the full 100 GiB dataset, plus
+    ``n_jobs - 1`` I/O-bound smaller jobs (20 GiB each) cycling through
+    LeNet/AlexNet.  Fair shares mirror the dataset sizes, so each small
+    job's working set fits its admission cap and its steady-state epochs
+    run at solo speed, while the big job takes whatever share remains.
+    """
+    if not 2 <= n_jobs <= 4:
+        raise ValueError(f"n_jobs must be in [2, 4], got {n_jobs}")
+    small_dataset = scaled(IMAGENET_100G, 0.2)
+    small_models = ("lenet", "alexnet", "lenet")
+    plans = [
+        JobPlan("resnet", "resnet50", IMAGENET_100G, share=1.0 - 0.2 * (n_jobs - 1))
+    ]
+    for i in range(n_jobs - 1):
+        plans.append(
+            JobPlan(f"small{i + 1}", small_models[i], small_dataset, share=0.2)
+        )
+    return plans
+
+
+def fig_multi(
+    scale: float = 1 / 128,
+    seed: int = 0,
+    n_jobs: int = 2,
+    report: bool = False,
+) -> dict[str, object]:
+    """FIG-MULTI — tenancy: ``n_jobs`` concurrent jobs vs the same jobs serially.
+
+    Returns the concurrent :class:`MultiRunRecord`, the per-job serial
+    baselines, the aggregate speedup (serial wall-clock over concurrent
+    makespan, > 1 means concurrency wins) and each job's per-epoch
+    slowdown versus running alone (the fairness metric).
+    """
+    jobs = multi_job_plans(n_jobs)
+    concurrent = run_multi_once(jobs, scale=scale, seed=seed, report=report)
+    serial = run_jobs_serially(jobs, scale=scale, seed=seed)
+    slowdowns = {
+        job_id: [
+            c / s if s > 0 else 1.0
+            for c, s in zip(
+                concurrent.jobs[job_id]["epoch_times_s"], serial[job_id].epoch_times_s
+            )
+        ]
+        for job_id in serial
+    }
+    return {
+        "jobs": jobs,
+        "concurrent": concurrent,
+        "serial": serial,
+        "serial_total_s": serial_total(serial),
+        "speedup": serial_total(serial) / concurrent.aggregate_time_s,
+        "slowdowns": slowdowns,
+        "max_slowdown": max(max(v) for v in slowdowns.values()),
+    }
+
+
 def resource_usage(
     grid: dict[tuple[str, str], ExperimentResult],
 ) -> list[tuple[str, str, float, float, float]]:
@@ -213,6 +281,36 @@ def render_grid(
     return format_table(headers, rows, title=title)
 
 
+def render_multi(result: dict[str, object], title: str = "") -> str:
+    """Concurrent-vs-serial table for a :func:`fig_multi` result."""
+    concurrent = result["concurrent"]
+    serial = result["serial"]
+    slowdowns = result["slowdowns"]
+    rows = []
+    for job_id in sorted(serial):
+        j = concurrent.jobs[job_id]
+        rows.append([
+            job_id,
+            j["model"],
+            f"{j['share']:g}",
+            " ".join(f"{t:.0f}" for t in j["epoch_times_s"]),
+            " ".join(f"{t:.0f}" for t in serial[job_id].epoch_times_s),
+            f"{max(slowdowns[job_id]):.2f}x",
+        ])
+    table = format_table(
+        ["job", "model", "share", "concurrent epochs (s)", "solo epochs (s)",
+         "worst slowdown"],
+        rows,
+        title=title or "FIG-MULTI: concurrent jobs vs serial baseline",
+    )
+    return (
+        f"{table}\n"
+        f"aggregate (concurrent makespan): {concurrent.aggregate_time_s:.0f} s, "
+        f"serial: {result['serial_total_s']:.0f} s, "
+        f"speedup {result['speedup']:.2f}x"
+    )
+
+
 def render_resource_usage(grid: dict[tuple[str, str], ExperimentResult], title: str) -> str:
     """CPU/GPU/memory table for a grid."""
     rows = resource_usage(grid)
@@ -228,11 +326,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="regenerate the paper's figures/tables")
     parser.add_argument(
         "artifact",
-        choices=["fig1", "fig3", "fig4", "io", "meta", "usage", "all"],
+        choices=["fig1", "fig3", "fig4", "multi", "io", "meta", "usage", "all"],
     )
     parser.add_argument("--scale", type=_parse_scale, default=1 / 128,
                         help="simulation scale, e.g. 1/128 or 0.0078125")
     parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the multi artifact's single run")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="concurrent job count for the multi artifact")
     args = parser.parse_args(argv)
     scale, runs = args.scale, args.runs
 
@@ -269,6 +371,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"  100 GiB: {m['init_100g_s']:.1f} s (paper ~13 s)")
         print(f"  200 GiB: {m['init_200g_s']:.1f} s (paper ~52 s)")
 
+    def do_multi() -> None:
+        r = fig_multi(scale, seed=args.seed, n_jobs=args.jobs)
+        print(render_multi(
+            r, f"FIG-MULTI: {args.jobs} concurrent jobs vs serial (tenancy)"))
+
     def do_usage() -> None:
         print(render_resource_usage(fig1(scale, runs), "TAB-RU-MOT (motivation, 100 GiB)"))
 
@@ -276,6 +383,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fig1": [do_fig1],
         "fig3": [do_fig3],
         "fig4": [do_fig4],
+        "multi": [do_multi],
         "io": [do_io],
         "meta": [do_meta],
         "usage": [do_usage],

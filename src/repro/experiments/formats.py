@@ -11,7 +11,7 @@ import json
 import math
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["ExperimentResult", "RunRecord", "mean", "std"]
+__all__ = ["ExperimentResult", "MultiRunRecord", "RunRecord", "mean", "std"]
 
 
 def mean(xs: list[float]) -> float:
@@ -62,6 +62,44 @@ class RunRecord:
     def total_pfs_ops(self) -> int:
         """PFS operations summed over epochs."""
         return sum(self.pfs_ops_per_epoch)
+
+
+@dataclass
+class MultiRunRecord:
+    """One seeded multi-job run (N concurrent jobs on one hierarchy).
+
+    Per-job numbers are un-scaled like :class:`RunRecord`; the aggregate
+    wall-clock is the *makespan* — the instant the last job finished,
+    init phases included, since the jobs overlap.
+    """
+
+    scale: float
+    seed: int
+    #: per-job sections: model, share, epoch_times_s, init_time_s, total_time_s
+    jobs: dict[str, dict] = field(default_factory=dict)
+    #: un-scaled makespan of the whole concurrent run
+    aggregate_time_s: float = 0.0
+    #: full multi-run RunReport payload when run with telemetry
+    report: dict | None = None
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of concurrent jobs in the run."""
+        return len(self.jobs)
+
+    def job_total(self, job_id: str) -> float:
+        """One job's init + epoch total, un-scaled."""
+        j = self.jobs[job_id]
+        return j["init_time_s"] + sum(j["epoch_times_s"])
+
+    def to_json(self) -> str:
+        """Serialize to JSON (deterministic: sorted keys)."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "MultiRunRecord":
+        """Inverse of :meth:`to_json`."""
+        return cls(**json.loads(text))
 
 
 @dataclass

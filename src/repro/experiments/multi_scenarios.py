@@ -1,0 +1,320 @@
+"""FIG-MULTI: N concurrent training jobs sharing one MONARCH hierarchy.
+
+The paper evaluates one training job per node but motivates MONARCH by the
+PFS being a *shared*, contended resource (§II).  This scenario makes the
+sharing explicit on the middleware side: several jobs — each with its own
+compute node, model profile, dataset directory and namespace — mount the
+*same* two-tier hierarchy.  The shared placement handler arbitrates tier
+quota (fair-share admission caps via
+:class:`~repro.core.tenancy.FairShareArbiter`) and copy bandwidth
+(round-robin per-job backlogs), so no job can starve another's epoch-1
+warm-up.
+
+The experiment compares the *concurrent* run against the same jobs run
+*serially* (each on a fresh single-tenant hierarchy): because each job
+brings its own GPUs and only the storage is shared, the concurrent
+makespan must beat the serial sum, while the fairness bound limits how
+much any single job's epochs may stretch versus running alone.
+
+Faults are not injected in multi-job runs; the FIG-FAULT scenario covers
+degradation behaviour in the single-tenant setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.middleware import Monarch
+from repro.core.tenancy import JobContext
+from repro.data.dataset import DatasetSpec
+from repro.data.imagenet import scaled
+from repro.data.sharding import build_shards
+from repro.data.virtual import materialize
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION, ScaledEnvironment
+from repro.experiments.formats import MultiRunRecord, RunRecord
+from repro.experiments.runner import run_once
+from repro.experiments.scenarios import DATASET_DIR, PFS_MOUNT, SSD_MOUNT
+from repro.framework.models import MODELS
+from repro.framework.pipeline import shards_from_manifest
+from repro.framework.resources import ComputeNode
+from repro.framework.training import Trainer, TrainResult
+from repro.simkernel.core import Simulator
+from repro.simkernel.monitor import TagAccounting
+from repro.simkernel.rng import RngRegistry
+from repro.storage.device import Device
+from repro.storage.interference import (
+    ARInterference,
+    BurstInterference,
+    CompositeInterference,
+)
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pagecache import PageCache
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+from repro.telemetry.runreport import RunTelemetry, build_multi_run_report
+
+__all__ = [
+    "JobPlan",
+    "MultiRunHandle",
+    "build_multi_run",
+    "run_jobs_serially",
+    "run_multi_once",
+    "serial_total",
+]
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """One job of a concurrent multi-job run."""
+
+    job_id: str
+    model: str
+    dataset: DatasetSpec  #: *unscaled* spec; shrunk by the run's scale
+    share: float = 1.0  #: fair-share weight for tier admission
+    epochs: int | None = None  #: None = the calibration's default
+
+
+@dataclass
+class MultiRunHandle:
+    """One fully wired concurrent multi-job run, ready to execute."""
+
+    jobs: list[JobPlan]
+    env: ScaledEnvironment
+    sim: Simulator
+    trainers: dict[str, Trainer]
+    contexts: dict[str, JobContext]
+    monarch: Monarch
+    pfs: ParallelFileSystem
+    local_fs: LocalFileSystem
+    accounting: TagAccounting
+    telemetry: RunTelemetry | None = None
+    results: dict[str, TrainResult] = field(default_factory=dict)
+
+    def execute(self) -> dict[str, TrainResult]:
+        """Run every job to completion; returns per-job train results."""
+        procs = {
+            plan.job_id: self.sim.spawn(
+                self.trainers[plan.job_id].run(), name=f"train-{plan.job_id}"
+            )
+            for plan in self.jobs
+        }
+        self.sim.run(self.sim.all_of(procs.values()))
+        self.monarch.shutdown()
+        self.results = {job_id: proc.value for job_id, proc in procs.items()}
+        return self.results
+
+
+def build_multi_run(
+    jobs: list[JobPlan],
+    calib: Calibration,
+    scale: float = 1.0,
+    seed: int = 0,
+    telemetry: bool = False,
+    monarch_overrides: dict | None = None,
+) -> MultiRunHandle:
+    """Wire one shared hierarchy serving ``jobs`` concurrently.
+
+    Every job gets its own compute node (GPUs and CPUs are per-job — only
+    the storage is shared), its own dataset directory under the PFS and
+    its own namespace/reader; the hierarchy, the placement pool and the
+    fair-share arbiter are shared.  The scaled environment (capacities,
+    stripe, copy chunk) is derived from the first job's dataset, so jobs
+    of one run should share a base dataset spec.  A single-element
+    ``jobs`` list reduces to the single-tenant monarch setup with the
+    whole quota as the one job's share.
+    """
+    if not jobs:
+        raise ValueError("need at least one JobPlan")
+    ids = [j.job_id for j in jobs]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate job ids in {ids}")
+    for plan in jobs:
+        if plan.model not in MODELS:
+            raise ValueError(
+                f"unknown model {plan.model!r}; expected one of {sorted(MODELS)}"
+            )
+    base = jobs[0].dataset
+    env = ScaledEnvironment.derive(calib, base, scaled(base, scale), scale)
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    tele = RunTelemetry(sim) if telemetry else None
+    recorder = tele.recorder if tele is not None else None
+    accounting = TagAccounting()
+
+    interference: ARInterference | CompositeInterference = ARInterference(
+        rngs.stream("interference"),
+        mean_load=calib.interference_mean_load,
+        sigma=calib.interference_sigma,
+        rho=calib.interference_rho,
+        interval=env.interference_interval,
+        max_load=calib.interference_max_load,
+    )
+    if calib.burst_p > 0:
+        interference = CompositeInterference(
+            interference,
+            BurstInterference(
+                rngs.stream("interference-burst"),
+                quiet_share=1.0,
+                burst_share=calib.burst_share,
+                p_burst=calib.burst_p,
+                p_recover=calib.burst_recover,
+                interval=env.interference_interval,
+            ),
+        )
+    pfs = ParallelFileSystem(
+        sim,
+        config=replace(calib.pfs, stripe_size=env.stripe_size, mds_latency_s=env.mds_latency_s),
+        interference=interference,
+        rng=rngs.stream("pfs-jitter"),
+        name="pfs",
+    )
+    device = Device(sim, calib.ssd, rng=rngs.stream("ssd-jitter"))
+    local_fs = LocalFileSystem(
+        sim,
+        device,
+        capacity_bytes=env.local_capacity_bytes,
+        name="local",
+        page_cache=PageCache(env.page_cache_bytes, ram_bw_mib=calib.page_cache_ram_bw_mib),
+    )
+    mounts = MountTable()
+    mounts.mount(PFS_MOUNT, pfs)
+    mounts.mount(SSD_MOUNT, local_fs)
+    backends = {"pfs": pfs.stats, "local": local_fs.stats}
+
+    overrides = monarch_overrides or {}
+    config = MonarchConfig(
+        tiers=(TierSpec(mount_point=SSD_MOUNT), TierSpec(mount_point=PFS_MOUNT)),
+        dataset_dir=DATASET_DIR,
+        placement_threads=overrides.get("placement_threads", calib.placement_threads),
+        copy_chunk=overrides.get("copy_chunk", env.copy_chunk),
+        full_fetch_on_partial_read=overrides.get("full_fetch_on_partial_read", True),
+        eviction=overrides.get("eviction", "none"),
+    )
+    monarch = Monarch(
+        sim, config, mounts,
+        rng=rngs.stream("monarch"),
+        recorder=recorder,
+        accounting=accounting,
+    )
+    if tele is not None:
+        tele.attach_backends(backends)
+        tele.monarch = monarch
+
+    trainers: dict[str, Trainer] = {}
+    contexts: dict[str, JobContext] = {}
+    for plan in jobs:
+        job_dir = f"{DATASET_DIR}/{plan.job_id}"
+        manifest = build_shards(scaled(plan.dataset, scale))
+        pfs_paths = materialize(manifest, pfs, job_dir)
+        ctx = monarch.register_job(plan.job_id, job_dir, share=plan.share)
+        contexts[plan.job_id] = ctx
+        trainers[plan.job_id] = Trainer(
+            sim=sim,
+            node=ComputeNode(sim, calib.node),
+            model=MODELS[plan.model],
+            config=env.pipeline,
+            shards=shards_from_manifest(manifest, [PFS_MOUNT + p for p in pfs_paths]),
+            reader=ctx.reader(),
+            shuffle_rng=rngs.stream(f"shuffle:{plan.job_id}"),
+            backends=backends,
+            epochs=plan.epochs if plan.epochs is not None else calib.epochs,
+            init_hook=ctx.initialize,
+            epoch_end_hook=tele.job_hook(plan.job_id) if tele is not None else None,
+            recorder=recorder,
+            job_id=plan.job_id,
+            accounting=accounting,
+        )
+    return MultiRunHandle(
+        jobs=list(jobs),
+        env=env,
+        sim=sim,
+        trainers=trainers,
+        contexts=contexts,
+        monarch=monarch,
+        pfs=pfs,
+        local_fs=local_fs,
+        accounting=accounting,
+        telemetry=tele,
+    )
+
+
+def run_multi_once(
+    jobs: list[JobPlan],
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    report: bool = False,
+) -> MultiRunRecord:
+    """One seeded concurrent run; all measurements un-scaled to paper units."""
+    calib = calib or DEFAULT_CALIBRATION
+    handle = build_multi_run(jobs, calib, scale=scale, seed=seed, telemetry=report)
+    results = handle.execute()
+    inv = 1.0 / scale
+    record = MultiRunRecord(
+        scale=scale,
+        seed=seed,
+        jobs={
+            plan.job_id: {
+                "model": plan.model,
+                "dataset": plan.dataset.name,
+                "share": plan.share,
+                "epoch_times_s": [e.wall_time_s * inv for e in results[plan.job_id].epochs],
+                "init_time_s": results[plan.job_id].init_time_s * inv,
+                "total_time_s": results[plan.job_id].total_time_s * inv,
+            }
+            for plan in jobs
+        },
+        # All jobs start at t=0, so "now" at completion is the makespan.
+        aggregate_time_s=handle.sim.now * inv,
+    )
+    if report:
+        assert handle.telemetry is not None
+        record.report = build_multi_run_report(
+            handle.telemetry,
+            {
+                plan.job_id: {
+                    "model": plan.model,
+                    "share": plan.share,
+                    "result": results[plan.job_id],
+                }
+                for plan in jobs
+            },
+            setup="fig-multi",
+            dataset=jobs[0].dataset.name,
+            scale=scale,
+            seed=seed,
+            accounting=handle.accounting,
+        ).to_dict()
+    return record
+
+
+def run_jobs_serially(
+    jobs: list[JobPlan],
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> dict[str, RunRecord]:
+    """The baseline: the same jobs one at a time, each on a fresh hierarchy.
+
+    Each job runs through the standard single-tenant monarch setup with
+    the whole SSD to itself — the strongest serial baseline, since no
+    capacity is held back for siblings.
+    """
+    return {
+        plan.job_id: run_once(
+            setup="monarch",
+            model_name=plan.model,
+            dataset=plan.dataset,
+            calib=calib,
+            scale=scale,
+            seed=seed,
+            epochs=plan.epochs,
+        )
+        for plan in jobs
+    }
+
+
+def serial_total(records: dict[str, RunRecord]) -> float:
+    """Serial wall-clock: the sum of every job's init + epochs."""
+    return sum(r.init_time_s + r.total_time_s for r in records.values())

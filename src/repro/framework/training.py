@@ -81,6 +81,8 @@ class Trainer:
         init_hook: Callable[[], Generator[Any, Any, None]] | None = None,
         epoch_end_hook: Callable[[int], None] | None = None,
         recorder=None,
+        job_id: str = "",
+        accounting=None,
     ) -> None:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -97,6 +99,10 @@ class Trainer:
         self.init_hook = init_hook
         self.epoch_end_hook = epoch_end_hook
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: multi-job runs: which job this trainer is ("" = single-tenant)
+        self.job_id = job_id
+        #: optional per-job resource accounting (TagAccounting)
+        self.accounting = accounting
         self.result = TrainResult()
 
     def run(self) -> Generator[Any, Any, TrainResult]:
@@ -113,8 +119,11 @@ class Trainer:
 
     def _run_epoch(self, epoch: int) -> Generator[Any, Any, None]:
         t0 = self.sim.now
+        # Event subjects stay bare epoch indices in single-tenant runs;
+        # multi-job runs prefix the owning job so streams disentangle.
+        subject = f"{self.job_id}:{epoch}" if self.job_id else str(epoch)
         if self.recorder.enabled:
-            self.recorder.emit("epoch.start", str(epoch))
+            self.recorder.emit("epoch.start", subject)
         base_ops = {name: s.snapshot() for name, s in self.backends.items()}
         cache_writing = self.cache is not None and not self.cache.ready
         pipe = EpochPipeline(
@@ -164,11 +173,13 @@ class Trainer:
         if self.cache is not None and cache_writing:
             self.cache.finalize_epoch()
         if self.recorder.enabled:
-            self.recorder.emit("epoch.end", str(epoch), steps=steps, records=records)
+            self.recorder.emit("epoch.end", subject, steps=steps, records=records)
         if self.epoch_end_hook is not None:
             self.epoch_end_hook(epoch)
         self.node.mark_epoch()
         wall = self.sim.now - t0
+        if self.accounting is not None:
+            self.accounting.charge(self.job_id, seconds=wall, ops=steps)
         ops = {
             name: s.snapshot().delta(base_ops[name]) for name, s in self.backends.items()
         }

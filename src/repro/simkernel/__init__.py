@@ -29,7 +29,7 @@ from repro.simkernel.core import (
     SimulationError,
     Simulator,
 )
-from repro.simkernel.monitor import TimeSeriesMonitor, UtilizationMonitor
+from repro.simkernel.monitor import TagAccounting, TimeSeriesMonitor, UtilizationMonitor
 from repro.simkernel.resources import Container, Resource, SimLock, Store
 from repro.simkernel.rng import RngRegistry
 
@@ -47,6 +47,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "TagAccounting",
     "TimeSeriesMonitor",
     "UtilizationMonitor",
 ]

@@ -14,7 +14,54 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simkernel.core import Simulator
 
-__all__ = ["TimeSeriesMonitor", "UtilizationMonitor"]
+__all__ = ["TagAccounting", "TimeSeriesMonitor", "UtilizationMonitor"]
+
+
+class TagAccounting:
+    """Per-tag resource accounting (multi-job runs tag by job id).
+
+    Untimed bookkeeping: subsystems charge busy seconds, bytes moved and
+    operation counts against a string tag, and the aggregate answers
+    "which job consumed how much of the shared machinery".  Tags are
+    created on first charge; the single-tenant ``""`` tag is as valid as
+    any other, so accounting can stay attached in one-job runs.
+    """
+
+    _ZERO = {"seconds": 0.0, "nbytes": 0, "ops": 0}
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._nbytes: dict[str, int] = {}
+        self._ops: dict[str, int] = {}
+
+    def charge(self, tag: str, *, seconds: float = 0.0, nbytes: int = 0, ops: int = 0) -> None:
+        """Add usage to ``tag``'s running totals."""
+        if seconds < 0 or nbytes < 0 or ops < 0:
+            raise ValueError("charges must be non-negative")
+        if seconds:
+            self._seconds[tag] = self._seconds.get(tag, 0.0) + seconds
+        if nbytes:
+            self._nbytes[tag] = self._nbytes.get(tag, 0) + nbytes
+        if ops:
+            self._ops[tag] = self._ops.get(tag, 0) + ops
+
+    def tags(self) -> list[str]:
+        """Every tag ever charged, sorted."""
+        return sorted(self._seconds.keys() | self._nbytes.keys() | self._ops.keys())
+
+    def totals(self, tag: str) -> dict[str, float | int]:
+        """``{"seconds", "nbytes", "ops"}`` totals for one tag."""
+        if tag not in self._seconds and tag not in self._nbytes and tag not in self._ops:
+            return dict(self._ZERO)
+        return {
+            "seconds": self._seconds.get(tag, 0.0),
+            "nbytes": self._nbytes.get(tag, 0),
+            "ops": self._ops.get(tag, 0),
+        }
+
+    def snapshot(self) -> dict[str, dict[str, float | int]]:
+        """Deterministic (tag-sorted) view of every tag's totals."""
+        return {tag: self.totals(tag) for tag in self.tags()}
 
 
 class UtilizationMonitor:

@@ -23,6 +23,7 @@ from repro.telemetry.report import format_table
 from repro.telemetry.runreport import (
     RunReport,
     RunTelemetry,
+    build_multi_run_report,
     build_run_report,
     diff_reports,
     render_diff,
@@ -40,6 +41,7 @@ __all__ = [
     "RunEvent",
     "RunReport",
     "RunTelemetry",
+    "build_multi_run_report",
     "build_run_report",
     "diff_reports",
     "format_table",

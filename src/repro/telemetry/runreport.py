@@ -46,6 +46,7 @@ __all__ = [
     "RunReport",
     "RunTelemetry",
     "SCHEMA_VERSION",
+    "build_multi_run_report",
     "build_run_report",
     "diff_reports",
     "render_diff",
@@ -53,7 +54,8 @@ __all__ = [
 ]
 
 #: bump when the report layout changes incompatibly
-SCHEMA_VERSION = 1
+#: (v2: added the per-job ``jobs`` section for multi-job runs)
+SCHEMA_VERSION = 2
 
 #: bins for every per-backend throughput series (fixed for comparability)
 _SERIES_BINS = 50
@@ -78,6 +80,8 @@ class RunTelemetry:
         self.monarch: Any = None
         #: one entry per completed epoch: sim time + middleware counters
         self.epoch_marks: list[dict[str, Any]] = []
+        #: multi-job runs: per-job epoch marks, keyed by job id
+        self.job_marks: dict[str, list[dict[str, Any]]] = {}
 
     def track_backend(self, name: str, stats: "BackendStats") -> None:
         """Instrument one backend: trace its I/O, remember its baseline."""
@@ -101,6 +105,24 @@ class RunTelemetry:
             mark["faults"] = dict(st.tier_faults)
         self.epoch_marks.append(mark)
 
+    def job_hook(self, job_id: str):
+        """A per-job epoch hook for multi-job runs.
+
+        Install the returned callable as one trainer's ``epoch_end_hook``;
+        it snapshots *that job's* :class:`MonarchStats` at every epoch
+        boundary so :func:`build_multi_run_report` can compute per-job
+        per-epoch tier deltas.
+        """
+        def hook(epoch: int) -> None:
+            mark: dict[str, Any] = {"t": self.sim.now}
+            if self.monarch is not None and job_id in getattr(self.monarch, "job_stats", {}):
+                st = self.monarch.job_stats[job_id]
+                mark["reads"] = dict(st.reads_per_level)
+                mark["bytes"] = dict(st.bytes_per_level)
+                mark["faults"] = dict(st.tier_faults)
+            self.job_marks.setdefault(job_id, []).append(mark)
+        return hook
+
 
 @dataclass
 class RunReport:
@@ -120,6 +142,8 @@ class RunReport:
     counters: dict[str, int] = field(default_factory=dict)
     #: the structured event stream, in emission order
     events: list[dict[str, Any]] = field(default_factory=list)
+    #: per-job sections (multi-job runs; empty for single-tenant runs)
+    jobs: dict[str, dict[str, Any]] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- derived views ----------------------------------------------------
@@ -165,6 +189,7 @@ class RunReport:
             "backends": self.backends,
             "counters": self.counters,
             "events": self.events,
+            "jobs": self.jobs,
         }
 
     def to_json(self) -> str:
@@ -184,6 +209,7 @@ class RunReport:
             backends=raw.get("backends", {}),
             counters=raw.get("counters", {}),
             events=raw.get("events", []),
+            jobs=raw.get("jobs", {}),
             schema_version=raw.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -242,6 +268,37 @@ def _tier_delta(cur: dict, prev: dict) -> dict[str, int]:
     return {f"l{lvl}": int(cur.get(lvl, 0)) - int(prev.get(lvl, 0)) for lvl in levels}
 
 
+def _backend_entries(telemetry: RunTelemetry, t_final: float) -> dict[str, dict[str, Any]]:
+    """Per-backend totals + traced cross-checks + throughput summaries."""
+    out: dict[str, dict[str, Any]] = {}
+    for name in sorted(telemetry.backends):
+        stats = telemetry.backends[name]
+        delta = stats.snapshot().delta(telemetry._base[name])
+        read_events = telemetry.trace.filtered(name, "read")
+        if t_final > 0.0:
+            _, series = throughput_series(read_events, 0.0, t_final, bins=_SERIES_BINS)
+            series_bps = [float(v) for v in series]
+        else:
+            series_bps = []
+        var = variability(series_bps)
+        out[name] = {
+            **asdict(delta),
+            "traced_read_ops": telemetry.trace.total_ops(name, "read"),
+            "traced_write_ops": telemetry.trace.total_ops(name, "write"),
+            "traced_bytes_read": telemetry.trace.total_bytes(name, "read"),
+            "traced_bytes_written": telemetry.trace.total_bytes(name, "write"),
+            "read_throughput": {
+                "mean_bps": var.mean_bps,
+                "std_bps": var.std_bps,
+                "min_bps": var.min_bps,
+                "max_bps": var.max_bps,
+                "cv": var.cv,
+            },
+            "read_series_bps": series_bps,
+        }
+    return out
+
+
 def build_run_report(
     telemetry: RunTelemetry,
     result: "TrainResult",
@@ -290,32 +347,7 @@ def build_run_report(
             prev_mark = mark
         epoch_entries.append(entry)
 
-    backend_entries: dict[str, dict[str, Any]] = {}
-    for name in sorted(telemetry.backends):
-        stats = telemetry.backends[name]
-        delta = stats.snapshot().delta(telemetry._base[name])
-        read_events = telemetry.trace.filtered(name, "read")
-        if t_final > 0.0:
-            _, series = throughput_series(read_events, 0.0, t_final, bins=_SERIES_BINS)
-            series_bps = [float(v) for v in series]
-        else:
-            series_bps = []
-        var = variability(series_bps)
-        backend_entries[name] = {
-            **asdict(delta),
-            "traced_read_ops": telemetry.trace.total_ops(name, "read"),
-            "traced_write_ops": telemetry.trace.total_ops(name, "write"),
-            "traced_bytes_read": telemetry.trace.total_bytes(name, "read"),
-            "traced_bytes_written": telemetry.trace.total_bytes(name, "write"),
-            "read_throughput": {
-                "mean_bps": var.mean_bps,
-                "std_bps": var.std_bps,
-                "min_bps": var.min_bps,
-                "max_bps": var.max_bps,
-                "cv": var.cv,
-            },
-            "read_series_bps": series_bps,
-        }
+    backend_entries = _backend_entries(telemetry, t_final)
 
     counters: dict[str, int] = {}
     if telemetry.monarch is not None:
@@ -336,6 +368,89 @@ def build_run_report(
         backends=backend_entries,
         counters=counters,
         events=telemetry.recorder.to_payload(),
+    )
+
+
+def build_multi_run_report(
+    telemetry: RunTelemetry,
+    jobs: dict[str, dict[str, Any]],
+    *,
+    setup: str = "",
+    dataset: str = "",
+    scale: float = 1.0,
+    seed: int = 0,
+    accounting: Any = None,
+) -> RunReport:
+    """Aggregate a multi-job run into one report with per-job sections.
+
+    ``jobs`` maps each job id to ``{"model": str, "result": TrainResult}``
+    (plus any extra keys to carry through, e.g. ``share``).  The top-level
+    ``meta`` holds the aggregate view — wall-clock is the *latest* job
+    finish, since the jobs overlap — and each ``jobs`` entry holds that
+    job's epoch times and per-epoch tier deltas from its
+    :meth:`RunTelemetry.job_hook` marks.  ``accounting`` is an optional
+    :class:`~repro.simkernel.monitor.TagAccounting` snapshot source.
+    """
+    t_final = telemetry.sim.now
+    job_entries: dict[str, dict[str, Any]] = {}
+    finish_times: list[float] = []
+    for job_id in sorted(jobs):
+        spec = jobs[job_id]
+        result: "TrainResult" = spec["result"]
+        marks = telemetry.job_marks.get(job_id, [])
+        epoch_entries: list[dict[str, Any]] = []
+        prev_mark: dict[str, Any] = {"reads": {}, "bytes": {}, "faults": {}}
+        for i, er in enumerate(result.epochs):
+            mark = marks[i] if i < len(marks) else {"t": t_final}
+            entry: dict[str, Any] = {
+                "index": er.index,
+                "t_end": float(mark["t"]),
+                "wall_time_s": er.wall_time_s,
+                "steps": er.steps,
+                "records": er.records,
+            }
+            if "reads" in mark:
+                entry["tier_reads"] = _tier_delta(mark["reads"], prev_mark["reads"])
+                entry["tier_bytes"] = _tier_delta(mark["bytes"], prev_mark["bytes"])
+                entry["tier_faults"] = _tier_delta(mark["faults"], prev_mark["faults"])
+                prev_mark = mark
+            epoch_entries.append(entry)
+        if marks:
+            finish_times.append(float(marks[-1]["t"]))
+        entry = {
+            k: v for k, v in spec.items() if k != "result"
+        }
+        entry.update({
+            "init_time_s": result.init_time_s,
+            "total_time_s": result.total_time_s,
+            "epoch_times": result.epoch_times,
+            "epochs": epoch_entries,
+        })
+        if accounting is not None:
+            entry["accounting"] = accounting.totals(job_id)
+        job_entries[job_id] = entry
+
+    counters: dict[str, int] = {}
+    if telemetry.monarch is not None:
+        counters = dict(sorted(telemetry.monarch.publish_metrics().counters.items()))
+
+    return RunReport(
+        meta={
+            "setup": setup,
+            "model": "+".join(str(jobs[j].get("model", "?")) for j in sorted(jobs)),
+            "dataset": dataset,
+            "scale": scale,
+            "seed": seed,
+            "n_jobs": len(jobs),
+            "n_epochs": max((len(jobs[j]["result"].epochs) for j in jobs), default=0),
+            "init_time_s": max((jobs[j]["result"].init_time_s for j in jobs), default=0.0),
+            "total_time_s": max(finish_times, default=t_final),
+        },
+        epochs=[],
+        backends=_backend_entries(telemetry, t_final),
+        counters=counters,
+        events=telemetry.recorder.to_payload(),
+        jobs=job_entries,
     )
 
 
@@ -409,8 +524,25 @@ def render_report(report: RunReport) -> str:
     headers = ["epoch", "wall (s)", "compute (s)", "io wait (s)", "placement (s)"]
     if has_tiers:
         headers.append("tier reads")
-    lines.append(format_table(headers, epoch_rows, title="per-epoch"))
-    lines.append("")
+    if epoch_rows:
+        lines.append(format_table(headers, epoch_rows, title="per-epoch"))
+        lines.append("")
+    if report.jobs:
+        job_rows = []
+        for job_id, j in sorted(report.jobs.items()):
+            job_rows.append([
+                job_id,
+                j.get("model", "?"),
+                f"{j.get('init_time_s', 0.0):.3f}",
+                f"{j.get('total_time_s', 0.0):.3f}",
+                " ".join(f"{t:.3f}" for t in j.get("epoch_times", [])),
+            ])
+        lines.append(format_table(
+            ["job", "model", "init (s)", "total (s)", "epoch times (s)"],
+            job_rows,
+            title="per-job",
+        ))
+        lines.append("")
     backend_rows = []
     for name, b in sorted(report.backends.items()):
         backend_rows.append([

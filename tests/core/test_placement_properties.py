@@ -15,6 +15,8 @@ failing example reproduces bit-for-bit.
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 import numpy as np
@@ -29,6 +31,8 @@ from repro.storage.localfs import LocalFileSystem
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 KIB = 1024
 UPPER_MOUNTS = ("/mnt/ram", "/mnt/ssd")
 PFS_MOUNT = "/mnt/pfs"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -18,6 +20,8 @@ from repro.storage.localfs import LocalFileSystem
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 
 @given(
     quota_shards=st.integers(min_value=1, max_value=12),

@@ -1,0 +1,257 @@
+"""Property-based multi-job tenancy invariants (hypothesis).
+
+Randomized job mixes — per-job file sets, fair-share weights and tier
+shapes — against the invariants the tenancy layer must never violate:
+
+1. tier occupancy never exceeds the tier's quota,
+2. every registered job stays within its fair-share admission cap,
+3. namespaces are disjoint: a job can never read another job's files
+   (and the refused read perturbs no state),
+4. a late-starting job always finds its slice free (no starvation),
+5. same-seed replays reach a bit-identical terminal state.
+
+Everything is seeded and derandomized, so a failing example reproduces
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.core.tenancy import NamespaceViolationError
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+pytestmark = pytest.mark.hypothesis_heavy
+
+KIB = 1024
+UPPER_MOUNTS = ("/mnt/ram", "/mnt/ssd")
+PFS_MOUNT = "/mnt/pfs"
+
+# -- strategies --------------------------------------------------------------
+
+job_file_sets = st.lists(  # one inner list of file sizes per job
+    st.lists(
+        st.integers(min_value=4 * KIB, max_value=1024 * KIB),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=2,
+    max_size=3,
+)
+shares = st.lists(
+    st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+    min_size=3,
+    max_size=3,
+)
+tier_capacities = st.lists(
+    st.integers(min_value=256 * KIB, max_value=4 * 1024 * KIB),
+    min_size=1,
+    max_size=2,
+)
+
+# -- harness -----------------------------------------------------------------
+
+
+def build_multi_stack(file_sets, capacities, share_weights):
+    """A fresh simulator + shared Monarch with one namespace per job."""
+    sim = Simulator()
+    pfs = ParallelFileSystem(sim)
+    jobs = [f"job{i}" for i in range(len(file_sets))]
+    names: dict[str, list[str]] = {}
+    for job, sizes in zip(jobs, file_sets):
+        names[job] = []
+        for i, size in enumerate(sizes):
+            path = f"/dataset/{job}/f{i:03d}"
+            pfs.add_file(path, size)
+            names[job].append(path)
+    locals_ = [
+        LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=cap)
+        for cap in capacities
+    ]
+    mounts = MountTable()
+    tier_mounts = list(UPPER_MOUNTS[: len(capacities)])
+    for mount, fs in zip(tier_mounts, locals_):
+        mounts.mount(mount, fs)
+    mounts.mount(PFS_MOUNT, pfs)
+    config = MonarchConfig(
+        tiers=tuple(TierSpec(mount_point=m) for m in (*tier_mounts, PFS_MOUNT)),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=256 * KIB,
+    )
+    monarch = Monarch(sim, config, mounts)
+    contexts = {
+        job: monarch.register_job(job, f"/dataset/{job}", share=w)
+        for job, w in zip(jobs, share_weights)
+    }
+    for job in jobs:
+        proc = sim.spawn(contexts[job].initialize(), name=f"init-{job}")
+        sim.run(proc)
+    return sim, monarch, locals_, jobs, names, contexts
+
+
+def run_concurrent_epochs(sim, monarch, jobs, names, epochs=2):
+    """Every job reads its own files concurrently; then drain the pool."""
+
+    def reader(job):
+        for _ in range(epochs):
+            for name in names[job]:
+                yield from monarch.read(name, 0, monarch.file_size(name), job=job)
+
+    procs = [sim.spawn(reader(job), name=f"reader-{job}") for job in jobs]
+    sim.run(sim.all_of(procs))
+
+    def drain():
+        yield from monarch.placement.drain()
+
+    sim.run(sim.spawn(drain(), name="drain"))
+
+
+def check_tenancy_invariants(monarch, locals_, jobs, names):
+    """Quota, cap and namespace invariants in any terminal state."""
+    arbiter = monarch.arbiter
+    assert arbiter is not None
+    # 1. Occupancy never exceeds the quota, and matches the file ledger.
+    for fs in locals_:
+        assert fs.used_bytes <= fs.capacity_bytes
+        assert fs.used_bytes == sum(fs.file_size(p) for p in fs.paths())
+    # 2. Every job is within its per-tier admission cap.
+    for job in jobs:
+        for level, fs in enumerate(locals_):
+            cap = arbiter.cap_bytes(job, fs.capacity_bytes)
+            assert arbiter.admitted_bytes(job, level) <= cap, (job, level)
+    # 3. Namespaces partition the metadata: every file has exactly its
+    #    owner's tag, and per-owner listings are disjoint and complete.
+    all_names = [n for job in jobs for n in names[job]]
+    assert len(monarch.metadata) == len(all_names)
+    for job in jobs:
+        listed = [info.name for info in monarch.metadata.files(owner=job)]
+        assert listed == sorted(names[job])
+    # After the drain nothing may still hold a reservation.
+    assert all(v == 0 for v in monarch.placement._reserved.values())
+
+
+def snapshot(sim, monarch, locals_, jobs):
+    """Everything that must be identical across same-seed replays."""
+    return {
+        "now": sim.now,
+        "stats": monarch.stats.counters(),
+        "jobs": {j: monarch.job_stats[j].counters() for j in jobs},
+        "arbiter": monarch.arbiter.counters() if monarch.arbiter else {},
+        "used": [fs.used_bytes for fs in locals_],
+        "states": {
+            info.name: (info.state.name, info.level, info.owner)
+            for info in monarch.metadata.files()
+        },
+    }
+
+
+# -- properties --------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(file_sets=job_file_sets, capacities=tier_capacities, weights=shares)
+def test_quota_and_caps_hold_for_any_job_mix(file_sets, capacities, weights):
+    """No tier over-fills and no job exceeds its fair-share cap."""
+    sim, monarch, locals_, jobs, names, _ = build_multi_stack(
+        file_sets, capacities, weights[: len(file_sets)]
+    )
+    run_concurrent_epochs(sim, monarch, jobs, names)
+    check_tenancy_invariants(monarch, locals_, jobs, names)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(file_sets=job_file_sets, capacities=tier_capacities, weights=shares)
+def test_namespaces_never_cross_read(file_sets, capacities, weights):
+    """Every cross-namespace read raises and perturbs nothing."""
+    sim, monarch, locals_, jobs, names, _ = build_multi_stack(
+        file_sets, capacities, weights[: len(file_sets)]
+    )
+    run_concurrent_epochs(sim, monarch, jobs, names)
+    before = snapshot(sim, monarch, locals_, jobs)
+    for thief in jobs:
+        for victim in jobs:
+            if victim == thief:
+                continue
+            target = names[victim][0]
+
+            def attempt():
+                yield from monarch.read(
+                    target, 0, monarch.file_size(target), job=thief
+                )
+
+            proc = sim.spawn(attempt(), name=f"thief-{thief}")
+            with pytest.raises(NamespaceViolationError):
+                sim.run(proc)
+    assert snapshot(sim, monarch, locals_, jobs) == before
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(file_sets=job_file_sets, capacities=tier_capacities, weights=shares)
+def test_late_starter_finds_its_share_free(file_sets, capacities, weights):
+    """After every sibling runs to completion, a late job's first file
+    still places on the top tier if it fits that job's cap (no starvation)."""
+    sim, monarch, locals_, jobs, names, _ = build_multi_stack(
+        file_sets, capacities, weights[: len(file_sets)]
+    )
+    late, early = jobs[-1], jobs[:-1]
+    run_concurrent_epochs(sim, monarch, early, names)
+
+    def first_read():
+        name = names[late][0]
+        yield from monarch.read(name, 0, monarch.file_size(name), job=late)
+        yield from monarch.placement.drain()
+
+    sim.run(sim.spawn(first_read(), name="late"))
+    info = monarch.metadata.lookup(names[late][0])
+    arbiter = monarch.arbiter
+    fits_somewhere = any(
+        info.size <= min(arbiter.cap_bytes(late, fs.capacity_bytes), fs.capacity_bytes)
+        for fs in locals_
+    )
+    if fits_somewhere:
+        assert info.state is FileState.CACHED, info
+    check_tenancy_invariants(monarch, locals_, jobs, names)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(file_sets=job_file_sets, capacities=tier_capacities, weights=shares)
+def test_multi_job_runs_replay_deterministically(file_sets, capacities, weights):
+    """The same mix replays to a bit-identical terminal state."""
+    snaps = []
+    for _ in range(2):
+        sim, monarch, locals_, jobs, names, _ = build_multi_stack(
+            file_sets, capacities, weights[: len(file_sets)]
+        )
+        run_concurrent_epochs(sim, monarch, jobs, names)
+        snaps.append(snapshot(sim, monarch, locals_, jobs))
+    assert snaps[0] == snaps[1]

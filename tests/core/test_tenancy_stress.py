@@ -1,0 +1,133 @@
+"""Concurrency stress: many jobs racing the shared placement handler.
+
+Eight jobs hammer one nearly-full top tier through a two-worker
+placement pool.  The run must terminate (the simulator raises
+``DeadlockError`` if anything wedges), no file may be scheduled for
+placement twice concurrently or end up resident on two tiers, and the
+arbiter's admitted ledger must re-sum exactly to the bytes actually
+resident per job — lost or doubled ``FileInfo`` updates would break
+either the event stream's pairing or the ledger cross-check.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+from repro.telemetry.events import EventRecorder
+
+KIB = 1024
+N_JOBS = 8
+#: a heavy job's file sizes; the 160 KiB sum is 2.5x its 64 KiB cap, so
+#: every heavy job places a prefix of its set and bounces the rest off
+#: its fair-share cap while racing six siblings for the shared pool.
+HEAVY_SIZES = (32 * KIB, 16 * KIB, 16 * KIB, 8 * KIB, 64 * KIB, 24 * KIB)
+#: job0 stays far under its share — its unused slice keeps the tier's
+#: free-space check green, so siblings' refusals are true cap rejections
+LIGHT_SIZES = (8 * KIB,)
+#: equal shares over 512 KiB -> a 64 KiB admission cap per job
+TOP_TIER_BYTES = N_JOBS * 64 * KIB
+
+
+def build_stress_stack():
+    sim = Simulator()
+    recorder = EventRecorder(lambda: sim.now)
+    pfs = ParallelFileSystem(sim)
+    jobs = [f"job{i}" for i in range(N_JOBS)]
+    names: dict[str, list[str]] = {}
+    for j, job in enumerate(jobs):
+        names[job] = []
+        sizes = LIGHT_SIZES if j == 0 else HEAVY_SIZES
+        for i, size in enumerate(sizes):
+            path = f"/dataset/{job}/f{i:03d}"
+            pfs.add_file(path, size)
+            names[job].append(path)
+    local = LocalFileSystem(
+        sim, Device(sim, SATA_SSD), capacity_bytes=TOP_TIER_BYTES
+    )
+    mounts = MountTable()
+    mounts.mount("/mnt/ssd", local)
+    mounts.mount("/mnt/pfs", pfs)
+    config = MonarchConfig(
+        tiers=(TierSpec(mount_point="/mnt/ssd"), TierSpec(mount_point="/mnt/pfs")),
+        dataset_dir="/dataset",
+        placement_threads=2,
+        copy_chunk=16 * KIB,
+    )
+    monarch = Monarch(sim, config, mounts, recorder=recorder)
+    contexts = {
+        job: monarch.register_job(job, f"/dataset/{job}") for job in jobs
+    }
+    for job in jobs:
+        sim.run(sim.spawn(contexts[job].initialize(), name=f"init-{job}"))
+    return sim, monarch, local, jobs, names, recorder
+
+
+def test_stress_racing_jobs_on_a_nearly_full_tier():
+    sim, monarch, local, jobs, names, recorder = build_stress_stack()
+
+    def reader(job):
+        # Two epochs over the job's files, immediately re-reading each
+        # file once — maximal pressure on the in-flight/resident states.
+        for _ in range(2):
+            for name in names[job]:
+                size = monarch.file_size(name)
+                yield from monarch.read(name, 0, size, job=job)
+                yield from monarch.read(name, 0, size, job=job)
+
+    procs = [sim.spawn(reader(job), name=f"reader-{job}") for job in jobs]
+    # Terminates or raises DeadlockError — the no-deadlock assertion.
+    sim.run(sim.all_of(procs))
+    sim.run(sim.spawn(monarch.placement.drain(), name="drain"))
+
+    # -- event-stream pairing: no double placement -------------------------
+    in_flight: set[str] = set()
+    placed_at: Counter[str] = Counter()
+    for ev in recorder.events:
+        if ev.kind == "copy.scheduled":
+            assert ev.subject not in in_flight, (
+                f"{ev.subject} scheduled twice concurrently at t={ev.t}"
+            )
+            in_flight.add(ev.subject)
+        elif ev.kind in ("copy.completed", "copy.gave_up", "copy.abandoned"):
+            assert ev.subject in in_flight, (ev.kind, ev.subject)
+            in_flight.discard(ev.subject)
+            if ev.kind == "copy.completed":
+                placed_at[ev.subject] += 1
+    assert not in_flight, f"copies never finished: {sorted(in_flight)}"
+    # A file placed more than once must have been evicted/abandoned in
+    # between; with eviction off, completion is at most once per file.
+    assert all(n == 1 for n in placed_at.values()), placed_at
+
+    # -- terminal FileInfo consistency ------------------------------------
+    assert local.used_bytes <= local.capacity_bytes
+    resident_by_job: Counter[str] = Counter()
+    for info in monarch.metadata.files():
+        if info.state is FileState.CACHED:
+            assert info.level == 0
+            driver = monarch.hierarchy[0]
+            assert driver.has(info.name), info.name
+            resident_by_job[info.owner] += info.size
+        else:
+            assert info.state in (FileState.PFS_ONLY, FileState.UNPLACEABLE)
+    assert all(v == 0 for v in monarch.placement._reserved.values())
+
+    # -- no lost ledger updates -------------------------------------------
+    arbiter = monarch.arbiter
+    assert arbiter is not None
+    for job in jobs:
+        assert arbiter.admitted_bytes(job, 0) == resident_by_job.get(job, 0), job
+        cap = arbiter.cap_bytes(job, local.capacity_bytes)
+        assert resident_by_job.get(job, 0) <= cap, job
+    # The tier was genuinely contended: the caps turned admissions away.
+    assert arbiter.cap_rejections > 0
+    # Every event the stream recorded carries its job tag.
+    copy_events = [e for e in recorder.events if e.kind == "copy.scheduled"]
+    assert copy_events and all(e.detail.get("job") for e in copy_events)

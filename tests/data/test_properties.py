@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 import io
 
 from hypothesis import given, settings
@@ -12,6 +14,8 @@ from repro.data.dataset import DatasetSpec, SampleSizeModel
 from repro.data.records import RecordReader, RecordWriter, record_frame_size
 from repro.data.sharding import build_shards
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 
 @given(payloads=st.lists(st.binary(max_size=4096), max_size=30))
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,74 @@
+"""Unit tests for the multi-job experiment plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, scaled
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.formats import MultiRunRecord
+from repro.experiments.multi_scenarios import (
+    JobPlan,
+    build_multi_run,
+    run_multi_once,
+    serial_total,
+)
+
+SCALE = 1 / 8192
+TINY = scaled(IMAGENET_100G, 0.1)
+
+
+class TestBuildValidation:
+    def test_rejects_empty_job_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_multi_run([], DEFAULT_CALIBRATION)
+
+    def test_rejects_duplicate_job_ids(self):
+        plans = [JobPlan("a", "lenet", TINY), JobPlan("a", "alexnet", TINY)]
+        with pytest.raises(ValueError, match="duplicate"):
+            build_multi_run(plans, DEFAULT_CALIBRATION, scale=SCALE)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_multi_run(
+                [JobPlan("a", "vgg", TINY)], DEFAULT_CALIBRATION, scale=SCALE
+            )
+
+
+class TestRunMultiOnce:
+    @pytest.fixture(scope="class")
+    def record(self):
+        plans = [
+            JobPlan("a", "lenet", TINY, share=0.5),
+            JobPlan("b", "lenet", TINY, share=0.5),
+        ]
+        return run_multi_once(plans, scale=SCALE, seed=3)
+
+    def test_every_job_reports_every_epoch(self, record):
+        assert record.n_jobs == 2
+        for job in ("a", "b"):
+            assert len(record.jobs[job]["epoch_times_s"]) == DEFAULT_CALIBRATION.epochs
+            assert record.jobs[job]["init_time_s"] > 0
+            assert record.job_total(job) > 0
+
+    def test_makespan_bounds(self, record):
+        # The makespan covers the slowest job but never exceeds the sum.
+        totals = [record.job_total(j) for j in record.jobs]
+        assert record.aggregate_time_s >= max(totals) - 1e-6
+        assert record.aggregate_time_s <= sum(totals) + 1e-6
+
+    def test_record_round_trips_through_json(self, record):
+        clone = MultiRunRecord.from_json(record.to_json())
+        assert clone.to_json() == record.to_json()
+        assert clone.jobs == record.jobs
+
+
+def test_serial_total_sums_init_and_epochs():
+    plans = [JobPlan("solo", "lenet", TINY)]
+    records = {
+        "solo": type(
+            "R", (), {"init_time_s": 2.0, "total_time_s": 10.0}
+        )()
+    }
+    assert serial_total(records) == 12.0
+    assert len(plans) == 1  # plans kept for symmetry with the concurrent API

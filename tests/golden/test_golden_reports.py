@@ -1,0 +1,84 @@
+"""Golden RunReport regression fixtures.
+
+One small-scale seeded run per paper figure family — FIG1 (vanilla
+caching), FIG3 (MONARCH on 100 GiB) and FIG4 (MONARCH on 200 GiB under
+the busy interference regime) — each exported as a RunReport JSON and
+committed under ``tests/golden/``.  The test regenerates every report
+and structurally diffs it against its fixture: any drift in placement
+decisions, telemetry accounting or serialization shows up as a named
+``path: fixture != regenerated`` line instead of a silent behaviour
+change.
+
+After an *intentional* change to simulated behaviour or to the report
+schema, refresh the fixtures with::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/golden -q
+
+and commit the JSON churn alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_once
+from repro.telemetry.runreport import RunReport, diff_reports, render_diff
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+SCALE = 1 / 4096
+SEED = 0
+
+#: fixture name -> run_once kwargs (small-scale stand-ins for the figures)
+GOLDEN_RUNS = {
+    "fig1_vanilla_caching_lenet_100g": dict(
+        setup="vanilla-caching",
+        model_name="lenet",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+    ),
+    "fig3_monarch_lenet_100g": dict(
+        setup="monarch",
+        model_name="lenet",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+    ),
+    "fig4_monarch_alexnet_200g_busy": dict(
+        setup="monarch",
+        model_name="alexnet",
+        dataset=IMAGENET_200G,
+        calib=DEFAULT_CALIBRATION.busy(),
+    ),
+}
+
+
+def _generate(name: str) -> RunReport:
+    rec = run_once(scale=SCALE, seed=SEED, report=True, **GOLDEN_RUNS[name])
+    assert rec.report is not None
+    return RunReport.from_dict(rec.report)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_report_matches_golden_fixture(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    report = _generate(name)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.write_text(report.to_json())
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path.name}; generate it with "
+            "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/golden -q"
+        )
+    golden = RunReport.from_json(path.read_text())
+    diffs = diff_reports(golden, report)
+    assert not diffs, (
+        f"{path.name} drifted from the simulated behaviour "
+        f"(fixture vs regenerated):\n{render_diff(diffs)}"
+    )
+    # The serialized form must match byte-for-byte too — the fixture
+    # also pins the JSON encoding (key order, float repr, trailing \n).
+    assert path.read_text() == report.to_json()

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simkernel.core import Simulator
 from repro.simkernel.resources import Container, Resource, Store
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 
 @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
 def test_events_fire_in_nondecreasing_time_order(delays):

@@ -14,6 +14,8 @@ from repro.storage.interference import (
     ConstantInterference,
 )
 
+pytestmark = pytest.mark.hypothesis_heavy
+
 
 @given(
     seed=st.integers(min_value=0, max_value=2**31 - 1),

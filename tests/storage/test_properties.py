@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +14,8 @@ from repro.storage.device import Device, SATA_SSD
 from repro.storage.localfs import LocalFileSystem
 from repro.storage.pagecache import PageCache
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 
 @given(
     offset=st.integers(min_value=0, max_value=1 << 40),

@@ -111,7 +111,7 @@ class TestSerialization:
         assert _report(seed=11).to_json() != _report(seed=12).to_json()
 
     def test_schema_version_present(self):
-        assert _report().to_dict()["schema_version"] == 1
+        assert _report().to_dict()["schema_version"] == 2
 
 
 class TestReportContents:

@@ -65,7 +65,7 @@ class TestReportCli:
         assert rc == 0
         import json
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["meta"]["setup"] == "monarch"
         assert payload["epochs"]
 
@@ -97,3 +97,80 @@ class TestReportCli:
         rc = cli.main(["diff", str(a), str(b)])
         assert rc == 1
         assert "differing field" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Exit codes and stderr messages on bad input (scripting contract)."""
+
+    @pytest.fixture
+    def report_path(self, tmp_path):
+        path = tmp_path / "good.json"
+        cli.main(["report", "monarch", "--scale", SCALE, "--seed", "7",
+                  "--out", str(path)])
+        return path
+
+    def test_diff_missing_file_exits_two(self, report_path, tmp_path, capsys):
+        rc = cli.main(["diff", str(report_path), str(tmp_path / "absent.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot read report" in err
+        assert "absent.json" in err
+
+    def test_diff_invalid_json_exits_two(self, report_path, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = cli.main(["diff", str(report_path), str(bad)])
+        assert rc == 2
+        assert "not a RunReport JSON" in capsys.readouterr().err
+
+    def test_diff_wrong_shape_json_exits_two(self, report_path, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('["a", "list", "not", "a", "report"]\n')
+        rc = cli.main(["diff", str(report_path), str(wrong)])
+        assert rc == 2
+        assert "not a RunReport JSON" in capsys.readouterr().err
+
+    def test_bad_seed_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["run", "monarch", "--seed", "not-a-number"])
+        assert exc.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_unknown_figures_artifact_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["figures", "fig99"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_setup_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["report", "no-such-setup"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_multi_rejects_out_of_range_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            cli.main(["multi", "--jobs", "9", "--scale", SCALE])
+
+
+class TestMultiCli:
+    def test_multi_prints_table_and_speedup(self, capsys):
+        rc = cli.main(["multi", "--scale", "1/8192", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG-MULTI: 2 concurrent jobs" in out
+        assert "worst slowdown" in out
+        assert "speedup" in out
+
+    def test_multi_out_writes_aggregate_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "multi.json"
+        rc = cli.main(["multi", "--scale", "1/8192", "--seed", "0",
+                       "--out", str(out)])
+        assert rc == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 2
+        assert set(payload["jobs"]) == {"resnet", "small1"}
+        assert payload["meta"]["n_jobs"] == 2

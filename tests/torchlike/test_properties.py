@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -18,6 +20,8 @@ from repro.storage.vfs import MountTable
 from repro.torchlike.dataset import FileSampleDataset, materialize_loose_files
 from repro.torchlike.loader import DataLoader, DataLoaderConfig
 
+
+pytestmark = pytest.mark.hypothesis_heavy
 
 @given(
     n_samples=st.integers(min_value=1, max_value=120),
