@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 94
 
-.PHONY: test test-fast bench bench-kernel coverage report-check check
+.PHONY: test test-fast bench bench-kernel bench-grid coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,14 @@ bench:
 # kernel change, refresh with: REPRO_BENCH_UPDATE=1 make bench-kernel
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/test_kernel_speed.py -q -s
+
+# Parallel-grid gate: times a 7-run FIG3 grid serial vs --jobs $(nproc)
+# vs warm-cache.  Warm cache must come in under 10% of uncached; the
+# 2.5x pool-speedup gate applies on >= 4 cores; serial runs/sec must
+# stay within 20% of the committed BENCH_grid.json baseline.  Refresh
+# after an intentional change with: REPRO_BENCH_UPDATE=1 make bench-grid
+bench-grid:
+	$(PYTHON) -m pytest benchmarks/test_grid_speed.py -q -s
 
 # Runs the tier-1 suite under a line tracer (coverage.py when installed,
 # a stdlib sys.settrace fallback otherwise) and fails below COV_FLOOR.

@@ -1,0 +1,134 @@
+"""GRID — parallel-executor speed: fan-out speedup and cache hit time.
+
+Times one 7-run FIG3 grid (the paper's repetition protocol) three ways —
+serial, fanned out over ``--jobs $(nproc)`` worker processes, and served
+from a warm run cache — asserting along the way that all three produce
+byte-identical records.  Measurements land in ``BENCH_grid.json`` at the
+repo root.
+
+Gates:
+
+* **cache** (always): the warm-cache pass must finish in < 10 % of the
+  uncached serial pass.
+* **speedup** (≥ 4 cores only): the pooled pass must be ≥ 2.5× faster
+  than serial.  On smaller boxes — including the single-core dev
+  container, see EXPERIMENTS.md — fan-out cannot beat serial, so the
+  measurement is reported but not gated.
+* **regression** (when a committed baseline exists at the same scale):
+  serial grid throughput (runs/sec) must stay within 20 % of the
+  baseline, mirroring ``bench-kernel``.
+
+Set ``REPRO_BENCH_UPDATE=1`` to refresh the committed baseline after an
+intentional change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.executor import RunCache
+from repro.experiments.figures import fig3
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_grid.json"
+#: tolerated slowdown vs the committed baseline before the gate trips
+REGRESSION_FACTOR = 0.8
+#: required pool speedup on boxes with enough cores to show one
+SPEEDUP_FLOOR = 2.5
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+#: warm-cache pass must cost less than this fraction of the uncached pass
+CACHED_FRACTION_CEILING = 0.10
+#: the paper's repetition protocol
+GRID_RUNS = 7
+
+
+def _grid_json(grid) -> str:
+    """Canonical JSON of a figure grid — the byte-identity yardstick."""
+    payload = {
+        f"{model}/{setup}": [dataclasses.asdict(r) for r in res.runs]
+        for (model, setup), res in sorted(grid.items())
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_grid_speed(bench_scale, tmp_path):
+    cores = os.cpu_count() or 1
+    pool_jobs = cores
+    cache_dir = tmp_path / "grid-cache"
+    n_sims = GRID_RUNS * 12  # fig3: 3 models x 4 setups
+
+    # 1. serial, cold cache (stores as it goes; store cost is part of
+    #    real first-invocation latency, so it belongs in the measurement)
+    t0 = time.perf_counter()
+    serial = fig3(scale=bench_scale, runs=GRID_RUNS, jobs=1,
+                  cache=RunCache(cache_dir))
+    serial_wall = time.perf_counter() - t0
+    serial_json = _grid_json(serial)
+
+    # 2. process-pool fan-out, cache off (pure execution comparison)
+    t0 = time.perf_counter()
+    pooled = fig3(scale=bench_scale, runs=GRID_RUNS, jobs=pool_jobs)
+    parallel_wall = time.perf_counter() - t0
+    assert _grid_json(pooled) == serial_json, (
+        "pooled grid diverged from serial — determinism contract broken"
+    )
+
+    # 3. warm cache
+    t0 = time.perf_counter()
+    cached = fig3(scale=bench_scale, runs=GRID_RUNS, jobs=1,
+                  cache=RunCache(cache_dir))
+    cached_wall = time.perf_counter() - t0
+    assert _grid_json(cached) == serial_json, (
+        "cached grid diverged from serial — cache returned wrong records"
+    )
+
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    cached_fraction = cached_wall / serial_wall if serial_wall else 0.0
+    measured = {
+        "scale": bench_scale,
+        "grid_runs": GRID_RUNS,
+        "cores": cores,
+        "pool_jobs": pool_jobs,
+        "serial_wall_s": round(serial_wall, 2),
+        "parallel_wall_s": round(parallel_wall, 2),
+        "cached_wall_s": round(cached_wall, 2),
+        "speedup": round(speedup, 2),
+        "cached_fraction": round(cached_fraction, 4),
+        "grid_runs_per_sec": round(n_sims / serial_wall, 2),
+    }
+    print(f"\nGRID: {n_sims} runs; serial {serial_wall:.2f}s, "
+          f"jobs={pool_jobs} {parallel_wall:.2f}s ({speedup:.2f}x), "
+          f"cached {cached_wall:.2f}s ({cached_fraction:.1%} of serial)")
+
+    assert cached_fraction < CACHED_FRACTION_CEILING, (
+        f"warm-cache grid took {cached_fraction:.1%} of the uncached time "
+        f"(ceiling {CACHED_FRACTION_CEILING:.0%})"
+    )
+    if cores >= MIN_CORES_FOR_SPEEDUP_GATE and pool_jobs > 1:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"pool speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x with "
+            f"{cores} cores and jobs={pool_jobs}"
+        )
+    else:
+        print(f"GRID: {cores} core(s) — speedup gate needs "
+              f">= {MIN_CORES_FOR_SPEEDUP_GATE}, reporting only")
+
+    baseline = None
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        BASELINE.write_text(json.dumps(measured, indent=2) + "\n")
+        return
+    if baseline.get("scale") != bench_scale:
+        # Baseline recorded at a different scale: report, don't gate.
+        print(f"GRID: baseline at scale {baseline.get('scale')}, no gate applied")
+        return
+    floor = REGRESSION_FACTOR * baseline["grid_runs_per_sec"]
+    assert measured["grid_runs_per_sec"] >= floor, (
+        f"serial grid throughput regressed: {measured['grid_runs_per_sec']} "
+        f"runs/s < {floor:.2f} (80% of committed "
+        f"{baseline['grid_runs_per_sec']})"
+    )

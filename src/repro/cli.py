@@ -11,8 +11,13 @@ Subcommands:
   with the serial baseline alongside.
 * ``figures`` — regenerate a paper artifact (delegates to
   :mod:`repro.experiments.figures`).
+* ``cache`` — inspect or clear the content-keyed run cache.
 * ``dist`` — one distributed run (§VI future work).
 * ``torch`` — one PyTorch-style loose-file run (§VI portability).
+
+Grid-running subcommands accept ``--jobs N`` (process-pool fan-out of
+independent runs; results are byte-identical to serial) and
+``--no-cache`` (disable reuse of previously computed runs).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from fractions import Fraction
 
 from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
 from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.executor import GridExecutionError
 from repro.telemetry.report import format_table
 
 __all__ = ["main"]
@@ -33,6 +39,24 @@ DATASETS = {"100g": IMAGENET_100G, "200g": IMAGENET_200G}
 
 def _fraction(raw: str) -> float:
     return float(Fraction(raw))
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (>= 1), got {value}"
+        )
+    return value
+
+
+def _cache_arg(args: argparse.Namespace):
+    """Map the ``--no-cache`` flag onto the executor's ``cache=`` value."""
+    return None if args.no_cache else True
 
 
 def _calib(dataset_key: str, busy: bool | None):
@@ -114,11 +138,12 @@ def _cmd_multi(args: argparse.Namespace) -> int:
     from repro.telemetry.runreport import RunReport
 
     result = fig_multi(
-        scale=args.scale, seed=args.seed, n_jobs=args.jobs,
+        scale=args.scale, seed=args.seed, n_jobs=args.n_jobs,
         report=args.out is not None,
+        jobs=args.jobs, cache=_cache_arg(args),
     )
     print(render_multi(
-        result, f"FIG-MULTI: {args.jobs} concurrent jobs (scale {args.scale:g}, "
+        result, f"FIG-MULTI: {args.n_jobs} concurrent jobs (scale {args.scale:g}, "
                 f"seed {args.seed})"))
     if args.out:
         concurrent = result["concurrent"]
@@ -180,9 +205,29 @@ def _cmd_torch(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
-    return figures.main([args.artifact, "--scale", str(args.scale),
-                         "--runs", str(args.runs), "--seed", str(args.seed),
-                         "--jobs", str(args.jobs)])
+    argv = [args.artifact, "--scale", str(args.scale),
+            "--runs", str(args.runs), "--seed", str(args.seed),
+            "--jobs", str(args.jobs), "--n-jobs", str(args.n_jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return figures.main(argv)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.executor import RunCache, default_cache_dir
+
+    root = args.dir if args.dir else default_cache_dir()
+    cache = RunCache(root)
+    if args.action == "stats":
+        entries = cache.entries()
+        print(f"run cache: {cache.root}")
+        print(f"  entries: {len(entries)}")
+        print(f"  bytes:   {cache.total_bytes()}")
+        return 0
+    assert args.action == "clear"
+    removed = cache.clear()
+    print(f"removed {removed} cached runs from {cache.root}")
+    return 0
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -227,8 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi = sub.add_parser(
         "multi", help="N concurrent jobs on one hierarchy vs serial (FIG-MULTI)"
     )
-    p_multi.add_argument("--jobs", type=int, default=2,
+    p_multi.add_argument("--n-jobs", type=int, default=2,
                          help="concurrent job count (2-4)")
+    p_multi.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes for the serial baselines")
+    p_multi.add_argument("--no-cache", action="store_true",
+                         help="disable the content-keyed run cache")
     p_multi.add_argument("--scale", type=_fraction, default=1 / 256,
                          help="simulation scale, e.g. 1/128")
     p_multi.add_argument("--seed", type=int, default=0)
@@ -256,8 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
     p_fig.add_argument("--runs", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
-    p_fig.add_argument("--jobs", type=int, default=2)
+    p_fig.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for the run grid")
+    p_fig.add_argument("--n-jobs", type=int, default=2,
+                       help="concurrent job count for the multi artifact")
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="disable the content-keyed run cache")
     p_fig.set_defaults(fn=_cmd_figures)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: REPRO_RUN_CACHE or "
+                              "~/.cache/repro-monarch/runs)")
+    p_cache.set_defaults(fn=_cmd_cache)
 
     return parser
 
@@ -265,7 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except GridExecutionError as err:
+        # A worker failed (or the pool broke): surface the failing spec
+        # and the traceback on stderr instead of an unhandled crash.
+        print(f"error: {err}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -14,17 +14,30 @@ Reproduces every evaluation artifact of the paper:
 """
 
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.executor import (
+    GridExecutionError,
+    GridExecutor,
+    RunCache,
+    RunSpec,
+    execute_grid,
+)
 from repro.experiments.formats import ExperimentResult, RunRecord
-from repro.experiments.runner import run_experiment, run_once
+from repro.experiments.runner import experiment_specs, run_experiment, run_once
 from repro.experiments.scenarios import SETUPS, build_run
 
 __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
     "ExperimentResult",
+    "GridExecutionError",
+    "GridExecutor",
+    "RunCache",
     "RunRecord",
+    "RunSpec",
     "SETUPS",
     "build_run",
+    "execute_grid",
+    "experiment_specs",
     "run_experiment",
     "run_once",
 ]

@@ -17,7 +17,7 @@ from repro.distributed.trainer import DistributedResult, DistributedTrainer
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.framework.models import MODELS
 
-__all__ = ["DistRunRecord", "run_distributed_once"]
+__all__ = ["DistRunRecord", "run_distributed_experiment", "run_distributed_once"]
 
 
 @dataclass
@@ -100,3 +100,47 @@ def run_distributed_once(
         pfs_bytes_per_epoch=[int(round(e.pfs_ops.bytes_read * inv)) for e in result.epochs],
         tier_hit_ratio_per_epoch=[e.tier_hit_ratio for e in result.epochs],
     )
+
+
+def run_distributed_experiment(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    n_nodes: int,
+    policy: PartitionPolicy = "static",
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    runs: int = 3,
+    base_seed: int = 100,
+    epochs: int | None = None,
+    jobs: int = 1,
+    cache=None,
+) -> list[DistRunRecord]:
+    """Repeat :func:`run_distributed_once` over ``runs`` seeds.
+
+    Seed derivation matches the single-node runner (``base_seed + i``);
+    ``jobs``/``cache`` fan the seeds out and reuse cached records exactly
+    like :func:`repro.experiments.runner.run_experiment` does.  Custom
+    ``allreduce`` models are not supported here — they are not part of a
+    :class:`RunSpec`'s canonical form, so use :func:`run_distributed_once`
+    directly for those.
+    """
+    from repro.experiments.executor import RunSpec, execute_grid
+
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    specs = [
+        RunSpec(
+            setup=setup,
+            model=model_name,
+            dataset=dataset,
+            calib=calib or DEFAULT_CALIBRATION,
+            scale=scale,
+            seed=base_seed + i,
+            epochs=epochs,
+            kind="dist",
+            extra=(("n_nodes", n_nodes), ("policy", policy)),
+        )
+        for i in range(runs)
+    ]
+    return execute_grid(specs, jobs=jobs, cache=cache)

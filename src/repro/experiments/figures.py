@@ -25,6 +25,7 @@ def _parse_scale(raw: str) -> float:
 
 from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.executor import execute_grid
 from repro.experiments.formats import ExperimentResult, mean
 from repro.experiments.multi_scenarios import (
     JobPlan,
@@ -32,7 +33,7 @@ from repro.experiments.multi_scenarios import (
     run_multi_once,
     serial_total,
 )
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import experiment_specs, run_experiment
 from repro.telemetry.report import format_table
 
 __all__ = [
@@ -77,11 +78,19 @@ def _grid(
     runs: int,
     models: Sequence[str] = MODELS,
     report: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
-    out: dict[tuple[str, str], ExperimentResult] = {}
-    for model in models:
-        for setup in setups:
-            out[(model, setup)] = run_experiment(
+    # The whole (model × setup × seed) grid is enumerated up front and
+    # fanned out in one executor call, so with jobs > 1 every core stays
+    # busy across cell boundaries.  Enumeration order (model outer, setup
+    # inner, seeds ascending) matches the historical nested loop, so
+    # jobs=1 runs the very same sequence of simulations.
+    cells = [(model, setup) for model in models for setup in setups]
+    specs = []
+    for model, setup in cells:
+        specs.extend(
+            experiment_specs(
                 setup=setup,
                 model_name=model,
                 dataset=dataset,
@@ -90,11 +99,19 @@ def _grid(
                 runs=runs,
                 report=report,
             )
+        )
+    records = execute_grid(specs, jobs=jobs, cache=cache)
+    out: dict[tuple[str, str], ExperimentResult] = {}
+    for i, (model, setup) in enumerate(cells):
+        res = ExperimentResult(setup=setup, model=model, dataset=dataset.name)
+        res.runs.extend(records[i * runs : (i + 1) * runs])
+        out[(model, setup)] = res
     return out
 
 
 def fig1(
-    scale: float = 1 / 128, runs: int = 3, report: bool = False
+    scale: float = 1 / 128, runs: int = 3, report: bool = False,
+    jobs: int = 1, cache=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
     """FIG1 — motivation: baselines × models, 100 GiB dataset."""
     return _grid(
@@ -104,11 +121,14 @@ def fig1(
         scale,
         runs,
         report=report,
+        jobs=jobs,
+        cache=cache,
     )
 
 
 def fig3(
-    scale: float = 1 / 128, runs: int = 3, report: bool = False
+    scale: float = 1 / 128, runs: int = 3, report: bool = False,
+    jobs: int = 1, cache=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
     """FIG3 — evaluation: baselines + MONARCH, 100 GiB dataset."""
     return _grid(
@@ -118,11 +138,14 @@ def fig3(
         scale,
         runs,
         report=report,
+        jobs=jobs,
+        cache=cache,
     )
 
 
 def fig4(
-    scale: float = 1 / 128, runs: int = 3, report: bool = False
+    scale: float = 1 / 128, runs: int = 3, report: bool = False,
+    jobs: int = 1, cache=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
     """FIG4 — evaluation: lustre vs MONARCH, 200 GiB dataset (busy regime)."""
     return _grid(
@@ -132,6 +155,8 @@ def fig4(
         scale,
         runs,
         report=report,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -163,17 +188,23 @@ def fig_multi(
     seed: int = 0,
     n_jobs: int = 2,
     report: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[str, object]:
     """FIG-MULTI — tenancy: ``n_jobs`` concurrent jobs vs the same jobs serially.
 
     Returns the concurrent :class:`MultiRunRecord`, the per-job serial
     baselines, the aggregate speedup (serial wall-clock over concurrent
     makespan, > 1 means concurrency wins) and each job's per-epoch
-    slowdown versus running alone (the fairness metric).
+    slowdown versus running alone (the fairness metric).  ``jobs``/
+    ``cache`` apply to the serial baselines (independent runs); the
+    concurrent run is a single simulation and always executes in process.
     """
-    jobs = multi_job_plans(n_jobs)
-    concurrent = run_multi_once(jobs, scale=scale, seed=seed, report=report)
-    serial = run_jobs_serially(jobs, scale=scale, seed=seed)
+    plans = multi_job_plans(n_jobs)
+    concurrent = run_multi_once(plans, scale=scale, seed=seed, report=report)
+    serial = run_jobs_serially(
+        plans, scale=scale, seed=seed, n_workers=jobs, cache=cache
+    )
     slowdowns = {
         job_id: [
             c / s if s > 0 else 1.0
@@ -184,7 +215,7 @@ def fig_multi(
         for job_id in serial
     }
     return {
-        "jobs": jobs,
+        "jobs": plans,
         "concurrent": concurrent,
         "serial": serial,
         "serial_total_s": serial_total(serial),
@@ -204,7 +235,9 @@ def resource_usage(
     return rows
 
 
-def io_reduction(scale: float = 1 / 128, runs: int = 3) -> dict[str, object]:
+def io_reduction(
+    scale: float = 1 / 128, runs: int = 3, jobs: int = 1, cache=None
+) -> dict[str, object]:
     """TAB-IO — PFS op counts, 200 GiB dataset, lustre vs MONARCH.
 
     Paper reference: ~360 k of 798 340 ops/epoch still reach Lustre in
@@ -212,10 +245,12 @@ def io_reduction(scale: float = 1 / 128, runs: int = 3) -> dict[str, object]:
     """
     calib = DEFAULT_CALIBRATION.busy()
     lustre = run_experiment(
-        "vanilla-lustre", "lenet", IMAGENET_200G, calib=calib, scale=scale, runs=runs
+        "vanilla-lustre", "lenet", IMAGENET_200G, calib=calib, scale=scale,
+        runs=runs, jobs=jobs, cache=cache,
     )
     monarch = run_experiment(
-        "monarch", "lenet", IMAGENET_200G, calib=calib, scale=scale, runs=runs
+        "monarch", "lenet", IMAGENET_200G, calib=calib, scale=scale,
+        runs=runs, jobs=jobs, cache=cache,
     )
     lustre_per_epoch = [
         mean([float(r.pfs_ops_per_epoch[e]) for r in lustre.runs])
@@ -237,7 +272,9 @@ def io_reduction(scale: float = 1 / 128, runs: int = 3) -> dict[str, object]:
     }
 
 
-def metadata_init(scale: float = 1 / 128, runs: int = 3) -> dict[str, float]:
+def metadata_init(
+    scale: float = 1 / 128, runs: int = 3, jobs: int = 1, cache=None
+) -> dict[str, float]:
     """TAB-META — metadata-container init time for both datasets.
 
     Paper reference: ~13 s (100 GiB / 784 shards), ~52 s (200 GiB /
@@ -245,11 +282,11 @@ def metadata_init(scale: float = 1 / 128, runs: int = 3) -> dict[str, float]:
     """
     r100 = run_experiment(
         "monarch", "lenet", IMAGENET_100G, calib=DEFAULT_CALIBRATION,
-        scale=scale, runs=runs, epochs=1,
+        scale=scale, runs=runs, epochs=1, jobs=jobs, cache=cache,
     )
     r200 = run_experiment(
         "monarch", "lenet", IMAGENET_200G, calib=DEFAULT_CALIBRATION.busy(),
-        scale=scale, runs=runs, epochs=1,
+        scale=scale, runs=runs, epochs=1, jobs=jobs, cache=cache,
     )
     return {
         "init_100g_s": mean([r.init_time_s for r in r100.runs]),
@@ -321,6 +358,19 @@ def render_resource_usage(grid: dict[tuple[str, str], ExperimentResult], title: 
     )
 
 
+def positive_int(raw: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (>= 1), got {value}"
+        )
+    return value
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point: print one artifact (or all of them)."""
     parser = argparse.ArgumentParser(description="regenerate the paper's figures/tables")
@@ -333,31 +383,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the multi artifact's single run")
-    parser.add_argument("--jobs", type=int, default=2,
+    parser.add_argument("--jobs", type=positive_int, default=1,
+                        help="worker processes for the run grid (1 = in-process)")
+    parser.add_argument("--n-jobs", type=int, default=2,
                         help="concurrent job count for the multi artifact")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-keyed run cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="run-cache directory (default: REPRO_RUN_CACHE or "
+                             "~/.cache/repro-monarch/runs)")
     args = parser.parse_args(argv)
     scale, runs = args.scale, args.runs
+    jobs = args.jobs
+    cache = None if args.no_cache else (args.cache_dir or True)
 
     def do_fig1() -> None:
-        print(render_grid(fig1(scale, runs), PAPER_TOTALS_100G,
+        print(render_grid(fig1(scale, runs, jobs=jobs, cache=cache),
+                          PAPER_TOTALS_100G,
                           "FIG1: motivation, 100 GiB ImageNet (paper Fig. 1)"))
 
     def do_fig3() -> None:
-        g = fig3(scale, runs)
+        g = fig3(scale, runs, jobs=jobs, cache=cache)
         print(render_grid(g, PAPER_TOTALS_100G,
                           "FIG3: MONARCH vs baselines, 100 GiB (paper Fig. 3)"))
         print()
         print(render_resource_usage(g, "TAB-RU-EVAL (100 GiB)"))
 
     def do_fig4() -> None:
-        g = fig4(scale, runs)
+        g = fig4(scale, runs, jobs=jobs, cache=cache)
         print(render_grid(g, PAPER_TOTALS_200G,
                           "FIG4: MONARCH vs vanilla-lustre, 200 GiB (paper Fig. 4)"))
         print()
         print(render_resource_usage(g, "TAB-RU-EVAL (200 GiB)"))
 
     def do_io() -> None:
-        r = io_reduction(scale, runs)
+        r = io_reduction(scale, runs, jobs=jobs, cache=cache)
         print("TAB-IO: PFS I/O pressure, 200 GiB (paper §IV-A)")
         print(f"  lustre ops/epoch : {[f'{o / 1e3:.0f}k' for o in r['lustre_ops_per_epoch']]}")
         print(f"  monarch ops/epoch: {[f'{o / 1e3:.0f}k' for o in r['monarch_ops_per_epoch']]}")
@@ -366,18 +426,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"  total reduction: {r['total_reduction_pct']:.0f}% (paper: 55% average)")
 
     def do_meta() -> None:
-        m = metadata_init(scale, runs)
+        m = metadata_init(scale, runs, jobs=jobs, cache=cache)
         print("TAB-META: metadata-container initialization (paper §IV-A)")
         print(f"  100 GiB: {m['init_100g_s']:.1f} s (paper ~13 s)")
         print(f"  200 GiB: {m['init_200g_s']:.1f} s (paper ~52 s)")
 
     def do_multi() -> None:
-        r = fig_multi(scale, seed=args.seed, n_jobs=args.jobs)
+        r = fig_multi(scale, seed=args.seed, n_jobs=args.n_jobs,
+                      jobs=jobs, cache=cache)
         print(render_multi(
-            r, f"FIG-MULTI: {args.jobs} concurrent jobs vs serial (tenancy)"))
+            r, f"FIG-MULTI: {args.n_jobs} concurrent jobs vs serial (tenancy)"))
 
     def do_usage() -> None:
-        print(render_resource_usage(fig1(scale, runs), "TAB-RU-MOT (motivation, 100 GiB)"))
+        print(render_resource_usage(fig1(scale, runs, jobs=jobs, cache=cache),
+                                    "TAB-RU-MOT (motivation, 100 GiB)"))
 
     actions = {
         "fig1": [do_fig1],

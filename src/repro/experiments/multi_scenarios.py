@@ -33,7 +33,6 @@ from repro.data.sharding import build_shards
 from repro.data.virtual import materialize
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION, ScaledEnvironment
 from repro.experiments.formats import MultiRunRecord, RunRecord
-from repro.experiments.runner import run_once
 from repro.experiments.scenarios import DATASET_DIR, PFS_MOUNT, SSD_MOUNT
 from repro.framework.models import MODELS
 from repro.framework.pipeline import shards_from_manifest
@@ -294,25 +293,34 @@ def run_jobs_serially(
     calib: Calibration | None = None,
     scale: float = 1.0,
     seed: int = 0,
+    n_workers: int = 1,
+    cache=None,
 ) -> dict[str, RunRecord]:
     """The baseline: the same jobs one at a time, each on a fresh hierarchy.
 
     Each job runs through the standard single-tenant monarch setup with
     the whole SSD to itself — the strongest serial baseline, since no
-    capacity is held back for siblings.
+    capacity is held back for siblings.  The baseline runs are independent
+    single-tenant simulations, so ``n_workers > 1`` fans them out over a
+    process pool and ``cache`` reuses previously computed ones — results
+    are keyed by job id either way, byte-identical to the in-process loop.
     """
-    return {
-        plan.job_id: run_once(
+    from repro.experiments.executor import RunSpec, execute_grid
+
+    specs = [
+        RunSpec(
             setup="monarch",
-            model_name=plan.model,
+            model=plan.model,
             dataset=plan.dataset,
-            calib=calib,
+            calib=calib or DEFAULT_CALIBRATION,
             scale=scale,
             seed=seed,
             epochs=plan.epochs,
         )
         for plan in jobs
-    }
+    ]
+    records = execute_grid(specs, jobs=n_workers, cache=cache)
+    return {plan.job_id: rec for plan, rec in zip(jobs, records)}
 
 
 def serial_total(records: dict[str, RunRecord]) -> float:

@@ -9,13 +9,14 @@ from __future__ import annotations
 
 from repro.data.dataset import DatasetSpec
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.executor import RunSpec, execute_grid
 from repro.experiments.formats import ExperimentResult, RunRecord
 from repro.experiments.scenarios import build_run
 from repro.telemetry.runreport import build_run_report
 from repro.telemetry.usage import memory_estimate_bytes
 from repro.storage.blockmath import GIB
 
-__all__ = ["run_experiment", "run_once"]
+__all__ = ["experiment_specs", "run_experiment", "run_once"]
 
 
 def run_once(
@@ -94,6 +95,44 @@ def run_once(
     return record
 
 
+def experiment_specs(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    runs: int = 3,
+    base_seed: int = 100,
+    epochs: int | None = None,
+    monarch_overrides: dict | None = None,
+    fault_plan=None,
+    report: bool = False,
+) -> list[RunSpec]:
+    """The :class:`RunSpec` list one experiment expands to, in seed order.
+
+    Seed derivation is ``base_seed + i`` for run ``i`` — identical to the
+    historical serial loop, so results merge back bit-identically however
+    the specs are executed.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    return [
+        RunSpec(
+            setup=setup,
+            model=model_name,
+            dataset=dataset,
+            calib=calib or DEFAULT_CALIBRATION,
+            scale=scale,
+            seed=base_seed + i,
+            epochs=epochs,
+            monarch_overrides=monarch_overrides,
+            fault_plan=fault_plan,
+            report=report,
+        )
+        for i in range(runs)
+    ]
+
+
 def run_experiment(
     setup: str,
     model_name: str,
@@ -106,24 +145,29 @@ def run_experiment(
     monarch_overrides: dict | None = None,
     fault_plan=None,
     report: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Repeat :func:`run_once` over ``runs`` seeds (paper methodology: 7)."""
-    if runs < 1:
-        raise ValueError("runs must be >= 1")
+    """Repeat :func:`run_once` over ``runs`` seeds (paper methodology: 7).
+
+    ``jobs > 1`` fans the seeds out over a process pool; ``cache`` enables
+    the content-keyed run cache (see :mod:`repro.experiments.executor`).
+    Both are transparent: results are merged in seed order, so aggregates
+    are byte-identical to the serial, uncached path.
+    """
+    specs = experiment_specs(
+        setup=setup,
+        model_name=model_name,
+        dataset=dataset,
+        calib=calib,
+        scale=scale,
+        runs=runs,
+        base_seed=base_seed,
+        epochs=epochs,
+        monarch_overrides=monarch_overrides,
+        fault_plan=fault_plan,
+        report=report,
+    )
     result = ExperimentResult(setup=setup, model=model_name, dataset=dataset.name)
-    for i in range(runs):
-        result.runs.append(
-            run_once(
-                setup=setup,
-                model_name=model_name,
-                dataset=dataset,
-                calib=calib,
-                scale=scale,
-                seed=base_seed + i,
-                epochs=epochs,
-                monarch_overrides=monarch_overrides,
-                fault_plan=fault_plan,
-                report=report,
-            )
-        )
+    result.runs.extend(execute_grid(specs, jobs=jobs, cache=cache))
     return result

@@ -15,10 +15,29 @@ from dataclasses import dataclass, field, replace
 
 from repro.data.dataset import DatasetSpec
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.executor import execute_grid
 from repro.experiments.formats import ExperimentResult
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import experiment_specs
 
 __all__ = ["CapacityPoint", "capacity_sweep", "interference_sweep"]
+
+
+def _gather(cells, runs, jobs, cache):
+    """Fan one flat (setup, model, dataset, calib) cell list out and fold
+    the records back into per-cell :class:`ExperimentResult`\\ s."""
+    specs = []
+    for setup, model_name, dataset, calib, scale in cells:
+        specs.extend(
+            experiment_specs(setup=setup, model_name=model_name, dataset=dataset,
+                             calib=calib, scale=scale, runs=runs)
+        )
+    records = execute_grid(specs, jobs=jobs, cache=cache)
+    results = []
+    for i, (setup, model_name, dataset, _calib, _scale) in enumerate(cells):
+        res = ExperimentResult(setup=setup, model=model_name, dataset=dataset.name)
+        res.runs.extend(records[i * runs : (i + 1) * runs])
+        results.append(res)
+    return results
 
 
 @dataclass
@@ -49,30 +68,37 @@ def capacity_sweep(
     calib: Calibration | None = None,
     scale: float = 1 / 256,
     runs: int = 2,
+    jobs: int = 1,
+    cache=None,
 ) -> list[CapacityPoint]:
     """MONARCH vs vanilla-lustre as the tier grows relative to the dataset.
 
     ``fractions`` are tier-capacity-to-dataset-bytes ratios; values above
     1 mean the dataset fits with headroom (the 100 GiB regime), values
-    below 1 are the partial-caching regime (the 200 GiB regime).
+    below 1 are the partial-caching regime (the 200 GiB regime).  The
+    whole sweep — shared lustre baseline + one monarch cell per fraction
+    — is a single flat grid, so ``jobs > 1`` keeps every worker busy
+    across fraction boundaries.
     """
     calib = calib or DEFAULT_CALIBRATION
-    # one shared lustre baseline (capacity-independent)
-    lustre = run_experiment("vanilla-lustre", model_name, dataset,
-                            calib=calib, scale=scale, runs=runs)
     dataset_bytes = dataset.approx_total_bytes
-    points: list[CapacityPoint] = []
     for frac in fractions:
         if frac <= 0:
             raise ValueError("capacity fractions must be positive")
+    # one shared lustre baseline (capacity-independent), then one monarch
+    # cell per fraction — enumeration order matches the historical loop
+    cells = [("vanilla-lustre", model_name, dataset, calib, scale)]
+    for frac in fractions:
         point_calib = replace(
             calib, local_capacity_bytes=max(1, int(frac * dataset_bytes))
         )
-        monarch = run_experiment("monarch", model_name, dataset,
-                                 calib=point_calib, scale=scale, runs=runs)
-        points.append(CapacityPoint(capacity_fraction=frac,
-                                    monarch=monarch, lustre=lustre))
-    return points
+        cells.append(("monarch", model_name, dataset, point_calib, scale))
+    results = _gather(cells, runs, jobs, cache)
+    lustre = results[0]
+    return [
+        CapacityPoint(capacity_fraction=frac, monarch=monarch, lustre=lustre)
+        for frac, monarch in zip(fractions, results[1:])
+    ]
 
 
 def interference_sweep(
@@ -82,15 +108,21 @@ def interference_sweep(
     calib: Calibration | None = None,
     scale: float = 1 / 256,
     runs: int = 3,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[float, dict[str, ExperimentResult]]:
     """lustre vs monarch across background-load levels (motivation axis)."""
     calib = calib or DEFAULT_CALIBRATION
-    out: dict[float, dict[str, ExperimentResult]] = {}
+    setups = ("vanilla-lustre", "monarch")
+    cells = []
     for load in mean_loads:
         point_calib = replace(calib, interference_mean_load=load)
+        for setup in setups:
+            cells.append((setup, model_name, dataset, point_calib, scale))
+    results = _gather(cells, runs, jobs, cache)
+    out: dict[float, dict[str, ExperimentResult]] = {}
+    for i, load in enumerate(mean_loads):
         out[load] = {
-            setup: run_experiment(setup, model_name, dataset,
-                                  calib=point_calib, scale=scale, runs=runs)
-            for setup in ("vanilla-lustre", "monarch")
+            setup: results[i * len(setups) + j] for j, setup in enumerate(setups)
         }
     return out

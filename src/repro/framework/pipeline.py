@@ -208,11 +208,17 @@ class EpochPipeline:
         preprocess_time = self.model.preprocess_time
         batch_size = self.config.batch_size
         prefetch = self.prefetch
+        recycle = self.sim._recycle
         run_cap = _PREPROCESS_RUN
         while True:
             ok, item = records.try_get()
             if not ok:
-                item = yield records.get()
+                # Starved regime: one wakeup per record.  The heap push is
+                # the resume ordering itself and can't go away, but the
+                # event is owned solely by this mapper, so recycle it.
+                ev = records.get_pooled()
+                item = yield ev
+                recycle(ev)
             if item is _SENTINEL:
                 yield from self._mapper_finished()
                 return

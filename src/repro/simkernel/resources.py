@@ -374,6 +374,25 @@ class Store:
         self._drain()
         return ev
 
+    def get_pooled(self) -> Event:
+        """Like :meth:`get`, but with a recyclable event for owned waits.
+
+        Same ownership contract as ``Simulator._pooled_timeout``: the
+        caller must be the event's sole holder, wait on it immediately,
+        and hand it back via ``sim._recycle`` once resumed.  Used by the
+        pipeline's starved-mapper path, where every buffered record costs
+        one wakeup and the event allocation is the only avoidable part.
+        """
+        pool = self.sim._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.name = self._get_name
+        else:
+            ev = Event(self.sim, self._get_name)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
     def try_put(self, item: Any) -> bool:
         """Accept ``item`` synchronously if it cannot block; else False.
 

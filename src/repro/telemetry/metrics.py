@@ -55,6 +55,23 @@ class MetricsRegistry:
         """Append a histogram sample."""
         self.histograms.setdefault(name, []).append(float(value))
 
+    def as_dict(self) -> dict[str, dict]:
+        """Plain sorted-key snapshot of every counter/gauge/histogram.
+
+        Histograms are rendered as their summaries (raw samples stay
+        internal), so the snapshot is stable, compact and JSON-ready —
+        the shape the CLI and the grid executor surface to users.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: vars(self.summary(name))
+                for name in sorted(self.histograms)
+                if self.histograms[name]
+            },
+        }
+
     def summary(self, name: str) -> HistogramSummary:
         """Summarize histogram ``name`` (KeyError if absent or empty)."""
         samples = self.histograms[name]

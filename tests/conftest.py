@@ -94,3 +94,13 @@ def drive(sim: Simulator, gen, name: str = "test-proc"):
     """Spawn ``gen`` and run the simulation until it finishes."""
     proc = sim.spawn(gen, name=name)
     return sim.run(proc)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path_factory, monkeypatch):
+    """Point the content-keyed run cache at a per-test scratch dir.
+
+    Tests must never read or write the real user cache: a hit there could
+    mask a behaviour change, and a store would leak test artifacts.
+    """
+    monkeypatch.setenv("REPRO_RUN_CACHE", str(tmp_path_factory.mktemp("runcache")))

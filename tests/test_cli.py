@@ -150,7 +150,7 @@ class TestErrorPaths:
 
     def test_multi_rejects_out_of_range_jobs(self):
         with pytest.raises(ValueError, match="n_jobs"):
-            cli.main(["multi", "--jobs", "9", "--scale", SCALE])
+            cli.main(["multi", "--n-jobs", "9", "--scale", SCALE])
 
 
 class TestMultiCli:
@@ -174,3 +174,74 @@ class TestMultiCli:
         assert payload["schema_version"] == 2
         assert set(payload["jobs"]) == {"resnet", "small1"}
         assert payload["meta"]["n_jobs"] == 2
+
+
+class TestParallelCli:
+    def test_figures_jobs_zero_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["figures", "meta", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_figures_jobs_negative_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["figures", "meta", "--jobs", "-2"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_multi_jobs_zero_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["multi", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_worker_failure_exits_one_with_spec_on_stderr(self, capsys,
+                                                          monkeypatch):
+        from repro.experiments import figures
+        from repro.experiments.executor import GridExecutionError
+
+        def boom(argv):
+            raise GridExecutionError("RunSpec(single monarch lenet ...)",
+                                     "Traceback: ...")
+
+        monkeypatch.setattr(figures, "main", boom)
+        rc = cli.main(["figures", "meta"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "grid run failed" in err
+        assert "RunSpec(single monarch lenet" in err
+
+    def test_figures_accepts_jobs_and_no_cache(self, capsys):
+        rc = cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1",
+                       "--jobs", "2", "--no-cache"])
+        assert rc == 0
+        assert "TAB-META" in capsys.readouterr().out
+
+
+class TestCacheCli:
+    def test_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        rc = cli.main(["cache", "stats", "--dir", str(cache_dir)])
+        assert rc == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+        # populate it through a figures run, then inspect and clear
+        rc = cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli.main(["cache", "stats"])  # REPRO_RUN_CACHE from the fixture
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        rc = cli.main(["cache", "clear"])
+        assert rc == 0
+        assert "removed 2 cached runs" in capsys.readouterr().out
+        rc = cli.main(["cache", "stats"])
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cached_second_invocation_hits(self, capsys):
+        assert cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
