@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 94
 
-.PHONY: test test-fast bench bench-kernel bench-grid coverage report-check check
+.PHONY: test test-fast bench bench-kernel bench-grid profile-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,11 @@ bench:
 # kernel change, refresh with: REPRO_BENCH_UPDATE=1 make bench-kernel
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/test_kernel_speed.py -q -s
+
+# cProfile the kernel-speed probe cell and print the top cumulative
+# functions — the first stop when bench-kernel's events/sec regresses.
+profile-kernel:
+	$(PYTHON) tools/profile_kernel.py
 
 # Parallel-grid gate: times a 7-run FIG3 grid serial vs --jobs $(nproc)
 # vs warm-cache.  Warm cache must come in under 10% of uncached; the

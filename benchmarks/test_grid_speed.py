@@ -11,9 +11,12 @@ Gates:
 * **cache** (always): the warm-cache pass must finish in < 10 % of the
   uncached serial pass.
 * **speedup** (≥ 4 cores only): the pooled pass must be ≥ 2.5× faster
-  than serial.  On smaller boxes — including the single-core dev
-  container, see EXPERIMENTS.md — fan-out cannot beat serial, so the
-  measurement is reported but not gated.
+  than serial.  On a single-core box — including the dev container, see
+  EXPERIMENTS.md — the pool *cannot* beat serial, and timing it anyway
+  produced a misleading "0.94× speedup" figure in the committed
+  baseline; the pooled pass is now skipped entirely there and the
+  baseline records ``"speedup": null`` plus the reason.  With 2-3 cores
+  the pass is timed and reported but not gated.
 * **regression** (when a committed baseline exists at the same scale):
   serial grid throughput (runs/sec) must stay within 20 % of the
   baseline, mirroring ``bench-kernel``.
@@ -68,13 +71,19 @@ def test_grid_speed(bench_scale, tmp_path):
     serial_wall = time.perf_counter() - t0
     serial_json = _grid_json(serial)
 
-    # 2. process-pool fan-out, cache off (pure execution comparison)
-    t0 = time.perf_counter()
-    pooled = fig3(scale=bench_scale, runs=GRID_RUNS, jobs=pool_jobs)
-    parallel_wall = time.perf_counter() - t0
-    assert _grid_json(pooled) == serial_json, (
-        "pooled grid diverged from serial — determinism contract broken"
-    )
+    # 2. process-pool fan-out, cache off (pure execution comparison).
+    #    A single-core host has nothing to fan out over: the pool only
+    #    adds pickling and process start-up, so the "speedup" it would
+    #    measure is pure overhead, not a property of the executor.
+    if cores >= 2:
+        t0 = time.perf_counter()
+        pooled = fig3(scale=bench_scale, runs=GRID_RUNS, jobs=pool_jobs)
+        parallel_wall = time.perf_counter() - t0
+        assert _grid_json(pooled) == serial_json, (
+            "pooled grid diverged from serial — determinism contract broken"
+        )
+    else:
+        parallel_wall = None
 
     # 3. warm cache
     t0 = time.perf_counter()
@@ -85,7 +94,7 @@ def test_grid_speed(bench_scale, tmp_path):
         "cached grid diverged from serial — cache returned wrong records"
     )
 
-    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    speedup = serial_wall / parallel_wall if parallel_wall else None
     cached_fraction = cached_wall / serial_wall if serial_wall else 0.0
     measured = {
         "scale": bench_scale,
@@ -93,15 +102,24 @@ def test_grid_speed(bench_scale, tmp_path):
         "cores": cores,
         "pool_jobs": pool_jobs,
         "serial_wall_s": round(serial_wall, 2),
-        "parallel_wall_s": round(parallel_wall, 2),
+        "parallel_wall_s": round(parallel_wall, 2) if parallel_wall is not None else None,
         "cached_wall_s": round(cached_wall, 2),
-        "speedup": round(speedup, 2),
+        "speedup": round(speedup, 2) if speedup is not None else None,
         "cached_fraction": round(cached_fraction, 4),
         "grid_runs_per_sec": round(n_sims / serial_wall, 2),
     }
-    print(f"\nGRID: {n_sims} runs; serial {serial_wall:.2f}s, "
-          f"jobs={pool_jobs} {parallel_wall:.2f}s ({speedup:.2f}x), "
-          f"cached {cached_wall:.2f}s ({cached_fraction:.1%} of serial)")
+    if speedup is None:
+        measured["speedup_skipped_reason"] = (
+            "single-core host: pool fan-out cannot beat serial, "
+            "measurement would be pure process overhead"
+        )
+        print(f"\nGRID: {n_sims} runs; serial {serial_wall:.2f}s, "
+              f"pooled pass skipped (1 core), "
+              f"cached {cached_wall:.2f}s ({cached_fraction:.1%} of serial)")
+    else:
+        print(f"\nGRID: {n_sims} runs; serial {serial_wall:.2f}s, "
+              f"jobs={pool_jobs} {parallel_wall:.2f}s ({speedup:.2f}x), "
+              f"cached {cached_wall:.2f}s ({cached_fraction:.1%} of serial)")
 
     assert cached_fraction < CACHED_FRACTION_CEILING, (
         f"warm-cache grid took {cached_fraction:.1%} of the uncached time "
@@ -112,7 +130,7 @@ def test_grid_speed(bench_scale, tmp_path):
             f"pool speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x with "
             f"{cores} cores and jobs={pool_jobs}"
         )
-    else:
+    elif speedup is not None:
         print(f"GRID: {cores} core(s) — speedup gate needs "
               f">= {MIN_CORES_FOR_SPEEDUP_GATE}, reporting only")
 

@@ -15,7 +15,7 @@ from collections.abc import Generator
 from dataclasses import dataclass
 from typing import Any
 
-from repro.storage.base import FileHandle
+from repro.storage.base import FileHandle, StorageError
 from repro.storage.vfs import MountTable
 
 __all__ = ["DataReader", "OpenFile", "PosixReader"]
@@ -57,9 +57,48 @@ class PosixReader(DataReader):
         return OpenFile(path=path, size=handle.size, token=handle)
 
     def pread(self, f: OpenFile, offset: int, nbytes: int) -> Generator[Any, Any, int]:
-        # The handle already knows its backend; dispatching on it directly
-        # (rather than re-routing through the mount table) keeps one
-        # generator frame off every hot-path resume.
+        # The handle already knows its backend; returning the backend's
+        # generator directly (no wrapper frame) means the caller's
+        # ``yield from`` delegates straight into it — one generator frame
+        # fewer on every hot-path resume.
         handle: FileHandle = f.token
-        n = yield from handle.fs.pread(handle, offset, nbytes)
-        return n
+        return handle.fs.pread(handle, offset, nbytes)
+
+    # -- fused (continuation-style) protocol ---------------------------
+    def fused_capable(self, paths: list[str]) -> bool:
+        """True when every path's backend supports the ``*_begin`` calls.
+
+        The fused reader state machine (see ``framework.pipeline``) only
+        engages when the whole epoch can run continuation-style; a single
+        unsupported backend (e.g. a fault-injecting wrapper) falls the
+        pipeline back to the generator workers wholesale, so RNG draw
+        order never depends on which shard hit which path.
+        """
+        try:
+            for p in paths:
+                fs, _ = self.mounts.resolve(p)
+                if not (hasattr(fs, "pread_begin") and hasattr(fs, "open_begin")):
+                    return False
+        except StorageError:
+            return False
+        return True
+
+    def open_begin(self, path: str, cb: Any) -> OpenFile:
+        """Continuation-style open: returns the OpenFile synchronously,
+        schedules ``cb(event)`` at the metadata-op completion instant."""
+        fs, rel = self.mounts.resolve(path)
+        handle: FileHandle = fs.open_begin(rel, cb)
+        return OpenFile(path=path, size=handle.size, token=handle)
+
+    def pread_begin(self, f: OpenFile, offset: int, nbytes: int, cb: Any) -> int:
+        """Continuation-style pread: returns the transfer size
+        synchronously, schedules ``cb(event)`` at completion."""
+        handle: FileHandle = f.token
+        return handle.fs.pread_begin(handle, offset, nbytes, cb)
+
+    def pread_begin_bound(self, f: OpenFile) -> tuple[Any, FileHandle]:
+        """Hot-loop form of :meth:`pread_begin`: the backend's bound
+        ``pread_begin`` plus the handle to pass it, so a per-chunk loop
+        pays one call instead of a delegation hop per read."""
+        handle: FileHandle = f.token
+        return handle.fs.pread_begin, handle

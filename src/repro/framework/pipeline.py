@@ -25,8 +25,10 @@ the simulation, only counts and sizes do.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Generator
 from dataclasses import dataclass, field, replace
+from heapq import heappush
 from typing import Any
 
 import numpy as np
@@ -36,7 +38,7 @@ from repro.framework.cache import TFDataCache
 from repro.framework.io_layer import DataReader
 from repro.framework.models import ModelProfile
 from repro.framework.resources import ComputeNode
-from repro.simkernel.core import Simulator
+from repro.simkernel.core import PRIORITY_URGENT, Simulator
 from repro.simkernel.resources import Store
 from repro.storage.blockmath import KIB
 
@@ -47,6 +49,20 @@ _SENTINEL = object()
 
 #: max records a map worker claims per combined CPU hold (see _map_worker)
 _PREPROCESS_RUN = 4
+
+
+def _fused_disabled() -> bool:
+    """``REPRO_DISABLE_FUSED_PIPELINE=1`` forces the generator workers.
+
+    The escape hatch mirrors ``REPRO_DISABLE_BULK_IO``: the fused
+    callback state machines below are asserted bit-identical to the
+    generator stages, and this flag is how that assertion is checked.
+    """
+    return os.environ.get("REPRO_DISABLE_FUSED_PIPELINE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+    )
 
 
 @dataclass(frozen=True)
@@ -126,6 +142,335 @@ def _shard_info(layout: ShardLayout, path: str) -> ShardInfo:
     return ShardInfo(path=path, size=layout.size_bytes, records=recs)
 
 
+class _FusedReader:
+    """Callback state machine replacing one ``_reader_worker`` generator.
+
+    Each continuation runs in the exact dispatch slot where the generator
+    form would have resumed, and every timing/RNG side effect (service-time
+    computation, jitter draw, queue entry) happens through the backend's
+    ``*_begin`` calls in the same slot the generator would have made it —
+    which is what keeps fused-on and fused-off runs bit-identical.  Only
+    engaged when every shard's backend is continuation-capable (see
+    ``PosixReader.fused_capable``); anything else — fault-injection
+    wrappers, the MONARCH reader, cache-writing epochs — falls the whole
+    pipeline back to the generator workers so the shared jitter stream's
+    draw order never depends on per-shard routing.
+    """
+
+    __slots__ = (
+        "pipe",
+        "alive",
+        "_shard",
+        "_file",
+        "_pos",
+        "_emitted",
+        "_take",
+        "_pread",
+        "_fh",
+        "_chunk",
+        "_store",
+        "_ends",
+        "_refs",
+    )
+
+    def __init__(self, pipe: "EpochPipeline") -> None:
+        self.pipe = pipe
+        self.alive = True
+        self._shard: ShardInfo | None = None
+        self._file: Any = None
+        self._pos = 0
+        self._emitted = 0
+        self._take = 0
+        self._pread: Any = None
+        self._fh: Any = None
+        self._chunk = pipe.config.read_chunk
+        self._store = pipe._record_store
+        self._ends: list[int] = []
+        self._refs: list[RecordRef] = []
+
+    def _start(self, _arg: Any) -> None:
+        self._next_shard()
+
+    def _next_shard(self) -> None:
+        pipe = self.pipe
+        if not pipe._shard_queue:
+            self.alive = False
+            pipe._reader_done()
+            return
+        shard = pipe.shards[pipe._shard_queue.pop(0)]
+        self._shard = shard
+        self._pos = 0
+        self._emitted = 0
+        # Per-shard emission tables, built once and reused across epochs
+        # (ShardInfo is frozen but not slotted; the cache is pure
+        # precomputation — frame-end offsets and the immutable RecordRefs
+        # the generator reader would construct per epoch).
+        cache = shard.__dict__.get("_emit_cache")
+        if cache is None:
+            records = shard.records
+            cache = (
+                [off + frame for off, frame, _, _ in records],
+                [RecordRef(sid, payload) for _, _, sid, payload in records],
+            )
+            object.__setattr__(shard, "_emit_cache", cache)
+        self._ends, self._refs = cache
+        try:
+            self._file = pipe.reader.open_begin(shard.path, self._opened)
+            self._pread, self._fh = pipe.reader.pread_begin_bound(self._file)
+        except BaseException as err:  # noqa: BLE001 - routed like a dead proc
+            self.alive = False
+            pipe._fsm_error(err)
+
+    def _opened(self, _ev: Any) -> None:
+        if self.alive:
+            self._read_chunk()
+
+    def _read_chunk(self) -> None:
+        if self._pos >= self._shard.size:
+            self.pipe.reader.close(self._file)
+            self._next_shard()
+            return
+        try:
+            self._take = self._pread(self._fh, self._pos, self._chunk, self._chunk_done)
+        except BaseException as err:  # noqa: BLE001 - routed like a dead proc
+            self.alive = False
+            self.pipe._fsm_error(err)
+
+    def _chunk_done(self, _ev: Any) -> None:
+        if not self.alive:
+            return
+        n = self._take
+        if n == 0:
+            self.pipe.reader.close(self._file)
+            self._next_shard()
+            return
+        pos = self._pos + n
+        self._pos = pos
+        ends = self._ends
+        n_records = len(ends)
+        emitted = self._emitted
+        start = emitted
+        while emitted < n_records and ends[emitted] <= pos:
+            emitted += 1
+        if emitted > start:
+            self._emitted = emitted
+            store = self._store
+            # try_put_many inlined straight off the per-shard ref table —
+            # the common all-fit case never materialises a slice.
+            k = start
+            if not store._putters:
+                buf = store._items
+                cap = store.capacity
+                refs = self._refs
+                while k < emitted and (cap is None or len(buf) < cap):
+                    buf.append(refs[k])
+                    k += 1
+                if k > start and store._getters:
+                    store._drain()
+            if k < emitted:
+                store.put_many(self._refs[k:emitted]).add_callback(self._chunk_put_done)
+                return
+        self._read_chunk()
+
+    def _chunk_put_done(self, _ev: Any) -> None:
+        if self.alive:
+            self._read_chunk()
+
+
+class _FusedMapper:
+    """Callback state machine replacing one ``_map_worker`` generator.
+
+    A record's whole steady-state hop — store wakeup, run claiming, CPU
+    hold, batch emission — executes as scheduled continuations with no
+    generator parked in the middle.  The mapper object itself doubles as
+    the store waiter (``Store._drain`` only needs ``.succeed(item)``),
+    so a starved wakeup costs one deque append instead of an Event
+    allocation plus a generator resume.
+    """
+
+    __slots__ = (
+        "pipe",
+        "store",
+        "cpu",
+        "preprocess_time",
+        "batch_size",
+        "prefetch",
+        "alive",
+        "_run",
+        "_emit_from",
+        "_got_sentinel",
+    )
+
+    def __init__(self, pipe: "EpochPipeline") -> None:
+        self.pipe = pipe
+        self.store = pipe._record_store
+        self.cpu = pipe.node.cpu
+        self.preprocess_time = pipe.model.preprocess_time
+        self.batch_size = pipe.config.batch_size
+        self.prefetch = pipe.prefetch
+        self.alive = True
+        self._run: list[RecordRef] = []
+        self._emit_from = 0
+        self._got_sentinel = False
+
+    def _start(self, _arg: Any) -> None:
+        self._next()
+
+    def succeed(self, value: Any = None) -> "_FusedMapper":
+        """Store-waiter duck typing: wake via a deferred continuation.
+
+        ``Store._drain`` calls ``.succeed(item)`` on queued getters; an
+        Event would be dispatched from the at-now deque one slot later,
+        and the appended continuation lands in exactly that slot.
+        """
+        self.pipe.sim._normal.append((self._on_record, value))
+        return self
+
+    def _next(self) -> None:
+        # try_get inlined: this runs once per record run in the starved
+        # regime and the call overhead is measurable.
+        store = self.store
+        items = store._items
+        if store._getters or not items:
+            # Starved regime: park as the store's waiter (FIFO with any
+            # Event-based getters), one wakeup per record.  _drain is a
+            # no-op unless a putter waits or a buffered item can be
+            # delivered, so skip the call in the common empty case.
+            store._getters.append(self)
+            if items or store._putters:
+                store._drain()
+            return
+        item = items.popleft()
+        if store._putters:
+            store._drain()
+        self._on_record(item)
+
+    def _on_record(self, item: Any) -> None:
+        if not self.alive:
+            # A wakeup queued before abort() can land after it; drop it
+            # exactly as the generator worker's kill would have.
+            return
+        if item is _SENTINEL:
+            self._finished()
+            return
+        # Claim a short run of already-buffered records (same bounded
+        # quantization argument as _map_worker) and hold the core once.
+        # try_get is inlined (pop + drain-if-putters): the claim loop runs
+        # up to four times per record run and is pure deque traffic.
+        pt = self.preprocess_time
+        run = [item]
+        total = pt(item.payload_len)
+        got_sentinel = False
+        store = self.store
+        items = store._items
+        getters = store._getters
+        while len(run) < _PREPROCESS_RUN:
+            if getters or not items:
+                break
+            nxt = items.popleft()
+            if store._putters:
+                store._drain()
+            if nxt is _SENTINEL:
+                got_sentinel = True
+                break
+            run.append(nxt)
+            total += pt(nxt.payload_len)
+        self._run = run
+        self._emit_from = 0
+        self._got_sentinel = got_sentinel
+        cpu = self.cpu
+        if cpu._in_use < cpu.capacity and not cpu._queue and not cpu._virtual_holds:
+            # using()'s uncontended fast path, continuation-style: one
+            # scheduled slot for the hold end, no generator in between.
+            sim = self.pipe.sim
+            m = cpu.monitor
+            now = sim._now
+            m._area += m._level * (now - m._last_t)
+            m._last_t = now
+            cpu._in_use += 1
+            m._level = cpu._in_use
+            when = now + total
+            if when > now:
+                sim._seq += 1
+                heappush(sim._heap, (when, 1, sim._seq, (self._cpu_done_fast, None)))
+            else:
+                sim._normal.append((self._cpu_done_fast, None))
+        else:
+            cpu.hold(total).add_callback(self._cpu_done_held)
+
+    def _cpu_done_fast(self, _arg: Any) -> None:
+        # Release first (the generator form's finally runs before any code
+        # after the yield-from), even if the pipeline was aborted mid-hold.
+        cpu = self.cpu
+        sim = self.pipe.sim
+        m = cpu.monitor
+        cpu._in_use -= 1
+        now = sim._now
+        m._area += m._level * (now - m._last_t)
+        m._last_t = now
+        m._level = cpu._in_use
+        if cpu._queue and cpu._in_use < cpu.capacity:
+            cpu._grant(cpu._queue.popleft())
+        if self.alive:
+            self._emit()
+
+    def _cpu_done_held(self, _ev: Any) -> None:
+        if self.alive:
+            self._emit()
+
+    def _emit(self) -> None:
+        pipe = self.pipe
+        run = self._run
+        i = self._emit_from
+        n = len(run)
+        batch_size = self.batch_size
+        prefetch = self.prefetch
+        while i < n:
+            rec = run[i]
+            i += 1
+            batch = pipe._batch
+            batch.append(rec)
+            if len(batch) == batch_size:
+                pipe._batch = []
+                if not prefetch.try_put(batch):
+                    self._emit_from = i
+                    prefetch.put(batch).add_callback(self._emit_put_done)
+                    return
+        self._run = []
+        if self._got_sentinel:
+            self._finished()
+            return
+        self._next()
+
+    def _emit_put_done(self, _ev: Any) -> None:
+        if self.alive:
+            self._emit()
+
+    def _finished(self) -> None:
+        self.alive = False
+        pipe = self.pipe
+        pipe._finished_mappers += 1
+        if pipe._finished_mappers < pipe.config.num_map_workers:
+            return
+        if pipe._batch:
+            batch, pipe._batch = pipe._batch, []
+            if not pipe.prefetch.try_put(batch):
+                pipe.prefetch.put(batch).add_callback(self._flush_put_done)
+                return
+        self._final_sentinel()
+
+    def _flush_put_done(self, _ev: Any) -> None:
+        self._final_sentinel()
+
+    def _final_sentinel(self) -> None:
+        pipe = self.pipe
+        if not pipe.prefetch.try_put(_SENTINEL):
+            # Nothing runs after the sentinel lands, so no callback needed:
+            # the queued put is accepted the instant capacity frees, exactly
+            # when the generator form's final yield would have resumed.
+            pipe.prefetch.put(_SENTINEL)
+
+
 class EpochPipeline:
     """One epoch's worth of input pipeline, wired and ready to start."""
 
@@ -165,6 +510,9 @@ class EpochPipeline:
         self._batch: list[RecordRef] = []
         self._finished_mappers = 0
         self._procs: list[Any] = []
+        self._fsm_readers: list[_FusedReader] = []
+        self._fsm_mappers: list[_FusedMapper] = []
+        self._readers_left = 0
         self.error: BaseException | None = None
         # Fires once if any stage process dies; lets next_batch wait on a
         # single persistent event instead of re-watching every process.
@@ -271,20 +619,69 @@ class EpochPipeline:
 
     # -- public API --------------------------------------------------------
     def start(self) -> None:
-        """Spawn all stage processes; batches appear in :attr:`prefetch`."""
+        """Spawn all stage processes; batches appear in :attr:`prefetch`.
+
+        When the fused fast path is enabled (the default; gate with
+        ``REPRO_DISABLE_FUSED_PIPELINE=1``), mappers always run as
+        continuation state machines, and readers do too whenever every
+        shard's backend speaks the ``*_begin`` protocol and the epoch is
+        not also writing the tf.data cache.  The fused kickoffs are
+        scheduled at-now/urgent in the exact positions the legacy
+        ``spawn`` calls would occupy, so both modes dispatch stage
+        startups in the same order.
+        """
         cfg = self.config
-        readers = [
-            self.sim.spawn(self._reader_worker(), name=f"reader-{i}")
-            for i in range(cfg.cycle_length)
-        ]
-        mappers = [
-            self.sim.spawn(self._map_worker(), name=f"mapper-{i}")
-            for i in range(cfg.num_map_workers)
-        ]
-        supervisor = self.sim.spawn(self._supervisor(readers), name="supervisor")
-        self._procs = [*readers, *mappers, supervisor]
-        for p in self._procs:
+        sim = self.sim
+        fused = not _fused_disabled()
+        cap = getattr(self.reader, "fused_capable", None)
+        fuse_readers = (
+            fused
+            and not self.cache_writing
+            and cap is not None
+            and cap([s.path for s in self.shards])
+        )
+        procs: list[Any] = []
+        if fuse_readers:
+            self._readers_left = cfg.cycle_length
+            self._fsm_readers = [_FusedReader(self) for _ in range(cfg.cycle_length)]
+            for r in self._fsm_readers:
+                sim.call_now(r._start, None, priority=PRIORITY_URGENT)
+        else:
+            readers = [
+                sim.spawn(self._reader_worker(), name=f"reader-{i}")
+                for i in range(cfg.cycle_length)
+            ]
+            procs.extend(readers)
+        if fused:
+            self._fsm_mappers = [_FusedMapper(self) for _ in range(cfg.num_map_workers)]
+            for m in self._fsm_mappers:
+                sim.call_now(m._start, None, priority=PRIORITY_URGENT)
+        else:
+            procs.extend(
+                sim.spawn(self._map_worker(), name=f"mapper-{i}")
+                for i in range(cfg.num_map_workers)
+            )
+        if not fuse_readers:
+            procs.append(sim.spawn(self._supervisor(readers), name="supervisor"))
+        self._procs = procs
+        for p in procs:
             p.add_callback(self._on_proc_done)
+
+    def _reader_done(self) -> None:
+        """Fused-reader completion: last one out feeds mapper sentinels.
+
+        Equivalent to the legacy supervisor: it wakes when ``all_of`` the
+        reader processes fire and then puts one sentinel per mapper with
+        blocking puts.  The store's putter queue is FIFO, so queueing all
+        sentinels at once delivers them in the same order and at the same
+        instants as the supervisor's sequential blocking puts.
+        """
+        self._readers_left -= 1
+        if self._readers_left > 0:
+            return
+        store = self._record_store
+        for _ in range(self.config.num_map_workers):
+            store.put(_SENTINEL)
 
     def _on_proc_done(self, ev: Any) -> None:
         if not ev.ok and self.error is None:
@@ -293,6 +690,13 @@ class EpochPipeline:
             # next_batch wakes immediately instead of deadlocking.  The
             # sentinel jumps the capacity bound on purpose: the pipeline
             # is dead, nothing else will drain the buffer.
+            self.prefetch._items.append(_SENTINEL)
+            self.prefetch._drain()
+
+    def _fsm_error(self, err: BaseException) -> None:
+        """Route a fused-stage failure exactly like a dead stage process."""
+        if self.error is None:
+            self.error = err
             self.prefetch._items.append(_SENTINEL)
             self.prefetch._drain()
 
@@ -318,6 +722,10 @@ class EpochPipeline:
         for p in self._procs:
             if p.is_alive:
                 p.kill()
+        for r in self._fsm_readers:
+            r.alive = False
+        for m in self._fsm_mappers:
+            m.alive = False
 
     @property
     def total_records(self) -> int:

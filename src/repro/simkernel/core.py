@@ -8,10 +8,34 @@ The model follows the classic generator-coroutine design:
   (or a composite built with :class:`AllOf` / :class:`AnyOf`); the process
   resumes when that event fires, receiving its value as the result of the
   ``yield`` expression.
-* The :class:`Simulator` owns the clock and a priority queue of scheduled
-  events.  Time only advances between events; everything that happens "at
-  the same instant" is ordered deterministically by (priority, sequence
-  number), so runs are exactly reproducible.
+* The :class:`Simulator` owns the clock and the scheduled work.  Time only
+  advances between events; everything that happens "at the same instant" is
+  ordered deterministically by (priority, schedule order), so runs are
+  exactly reproducible.
+
+Scheduling is a two-level calendar queue:
+
+* Work due **at the current instant** lives in two FIFO deques (one per
+  priority tier), so the dominant "fire at ``now``" pattern — event
+  triggers, process starts, resource grants — is a plain ``append`` with no
+  tuple allocation and no heap reshuffle.
+* Work due **in the future** lives in a ``heapq`` keyed by
+  ``(when, priority, seq)``.  When both deques drain, the loop pops the
+  earliest future entry; if more entries share its timestamp the whole
+  same-time cohort is batch-moved into the deques in heap (priority, seq)
+  order, so anything newly scheduled *at* the new instant lands behind the
+  cohort exactly as its larger sequence number would have placed it.
+
+The equivalence invariant the calendar queue maintains: an entry is pushed
+on the heap **only** with a strictly-future timestamp.  Every at-``now``
+schedule goes to the deques, so "deque before heap" can never reorder two
+entries that the old single-heap ordering would have run the other way.
+
+Besides :class:`Event` objects, the queue accepts raw ``(fn, arg)``
+continuation pairs (see :meth:`Simulator.call_now` / ``call_at``): the
+dispatch loop simply calls ``fn(arg)``.  Continuations skip the Event
+state machine entirely and are the substrate for the fused resource/
+pipeline fast paths.
 
 Example
 -------
@@ -30,6 +54,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
@@ -122,7 +147,8 @@ class Event:
             raise StaleEventError(f"event {self!r} already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        (sim._urgent if priority == 0 else sim._normal).append(self)
         return self
 
     def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -133,7 +159,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exc = exc
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        (sim._urgent if priority == 0 else sim._normal).append(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -261,7 +288,7 @@ class Process(Event):
         self._started = False
         # Kick off the process at the current instant, urgently so that
         # spawn-then-advance sequences behave intuitively.
-        sim._schedule(_StartEvent(sim, self), PRIORITY_URGENT)
+        sim._urgent.append(_StartEvent(sim, self))
 
     @property
     def is_alive(self) -> bool:
@@ -361,14 +388,22 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: owns the clock and the scheduled-event heap."""
+    """The event loop: owns the clock and the two-level calendar queue."""
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        # Work due at the current instant, one FIFO per priority tier.
+        # Entries are Events or raw (fn, arg) continuation pairs.
+        self._urgent: deque[Any] = deque()
+        self._normal: deque[Any] = deque()
+        # Strictly-future work: (when, priority, seq, Event-or-continuation).
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = 0
         self._running = False
         self._process_count = 0
+        #: Dispatch slots executed so far (events + continuations).  The
+        #: benchmark layer reads this as the honest throughput numerator.
+        self.events_processed = 0
         # Free list of recycled timeout events (see _pooled_timeout).
         self._timeout_pool: list[Event] = []
 
@@ -389,8 +424,12 @@ class Simulator:
         ev = Event(self, name or "timeout")
         ev._triggered = True
         ev._value = value
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, PRIORITY_NORMAL, self._seq, ev))
+        when = self._now + delay
+        if when > self._now:
+            self._seq += 1
+            heapq.heappush(self._heap, (when, PRIORITY_NORMAL, self._seq, ev))
+        else:
+            self._normal.append(ev)
         return ev
 
     def timeout_at(self, when: float, value: Any = None, name: str = "") -> Event:
@@ -405,8 +444,11 @@ class Simulator:
         ev = Event(self, name or "timeout")
         ev._triggered = True
         ev._value = value
-        self._seq += 1
-        heapq.heappush(self._heap, (when, PRIORITY_NORMAL, self._seq, ev))
+        if when > self._now:
+            self._seq += 1
+            heapq.heappush(self._heap, (when, PRIORITY_NORMAL, self._seq, ev))
+        else:
+            self._normal.append(ev)
         return ev
 
     def _pooled_timeout(self, delay: float) -> Event:
@@ -419,8 +461,12 @@ class Simulator:
         pool = self._timeout_pool
         ev = pool.pop() if pool else Event(self, "timeout")
         ev._triggered = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, PRIORITY_NORMAL, self._seq, ev))
+        when = self._now + delay
+        if when > self._now:
+            self._seq += 1
+            heapq.heappush(self._heap, (when, PRIORITY_NORMAL, self._seq, ev))
+        else:
+            self._normal.append(ev)
         return ev
 
     def _recycle(self, ev: Event) -> None:
@@ -448,24 +494,72 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, ev: Event, priority: int, at: float | None = None) -> None:
-        if at is None:
-            when = self._now
-        elif at < self._now:
+        if at is None or at == self._now:
+            (self._urgent if priority == 0 else self._normal).append(ev)
+            return
+        if at < self._now:
             raise SimulationError(f"cannot schedule into the past ({at} < {self._now})")
-        else:
-            when = at
         self._seq += 1
-        heapq.heappush(self._heap, (when, priority, self._seq, ev))
+        heapq.heappush(self._heap, (at, priority, self._seq, ev))
+
+    def call_now(self, fn: Callable[[Any], None], arg: Any = None,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Schedule the bare continuation ``fn(arg)`` at the current instant.
+
+        Continuations occupy ordinary dispatch slots — they are ordered
+        against Events exactly as an Event scheduled at the same moment
+        would be — but skip Event allocation and the callback machinery.
+        """
+        (self._urgent if priority == 0 else self._normal).append((fn, arg))
+
+    def call_at(self, when: float, fn: Callable[[Any], None], arg: Any = None,
+                priority: int = PRIORITY_NORMAL) -> None:
+        """Schedule the continuation ``fn(arg)`` at absolute time ``when``."""
+        if when > self._now:
+            self._seq += 1
+            heapq.heappush(self._heap, (when, priority, self._seq, (fn, arg)))
+            return
+        if when < self._now:
+            raise SimulationError(f"cannot schedule into the past ({when} < {self._now})")
+        (self._urgent if priority == 0 else self._normal).append((fn, arg))
+
+    def call_after(self, delay: float, fn: Callable[[Any], None], arg: Any = None,
+                   priority: int = PRIORITY_NORMAL) -> None:
+        """Schedule the continuation ``fn(arg)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative continuation delay: {delay}")
+        self.call_at(self._now + delay, fn, arg, priority)
 
     # -- execution -----------------------------------------------------
+    def _dispatch(self, obj: Any) -> None:
+        """Execute one dispatch slot (Event or continuation pair)."""
+        self.events_processed += 1
+        if type(obj) is tuple:
+            obj[0](obj[1])
+        else:
+            obj._process()
+
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to it."""
-        when, _prio, _seq, ev = heapq.heappop(self._heap)
-        self._now = when
-        ev._process()
+        """Process exactly one dispatch slot, advancing the clock to it."""
+        if self._urgent:
+            obj = self._urgent.popleft()
+        elif self._normal:
+            obj = self._normal.popleft()
+        else:
+            when, prio, _seq, obj = heapq.heappop(self._heap)
+            self._now = when
+            # Move the rest of the same-timestamp cohort into the instant
+            # deques so later at-``now`` appends queue up behind it.
+            heap = self._heap
+            while heap and heap[0][0] == when:
+                entry = heapq.heappop(heap)
+                (self._urgent if entry[1] == 0 else self._normal).append(entry[3])
+        self._dispatch(obj)
 
     def peek(self) -> float:
-        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        """Timestamp of the next scheduled work, or ``inf`` if none."""
+        if self._urgent or self._normal:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -478,34 +572,70 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        urgent = self._urgent
+        normal = self._normal
         heap = self._heap
         pop = heapq.heappop
+        dispatched = 0
         try:
-            if until is None:
-                while heap:
-                    when, _prio, _seq, ev = pop(heap)
-                    self._now = when
-                    ev._process()
-                return None
-            if isinstance(until, Event):
+            if until is None or isinstance(until, Event):
                 target = until
-                while not target._processed:
-                    if not heap:
+                while True:
+                    if target is not None and target._processed:
+                        return target.value
+                    if urgent:
+                        obj = urgent.popleft()
+                    elif normal:
+                        obj = normal.popleft()
+                    elif heap:
+                        when, _prio, _seq, obj = pop(heap)
+                        self._now = when
+                        if heap and heap[0][0] == when:
+                            # Batch-advance: move the whole same-time cohort
+                            # (including the popped head) into the deques in
+                            # heap order, then restart the drain loop.
+                            (urgent if _prio == 0 else normal).append(obj)
+                            while heap and heap[0][0] == when:
+                                entry = pop(heap)
+                                (urgent if entry[1] == 0 else normal).append(entry[3])
+                            continue
+                    elif target is None:
+                        return None
+                    else:
                         raise DeadlockError(
                             f"event queue drained before {target!r} fired"
                         )
-                    when, _prio, _seq, ev = pop(heap)
-                    self._now = when
-                    ev._process()
-                return target.value
+                    dispatched += 1
+                    if type(obj) is tuple:
+                        obj[0](obj[1])
+                    else:
+                        obj._process()
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError(f"until={horizon} is in the past (now={self._now})")
-            while heap and heap[0][0] <= horizon:
-                when, _prio, _seq, ev = pop(heap)
-                self._now = when
-                ev._process()
+            while True:
+                if urgent:
+                    obj = urgent.popleft()
+                elif normal:
+                    obj = normal.popleft()
+                elif heap and heap[0][0] <= horizon:
+                    when, _prio, _seq, obj = pop(heap)
+                    self._now = when
+                    if heap and heap[0][0] == when:
+                        (urgent if _prio == 0 else normal).append(obj)
+                        while heap and heap[0][0] == when:
+                            entry = pop(heap)
+                            (urgent if entry[1] == 0 else normal).append(entry[3])
+                        continue
+                else:
+                    break
+                dispatched += 1
+                if type(obj) is tuple:
+                    obj[0](obj[1])
+                else:
+                    obj._process()
             self._now = max(self._now, horizon)
             return None
         finally:
+            self.events_processed += dispatched
             self._running = False

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Generator
+from heapq import heappush
 from typing import Any
 
-from repro.simkernel.core import Event, Simulator
+from repro.simkernel.core import PRIORITY_NORMAL, Event, Simulator
 from repro.simkernel.errors import SimulationError
 from repro.simkernel.monitor import UtilizationMonitor
 
@@ -50,31 +51,66 @@ def parallel_using(sim: Simulator, holds: list[tuple["Resource", float]]) -> Eve
         if remaining == 0:
             done.succeed(())
 
+    # Each hold() is slot- and seq-identical to the request/timeout pair it
+    # replaces (uncontended: end timer scheduled here; queued: grant slot
+    # schedules it), and its end slot releases before running _one_done —
+    # the same release-then-count order the closure version had.
     for res, t in holds:
-        if res._in_use < res.capacity and not res._queue and not res._virtual_holds:
-            res._in_use += 1
-            res.monitor.record(res._in_use)
-            ev = sim.timeout(t)
-
-            def _rel(_e: Event, res: "Resource" = res) -> None:
-                res._release_slot()
-                _one_done(_e)
-
-            ev.add_callback(_rel)
-        else:
-            req = res.request()
-
-            def _granted(_e: Event, res: "Resource" = res, t: float = t) -> None:
-                ev2 = sim.timeout(t)
-
-                def _rel2(_e2: Event, res: "Resource" = res, req: Event = _e) -> None:
-                    res.release(req)
-                    _one_done(_e2)
-
-                ev2.add_callback(_rel2)
-
-            req.add_callback(_granted)
+        res.hold(t, _one_done)
     return done
+
+
+class _HoldEnd(Event):
+    """The one kernel object behind :meth:`Resource.hold`.
+
+    Doubles as the queued request *and* the hold-end timer.  While
+    ``_phase`` is 0 it sits in the resource's FIFO; the grant dispatch
+    slot (its first ``_process``) starts the timed hold by re-scheduling
+    the same object at the end instant — no generator resume happens in
+    the middle of the hold.  The second ``_process`` releases the slot
+    and only then wakes the waiter, matching ``using``'s finally-before-
+    continuation ordering exactly.
+    """
+
+    __slots__ = ("res", "hold_time", "_phase")
+
+    def _process(self) -> None:
+        if self._phase == 0:
+            # Grant slot: occupy the channel until now + hold_time.  The
+            # waiting process stays parked; only this object travels.
+            self._phase = 1
+            sim = self.sim
+            now = sim._now
+            when = now + self.hold_time
+            if when > now:
+                sim._seq += 1
+                heappush(sim._heap, (when, PRIORITY_NORMAL, sim._seq, self))
+            else:
+                sim._normal.append(self)
+            return
+        # End slot: release before resuming waiters — in ``using`` the
+        # release runs inside the resumed generator's finally before any
+        # caller code, so every observer sees post-release state either way.
+        # (_release_slot inlined: this is the hottest dispatch in the sim.)
+        res = self.res
+        in_use = res._in_use - 1
+        if in_use < 0:
+            raise SimulationError(f"double release on resource {res.name!r}")
+        res._in_use = in_use
+        m = res.monitor
+        now = self.sim._now
+        m._area += m._level * (now - m._last_t)
+        m._last_t = now
+        m._level = in_use
+        if res._queue and in_use < res.capacity:
+            res._grant(res._queue.popleft())
+        self._processed = True
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for fn in callbacks:
+                fn(self)
+        res._recycle_hold(self)
 
 
 class Resource:
@@ -104,6 +140,8 @@ class Resource:
         # Active bulk-transfer virtual holds (see repro.simkernel.bulk);
         # empty except while a bulk stream occupies this resource.
         self._virtual_holds: list[Any] = []
+        # Free list of recycled _HoldEnd objects (see hold()).
+        self._hold_pool: list[_HoldEnd] = []
         self.monitor = UtilizationMonitor(sim, capacity=capacity, name=name)
 
     @property
@@ -208,6 +246,74 @@ class Resource:
         finally:
             self.release(req)
         self.sim._recycle(ev)
+
+    def hold(self, hold_time: float, cb: Any = None) -> Event:
+        """Single-yield fused acquire + hold + release.
+
+        ``yield resource.hold(t)`` is simulation-equivalent to
+        ``yield from resource.using(t)`` — same grant/release instants,
+        same same-instant ordering against every other event — but the
+        returned event is the only kernel object involved: an uncontended
+        hold costs one dispatch slot (the end), a queued one adds just the
+        grant slot, and neither resumes the caller's generator mid-hold.
+
+        The returned event is owned by the caller: yield it immediately,
+        never retain it, and treat its value as unspecified.  If the
+        waiting process is killed the hold still runs to completion and
+        releases detached (the ``parallel_using`` contract) rather than
+        cancelling a queued request like ``using`` does.
+        """
+        sim = self.sim
+        pool = self._hold_pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = _HoldEnd(sim, self._req_name)
+            ev.res = self
+        ev.hold_time = hold_time
+        if cb is not None:
+            # Convenience for continuation callers: equivalent to calling
+            # add_callback(cb) on the result (pooled events always come
+            # back with an empty callback list).
+            ev.callbacks = [cb]
+        if self._in_use < self.capacity and not self._queue and not self._virtual_holds:
+            # Uncontended: skip the grant slot entirely; schedule the end
+            # directly (inlined monitor math as in using()'s fast path).
+            m = self.monitor
+            now = sim._now
+            m._area += m._level * (now - m._last_t)
+            m._last_t = now
+            self._in_use += 1
+            m._level = self._in_use
+            ev._phase = 1
+            ev._triggered = True
+            when = now + hold_time
+            if when > now:
+                sim._seq += 1
+                heappush(sim._heap, (when, PRIORITY_NORMAL, sim._seq, ev))
+            else:
+                sim._normal.append(ev)
+            return ev
+        if self._virtual_holds:
+            # Convert the bulk stream's virtual occupancy to real state
+            # before deciding this hold's fate (mirrors request()).
+            self._virtual_holds[0].materialize()
+        ev._phase = 0
+        if self._in_use < self.capacity and not self._queue:
+            self._grant(ev)
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def _recycle_hold(self, ev: "_HoldEnd") -> None:
+        """Return a finished hold-end object to this resource's pool."""
+        if len(self._hold_pool) < 32:
+            ev._triggered = False
+            ev._processed = False
+            ev._value = None
+            ev._exc = None
+            ev.callbacks = None
+            self._hold_pool.append(ev)
 
     def using_many(self, hold_times: list[float]) -> Generator[Event, Any, None]:
         """Hold the resource for a serialized chunk train in O(1) events.
@@ -400,7 +506,8 @@ class Store:
         no event allocation or heap traffic — the fast path for pipeline
         stages whose buffers are rarely full.
         """
-        if self._putters or self.full:
+        cap = self.capacity
+        if self._putters or (cap is not None and len(self._items) >= cap):
             return False
         self._items.append(item)
         if self._getters:
@@ -415,10 +522,12 @@ class Store:
         """
         if self._putters:
             return 0
+        buf = self._items
+        cap = self.capacity
         n = 0
         total = len(items)
-        while n < total and not self.full:
-            self._items.append(items[n])
+        while n < total and (cap is None or len(buf) < cap):
+            buf.append(items[n])
             n += 1
         if n and self._getters:
             self._drain()
@@ -459,19 +568,23 @@ class Store:
         return True, item
 
     def _drain(self) -> None:
+        putters = self._putters
+        getters = self._getters
+        items = self._items
+        cap = self.capacity
         progressed = True
         while progressed:
             progressed = False
             # Move pending puts into the buffer while there is room.
-            while self._putters and not self.full:
-                item, ev = self._putters.popleft()
-                self._items.append(item)
+            while putters and (cap is None or len(items) < cap):
+                item, ev = putters.popleft()
+                items.append(item)
                 if ev is not None:  # None: interior item of a put_many
                     ev.succeed(item)
                 progressed = True
             # Satisfy pending gets from the buffer.
-            while self._getters and self._items:
-                ev = self._getters.popleft()
-                item = self._items.popleft()
+            while getters and items:
+                ev = getters.popleft()
+                item = items.popleft()
                 ev.succeed(item)
                 progressed = True

@@ -18,6 +18,7 @@ __all__ = [
     "KIB",
     "MIB",
     "GIB",
+    "JitterStream",
     "mib_per_s",
     "transfer_time",
     "jitter_factor",
@@ -55,6 +56,56 @@ def jitter_factor(rng: np.random.Generator | None, sigma: float) -> float:
     if rng is None or sigma <= 0:
         return 1.0
     return jitter_from_normal(rng.normal(0.0, sigma))
+
+
+class JitterStream:
+    """Block-buffered jitter draws, bit-identical to the scalar path.
+
+    Wraps one ``np.random.Generator`` + ``sigma`` pair and pre-draws
+    normals in blocks (``Generator.normal(0, s, n)`` consumes the bit
+    stream exactly as ``n`` successive scalar draws, and vectorized
+    ``np.exp`` matches the scalar ufunc elementwise — both asserted in
+    tests), so the per-request cost drops from a numpy scalar call to a
+    list index.  Every consumer of the wrapped generator must draw
+    through this stream, or the pre-buffering would reorder the stream
+    against the scalar equivalent; that is why the owning backend keeps
+    exactly one stream per generator and routes both its factor draws
+    and its bulk raw-normal draws (:meth:`z`) here.
+    """
+
+    __slots__ = ("rng", "sigma", "_zs", "_fs", "_i", "_block")
+
+    def __init__(self, rng: np.random.Generator, sigma: float, block: int = 512) -> None:
+        self.rng = rng
+        self.sigma = sigma
+        self._zs: list[float] = []
+        self._fs: list[float] = []
+        self._i = 0
+        self._block = block
+
+    def _refill(self) -> None:
+        zs = self.rng.normal(0.0, self.sigma, self._block)
+        self._zs = zs.tolist()
+        self._fs = np.clip(np.exp(zs), 0.25, 4.0).tolist()
+        self._i = 0
+
+    def factor(self) -> float:
+        """Next jitter factor — equals ``jitter_factor(rng, sigma)``."""
+        i = self._i
+        if i >= len(self._fs):
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return self._fs[i]
+
+    def z(self) -> float:
+        """Next raw sample — equals ``rng.normal(0.0, sigma)``."""
+        i = self._i
+        if i >= len(self._zs):
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return self._zs[i]
 
 
 def jitter_from_normal(x: float) -> float:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.simkernel.core import Simulator
 from repro.simkernel.resources import Resource
-from repro.storage.blockmath import jitter_factor, mib_per_s, transfer_time
+from repro.storage.blockmath import JitterStream, jitter_factor, mib_per_s, transfer_time
 
 __all__ = ["Device", "DeviceProfile", "SATA_SSD", "NVME_GEN3", "HDD_7200", "RAMDISK"]
 
@@ -104,6 +104,13 @@ class Device:
         self.sim = sim
         self.profile = profile
         self.rng = rng
+        # Block-buffered draws for the device-owned stream (bit-identical
+        # to scalar jitter_factor calls; see JitterStream).
+        self._jitter = (
+            JitterStream(rng, profile.jitter_sigma)
+            if rng is not None and profile.jitter_sigma > 0
+            else None
+        )
         self._channel = Resource(sim, capacity=profile.channels, name=f"dev:{profile.name}")
         self.busy_monitor = self._channel.monitor
 
@@ -133,7 +140,7 @@ class Device:
         chunk train's jitters does not perturb other consumers.
         """
         t = self.read_service_time(nbytes, rng)
-        yield from self._channel.using(t)
+        yield self._channel.hold(t)
         return nbytes
 
     def write(
@@ -141,24 +148,26 @@ class Device:
     ) -> Generator[Any, Any, int]:
         """Timed write: queue for a channel, hold it for the service time."""
         t = self.write_service_time(nbytes, rng)
-        yield from self._channel.using(t)
+        yield self._channel.hold(t)
         return nbytes
 
     def read_service_time(
         self, nbytes: int, rng: np.random.Generator | None = None
     ) -> float:
         """Jittered service time for one read, drawing from ``rng``."""
-        return self.read_time(nbytes) * jitter_factor(
-            self.rng if rng is None else rng, self.profile.jitter_sigma
-        )
+        if rng is None:
+            js = self._jitter
+            return self.read_time(nbytes) * (js.factor() if js is not None else 1.0)
+        return self.read_time(nbytes) * jitter_factor(rng, self.profile.jitter_sigma)
 
     def write_service_time(
         self, nbytes: int, rng: np.random.Generator | None = None
     ) -> float:
         """Jittered service time for one write, drawing from ``rng``."""
-        return self.write_time(nbytes) * jitter_factor(
-            self.rng if rng is None else rng, self.profile.jitter_sigma
-        )
+        if rng is None:
+            js = self._jitter
+            return self.write_time(nbytes) * (js.factor() if js is not None else 1.0)
+        return self.write_time(nbytes) * jitter_factor(rng, self.profile.jitter_sigma)
 
     def read_bulk(
         self, sizes: list[int], rng: np.random.Generator | None = None

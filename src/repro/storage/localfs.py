@@ -142,6 +142,57 @@ class LocalFileSystem(FileSystem):
             cache.insert(handle.meta.path, handle.meta.size)
         return take
 
+    def pread_begin(self, handle: FileHandle, offset: int, nbytes: int, cb: Any) -> int:
+        """Continuation-style :meth:`pread` for fused readers.
+
+        Returns the transfer size synchronously and schedules ``cb(event)``
+        at the completion instant; stats, page-cache lookups and jitter
+        draws all happen in the caller's dispatch slot, exactly where the
+        generator form would perform them.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length")
+        size = handle.meta.size
+        take = max(0, min(nbytes, size - offset))
+        entry = self._entries.get(handle.meta.path)
+        if entry is not None:
+            entry.last_access = self.sim.now
+        self.stats.record_read(take)
+        if take <= 0:
+            self.sim.timeout(_LOCAL_META_LATENCY_S).add_callback(cb)
+            return take
+        cache = self.page_cache
+        if cache is not None and cache.lookup(handle.meta.path):
+            self.sim.timeout(cache.hit_time(take)).add_callback(cb)
+            return take
+        dev = self.device
+        ev = dev._channel.hold(dev.read_service_time(take))
+        if cache is not None:
+            # Insert at the completion instant, as the generator form does
+            # (concurrent lookups during the transfer must still miss).
+            def _insert(_ev: Any, cache: PageCache = cache, handle: FileHandle = handle) -> None:
+                cache.insert(handle.meta.path, handle.meta.size)
+
+            ev.add_callback(_insert)
+        ev.add_callback(cb)
+        return take
+
+    def open_begin(self, path: str, cb: Any) -> FileHandle:
+        """Continuation-style read-only :meth:`open` for fused readers."""
+        p = norm_path(path)
+        self.stats.record_open()
+        entry = self._entries.get(p)
+        if entry is None:
+            raise FileNotFoundInFS(f"{self.name}: {path}")
+        ev = self.sim.timeout(_LOCAL_META_LATENCY_S)
+
+        def _touch(_ev: Any, entry: _Entry = entry, sim: Simulator = self.sim) -> None:
+            entry.last_access = sim.now
+
+        ev.add_callback(_touch)
+        ev.add_callback(cb)
+        return FileHandle(fs=self, meta=entry.meta, flags="r")
+
     def pwrite(self, handle: FileHandle, offset: int, nbytes: int) -> Generator[Any, Any, int]:
         if offset < 0 or nbytes < 0:
             raise ValueError("negative offset or length")

@@ -40,12 +40,17 @@ from repro.storage.base import (
 )
 from repro.storage.blockmath import (
     MIB,
+    JitterStream,
     jitter_factor,
     jitter_from_normal,
     mib_per_s,
     split_into_chunks,
 )
-from repro.storage.interference import ConstantInterference, InterferenceModel
+from repro.storage.interference import (
+    ARInterference,
+    ConstantInterference,
+    InterferenceModel,
+)
 from repro.storage.stats import BackendStats
 
 __all__ = ["PFSConfig", "ParallelFileSystem"]
@@ -119,6 +124,18 @@ class ParallelFileSystem(FileSystem):
         self._used = 0
         self._next_stripe = 0
         self.stats = BackendStats(name=name)
+        # All draws on the shared self.rng stream go through this block
+        # buffer (see JitterStream) — bit-identical to scalar draws.
+        self._jitter = (
+            JitterStream(rng, self.config.jitter_sigma)
+            if rng is not None and self.config.jitter_sigma > 0
+            else None
+        )
+        # Hot-path constants (pread_begin): per-OST bandwidth before the
+        # interference share, computed exactly as base_time does.
+        cfg = self.config
+        self._ost_bw_bps = mib_per_s(cfg.client_read_bw_mib) / cfg.n_osts
+        self._ost_bw_bps_w = mib_per_s(cfg.client_write_bw_mib) / cfg.n_osts
         self._mds = Resource(sim, capacity=self.config.mds_channels, name=f"{name}:mds")
         self._osts = [
             Resource(sim, capacity=self.config.ost_channels, name=f"{name}:ost{i}")
@@ -194,8 +211,13 @@ class ParallelFileSystem(FileSystem):
         rng: np.random.Generator | None = None,
     ) -> float:
         """Jittered service time for one piece, drawing from ``rng``."""
+        if rng is None:
+            js = self._jitter
+            return self.base_time(nbytes, write, sequential) * (
+                js.factor() if js is not None else 1.0
+            )
         return self.base_time(nbytes, write, sequential) * jitter_factor(
-            self.rng if rng is None else rng, self.config.jitter_sigma
+            rng, self.config.jitter_sigma
         )
 
     def _ost_for(self, entry: _PFSEntry, offset: int) -> Resource:
@@ -215,11 +237,14 @@ class ParallelFileSystem(FileSystem):
             raise FileNotFoundInFS(f"{self.name}: {path}")
         return self._ost_for(entry, offset)
 
-    def _mds_op(self) -> Generator[Any, Any, None]:
-        t = self.config.mds_latency_s * jitter_factor(self.rng, self.config.jitter_sigma)
+    def _mds_time(self) -> float:
+        js = self._jitter
+        t = self.config.mds_latency_s * (js.factor() if js is not None else 1.0)
         # Interference also slows metadata service.
-        t /= max(self._bandwidth_share(), 1e-3)
-        yield from self._mds.using(t)
+        return t / max(self._bandwidth_share(), 1e-3)
+
+    def _mds_op(self) -> Generator[Any, Any, None]:
+        yield self._mds.hold(self._mds_time())
 
     # -- timed operations -----------------------------------------------------
     def open(self, path: str, flags: str = "r") -> Generator[Any, Any, FileHandle]:
@@ -268,7 +293,7 @@ class ParallelFileSystem(FileSystem):
         pieces = split_into_chunks(offset, take, self.config.stripe_size)
         if len(pieces) == 1:
             off, ln = pieces[0]
-            yield from self._ost_for(entry, off).using(
+            yield self._ost_for(entry, off).hold(
                 self._data_time(ln, False, sequential, rng)
             )
             return take
@@ -280,6 +305,93 @@ class ParallelFileSystem(FileSystem):
             ],
         )
         return take
+
+    def pread_begin(
+        self,
+        handle: FileHandle,
+        offset: int,
+        nbytes: int,
+        cb: Any,
+        sequential: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Continuation-style :meth:`pread` for fused readers.
+
+        Returns the transfer size synchronously and schedules ``cb(event)``
+        at the completion instant.  Jitter draws, stats and OST queueing all
+        happen in the caller's dispatch slot, exactly where the generator
+        form would perform them — the only difference is that no generator
+        is parked on the result.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length")
+        entry = self._entries.get(handle.meta.path)
+        if entry is None:
+            raise FileNotFoundInFS(f"{self.name}: {handle.meta.path}")
+        take = max(0, min(nbytes, handle.meta.size - offset))
+        st = self.stats
+        st.read_ops += 1
+        st.bytes_read += take
+        if take == 0:
+            self._mds.hold(self._mds_time()).add_callback(cb)
+            return 0
+        cfg = self.config
+        stripe = cfg.stripe_size
+        if offset // stripe == (offset + take - 1) // stripe:
+            # Single-piece fast path with base_time + _data_time inlined
+            # op-for-op (same float expression order, hence bit-identical);
+            # this is the per-chunk cost of every fused reader.  The AR
+            # interference lookup is inlined for its memo-hit case (the
+            # current step's load is almost always already materialized).
+            intf = self.interference
+            if type(intf) is ARInterference:
+                k = int(self.sim._now // intf.interval)
+                loads = intf._loads
+                share = 1.0 - loads[k] if k < len(loads) else intf.share_at(self.sim._now)
+            else:
+                share = intf.share_at(self.sim._now)
+            bw_bps = self._ost_bw_bps * share
+            if not sequential:
+                bw_bps *= cfg.random_read_penalty
+            t = cfg.rpc_latency_s + take / bw_bps
+            if rng is None:
+                js = self._jitter
+                if js is not None:
+                    i = js._i
+                    if i >= len(js._fs):
+                        js._refill()
+                        i = 0
+                    js._i = i + 1
+                    t *= js._fs[i]
+            else:
+                t *= jitter_factor(rng, cfg.jitter_sigma)
+            idx = (entry.stripe_offset + offset // stripe) % cfg.n_osts
+            self._osts[idx].hold(t, cb)
+            return take
+        pieces = split_into_chunks(offset, take, stripe)
+        parallel_using(
+            self.sim,
+            [
+                (self._ost_for(entry, off), self._data_time(ln, False, sequential, rng))
+                for off, ln in pieces
+            ],
+        ).add_callback(cb)
+        return take
+
+    def open_begin(self, path: str, cb: Any) -> FileHandle:
+        """Continuation-style read-only :meth:`open` for fused readers.
+
+        Returns the handle synchronously (the namespace is resolved
+        eagerly; PFS entries are immutable during a run) and schedules
+        ``cb(event)`` once the MDS round trip completes.
+        """
+        p = norm_path(path)
+        entry = self._entries.get(p)
+        if entry is None:
+            raise FileNotFoundInFS(f"{self.name}: {path}")
+        self.stats.record_open()
+        self._mds.hold(self._mds_time()).add_callback(cb)
+        return FileHandle(fs=self, meta=entry.meta, flags="r")
 
     def pread_bulk(
         self,
@@ -326,8 +438,14 @@ class ParallelFileSystem(FileSystem):
 
             sigma = self.config.jitter_sigma
             jit = (self.rng is not None or rng is not None) and sigma > 0.0
-            draw = (self.rng if rng is None else rng).normal if jit else None
-            zs = [draw(0.0, sigma) for _ in chunks] if jit else []
+            if not jit:
+                zs: list[float] = []
+            elif rng is None:
+                # Shared stream: raw draws must come from the block buffer
+                # so they stay in sequence with the factor draws.
+                zs = [self._jitter.z() for _ in chunks]
+            else:
+                zs = [rng.normal(0.0, sigma) for _ in chunks]
             schedule: list[tuple[Resource, float]] = []
             acc = self.sim.now
             for i, (off, n) in enumerate(chunks):
@@ -350,7 +468,7 @@ class ParallelFileSystem(FileSystem):
             pieces = split_into_chunks(off, n, stripe)
             if len(pieces) == 1:
                 poff, ln = pieces[0]
-                yield from self._ost_for(entry, poff).using(
+                yield self._ost_for(entry, poff).hold(
                     self._data_time(ln, False, sequential, rng)
                 )
             else:
@@ -373,7 +491,7 @@ class ParallelFileSystem(FileSystem):
             raise FileNotFoundInFS(f"{self.name}: {handle.meta.path}")
         self.stats.record_write(nbytes)
         if nbytes > 0:
-            yield from self._ost_for(entry, offset).using(self._data_time(nbytes, True, True))
+            yield self._ost_for(entry, offset).hold(self._data_time(nbytes, True, True))
         else:
             yield from self._mds_op()
         new_end = offset + nbytes

@@ -1,0 +1,56 @@
+"""Golden comparison: fused pipeline vs generator pipeline, bit for bit.
+
+The fused callback state machines in ``framework.pipeline`` are a pure
+speed optimization; ``REPRO_DISABLE_FUSED_PIPELINE=1`` runs the original
+generator workers.  These tests pin the acceptance bar for the whole
+batch-advance kernel: a full seeded run must produce a *byte-identical*
+``RunRecord`` either way — every epoch time, utilization average and
+backend counter, down to float repr.  An engagement spy guards against
+the comparison going vacuous (both sides silently running legacy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.framework.pipeline as pipeline_mod
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.runner import run_once
+
+#: small but contended: 16 shards, multi-epoch, both OST queueing and
+#: CPU-bound mapper stretches — the kernel-speed probe's little sibling
+_SCALE = 1 / 256
+
+
+@pytest.mark.parametrize("setup", ["vanilla-lustre", "vanilla-local"])
+def test_fused_and_generator_records_byte_identical(setup, monkeypatch):
+    started = []
+    real_start = pipeline_mod._FusedReader._start
+
+    def spying_start(self, arg):
+        started.append(self)
+        real_start(self, arg)
+
+    monkeypatch.setattr(pipeline_mod._FusedReader, "_start", spying_start)
+    monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
+    fused = repr(run_once(setup, "resnet50", IMAGENET_100G, scale=_SCALE, seed=0))
+    assert started, "fused readers never engaged — comparison would be vacuous"
+
+    monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
+    started.clear()
+    legacy = repr(run_once(setup, "resnet50", IMAGENET_100G, scale=_SCALE, seed=0))
+    assert not started, "gate ignored — legacy run used the fused readers"
+
+    assert fused == legacy
+
+
+def test_monarch_setup_unaffected_by_gate(monkeypatch):
+    """MONARCH's reader isn't continuation-capable: both modes must fall
+    back to (identical) generator readers, with fused mappers still on."""
+    monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
+    default = repr(run_once("monarch", "resnet50", IMAGENET_100G,
+                            scale=_SCALE, seed=0))
+    monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
+    gated = repr(run_once("monarch", "resnet50", IMAGENET_100G,
+                          scale=_SCALE, seed=0))
+    assert default == gated

@@ -1,0 +1,164 @@
+"""Ordering invariants of the calendar/batch-advance scheduler (hypothesis).
+
+The batch-advance kernel keeps at-``now`` work in per-priority deques and
+only strictly-future work in the heap; these properties pin the contract
+that makes that safe: dispatch order must be exactly what a single
+``(time, priority, seq)`` heap — the pre-calendar reference scheduler —
+would produce, for arbitrary schedules including work scheduled *during*
+dispatch.  Every test runs the same program against the live kernel and
+an independent heapq model and compares the full dispatch trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.core import PRIORITY_NORMAL, PRIORITY_URGENT, Simulator
+from repro.simkernel.errors import SimulationError
+
+pytestmark = pytest.mark.hypothesis_heavy
+
+
+class _HeapReference:
+    """The reference scheduler: one heap ordered by (time, priority, seq)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = 0
+
+    def schedule(self, delay: float, priority: int, fn) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, fn))
+
+    def run(self) -> None:
+        while self._heap:
+            when, _prio, _seq, fn = heapq.heappop(self._heap)
+            self.now = when
+            fn()
+
+
+#: a delay pool rich in exact ties, so same-timestamp cohorts actually form
+_DELAYS = st.sampled_from([0.0, 0.0, 0.25, 0.5, 0.5, 1.0, 2.0])
+_PRIORITIES = st.sampled_from([PRIORITY_URGENT, PRIORITY_NORMAL])
+#: (delay, priority, children) — children are scheduled mid-dispatch,
+#: exercising the at-now deques and heap re-entry during a cohort
+_OPS = st.lists(
+    st.tuples(
+        _DELAYS,
+        _PRIORITIES,
+        st.lists(st.tuples(_DELAYS, _PRIORITIES), max_size=3),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops=_OPS)
+@settings(max_examples=200)
+def test_dispatch_trace_matches_heapq_reference(ops):
+    """Kernel dispatch == reference heap dispatch, trace for trace."""
+
+    def drive(schedule_raw, clock, run):
+        trace = []
+
+        def make_fn(tag, children):
+            def fn():
+                trace.append((clock(), tag))
+                for j, (delay, prio) in enumerate(children):
+                    schedule_raw(delay, prio, make_fn((tag, j), ()))
+
+            return fn
+
+        for i, (delay, prio, children) in enumerate(ops):
+            schedule_raw(delay, prio, make_fn(i, children))
+        run()
+        return trace
+
+    ref = _HeapReference()
+    expected = drive(
+        lambda d, p, fn: ref.schedule(d, p, fn),
+        lambda: ref.now,
+        ref.run,
+    )
+
+    sim = Simulator()
+    actual = drive(
+        lambda d, p, fn: sim.call_after(d, lambda _a: fn(), priority=p),
+        lambda: sim.now,
+        sim.run,
+    )
+
+    assert actual == expected
+
+
+@given(n=st.integers(min_value=1, max_value=25), when=st.sampled_from([0.0, 1.5]))
+@settings(max_examples=50)
+def test_same_timestamp_fifo_within_tier(n, when):
+    """Work at one instant and priority dispatches in insertion order."""
+    sim = Simulator()
+    order: list[int] = []
+    for i in range(n):
+        sim.call_at(when, lambda _a, i=i: order.append(i))
+    # Event-based work obeys the same FIFO: timeouts to the same instant
+    # fire in creation order, after the earlier continuations.
+    for i in range(n, 2 * n):
+        sim.timeout(when).add_callback(lambda _e, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(2 * n))
+
+
+@given(tiers=st.lists(_PRIORITIES, min_size=2, max_size=30))
+@settings(max_examples=100)
+def test_cross_tier_priority_order(tiers):
+    """At one instant every urgent slot runs before any normal slot."""
+    sim = Simulator()
+    order: list[tuple[int, int]] = []
+    for i, prio in enumerate(tiers):
+        sim.call_at(1.0, lambda _a, i=i, p=prio: order.append((p, i)), priority=prio)
+    sim.run()
+    # Urgent block first, then the normal block, FIFO within each.
+    urgent = [i for i, p in enumerate(tiers) if p == PRIORITY_URGENT]
+    normal = [i for i, p in enumerate(tiers) if p == PRIORITY_NORMAL]
+    assert order == [(PRIORITY_URGENT, i) for i in urgent] + [
+        (PRIORITY_NORMAL, i) for i in normal
+    ]
+
+
+@given(ops=st.lists(st.tuples(_DELAYS, _PRIORITIES), min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_peek_step_consistency(ops):
+    """peek() names the instant step() then dispatches; time never reverses."""
+    sim = Simulator()
+    fired: list[float] = []
+    for delay, prio in ops:
+        sim.call_after(delay, lambda _a: fired.append(sim.now), priority=prio)
+    seen: list[float] = []
+    while sim.peek() != float("inf"):
+        promised = sim.peek()
+        sim.step()
+        assert sim.now == promised
+        seen.append(promised)
+    assert seen == sorted(seen)
+    assert len(fired) == len(ops)
+    assert fired == seen
+
+
+@given(advance=st.floats(min_value=0.5, max_value=10.0),
+       back=st.floats(min_value=1e-6, max_value=0.5, exclude_min=True))
+@settings(max_examples=50)
+def test_schedule_into_the_past_rejected(advance, back):
+    """No API may schedule behind the clock, before or after advancing."""
+    sim = Simulator()
+    sim.call_after(advance, lambda _a: None)
+    sim.run()
+    assert sim.now == advance
+    with pytest.raises(SimulationError):
+        sim.call_at(sim.now - back, lambda _a: None)
+    with pytest.raises(ValueError):
+        sim.call_after(-back, lambda _a: None)

@@ -1,0 +1,57 @@
+"""Profile the kernel probe cell under cProfile.
+
+Runs the same contended cell as ``benchmarks/test_kernel_speed.py``
+(vanilla-lustre / resnet50 at the bench scale), scenario build excluded,
+and prints the top cumulative-time functions — the first stop when
+events/sec regresses.  Usage::
+
+    make profile-kernel            # scale 1/128, top 20
+    python tools/profile_kernel.py --scale 1/64 --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data.imagenet import IMAGENET_100G  # noqa: E402
+from repro.experiments.calibration import DEFAULT_CALIBRATION  # noqa: E402
+from repro.experiments.scenarios import build_run  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="1/128",
+                        help="simulation scale (fraction, default 1/128)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of functions to print (default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
+    args = parser.parse_args(argv)
+    scale = float(Fraction(args.scale))
+
+    handle = build_run(
+        "vanilla-lustre", "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=scale, seed=0,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    handle.execute()
+    profiler.disable()
+
+    print(f"probe: vanilla-lustre/resnet50 scale={args.scale} "
+          f"({handle.sim.events_processed} dispatch slots)")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
