@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 94
 
-.PHONY: test test-fast bench bench-kernel bench-grid profile-kernel coverage report-check check
+.PHONY: test test-fast test-policy bench bench-kernel bench-grid profile-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,11 @@ test:
 # (marker `hypothesis_heavy`), which dominate full-suite wall time.
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not hypothesis_heavy"
+
+# Placement-policy engine suites only (marker `policy`): the unit and
+# property tests plus the FIG-POLICY tournament benchmark.
+test-policy:
+	$(PYTHON) -m pytest tests benchmarks/test_fig_policy.py -q -m policy
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,77 @@
+"""FIG-POLICY — tournament: every placement policy × every scenario.
+
+The ranking metric is the Lustre-op share (fraction of middleware reads
+the PFS backend had to serve; lower is better).  First-fit is the
+paper-faithful reference; the policy engine's win condition is at least
+one competitor scoring a lower share on the 200 GiB overflow scenario.
+The heat policy is expected to *lose* the overflow regime: its eviction
+churn is the measurable form of the paper's argument that a
+no-eviction, admit-on-first-read strategy already fits scan-everything
+DL access patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import POLICY_SCENARIOS, fig_policy, render_policy
+
+pytestmark = pytest.mark.policy
+
+
+def test_fig_policy_tournament(benchmark, bench_scale):
+    result = run_in_benchmark(
+        benchmark, lambda: fig_policy(scale=bench_scale, seed=0)
+    )
+    print()
+    print(render_policy(result))
+
+    scenarios = result["scenarios"]
+    assert set(scenarios) == set(POLICY_SCENARIOS)
+    for scenario, cells in scenarios.items():
+        for policy, cell in cells.items():
+            assert 0.0 < cell["pfs_share"] < 1.0, (scenario, policy)
+            assert cell["total_time_s"] > 0.0, (scenario, policy)
+
+    # The win condition: some policy beats first-fit where it matters —
+    # the overflow regime, where the dataset does not fit the SSD.
+    overflow = scenarios["overflow-200g"]
+    ff_share = overflow["firstfit"]["pfs_share"]
+    beats = [
+        p for p in result["policies"]
+        if p != "firstfit" and overflow[p]["pfs_share"] < ff_share
+    ]
+    assert beats, f"no policy beat first-fit's {ff_share:.4f} overflow share"
+    assert result["winners"]["overflow-200g"] in beats
+
+    # The predictor wins by staging ahead of epoch-1 reads, so its
+    # eager-placement machinery must actually have fired.
+    pred = overflow["predictor"]["counters"]
+    assert pred["eager_admissions"] > 0
+
+    # The heat policy's churn is visible — and costs it the overflow
+    # scenario relative to no-eviction first-fit.
+    heat = overflow["heat"]
+    assert heat["counters"]["heat_evictions"] > 0
+    assert heat["pfs_share"] >= ff_share
+
+    # When the dataset fits, admission strategy is irrelevant: every
+    # policy's share lands in a tight band around first-fit's.
+    fits = scenarios["fits-100g"]
+    ff_fits = fits["firstfit"]["pfs_share"]
+    for policy in result["policies"]:
+        assert abs(fits[policy]["pfs_share"] - ff_fits) < 0.05, policy
+
+
+def test_fig_policy_single_scenario_subset(bench_scale):
+    result = fig_policy(
+        scale=bench_scale,
+        seed=0,
+        policies=("firstfit",),
+        scenarios=("fits-100g",),
+    )
+    assert list(result["scenarios"]) == ["fits-100g"]
+    assert list(result["scenarios"]["fits-100g"]) == ["firstfit"]
+    with pytest.raises(ValueError, match="unknown scenarios"):
+        fig_policy(scale=bench_scale, scenarios=("no-such",))

@@ -59,6 +59,14 @@ def _cache_arg(args: argparse.Namespace):
     return None if args.no_cache else True
 
 
+def _policy_overrides(args: argparse.Namespace) -> dict | None:
+    """``--policy`` as monarch overrides; the default maps to None so the
+    run-cache keys of pre-policy runs stay valid."""
+    if args.policy != "firstfit":
+        return {"policy": args.policy}
+    return None
+
+
 def _calib(dataset_key: str, busy: bool | None):
     """Pick the interference regime: the paper's 200 GiB runs were busier."""
     use_busy = busy if busy is not None else dataset_key == "200g"
@@ -72,6 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.setup, args.model, DATASETS[args.dataset],
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
+        monarch_overrides=_policy_overrides(args),
     )
     rows = [
         (i + 1, f"{t:.0f}", f"{c * 100:.0f}%", f"{g * 100:.0f}%",
@@ -100,6 +109,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         args.setup, args.model, DATASETS[args.dataset],
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
+        monarch_overrides=_policy_overrides(args),
         report=True,
     )
     assert rec.report is not None
@@ -141,6 +151,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         scale=args.scale, seed=args.seed, n_jobs=args.n_jobs,
         report=args.out is not None,
         jobs=args.jobs, cache=_cache_arg(args),
+        policy=args.policy,
     )
     print(render_multi(
         result, f"FIG-MULTI: {args.n_jobs} concurrent jobs (scale {args.scale:g}, "
@@ -159,9 +170,10 @@ def _cmd_dist(args: argparse.Namespace) -> int:
 
     rec = run_distributed_once(
         args.setup, args.model, DATASETS[args.dataset],
-        n_nodes=args.nodes, policy=args.policy,
+        n_nodes=args.nodes, policy=args.partition,
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
+        placement_policy=args.policy,
     )
     rows = [
         (i + 1, f"{t:.0f}", f"{h:.0%}", f"{o / 1e3:.0f}k")
@@ -173,7 +185,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         ["epoch", "time (s)", "tier hits", "PFS ops"],
         rows,
         title=f"distributed {args.setup} / {args.model} / {args.dataset} "
-              f"N={args.nodes} partition={args.policy}",
+              f"N={args.nodes} partition={args.partition}",
     ))
     print(f"total {rec.total_time_s:.0f} s"
           + (f", init {rec.init_time_s:.0f} s" if rec.init_time_s else ""))
@@ -187,6 +199,7 @@ def _cmd_torch(args: argparse.Namespace) -> int:
         args.setup, args.model, DATASETS[args.dataset],
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
+        policy=args.policy,
     )
     rows = [
         (i + 1, f"{t:.0f}", f"{o / 1e3:.0f}k")
@@ -240,6 +253,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--epochs", type=int, default=None)
     p.add_argument("--busy", action="store_true", default=None,
                    help="force the heavy-contention regime")
+    p.add_argument("--policy", default="firstfit",
+                   choices=["firstfit", "heat", "predictor"],
+                   help="placement policy for monarch setups "
+                        "(default: paper-faithful first-fit)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,13 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi.add_argument("--seed", type=int, default=0)
     p_multi.add_argument("--out", default=None,
                          help="also write the aggregate RunReport JSON here")
+    p_multi.add_argument("--policy", default="firstfit",
+                         choices=["firstfit", "heat", "predictor"],
+                         help="placement policy for the shared hierarchy")
     p_multi.set_defaults(fn=_cmd_multi)
 
     p_dist = sub.add_parser("dist", help="one distributed run (§VI)")
     p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch"])
     p_dist.add_argument("--nodes", type=int, default=2)
-    p_dist.add_argument("--policy", default="static",
-                        choices=["static", "reshuffle"])
+    p_dist.add_argument("--partition", default="static",
+                        choices=["static", "reshuffle"],
+                        help="shard partition policy across nodes")
     _add_common(p_dist)
     p_dist.set_defaults(fn=_cmd_dist)
 
@@ -300,8 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
     p_fig.add_argument("artifact",
-                       choices=["fig1", "fig3", "fig4", "multi", "io", "meta",
-                                "usage", "all"])
+                       choices=["fig1", "fig3", "fig4", "multi", "policy",
+                                "io", "meta", "usage", "all"])
     p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
     p_fig.add_argument("--runs", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)

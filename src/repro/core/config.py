@@ -50,6 +50,11 @@ class MonarchConfig:
     full_fetch_on_partial_read: bool = True
     #: eviction policy name: "none" (paper default), "lru", "fifo", "random"
     eviction: str = "none"
+    #: placement policy name: "firstfit" (paper default, bit-identical to
+    #: the pre-interface behaviour), "heat" (LFU/LRU promotion+eviction)
+    #: or "predictor" (epoch-1-observing admission with eager placement);
+    #: see :mod:`repro.core.policy`
+    policy: str = "firstfit"
     #: use the analytic bulk-transfer fast path for background copies.
     #: Purely an execution strategy: simulated results are identical with
     #: it off (the ``REPRO_DISABLE_BULK_IO=1`` escape hatch forces that).
@@ -81,6 +86,11 @@ class MonarchConfig:
             raise ValueError("copy_chunk must be >= 1")
         if self.eviction not in ("none", "lru", "fifo", "random"):
             raise ValueError(f"unknown eviction policy {self.eviction!r}")
+        # Kept as a literal tuple (not an import) so the config module
+        # stays dependency-free; cross-checked against the policy
+        # registry by tests/core/test_policy.py.
+        if self.policy not in ("firstfit", "heat", "predictor"):
+            raise ValueError(f"unknown placement policy {self.policy!r}")
         if self.copy_retries < 0 or self.read_retries < 0:
             raise ValueError("retry counts must be >= 0")
         if self.retry_backoff_s < 0:

@@ -54,6 +54,9 @@ class TierHealthTracker:
         self._consecutive = [0] * n_levels
         self._quarantined = [False] * n_levels
         self._next_probe = [0.0] * n_levels
+        #: called with the level after a re-admission (placement uses it
+        #: to retry deferred placements); None = nobody listening
+        self.on_readmit: Callable[[int], None] | None = None
         #: False until the first fault — lets hot read paths skip all
         #: health bookkeeping while the hierarchy has never misbehaved
         self.dirty = False
@@ -127,6 +130,8 @@ class TierHealthTracker:
             self.readmissions += 1
             if self.recorder.enabled:
                 self.recorder.emit("tier.readmitted", f"l{level}")
+            if self.on_readmit is not None:
+                self.on_readmit(level)
 
     def counters(self) -> dict[str, int]:
         """Flat counter view for the metrics registry."""

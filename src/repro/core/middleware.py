@@ -32,6 +32,7 @@ from repro.core.health import TierHealthTracker
 from repro.core.hierarchy import StorageHierarchy
 from repro.core.metadata import FileState, MetadataContainer
 from repro.core.placement import PlacementHandler, make_eviction_policy
+from repro.core.policy import make_policy
 from repro.core.tenancy import FairShareArbiter, JobContext, NamespaceViolationError
 from repro.framework.io_layer import DataReader, OpenFile
 from repro.simkernel.monitor import TagAccounting
@@ -122,6 +123,9 @@ class Monarch:
         # Placement consults the same tracker: quarantined tiers take no
         # new files until a read probe re-admits them.
         self.hierarchy.health = self._health
+        policy = make_policy(
+            config.policy, eviction=make_eviction_policy(config.eviction, rng), rng=rng
+        )
         self.placement = PlacementHandler(
             sim=sim,
             hierarchy=self.hierarchy,
@@ -130,6 +134,7 @@ class Monarch:
             copy_chunk=config.copy_chunk,
             full_fetch_on_partial_read=config.full_fetch_on_partial_read,
             eviction=make_eviction_policy(config.eviction, rng),
+            policy=policy,
             rng=rng,
             bulk_io=config.bulk_io_enabled(),
             copy_retries=config.copy_retries,
@@ -137,6 +142,11 @@ class Monarch:
             recorder=self.recorder,
             accounting=accounting,
         )
+        # Cached-read access hook: None for policies that don't track
+        # access so the hot path pays a single comparison, not a call.
+        self._on_access = policy.on_access if policy.tracks_access else None
+        # Deferred placements retry as soon as a quarantined tier returns.
+        self._health.on_readmit = self.placement.on_tier_readmitted
         self.stats = MonarchStats()
         #: per-job read accounting, keyed by job id (multi-job runs)
         self.job_stats: dict[str, MonarchStats] = {}
@@ -270,9 +280,13 @@ class Monarch:
                     self.stats.record(level, n)
                     if job_stats is not None:
                         job_stats.record(level, n)
+                    if self._on_access is not None:
+                        self._on_access(info, offset, n)
                     return n
             # Home tier faulted or quarantined: route around it.
             n = yield from self._fallback_read(info, offset, nbytes, job_stats)
+            if self._on_access is not None:
+                self._on_access(info, offset, n)
             return n
         # Still (or permanently) on the PFS: serve from the last tier and
         # let the placement handler decide on a background copy.
@@ -404,6 +418,13 @@ class Monarch:
             "deferred",
         ):
             reg.set_counter(f"placement.{field_name}", getattr(ps, field_name))
+        policy = self.placement.policy
+        if policy.name != "firstfit":
+            # Only non-default policies publish their counters: the
+            # default's RunReports must stay byte-identical to the
+            # pre-policy-interface golden fixtures.
+            for name, value in sorted(policy.counters().items()):
+                reg.set_counter(f"policy.{name}", value)
         for name, value in self._health.counters().items():
             reg.set_counter(name, value)
         if self.arbiter is not None:

@@ -83,6 +83,9 @@ class _CopyTask:
     rng: np.random.Generator | None = None
     #: owning job ("" for the single-tenant namespace)
     job: str = ""
+    #: policy-driven up-tier move: the level the file is promoted *from*
+    #: (None for ordinary PFS-to-tier placements)
+    promote_from: int | None = None
 
 
 @dataclass
@@ -229,6 +232,7 @@ class PlacementHandler:
         copy_chunk: int = 1 << 20,
         full_fetch_on_partial_read: bool = True,
         eviction: EvictionPolicy | None = None,
+        policy=None,
         rng: np.random.Generator | None = None,
         bulk_io: bool = True,
         copy_retries: int = 3,
@@ -249,6 +253,14 @@ class PlacementHandler:
         self.copy_chunk = copy_chunk
         self.full_fetch = full_fetch_on_partial_read
         self.eviction = eviction or NoEviction()
+        if policy is None:
+            # Local import: the policy package imports this module for the
+            # legacy EvictionPolicy classes.
+            from repro.core.policy.firstfit import FirstFitPolicy
+
+            policy = FirstFitPolicy(self.eviction)
+        self.policy = policy
+        self.policy.bind(self)
         self.bulk_io = bulk_io
         self.copy_retries = copy_retries
         self.retry_backoff_s = retry_backoff_s
@@ -271,6 +283,11 @@ class PlacementHandler:
         ]
         # Per-file write-through progress for the ABL-FETCH variant.
         self._partial_written: dict[str, int] = {}
+        # Placements deferred while a quarantined tier blocked first-fit,
+        # re-attempted when a tier is re-admitted (insertion-ordered set).
+        # Entries are dropped the moment a file is scheduled, abandoned or
+        # written off, so a retry can never resurrect a given-up placement.
+        self._deferred: dict[str, None] = {}
         # Outstanding background tasks + waiters for drain().
         self._outstanding = 0
         self._idle_waiters: list[Any] = []
@@ -283,7 +300,8 @@ class PlacementHandler:
             return None
         return free - self._reserved[level]
 
-    def _first_fit(self, nbytes: int, owner: str = "") -> int | None:
+    def first_fit(self, nbytes: int, owner: str = "") -> int | None:
+        """§III-A first-fit descending over placeable, in-cap tiers."""
         health = self.hierarchy.health
         arbiter = self.arbiter
         for level, driver in self.hierarchy.upper_levels():
@@ -321,33 +339,64 @@ class PlacementHandler:
     ) -> None:
         """Hook called by the middleware after it served a PFS read.
 
-        Decides whether (and where) to place the file, reserves the space
-        and enqueues the background work.  Untimed: runs inline with the
-        read completion, the copying itself is what takes time.
+        Consults the placement policy (admission, tier choice, victim
+        selection) and, on a positive decision, reserves the space and
+        enqueues the background work.  Untimed: runs inline with the read
+        completion, the copying itself is what takes time.
         """
         if info.state is not FileState.PFS_ONLY:
+            # Mid-copy reads still come through the PFS path; surface them
+            # to access-tracking policies so consumption estimates have no
+            # blind spot while the background copy is in flight.
+            if info.state is FileState.COPYING and self.policy.tracks_access:
+                self.policy.on_access(info, offset, nbytes)
             return
         if not self.full_fetch and not covered_full_file:
             self._write_through(info, offset, nbytes)
             return
-        target = self._first_fit(info.size, info.owner)
+        if not self.policy.admit(info, offset, nbytes, covered_full_file):
+            return
+        if self.place(info, have_content=covered_full_file):
+            self.policy.after_admit(info)
+
+    def place(self, info: FileInfo, have_content: bool = False,
+              mark_on_fail: bool = True) -> bool:
+        """One placement decision for a PFS-resident file.
+
+        Runs the policy's choose-tier/make-room hooks; on success the
+        space is reserved, the arbiter charged and the background copy
+        enqueued.  ``mark_on_fail=False`` (eager sweeps) leaves a file
+        that found no room untouched instead of deferring it or writing
+        it off — its own first read will decide again.
+        """
+        target = self.policy.choose_tier(info)
         if target is None:
-            target = self._try_evict_for(info.size)
+            target = self.policy.make_room(info)
         if target is None:
+            if not mark_on_fail:
+                return False
             health = self.hierarchy.health
             if health is not None and health.any_quarantined:
                 # A quarantined tier may be re-admitted later; keep the
-                # file PFS-resident so a post-recovery read can place it,
+                # file PFS-resident so a post-recovery retry can place it,
                 # rather than writing it off for the rest of the job.
+                self._deferred[info.name] = None
                 self.stats.deferred += 1
                 if self.recorder.enabled:
                     self.recorder.emit("copy.deferred", info.name)
-                return
-            info.state = FileState.UNPLACEABLE
-            self.stats.unplaceable += 1
-            if self.recorder.enabled:
-                self.recorder.emit("copy.unplaceable", info.name)
-            return
+                return False
+            self._deferred.pop(info.name, None)
+            if self.policy.sticky_unplaceable:
+                info.state = FileState.UNPLACEABLE
+                self.stats.unplaceable += 1
+                if self.recorder.enabled:
+                    self.recorder.emit("copy.unplaceable", info.name)
+            return False
+        self._schedule(info, target, have_content)
+        return True
+
+    def _schedule(self, info: FileInfo, target: int, have_content: bool) -> None:
+        self._deferred.pop(info.name, None)
         self._reserved[target] += info.size
         if self.arbiter is not None:
             self.arbiter.admit(info.owner, target, info.size)
@@ -363,26 +412,77 @@ class PlacementHandler:
             _CopyTask(
                 info=info,
                 target_level=target,
-                have_content=covered_full_file,
+                have_content=have_content,
                 job=info.owner,
             )
         )
 
-    def _try_evict_for(self, nbytes: int) -> int | None:
-        """Ask the eviction policy to make room (ablations only)."""
-        if isinstance(self.eviction, NoEviction):
-            return None
-        for level, _driver in self.hierarchy.upper_levels():
-            victims = self.eviction.select_victims(self, level, nbytes)
-            if not victims:
-                continue
-            for victim in victims:
-                self._evict(level, victim)
-            if (self.effective_free(level) or 0) >= nbytes:
-                return level
-        return None
+    def promote(self, info: FileInfo, target: int) -> bool:
+        """Schedule a policy-driven up-tier move of a *cached* file.
 
-    def _evict(self, level: int, info: FileInfo) -> None:
+        The file keeps serving reads from its current tier while the
+        promotion copy runs (``pending_level`` marks it in flight, which
+        also shields it from eviction); on completion the old copy is
+        dropped and the file's level flips to ``target``.
+        """
+        if info.state is not FileState.CACHED or info.pending_level is not None:
+            return False
+        if not 0 <= target < info.level:
+            return False
+        free = self.effective_free(target)
+        if free is not None and free < info.size:
+            return False
+        if self.arbiter is not None:
+            driver = self.hierarchy[target]
+            if not self.arbiter.may_admit(
+                info.owner, target, info.size, driver.quota_bytes
+            ):
+                self.arbiter.record_rejection()
+                return False
+            self.arbiter.admit(info.owner, target, info.size)
+        self._reserved[target] += info.size
+        info.pending_level = target
+        self.stats.scheduled += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "promotion.scheduled", info.name, level=target, nbytes=info.size,
+                **({"job": info.owner} if info.owner else {}),
+            )
+        self._enqueue(
+            _CopyTask(
+                info=info,
+                target_level=target,
+                have_content=True,
+                job=info.owner,
+                promote_from=info.level,
+            )
+        )
+        return True
+
+    def on_tier_readmitted(self, level: int) -> None:
+        """Health-tracker hook: a quarantined tier was re-admitted.
+
+        Re-attempts every placement that was deferred while quarantine
+        blocked first-fit.  Only files still PFS-resident are retried —
+        entries are dropped as soon as a file is scheduled, abandoned or
+        written off, so a retry can never resurrect a placement the job
+        already gave up on.
+        """
+        if not self._deferred:
+            return
+        pending = list(self._deferred)
+        self._deferred.clear()
+        for name in pending:
+            info = self.metadata.get(name)
+            if info is None or info.state is not FileState.PFS_ONLY:
+                continue
+            self.policy.stats.deferred_retries += 1
+            if self.recorder.enabled:
+                self.recorder.emit("copy.deferred_retry", name, level=level)
+            self.place(info, have_content=False)
+
+    def evict(self, level: int, info: FileInfo) -> None:
+        """Drop a cached resident back to PFS-only (policy decision)."""
         self.hierarchy[level].remove(info.name)
         if self.arbiter is not None:
             self.arbiter.release(info.owner, level, info.size)
@@ -402,7 +502,7 @@ class PlacementHandler:
             return
         written = self._partial_written.get(info.name)
         if written is None:
-            target = self._first_fit(info.size, info.owner)
+            target = self.first_fit(info.size, info.owner)
             if target is None:
                 info.state = FileState.UNPLACEABLE
                 self.stats.unplaceable += 1
@@ -513,8 +613,12 @@ class PlacementHandler:
             self.recorder.emit("copy.started", info.name, level=task.target_level)
         attempt = 0
         while True:
-            if health is not None and not health.is_placeable(task.target_level):
-                # Tier went under quarantine while this task queued.
+            if health is not None and (
+                not health.is_placeable(task.target_level)
+                or (task.promote_from is not None and not health.ok(task.promote_from))
+            ):
+                # Tier went under quarantine while this task queued (for a
+                # promotion, either end failing voids the move).
                 self._abandon(task)
                 return
             try:
@@ -578,7 +682,11 @@ class PlacementHandler:
 
         Reservation, partial bytes and metadata all return to the
         pre-schedule world: the file stays PFS-resident (a later read may
-        place it again once the hierarchy recovers).
+        place it again once the hierarchy recovers).  An abandoned
+        *promotion* keeps the original cached copy authoritative — only
+        the in-flight reservation on the faster tier is unwound.  Either
+        way any deferred-queue entry for the file is dropped, so a tier
+        re-admission cannot re-attempt a placement the job gave up on.
         """
         info = task.info
         level = task.target_level
@@ -586,10 +694,15 @@ class PlacementHandler:
         self._reserved[level] -= info.size
         if self.arbiter is not None:
             self.arbiter.release(info.owner, level, info.size)
-        info.state = FileState.PFS_ONLY
         info.pending_level = None
-        self._partial_written.pop(info.name, None)
+        self._deferred.pop(info.name, None)
         self.stats.copy_giveups += 1
+        if task.promote_from is not None:
+            if self.recorder.enabled:
+                self.recorder.emit("promotion.gave_up", info.name, level=level)
+            return
+        info.state = FileState.PFS_ONLY
+        self._partial_written.pop(info.name, None)
         if self.recorder.enabled:
             self.recorder.emit("copy.gave_up", info.name, level=level)
 
@@ -744,6 +857,15 @@ class PlacementHandler:
         info = task.info
         level = task.target_level
         self._reserved[level] -= info.size
+        if task.promote_from is not None:
+            # The promoted bytes are live on the faster tier: drop the old
+            # copy, move the arbiter charge and flip the level.
+            src = task.promote_from
+            self.hierarchy[src].remove(info.name)
+            if self.arbiter is not None:
+                self.arbiter.release(info.owner, src, info.size)
+            if info.name in self._placed[src]:
+                self._placed[src].remove(info.name)
         info.level = level
         info.state = FileState.CACHED
         info.pending_level = None
@@ -753,11 +875,14 @@ class PlacementHandler:
         self._partial_written.pop(info.name, None)
         self.stats.completed += 1
         self.stats.bytes_copied += info.size
+        if task.promote_from is not None:
+            self.policy.stats.promotions += 1
         if self.accounting is not None:
             self.accounting.charge(task.job, nbytes=info.size, ops=1)
         if self.recorder.enabled:
+            kind = "promotion.completed" if task.promote_from is not None else "copy.completed"
             self.recorder.emit(
-                "copy.completed", info.name, level=level, nbytes=info.size,
+                kind, info.name, level=level, nbytes=info.size,
                 **({"job": info.owner} if info.owner else {}),
             )
 

@@ -1,0 +1,53 @@
+"""Pluggable placement policies (strategy layer over the handler).
+
+The registry maps config/CLI names to constructors; ``firstfit`` is the
+paper-faithful, bit-identical default.  Adding a policy means writing a
+:class:`~repro.core.policy.base.PlacementPolicy` subclass and listing it
+here — the property suite (``tests/core/test_policy_properties.py``) and
+the FIG-POLICY tournament pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy.base import PlacementPolicy, PolicyStats
+from repro.core.policy.firstfit import FirstFitPolicy
+from repro.core.policy.heat import HeatPolicy
+from repro.core.policy.predictor import EpochPredictorPolicy
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "EpochPredictorPolicy",
+    "FirstFitPolicy",
+    "HeatPolicy",
+    "POLICY_NAMES",
+    "PlacementPolicy",
+    "PolicyStats",
+    "make_policy",
+]
+
+DEFAULT_POLICY = "firstfit"
+
+#: registered policy names, tournament/CLI order (default first)
+POLICY_NAMES = ("firstfit", "heat", "predictor")
+
+
+def make_policy(
+    name: str,
+    eviction=None,
+    rng: np.random.Generator | None = None,
+) -> PlacementPolicy:
+    """Factory from the config's policy name.
+
+    ``eviction`` is the legacy ABL-EVICT victim selector, consumed only
+    by the first-fit policy; ``rng`` is reserved for stochastic policies
+    (none registered today) so the call signature is stable.
+    """
+    if name == "firstfit":
+        return FirstFitPolicy(eviction)
+    if name == "heat":
+        return HeatPolicy()
+    if name == "predictor":
+        return EpochPredictorPolicy()
+    raise ValueError(f"unknown placement policy {name!r}; expected one of {POLICY_NAMES}")

@@ -1,0 +1,121 @@
+"""The placement-policy strategy interface.
+
+A :class:`PlacementPolicy` owns the three *decisions* of data placement —
+admission, tier choice, victim selection — while the
+:class:`~repro.core.placement.PlacementHandler` keeps the *mechanism*:
+space reservation, the fair-share arbiter ledger, the background copy
+pool and all fault handling.  The split means every policy automatically
+respects the safety invariants the handler enforces (tiers never
+overcommitted, per-job caps never exceeded, quarantined tiers never
+targeted) and differs only in *what* it decides to move where.
+
+Hooks, in the order the handler consults them for a PFS-resident read:
+
+* :meth:`admit` — should this file be considered for placement at all?
+* :meth:`choose_tier` — which tier takes it (default: first-fit
+  descending, the paper's §III-A rule).
+* :meth:`make_room` — no tier had room; may evict residents to create
+  some (the paper's answer: never).
+* :meth:`after_admit` — the file was scheduled; policies may react
+  (e.g. the predictor's eager sweep).
+* :meth:`on_access` — every *cached* read, only wired when
+  ``tracks_access`` is True so the default policy pays nothing on the
+  framework's hottest path.
+
+Policies register themselves in :data:`repro.core.policy.POLICIES`; the
+``--policy`` CLI flag and ``MonarchConfig.policy`` select by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (placement imports us)
+    from repro.core.metadata import FileInfo
+    from repro.core.placement import PlacementHandler
+
+__all__ = ["PlacementPolicy", "PolicyStats"]
+
+
+@dataclass
+class PolicyStats:
+    """Per-policy decision counters (published for non-default policies)."""
+
+    #: files moved to a faster tier by a policy decision
+    promotions: int = 0
+    #: residents evicted to make room for a hotter incoming file
+    heat_evictions: int = 0
+    #: placements scheduled ahead of the file's first read
+    eager_admissions: int = 0
+    #: admissions declined because the file is predicted cold
+    predicted_cold_skips: int = 0
+    #: deferred placements re-attempted after a tier re-admission
+    deferred_retries: int = 0
+
+    def counters(self) -> dict[str, int]:
+        """Flat, deterministic counter view."""
+        return {
+            "promotions": self.promotions,
+            "heat_evictions": self.heat_evictions,
+            "eager_admissions": self.eager_admissions,
+            "predicted_cold_skips": self.predicted_cold_skips,
+            "deferred_retries": self.deferred_retries,
+        }
+
+
+class PlacementPolicy:
+    """Base strategy: admit everything, first-fit descending, no eviction.
+
+    Subclasses override individual hooks; every decision runs *untimed*
+    (inline with a read completion or a pool-worker step), so policies
+    must not yield and must stay deterministic — no wall clock, no RNG
+    draws outside a stream handed in at construction.
+    """
+
+    name = "abstract"
+    #: middleware calls :meth:`on_access` for cached reads only when True
+    tracks_access = False
+    #: whether a failed placement marks the file UNPLACEABLE for the rest
+    #: of the job (the paper's rule); False keeps it PFS-resident so a
+    #: later decision — once heat differentiates — may still place it
+    sticky_unplaceable = True
+
+    def __init__(self) -> None:
+        self.handler: PlacementHandler | None = None
+        self.stats = PolicyStats()
+
+    def bind(self, handler: "PlacementHandler") -> None:
+        """Attach the mechanism side; called once by the handler."""
+        self.handler = handler
+
+    # -- decision hooks ----------------------------------------------------
+    def admit(
+        self, info: "FileInfo", offset: int, nbytes: int, covered_full_file: bool
+    ) -> bool:
+        """Whether a just-read PFS-resident file should be placed.
+
+        ``offset``/``nbytes`` describe the read that triggered the
+        question — observation-based policies accumulate them to judge
+        how much of the file the workload actually consumes.
+        """
+        return True
+
+    def choose_tier(self, info: "FileInfo") -> int | None:
+        """Target level for ``info`` (None = nothing has room)."""
+        assert self.handler is not None
+        return self.handler.first_fit(info.size, info.owner)
+
+    def make_room(self, info: "FileInfo") -> int | None:
+        """Evict residents so ``info`` fits somewhere; None = refuse."""
+        return None
+
+    def after_admit(self, info: "FileInfo") -> None:
+        """Called right after ``info``'s background copy was scheduled."""
+
+    def on_access(self, info: "FileInfo", offset: int, nbytes: int) -> None:
+        """Called for cached reads when ``tracks_access`` is True."""
+
+    def counters(self) -> dict[str, int]:
+        """Counter view merged into telemetry for non-default policies."""
+        return self.stats.counters()

@@ -1,0 +1,43 @@
+"""The paper's policy: first-fit descending, admit-on-first-read.
+
+This is the bit-identical default — extracting the strategy interface
+must not move a single event, so every hook delegates straight to the
+handler code paths that implemented the behaviour before the interface
+existed.  The legacy :class:`~repro.core.placement.EvictionPolicy`
+objects (the ABL-EVICT ablation's LRU/FIFO/random victim selectors) plug
+into :meth:`make_room` unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.metadata import FileInfo
+from repro.core.placement import EvictionPolicy, NoEviction
+from repro.core.policy.base import PlacementPolicy
+
+__all__ = ["FirstFitPolicy"]
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """§III-A: highest tier with room; no eviction (unless ablated)."""
+
+    name = "firstfit"
+
+    def __init__(self, eviction: EvictionPolicy | None = None) -> None:
+        super().__init__()
+        self.eviction = eviction if eviction is not None else NoEviction()
+
+    def make_room(self, info: FileInfo) -> int | None:
+        """Ask the legacy eviction policy to make room (ablations only)."""
+        if isinstance(self.eviction, NoEviction):
+            return None
+        handler = self.handler
+        assert handler is not None
+        for level, _driver in handler.hierarchy.upper_levels():
+            victims = self.eviction.select_victims(handler, level, info.size)
+            if not victims:
+                continue
+            for victim in victims:
+                handler.evict(level, victim)
+            if (handler.effective_free(level) or 0) >= info.size:
+                return level
+        return None

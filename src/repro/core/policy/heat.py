@@ -1,0 +1,174 @@
+"""Access-heat placement: LFU/LRU scoring, promotion, pressure eviction.
+
+Every read — cached or PFS — bumps a per-file heat score (LFU count,
+with last-access time as the LRU tie-break).  The policy differs from
+first-fit in three ways, all in the Herodotou & Kakoulli automated
+tiered-storage spirit:
+
+* **Eviction under pressure** — when no tier has room for an incoming
+  file, residents that are *strictly colder* (by ``evict_margin``) may
+  be evicted to make room.  Under the paper's uniform per-epoch access
+  every file's heat is equal, so no victim qualifies and the policy
+  degenerates to first-fit — replacement churn only appears when access
+  is actually skewed, which is exactly the paper's argument for not
+  evicting.
+* **Promotion up-tier** — on a hierarchy with more than one read-write
+  tier (e.g. the RAM-over-SSD variant), a file whose heat reaches
+  ``promote_min_heat`` moves to a faster tier when that tier has room —
+  or by displacing a strictly-colder resident.
+* **No sticky unplaceable** — a file that found no room stays
+  PFS-resident instead of being written off, so a later read (once heat
+  has differentiated) can still place it by evicting someone colder.
+
+Every decision respects the handler's invariants: quarantined tiers are
+never eviction or promotion targets, victims mid-copy are never touched
+and the fair-share arbiter is consulted (victim bytes credited) before
+any eviction is committed.
+"""
+
+from __future__ import annotations
+
+from repro.core.metadata import FileInfo, FileState
+from repro.core.policy.base import PlacementPolicy
+
+__all__ = ["HeatPolicy"]
+
+
+class HeatPolicy(PlacementPolicy):
+    """Promote hot files up-tier, evict cold residents under pressure."""
+
+    name = "heat"
+    tracks_access = True
+    sticky_unplaceable = False
+
+    def __init__(self, evict_margin: float = 1.0, promote_min_heat: float = 2.0) -> None:
+        super().__init__()
+        if evict_margin < 0:
+            raise ValueError("evict_margin must be >= 0")
+        if promote_min_heat < 1:
+            raise ValueError("promote_min_heat must be >= 1")
+        self.evict_margin = evict_margin
+        self.promote_min_heat = promote_min_heat
+        self._heat: dict[str, float] = {}
+        self._last: dict[str, float] = {}
+
+    # -- heat accounting ---------------------------------------------------
+    def heat(self, name: str) -> float:
+        """Lifetime access count of ``name`` (0 for never-read files)."""
+        return self._heat.get(name, 0.0)
+
+    def _touch(self, info: FileInfo) -> float:
+        handler = self.handler
+        assert handler is not None
+        h = self._heat.get(info.name, 0.0) + 1.0
+        self._heat[info.name] = h
+        self._last[info.name] = handler.sim.now
+        return h
+
+    def _coldness_order(self, level: int) -> list[FileInfo]:
+        """Evictable residents of ``level``, coldest first (LFU, then LRU)."""
+        handler = self.handler
+        assert handler is not None
+        residents = [
+            i for i in handler.cached_on_level(level) if i.pending_level is None
+        ]
+        residents.sort(
+            key=lambda i: (self._heat.get(i.name, 0.0), self._last.get(i.name, 0.0), i.name)
+        )
+        return residents
+
+    # -- decision hooks ----------------------------------------------------
+    def admit(
+        self, info: FileInfo, offset: int, nbytes: int, covered_full_file: bool
+    ) -> bool:
+        self._touch(info)
+        return True
+
+    def on_access(self, info: FileInfo, offset: int, nbytes: int) -> None:
+        h = self._touch(info)
+        if (
+            info.state is FileState.CACHED
+            and info.level > 0
+            and info.pending_level is None
+            and h >= self.promote_min_heat
+        ):
+            self._maybe_promote(info, h)
+
+    def make_room(self, info: FileInfo) -> int | None:
+        """Evict strictly-colder residents until ``info`` fits somewhere."""
+        handler = self.handler
+        assert handler is not None
+        health = handler.hierarchy.health
+        heat_in = self._heat.get(info.name, 0.0)
+        for level, driver in handler.hierarchy.upper_levels():
+            if health is not None and not health.is_placeable(level):
+                continue
+            victims = self._victims_for(level, info.size, heat_in)
+            if victims is None:
+                continue
+            if not self._cap_allows(info, level, driver.quota_bytes, victims):
+                continue
+            for victim in victims:
+                handler.evict(level, victim)
+                self.stats.heat_evictions += 1
+            if (handler.effective_free(level) or 0) >= info.size:
+                return level
+        return None
+
+    def _victims_for(
+        self, level: int, need_bytes: int, heat_in: float
+    ) -> list[FileInfo] | None:
+        """Colder-by-margin residents freeing ``need_bytes``; None if short."""
+        handler = self.handler
+        assert handler is not None
+        free = handler.effective_free(level)
+        if free is None:
+            return None
+        victims: list[FileInfo] = []
+        for cand in self._coldness_order(level):
+            if free >= need_bytes:
+                break
+            if self._heat.get(cand.name, 0.0) + self.evict_margin > heat_in:
+                break  # sorted by heat: nobody further is colder
+            victims.append(cand)
+            free += cand.size
+        if free < need_bytes or not victims:
+            return None
+        return victims
+
+    def _cap_allows(
+        self, info: FileInfo, level: int, quota_bytes: int | None, victims: list[FileInfo]
+    ) -> bool:
+        """Fair-share check *after* the planned evictions are credited."""
+        handler = self.handler
+        assert handler is not None
+        arbiter = handler.arbiter
+        if arbiter is None:
+            return True
+        cap = arbiter.cap_bytes(info.owner, quota_bytes)
+        if cap is None:
+            return True
+        credited = sum(v.size for v in victims if v.owner == info.owner)
+        return arbiter.admitted_bytes(info.owner, level) - credited + info.size <= cap
+
+    # -- promotion ---------------------------------------------------------
+    def _maybe_promote(self, info: FileInfo, heat_in: float) -> None:
+        handler = self.handler
+        assert handler is not None
+        health = handler.hierarchy.health
+        for target in range(info.level):
+            if health is not None and not health.is_placeable(target):
+                continue
+            driver = handler.hierarchy[target]
+            free = handler.effective_free(target)
+            if free is not None and free < info.size:
+                victims = self._victims_for(target, info.size, heat_in)
+                if victims is None:
+                    continue
+                if not self._cap_allows(info, target, driver.quota_bytes, victims):
+                    continue
+                for victim in victims:
+                    handler.evict(target, victim)
+                    self.stats.heat_evictions += 1
+            if handler.promote(info, target):
+                return

@@ -82,6 +82,7 @@ def build_cluster(
     cluster_spec: ClusterSpec,
     scale: float = 1.0,
     seed: int = 0,
+    placement_policy: str = "firstfit",
 ) -> Cluster:
     """Build N node stacks over one shared PFS holding ``dataset``."""
     if setup not in DIST_SETUPS:
@@ -139,6 +140,7 @@ def build_cluster(
                     dataset_dir=DATASET_DIR,
                     placement_threads=calib.placement_threads,
                     copy_chunk=env.copy_chunk,
+                    policy=placement_policy,
                 ),
                 mounts,
                 rng=rngs.stream(f"monarch-{i}"),

@@ -58,6 +58,7 @@ def run_distributed_once(
     seed: int = 0,
     epochs: int | None = None,
     allreduce: AllReduceModel | None = None,
+    placement_policy: str = "firstfit",
 ) -> DistRunRecord:
     """Build, execute and un-scale one distributed run."""
     calib = calib or DEFAULT_CALIBRATION
@@ -70,6 +71,7 @@ def run_distributed_once(
         cluster_spec=ClusterSpec(n_nodes=n_nodes),
         scale=scale,
         seed=seed,
+        placement_policy=placement_policy,
     )
     assert cluster.env is not None
     trainer = DistributedTrainer(

@@ -41,11 +41,13 @@ __all__ = [
     "fig3",
     "fig4",
     "fig_multi",
+    "fig_policy",
     "io_reduction",
     "metadata_init",
     "multi_job_plans",
     "render_grid",
     "render_multi",
+    "render_policy",
     "resource_usage",
 ]
 
@@ -190,6 +192,7 @@ def fig_multi(
     report: bool = False,
     jobs: int = 1,
     cache=None,
+    policy: str = "firstfit",
 ) -> dict[str, object]:
     """FIG-MULTI — tenancy: ``n_jobs`` concurrent jobs vs the same jobs serially.
 
@@ -201,9 +204,15 @@ def fig_multi(
     concurrent run is a single simulation and always executes in process.
     """
     plans = multi_job_plans(n_jobs)
-    concurrent = run_multi_once(plans, scale=scale, seed=seed, report=report)
+    # The default policy is passed as "no overrides" so cache keys for
+    # pre-policy runs stay valid.
+    overrides = {"policy": policy} if policy != "firstfit" else None
+    concurrent = run_multi_once(
+        plans, scale=scale, seed=seed, report=report, monarch_overrides=overrides
+    )
     serial = run_jobs_serially(
-        plans, scale=scale, seed=seed, n_workers=jobs, cache=cache
+        plans, scale=scale, seed=seed, n_workers=jobs, cache=cache,
+        monarch_overrides=overrides,
     )
     slowdowns = {
         job_id: [
@@ -223,6 +232,144 @@ def fig_multi(
         "slowdowns": slowdowns,
         "max_slowdown": max(max(v) for v in slowdowns.values()),
     }
+
+
+POLICY_SCENARIOS = ("fits-100g", "overflow-200g", "faulted-100g", "multi-2job")
+
+
+def _pfs_share(stats, pfs_level: int) -> float:
+    """Fraction of middleware reads that reached the PFS (lower = better)."""
+    total = stats.total_reads
+    if total == 0:
+        return 0.0
+    return stats.reads_per_level.get(pfs_level, 0) / total
+
+
+def fig_policy(
+    scale: float = 1 / 128,
+    seed: int = 0,
+    policies: Sequence[str] | None = None,
+    scenarios: Sequence[str] | None = None,
+) -> dict[str, object]:
+    """FIG-POLICY — tournament: every placement policy × every scenario.
+
+    The ranking metric is the **Lustre-op share**: the fraction of all
+    middleware reads that had to be served by the PFS backend.  First-fit
+    is the paper-faithful reference; the win condition of the policy
+    engine is at least one competitor scoring a *lower* share than
+    first-fit on the 200 GiB overflow scenario (the paper's Fig. 4
+    regime, where the dataset does not fit the SSD).
+
+    Scenarios:
+
+    * ``fits-100g`` — AlexNet over 100 GiB; the dataset fits, so any
+      policy overhead shows up as a worse share.
+    * ``overflow-200g`` — AlexNet over 200 GiB in the busy-cluster
+      regime; capacity pressure differentiates admission strategies.
+    * ``faulted-100g`` — LeNet over 100 GiB with the SSD dying at the
+      midpoint of epoch 1 and recovering one half-epoch later; tests
+      that policies degrade and re-place gracefully.
+    * ``multi-2job`` — the FIG-MULTI two-job mix sharing one hierarchy
+      under fair-share caps.
+
+    Times are in *simulated* units (comparable within a scenario).
+    Results are keyed ``scenarios[scenario][policy]`` with the share,
+    the total time, and the policy's own counters.
+    """
+    from repro.core.policy import POLICY_NAMES
+    from repro.experiments.multi_scenarios import build_multi_run
+    from repro.experiments.scenarios import build_run, ssd_tier_down_plan
+
+    policies = tuple(policies) if policies is not None else POLICY_NAMES
+    scenarios = tuple(scenarios) if scenarios is not None else POLICY_SCENARIOS
+    unknown = set(scenarios) - set(POLICY_SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios {sorted(unknown)}; expected {POLICY_SCENARIOS}")
+    busy = DEFAULT_CALIBRATION.busy()
+
+    single: dict[str, tuple[str, object, Calibration, object]] = {
+        "fits-100g": ("alexnet", IMAGENET_100G, DEFAULT_CALIBRATION, None),
+        "overflow-200g": ("alexnet", IMAGENET_200G, busy, None),
+    }
+    if "faulted-100g" in scenarios:
+        # The failure instant is derived once, from the default-policy
+        # fault-free baseline, so every policy faces the same fault.
+        base = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=scale, seed=seed,
+        ).execute()
+        t_fail = base.init_time_s + base.epochs[0].wall_time_s / 2
+        single["faulted-100g"] = (
+            "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            ssd_tier_down_plan(t_fail, recover_at_s=t_fail + base.epochs[0].wall_time_s / 2),
+        )
+
+    table: dict[str, dict[str, dict[str, object]]] = {}
+    for scenario in scenarios:
+        cells = table.setdefault(scenario, {})
+        for policy in policies:
+            if scenario == "multi-2job":
+                handle = build_multi_run(
+                    multi_job_plans(2), DEFAULT_CALIBRATION, scale=scale,
+                    seed=seed, monarch_overrides={"policy": policy},
+                )
+                handle.execute()
+                monarch, total_s = handle.monarch, handle.sim.now
+            else:
+                model, dataset, calib, plan = single[scenario]
+                h = build_run(
+                    "monarch", model, dataset, calib, scale=scale, seed=seed,
+                    monarch_overrides={"policy": policy}, fault_plan=plan,
+                )
+                result = h.execute()
+                monarch, total_s = h.monarch, result.total_time_s
+            cells[policy] = {
+                "pfs_share": _pfs_share(monarch.stats, monarch.hierarchy.pfs_level),
+                "total_time_s": total_s,
+                "counters": dict(monarch.placement.policy.counters()),
+            }
+    winners = {
+        scenario: min(cells, key=lambda p: cells[p]["pfs_share"])
+        for scenario, cells in table.items()
+    }
+    return {"policies": policies, "scenarios": table, "winners": winners}
+
+
+def render_policy(result: dict[str, object], title: str = "") -> str:
+    """Ranking table for a :func:`fig_policy` tournament."""
+    rows = []
+    for scenario, cells in result["scenarios"].items():
+        best = result["winners"][scenario]
+        for policy in result["policies"]:
+            c = cells[policy]
+            active = {k: v for k, v in c["counters"].items() if v}
+            rows.append([
+                scenario,
+                policy + (" *" if policy == best else ""),
+                f"{c['pfs_share']:.3f}",
+                f"{c['total_time_s']:.1f}",
+                " ".join(f"{k}={v}" for k, v in sorted(active.items())) or "-",
+            ])
+    table = format_table(
+        ["scenario", "policy", "PFS-op share", "total (s, sim)", "policy counters"],
+        rows,
+        title=title or "FIG-POLICY: placement-policy tournament (* = scenario winner)",
+    )
+    overflow = result["scenarios"].get("overflow-200g")
+    if not overflow or "firstfit" not in overflow:
+        return table
+    ff = overflow["firstfit"]["pfs_share"]
+    beats = [
+        p for p in result["policies"]
+        if p != "firstfit" and overflow[p]["pfs_share"] < ff
+    ]
+    verdict = (
+        f"win condition met: {', '.join(beats)} below first-fit's "
+        f"{ff:.3f} overflow share"
+        if beats
+        else f"win condition NOT met: no policy below first-fit's {ff:.3f}"
+    )
+    return f"{table}\n{verdict}"
 
 
 def resource_usage(
@@ -376,7 +523,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="regenerate the paper's figures/tables")
     parser.add_argument(
         "artifact",
-        choices=["fig1", "fig3", "fig4", "multi", "io", "meta", "usage", "all"],
+        choices=["fig1", "fig3", "fig4", "multi", "policy", "io", "meta",
+                 "usage", "all"],
     )
     parser.add_argument("--scale", type=_parse_scale, default=1 / 128,
                         help="simulation scale, e.g. 1/128 or 0.0078125")
@@ -437,6 +585,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_multi(
             r, f"FIG-MULTI: {args.n_jobs} concurrent jobs vs serial (tenancy)"))
 
+    def do_policy() -> None:
+        print(render_policy(fig_policy(scale, seed=args.seed)))
+
     def do_usage() -> None:
         print(render_resource_usage(fig1(scale, runs, jobs=jobs, cache=cache),
                                     "TAB-RU-MOT (motivation, 100 GiB)"))
@@ -446,6 +597,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fig3": [do_fig3],
         "fig4": [do_fig4],
         "multi": [do_multi],
+        "policy": [do_policy],
         "io": [do_io],
         "meta": [do_meta],
         "usage": [do_usage],

@@ -189,6 +189,7 @@ def build_multi_run(
         copy_chunk=overrides.get("copy_chunk", env.copy_chunk),
         full_fetch_on_partial_read=overrides.get("full_fetch_on_partial_read", True),
         eviction=overrides.get("eviction", "none"),
+        policy=overrides.get("policy", "firstfit"),
     )
     monarch = Monarch(
         sim, config, mounts,
@@ -244,10 +245,14 @@ def run_multi_once(
     scale: float = 1.0,
     seed: int = 0,
     report: bool = False,
+    monarch_overrides: dict | None = None,
 ) -> MultiRunRecord:
     """One seeded concurrent run; all measurements un-scaled to paper units."""
     calib = calib or DEFAULT_CALIBRATION
-    handle = build_multi_run(jobs, calib, scale=scale, seed=seed, telemetry=report)
+    handle = build_multi_run(
+        jobs, calib, scale=scale, seed=seed, telemetry=report,
+        monarch_overrides=monarch_overrides,
+    )
     results = handle.execute()
     inv = 1.0 / scale
     record = MultiRunRecord(
@@ -295,6 +300,7 @@ def run_jobs_serially(
     seed: int = 0,
     n_workers: int = 1,
     cache=None,
+    monarch_overrides: dict | None = None,
 ) -> dict[str, RunRecord]:
     """The baseline: the same jobs one at a time, each on a fresh hierarchy.
 
@@ -316,6 +322,7 @@ def run_jobs_serially(
             scale=scale,
             seed=seed,
             epochs=plan.epochs,
+            monarch_overrides=monarch_overrides,
         )
         for plan in jobs
     ]

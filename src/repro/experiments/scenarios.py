@@ -247,6 +247,7 @@ def build_run(
             copy_chunk=overrides.get("copy_chunk", env.copy_chunk),
             full_fetch_on_partial_read=overrides.get("full_fetch_on_partial_read", True),
             eviction=overrides.get("eviction", "none"),
+            policy=overrides.get("policy", "firstfit"),
         )
         if "tiers" in overrides:
             config = replace(config, tiers=overrides["tiers"])

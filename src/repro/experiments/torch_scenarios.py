@@ -77,6 +77,7 @@ def build_torch_run(
     scale: float = 1.0,
     seed: int = 0,
     epochs: int | None = None,
+    policy: str = "firstfit",
 ) -> TorchRunHandle:
     """Wire one loose-file run (mirrors scenarios.build_run)."""
     if setup not in TORCH_SETUPS:
@@ -144,6 +145,7 @@ def build_torch_run(
                 placement_threads=calib.placement_threads,
                 # loose files are read whole, so the copy is one write
                 copy_chunk=max(env.copy_chunk, 1),
+                policy=policy,
             ),
             mounts,
             rng=rngs.stream("monarch"),
@@ -188,10 +190,13 @@ def run_torch_once(
     scale: float = 1.0,
     seed: int = 0,
     epochs: int | None = None,
+    policy: str = "firstfit",
 ) -> RunRecord:
     """One seeded loose-file run, un-scaled to paper units."""
     calib = calib or DEFAULT_CALIBRATION
-    handle = build_torch_run(setup, model_name, dataset, calib, scale, seed, epochs)
+    handle = build_torch_run(
+        setup, model_name, dataset, calib, scale, seed, epochs, policy=policy
+    )
     result = handle.execute()
     inv = 1.0 / scale
     return RunRecord(

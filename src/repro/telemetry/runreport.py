@@ -299,6 +299,17 @@ def _backend_entries(telemetry: RunTelemetry, t_final: float) -> dict[str, dict[
     return out
 
 
+def _tag_policy(meta: dict[str, Any], telemetry: RunTelemetry) -> None:
+    """Record a non-default placement policy in the report meta.
+
+    The default ("firstfit") is deliberately *not* recorded: pre-policy
+    golden fixtures pin those reports byte-for-byte.
+    """
+    monarch = telemetry.monarch
+    if monarch is not None and monarch.config.policy != "firstfit":
+        meta["policy"] = monarch.config.policy
+
+
 def build_run_report(
     telemetry: RunTelemetry,
     result: "TrainResult",
@@ -353,17 +364,19 @@ def build_run_report(
     if telemetry.monarch is not None:
         counters = dict(sorted(telemetry.monarch.publish_metrics().counters.items()))
 
+    meta: dict[str, Any] = {
+        "setup": setup,
+        "model": model,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "n_epochs": len(epochs),
+        "init_time_s": result.init_time_s,
+        "total_time_s": result.total_time_s,
+    }
+    _tag_policy(meta, telemetry)
     return RunReport(
-        meta={
-            "setup": setup,
-            "model": model,
-            "dataset": dataset,
-            "scale": scale,
-            "seed": seed,
-            "n_epochs": len(epochs),
-            "init_time_s": result.init_time_s,
-            "total_time_s": result.total_time_s,
-        },
+        meta=meta,
         epochs=epoch_entries,
         backends=backend_entries,
         counters=counters,
@@ -434,18 +447,20 @@ def build_multi_run_report(
     if telemetry.monarch is not None:
         counters = dict(sorted(telemetry.monarch.publish_metrics().counters.items()))
 
+    meta: dict[str, Any] = {
+        "setup": setup,
+        "model": "+".join(str(jobs[j].get("model", "?")) for j in sorted(jobs)),
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "n_jobs": len(jobs),
+        "n_epochs": max((len(jobs[j]["result"].epochs) for j in jobs), default=0),
+        "init_time_s": max((jobs[j]["result"].init_time_s for j in jobs), default=0.0),
+        "total_time_s": max(finish_times, default=t_final),
+    }
+    _tag_policy(meta, telemetry)
     return RunReport(
-        meta={
-            "setup": setup,
-            "model": "+".join(str(jobs[j].get("model", "?")) for j in sorted(jobs)),
-            "dataset": dataset,
-            "scale": scale,
-            "seed": seed,
-            "n_jobs": len(jobs),
-            "n_epochs": max((len(jobs[j]["result"].epochs) for j in jobs), default=0),
-            "init_time_s": max((jobs[j]["result"].init_time_s for j in jobs), default=0.0),
-            "total_time_s": max(finish_times, default=t_final),
-        },
+        meta=meta,
         epochs=[],
         backends=_backend_entries(telemetry, t_final),
         counters=counters,

@@ -1,0 +1,333 @@
+"""Property-based invariants every registered placement policy must hold.
+
+The policy engine lets a policy *choose* placements, evictions and
+promotions — but no choice may violate the handler's safety envelope.
+For every name in :data:`POLICY_NAMES`, under randomized file sizes,
+tier shapes and fault plans:
+
+1. tier occupancy never exceeds capacity and the namespace stays intact,
+2. per-job fair-share caps are respected on every tier,
+3. a quarantined-from-birth tier never receives a byte,
+4. policies only evict under capacity pressure,
+5. same-seed replays are bit-identical (policy counters included).
+
+Like the placement suite, everything is seeded and hypothesis runs
+derandomized, so a failing example reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import numpy as np
+
+from repro.core.config import MonarchConfig, TierSpec
+from repro.core.metadata import FileState
+from repro.core.middleware import Monarch
+from repro.core.policy import POLICY_NAMES
+from repro.faults import FaultInjector, FaultPlan, LatencySpike, TierDown, TransientFaults
+from repro.simkernel.core import Simulator
+from repro.storage.device import Device, SATA_SSD
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.vfs import MountTable
+
+
+pytestmark = [pytest.mark.policy, pytest.mark.hypothesis_heavy]
+KIB = 1024
+UPPER_MOUNTS = ("/mnt/ram", "/mnt/ssd")
+PFS_MOUNT = "/mnt/pfs"
+
+# -- strategies --------------------------------------------------------------
+
+file_sizes = st.lists(
+    st.integers(min_value=4 * KIB, max_value=3 * 1024 * KIB),
+    min_size=1,
+    max_size=10,
+)
+tier_capacities = st.lists(
+    st.integers(min_value=256 * KIB, max_value=4 * 1024 * KIB),
+    min_size=1,
+    max_size=2,
+)
+policy_names = st.sampled_from(POLICY_NAMES)
+
+
+@st.composite
+def fault_events(draw):
+    """A small schedule of fault events for one mount."""
+    events = []
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        length = draw(st.floats(min_value=0.01, max_value=3.0))
+        error = draw(st.sampled_from(["io", "nospace"]))
+        events.append(
+            TransientFaults(
+                start=start,
+                end=start + length,
+                read_p=0.0 if error == "nospace" else draw(st.floats(min_value=0.0, max_value=1.0)),
+                write_p=draw(st.floats(min_value=0.0, max_value=1.0)),
+                error=error,
+            )
+        )
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        events.append(
+            LatencySpike(
+                start=start,
+                end=start + draw(st.floats(min_value=0.01, max_value=2.0)),
+                multiplier=draw(st.floats(min_value=1.0, max_value=8.0)),
+            )
+        )
+    if draw(st.booleans()):
+        at = draw(st.floats(min_value=0.0, max_value=2.0))
+        recover = draw(st.one_of(st.none(), st.floats(min_value=0.01, max_value=3.0)))
+        events.append(TierDown(at=at, recover_at=None if recover is None else at + recover))
+    return tuple(events)
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def build_stack(sizes, capacities, policy, events=(), seed=0, owners=None):
+    """A fresh simulator + Monarch with ``policy`` over the upper tiers.
+
+    ``owners`` optionally maps each file index to a job id; when given,
+    the jobs are registered for fair-share arbitration and each tier
+    gets an explicit quota (caps only bind on quota-carrying tiers).
+    """
+    sim = Simulator()
+    pfs = ParallelFileSystem(sim)
+    names = []
+    jobs = sorted(set(owners)) if owners else []
+    for i, size in enumerate(sizes):
+        prefix = f"/jobs/{owners[i]}" if owners else "/dataset"
+        path = f"{prefix}/f{i:03d}"
+        pfs.add_file(path, size)
+        names.append(path)
+    locals_ = [
+        LocalFileSystem(sim, Device(sim, SATA_SSD), capacity_bytes=cap)
+        for cap in capacities
+    ]
+    mounts = MountTable()
+    tier_mounts = list(UPPER_MOUNTS[: len(capacities)])
+    plan = FaultPlan({tier_mounts[-1]: events} if events else {})
+    injector = FaultInjector(sim, plan, np.random.default_rng(seed))
+    for mount, fs in zip(tier_mounts, locals_):
+        mounts.mount(mount, injector.wrap_fs(mount, fs))
+    mounts.mount(PFS_MOUNT, pfs)
+    config = MonarchConfig(
+        tiers=tuple(
+            TierSpec(mount_point=m, quota_bytes=cap if owners else None)
+            for m, cap in zip(tier_mounts, capacities)
+        )
+        + (TierSpec(mount_point=PFS_MOUNT),),
+        dataset_dir="/jobs" if owners else "/dataset",
+        placement_threads=2,
+        copy_chunk=256 * KIB,
+        policy=policy,
+    )
+    monarch = Monarch(sim, config, mounts)
+    if owners:
+        for job in jobs:
+            ctx = monarch.register_job(job, f"/jobs/{job}")
+            proc = sim.spawn(monarch.initialize_job(ctx), name=f"init-{job}")
+            sim.run(proc)
+    else:
+        proc = sim.spawn(monarch.initialize(), name="init")
+        sim.run(proc)
+    return sim, monarch, locals_, names
+
+
+def run_epochs(sim, monarch, names, epochs=2, owners=None):
+    """Read every file fully, in name order, ``epochs`` times; then drain."""
+
+    def job():
+        for _ in range(epochs):
+            for i, name in enumerate(names):
+                owner = owners[i] if owners else ""
+                yield from monarch.read(name, 0, monarch.file_size(name), job=owner)
+        yield from monarch.placement.drain()
+
+    proc = sim.spawn(job(), name="reader")
+    sim.run(proc)
+
+
+def check_safety_invariants(monarch, locals_, names, sizes):
+    """The terminal-state envelope no policy decision may break."""
+    hierarchy = monarch.hierarchy
+    for fs in locals_:
+        assert fs.used_bytes <= fs.capacity_bytes
+        assert fs.used_bytes == sum(fs.file_size(p) for p in fs.paths())
+    assert len(monarch.metadata) == len(names)
+    for name, size in zip(names, sizes):
+        info = monarch.metadata.lookup(name)
+        assert info.size == size
+        if info.state is FileState.CACHED:
+            driver = hierarchy[info.level]
+            assert driver.has(name)
+            assert driver.fs.file_size(driver.local_path(name)) == size
+        else:
+            assert info.state in (FileState.PFS_ONLY, FileState.UNPLACEABLE)
+        assert hierarchy.pfs.has(name)
+    assert all(v == 0 for v in monarch.placement._reserved.values())
+
+
+def snapshot(sim, monarch, locals_):
+    """Everything that must be identical across same-seed replays."""
+    return {
+        "now": sim.now,
+        "stats": monarch.stats.counters(),
+        "health": monarch.health.counters(),
+        "placement": vars(monarch.placement.stats).copy(),
+        "policy": monarch.placement.policy.stats.counters(),
+        "used": [fs.used_bytes for fs in locals_],
+        "states": {
+            info.name: (info.state.name, info.level) for info in monarch.metadata.files()
+        },
+    }
+
+
+# -- properties --------------------------------------------------------------
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=file_sizes,
+    capacities=tier_capacities,
+    policy=policy_names,
+    events=fault_events(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_invariants_hold_for_every_policy_under_faults(
+    sizes, capacities, policy, events, seed
+):
+    """No policy choice plus fault schedule may corrupt the envelope."""
+    sim, monarch, locals_, names = build_stack(
+        sizes, capacities, policy, events=events, seed=seed
+    )
+    run_epochs(sim, monarch, names)
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=4 * KIB, max_value=2 * 1024 * KIB),
+        min_size=2,
+        max_size=8,
+    ),
+    capacities=tier_capacities,
+    policy=policy_names,
+    data=st.data(),
+)
+def test_tenancy_caps_respected_for_every_policy(sizes, capacities, policy, data):
+    """Admitted bytes never exceed any job's fair share on any tier."""
+    owners = [
+        data.draw(st.sampled_from(["a", "b"]), label=f"owner[{i}]")
+        for i in range(len(sizes))
+    ]
+    if len(set(owners)) < 2:
+        owners[0], owners[1] = "a", "b"
+    sim, monarch, locals_, names = build_stack(
+        sizes, capacities, policy, owners=owners
+    )
+    run_epochs(sim, monarch, names, owners=owners)
+    arbiter = monarch.arbiter
+    for job in ("a", "b"):
+        for level, fs in enumerate(locals_):
+            cap = arbiter.cap_bytes(job, fs.capacity_bytes)
+            assert arbiter.admitted_bytes(job, level) <= cap
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=file_sizes,
+    capacities=tier_capacities,
+    policy=policy_names,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_no_policy_places_onto_tier_dead_from_birth(sizes, capacities, policy, seed):
+    """A tier down from t=0 with no recovery never receives a byte."""
+    events = (TierDown(at=0.0, recover_at=None),)
+    sim, monarch, locals_, names = build_stack(
+        sizes, capacities, policy, events=events, seed=seed
+    )
+    run_epochs(sim, monarch, names)
+    dead = locals_[-1]  # the fault plan targets the last upper tier
+    assert dead.used_bytes == 0
+    dead_level = len(locals_) - 1
+    for info in monarch.metadata.files():
+        assert not (info.state is FileState.CACHED and info.level == dead_level)
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=4 * KIB, max_value=256 * KIB),
+        min_size=1,
+        max_size=8,
+    ),
+    policy=policy_names,
+)
+def test_no_eviction_without_capacity_pressure(sizes, policy):
+    """When everything fits, no policy may churn the cache."""
+    capacities = [sum(sizes) + KIB]
+    sim, monarch, locals_, names = build_stack(sizes, capacities, policy)
+    run_epochs(sim, monarch, names, epochs=3)
+    assert monarch.placement.stats.evictions == 0
+    assert monarch.placement.policy.stats.heat_evictions == 0
+    for name in names:
+        assert monarch.metadata.lookup(name).state is FileState.CACHED
+    check_safety_invariants(monarch, locals_, names, sizes)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sizes=file_sizes,
+    capacities=tier_capacities,
+    policy=policy_names,
+    events=fault_events(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_every_policy_replays_deterministically(
+    sizes, capacities, policy, events, seed
+):
+    """Same seed + fault plan + policy give a bit-identical terminal state."""
+    snaps = []
+    for _ in range(2):
+        sim, monarch, locals_, names = build_stack(
+            sizes, capacities, policy, events=events, seed=seed
+        )
+        run_epochs(sim, monarch, names)
+        snaps.append(snapshot(sim, monarch, locals_))
+    assert snaps[0] == snaps[1]

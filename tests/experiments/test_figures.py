@@ -84,3 +84,56 @@ class TestCli:
     def test_main_rejects_unknown_artifact(self):
         with pytest.raises(SystemExit):
             figures.main(["figZ"])
+
+
+class TestFigPolicy:
+    """FIG-POLICY at tiny scale; the full tournament runs in benchmarks."""
+
+    pytestmark = pytest.mark.policy
+
+    @pytest.fixture(scope="class")
+    def tournament(self):
+        return figures.fig_policy(scale=SCALE, seed=0)
+
+    def test_covers_every_policy_times_scenario(self, tournament):
+        from repro.core.policy import POLICY_NAMES
+
+        assert tournament["policies"] == POLICY_NAMES
+        assert set(tournament["scenarios"]) == set(figures.POLICY_SCENARIOS)
+        for scenario, cells in tournament["scenarios"].items():
+            assert set(cells) == set(POLICY_NAMES)
+            for cell in cells.values():
+                assert 0.0 <= cell["pfs_share"] <= 1.0
+                assert cell["total_time_s"] > 0.0
+                assert isinstance(cell["counters"], dict)
+            assert tournament["winners"][scenario] in cells
+
+    def test_winner_has_lowest_share(self, tournament):
+        for scenario, cells in tournament["scenarios"].items():
+            best = tournament["winners"][scenario]
+            assert cells[best]["pfs_share"] == min(
+                c["pfs_share"] for c in cells.values()
+            )
+
+    def test_render_marks_winners_and_verdict(self, tournament):
+        out = figures.render_policy(tournament)
+        assert "FIG-POLICY" in out
+        assert " *" in out
+        # The overflow verdict line is always present, win or lose.
+        assert "overflow share" in out
+
+    def test_render_without_overflow_scenario_omits_verdict(self):
+        r = figures.fig_policy(
+            scale=SCALE, seed=0, policies=("firstfit",), scenarios=("fits-100g",)
+        )
+        out = figures.render_policy(r)
+        assert "overflow share" not in out
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            figures.fig_policy(scale=SCALE, scenarios=("fig9",))
+
+    def test_main_policy(self, capsys):
+        rc = figures.main(["policy", "--scale", str(SCALE)])
+        assert rc == 0
+        assert "FIG-POLICY" in capsys.readouterr().out

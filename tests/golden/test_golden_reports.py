@@ -53,6 +53,15 @@ GOLDEN_RUNS = {
         dataset=IMAGENET_200G,
         calib=DEFAULT_CALIBRATION.busy(),
     ),
+    # Non-default policy: pins the heat policy's eviction/promotion
+    # decisions and the report's `meta.policy` tag.
+    "figp_monarch_heat_lenet_100g": dict(
+        setup="monarch",
+        model_name="lenet",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+        monarch_overrides={"policy": "heat"},
+    ),
 }
 
 

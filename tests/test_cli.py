@@ -176,6 +176,35 @@ class TestMultiCli:
         assert payload["meta"]["n_jobs"] == 2
 
 
+class TestPolicyCli:
+    pytestmark = pytest.mark.policy
+
+    def test_run_with_policy(self, capsys):
+        rc = cli.main(["run", "monarch", "--scale", SCALE, "--epochs", "1",
+                       "--policy", "heat"])
+        assert rc == 0
+        assert "monarch" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "monarch", "--scale", SCALE, "--policy", "belady"])
+
+    def test_multi_with_policy(self, capsys):
+        rc = cli.main(["multi", "--scale", "1/8192", "--seed", "0",
+                       "--policy", "predictor"])
+        assert rc == 0
+        assert "FIG-MULTI" in capsys.readouterr().out
+
+    def test_report_tags_policy_meta(self, tmp_path):
+        import json
+
+        out = tmp_path / "rep.json"
+        rc = cli.main(["report", "monarch", "--scale", SCALE, "--seed", "0",
+                       "--policy", "heat", "--out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["meta"]["policy"] == "heat"
+
+
 class TestParallelCli:
     def test_figures_jobs_zero_exits_two(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -29,6 +29,12 @@ from collections import defaultdict
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
+#: Subsystems the gate must always actually measure.  If one of these
+#: packages disappears from the source tree — or the measured run never
+#: executes a line of it — the total percentage silently stops covering
+#: what the floor assumes, so the gate fails loudly instead.
+REQUIRED_PACKAGES = ("core/policy",)
+
 
 def iter_source_files(root: str) -> list[str]:
     out = []
@@ -80,6 +86,19 @@ class LineTracer:
         if event == "line":
             self.hits[frame.f_code.co_filename].add(frame.f_lineno)
         return self._local
+
+
+def check_required_packages(rows: list[tuple[str, int, int, float]]) -> list[str]:
+    """Problems with :data:`REQUIRED_PACKAGES`; empty when all are measured."""
+    problems = []
+    for pkg in REQUIRED_PACKAGES:
+        prefix = os.path.join("src", "repro", *pkg.split("/")) + os.sep
+        in_pkg = [r for r in rows if r[0].startswith(prefix)]
+        if not in_pkg:
+            problems.append(f"required package {pkg!r} has no source files")
+        elif sum(hit for _, _, hit, _ in in_pkg) == 0:
+            problems.append(f"required package {pkg!r} was never executed")
+    return problems
 
 
 def run_pytest(pytest_args: list[str]) -> int:
@@ -167,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
     total_pct = 100.0 * total_hit / total_lines if total_lines else 100.0
     print(f"TOTAL ({mode}): {total_hit}/{total_lines} lines, {total_pct:.2f}%")
 
+    problems = check_required_packages(rows)
+    if problems:
+        for problem in problems:
+            print(f"coverage_gate: FAIL — {problem}", file=sys.stderr)
+        return 3
     if args.fail_under is not None and total_pct < args.fail_under:
         print(
             f"coverage_gate: FAIL — {total_pct:.2f}% is below the floor "
