@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 94
 
-.PHONY: test test-fast test-policy bench bench-kernel bench-grid profile-kernel coverage report-check check
+.PHONY: test test-fast test-policy test-dist bench bench-kernel bench-grid profile-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ test-fast:
 # property tests plus the FIG-POLICY tournament benchmark.
 test-policy:
 	$(PYTHON) -m pytest tests benchmarks/test_fig_policy.py -q -m policy
+
+# Distributed cache-tier suites only (marker `dist`): the peer-cache
+# property tests plus the FIG-DIST-CACHE benchmark.
+test-dist:
+	$(PYTHON) -m pytest tests/distributed benchmarks/test_fig_dist_cache.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

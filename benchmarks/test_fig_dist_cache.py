@@ -1,0 +1,104 @@
+"""FIG-DIST-CACHE — cluster-wide peer cache vs per-node MONARCH.
+
+Per-epoch reshuffling is the worst case for independent node caches:
+each epoch a node's SSD holds last epoch's shards, not this epoch's.
+``monarch-p2p`` joins the SSDs into one directory-tracked namespace, so
+those "misses" become peer fetches over the fabric instead of PFS reads.
+
+Win condition: at >= 4 nodes under reshuffle, monarch-p2p beats plain
+monarch on total time and its per-epoch PFS ops drop after epoch 1.
+Companion tests pin the failure semantics (a dead peer serves nothing
+after death, the run completes via PFS fallback) and bit-determinism of
+the record *and* the RunReport, peer sections included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from benchmarks.conftest import run_in_benchmark
+from repro.data.imagenet import IMAGENET_200G
+from repro.distributed.cluster import node_fault_mount
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.dist_scenarios import (
+    run_distributed_once,
+    run_distributed_report,
+)
+from repro.experiments.figures import fig_dist_cache, render_dist_cache
+from repro.faults.plan import FaultPlan, TierDown
+
+pytestmark = pytest.mark.dist
+
+#: scale for the (cheaper) fault and determinism companions
+AUX_SCALE = 1 / 1024
+
+
+def test_fig_dist_cache_tournament(benchmark, bench_scale):
+    result = run_in_benchmark(
+        benchmark, lambda: fig_dist_cache(scale=bench_scale, seed=7)
+    )
+    print()
+    print(render_dist_cache(result))
+
+    runs = result["runs"]
+    for n in (4, 8):
+        plain = runs[("monarch", n)]
+        p2p = runs[("monarch-p2p", n)]
+        # the win condition: p2p beats plain monarch under reshuffle ...
+        assert p2p.total_time_s < plain.total_time_s, n
+        # ... because steady epochs stop paying the PFS for reshuffled
+        # shards: per-epoch PFS read ops collapse after the cold pass
+        for epoch in (1, 2):
+            assert p2p.pfs_ops_per_epoch[epoch] < 0.1 * p2p.pfs_ops_per_epoch[0], n
+            assert p2p.pfs_ops_per_epoch[epoch] < plain.pfs_ops_per_epoch[epoch], n
+        assert p2p.total_peer_hits > 0
+        # epoch 1 is cold everywhere: nobody holds anything yet
+        assert p2p.peer_hits_per_epoch[0] == 0
+
+
+def test_peer_death_falls_back_to_pfs():
+    calib = DEFAULT_CALIBRATION.busy()
+    common = dict(policy="reshuffle", calib=calib, scale=AUX_SCALE, seed=7)
+    base = run_distributed_once(
+        "monarch-p2p", "lenet", IMAGENET_200G, n_nodes=4, **common)
+    # kill node 1's SSD halfway through epoch 2 — deep in the peer-serving
+    # regime — and never bring it back
+    t_fail = (base.init_time_s + base.epoch_times_s[0]
+              + 0.5 * base.epoch_times_s[1]) * AUX_SCALE
+    plan = FaultPlan({node_fault_mount(1): [TierDown(at=t_fail)]})
+    rec = run_distributed_once(
+        "monarch-p2p", "lenet", IMAGENET_200G, n_nodes=4,
+        fault_plan=plan, **common)
+
+    # the run completes every epoch despite the dead tier
+    assert len(rec.epoch_times_s) == len(base.epoch_times_s)
+    # the death was detected ...
+    assert rec.node_down_s[1] > 0
+    # ... and zero peer fetches came off node 1 afterwards
+    assert rec.last_fetch_s_by_source[1] <= rec.node_down_s[1]
+    # the survivors keep serving each other
+    assert rec.total_peer_hits > 0
+    # the lost capacity is repaid by the PFS: the faulted run reads more
+    # from the PFS than the clean one did after the failure epoch
+    assert sum(rec.pfs_ops_per_epoch[1:]) >= sum(base.pfs_ops_per_epoch[1:])
+
+
+def test_same_seed_runs_are_bit_identical():
+    def once():
+        return run_distributed_report(
+            "monarch-p2p", "lenet", IMAGENET_200G, n_nodes=4,
+            policy="reshuffle", calib=DEFAULT_CALIBRATION.busy(),
+            scale=AUX_SCALE, seed=7)
+
+    rec_a, rep_a = once()
+    rec_b, rep_b = once()
+    assert asdict(rec_a) == asdict(rec_b)
+    # byte-identical JSON, new peer sections included
+    assert rep_a.to_json() == rep_b.to_json()
+    assert sorted(rep_a.nodes) == ["n0", "n1", "n2", "n3"]
+    assert rep_a.event_kinds().get("peer.fetch", 0) > 0
+    assert rep_a.counters["fabric.peer_transfers"] > 0
+    for node, section in rep_a.nodes.items():
+        assert section["down_at_s"] == -1.0, node

@@ -56,6 +56,17 @@ def test_fig_policy_tournament(benchmark, bench_scale):
     assert heat["counters"]["heat_evictions"] > 0
     assert heat["pfs_share"] >= ff_share
 
+    # The sweep backs off under contention — it pauses while a tier is
+    # quarantined (resuming on re-admission) and yields to the tenancy
+    # arbiter — so the predictor no longer loses the faulted and
+    # multi-tenant regimes to first-fit.
+    for scenario in ("faulted-100g", "multi-2job"):
+        cells = scenarios[scenario]
+        assert (
+            cells["predictor"]["pfs_share"]
+            <= cells["firstfit"]["pfs_share"] + 1e-9
+        ), scenario
+
     # When the dataset fits, admission strategy is irrelevant: every
     # policy's share lands in a tight band around first-fit's.
     fits = scenarios["fits-100g"]

@@ -175,14 +175,15 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         scale=args.scale, seed=args.seed, epochs=args.epochs,
         placement_policy=args.policy,
     )
+    peer = rec.peer_hits_per_epoch or [0] * len(rec.epoch_times_s)
     rows = [
-        (i + 1, f"{t:.0f}", f"{h:.0%}", f"{o / 1e3:.0f}k")
-        for i, (t, h, o) in enumerate(zip(
+        (i + 1, f"{t:.0f}", f"{h:.0%}", f"{o / 1e3:.0f}k", p)
+        for i, (t, h, o, p) in enumerate(zip(
             rec.epoch_times_s, rec.tier_hit_ratio_per_epoch,
-            rec.pfs_ops_per_epoch))
+            rec.pfs_ops_per_epoch, peer))
     ]
     print(format_table(
-        ["epoch", "time (s)", "tier hits", "PFS ops"],
+        ["epoch", "time (s)", "tier hits", "PFS ops", "peer hits"],
         rows,
         title=f"distributed {args.setup} / {args.model} / {args.dataset} "
               f"N={args.nodes} partition={args.partition}",
@@ -306,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi.set_defaults(fn=_cmd_multi)
 
     p_dist = sub.add_parser("dist", help="one distributed run (§VI)")
-    p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch"])
+    p_dist.add_argument("setup", choices=["vanilla-lustre", "monarch",
+                                          "monarch-p2p"])
     p_dist.add_argument("--nodes", type=int, default=2)
     p_dist.add_argument("--partition", default="static",
                         choices=["static", "reshuffle"],
@@ -322,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
     p_fig.add_argument("artifact",
                        choices=["fig1", "fig3", "fig4", "multi", "policy",
-                                "io", "meta", "usage", "all"])
+                                "dist-cache", "io", "meta", "usage", "all"])
     p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
     p_fig.add_argument("--runs", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)

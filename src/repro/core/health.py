@@ -57,6 +57,9 @@ class TierHealthTracker:
         #: called with the level after a re-admission (placement uses it
         #: to retry deferred placements); None = nobody listening
         self.on_readmit: Callable[[int], None] | None = None
+        #: called with the level the moment quarantine trips (the
+        #: distributed peer cache uses it to declare the node dead)
+        self.on_quarantine: Callable[[int], None] | None = None
         #: False until the first fault — lets hot read paths skip all
         #: health bookkeeping while the hierarchy has never misbehaved
         self.dirty = False
@@ -114,6 +117,8 @@ class TierHealthTracker:
                 self.recorder.emit(
                     "tier.quarantined", f"l{level}", consecutive=self._consecutive[level]
                 )
+            if self.on_quarantine is not None:
+                self.on_quarantine(level)
 
     def record_success(self, level: int, readmit: bool = True) -> None:
         """One successful operation on ``level``; re-admits after a probe.

@@ -292,6 +292,8 @@ class Monarch:
         # let the placement handler decide on a background copy.
         pfs_level = self.hierarchy.pfs_level
         pfs = self.hierarchy.pfs
+        if health.dirty:
+            yield from self._probe_quarantined()
         try:
             handle = yield from pfs._handle_for(name)
             n = yield from pfs.fs.pread(handle, offset, nbytes)
@@ -355,6 +357,36 @@ class Monarch:
         if self.recorder.enabled:
             self.recorder.emit("read.fallback", name, level=pfs_level)
         return n
+
+    def _probe_quarantined(self) -> Generator[Any, Any, None]:
+        """Drive due health probes from a degraded-mode PFS read.
+
+        Reads of files cached on a quarantined tier probe it naturally
+        through :meth:`TierHealthTracker.should_attempt`, but whether such
+        reads happen at all depends on the workload's remaining mix — a
+        stretch of purely PFS-resident reads would leave a recovered tier
+        un-probed long past its due time.  Probing a known resident from
+        the PFS path keeps re-admission latency a property of the probe
+        cadence, not of which files the epoch happens to touch.  A failed
+        probe is a zero-time injected error; a successful one costs a
+        single one-byte read on the recovered device.
+        """
+        health = self._health
+        for level in health.quarantined_levels():
+            if not health.should_attempt(level):
+                continue
+            name = self.placement.probe_candidate(level)
+            if name is None:
+                continue
+            driver = self.hierarchy[level]
+            try:
+                handle = yield from driver._handle_for(name)
+                yield from driver.fs.pread(handle, 0, 1)
+            except IOFaultError:
+                health.record_fault(level)
+                self.stats.tier_faults[level] += 1
+            else:
+                health.record_success(level)
 
     def _pfs_read_retrying(self, name: str, offset: int, nbytes: int) -> Generator[Any, Any, int]:
         """Retry a last-resort PFS read with exponential backoff.

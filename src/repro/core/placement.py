@@ -35,7 +35,7 @@ first-fit + FIFO behaviour, event for event.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from dataclasses import dataclass
 from typing import Any
 
@@ -86,6 +86,36 @@ class _CopyTask:
     #: policy-driven up-tier move: the level the file is promoted *from*
     #: (None for ordinary PFS-to-tier placements)
     promote_from: int | None = None
+    #: staged ahead of any read (eager sweep); drains behind demand copies
+    speculative: bool = False
+
+
+class _JobBacklog:
+    """One job's copy backlog, two priority classes.
+
+    Demand copies (triggered by an actual read of the file) always drain
+    ahead of speculative ones (staged by a policy sweep before any read),
+    so a deep eager burst can never delay the copy a read is waiting on —
+    within each class order stays FIFO.  A queued speculative task whose
+    file *does* get read is expedited into the demand class at that
+    moment, so the drain order converges on the actual access order.
+    With no speculative tasks this is exactly the original single FIFO.
+    """
+
+    __slots__ = ("demand", "spec")
+
+    def __init__(self) -> None:
+        self.demand: deque[_CopyTask] = deque()
+        self.spec: deque[_CopyTask] = deque()
+
+    def __len__(self) -> int:
+        return len(self.demand) + len(self.spec)
+
+    def push(self, task: _CopyTask) -> None:
+        (self.spec if task.speculative else self.demand).append(task)
+
+    def pop(self) -> _CopyTask:
+        return self.demand.popleft() if self.demand else self.spec.popleft()
 
 
 @dataclass
@@ -272,8 +302,11 @@ class PlacementHandler:
         self._queue = Store(sim, capacity=None, name="placement-queue")
         # Copy-bandwidth fair share: one backlog per job, drained
         # round-robin.  With a single job this is exactly a FIFO.
-        self._job_queues: dict[str, deque[_CopyTask]] = {}
+        self._job_queues: dict[str, _JobBacklog] = {}
         self._rr: deque[str] = deque()
+        # Speculative tasks still sitting in a backlog, by file name, so a
+        # read of a staged-but-not-started file can expedite its copy.
+        self._spec_queued: dict[str, _CopyTask] = {}
         self._reserved: dict[int, int] = {lvl: 0 for lvl, _ in hierarchy.upper_levels()}
         self._placed: dict[int, list[str]] = {lvl: [] for lvl, _ in hierarchy.upper_levels()}
         self._order_counter = 0
@@ -291,6 +324,10 @@ class PlacementHandler:
         # Outstanding background tasks + waiters for drain().
         self._outstanding = 0
         self._idle_waiters: list[Any] = []
+        #: called as (name, level, resident) when a file lands on a tier
+        #: (copy/promotion completed) or leaves it (eviction); the
+        #: distributed peer-cache directory listens here
+        self.residency_listener: Callable[[str, int, bool], None] | None = None
 
     # -- space accounting --------------------------------------------------
     def effective_free(self, level: int) -> int | None:
@@ -348,8 +385,10 @@ class PlacementHandler:
             # Mid-copy reads still come through the PFS path; surface them
             # to access-tracking policies so consumption estimates have no
             # blind spot while the background copy is in flight.
-            if info.state is FileState.COPYING and self.policy.tracks_access:
-                self.policy.on_access(info, offset, nbytes)
+            if info.state is FileState.COPYING:
+                self._expedite(info)
+                if self.policy.tracks_access:
+                    self.policy.on_access(info, offset, nbytes)
             return
         if not self.full_fetch and not covered_full_file:
             self._write_through(info, offset, nbytes)
@@ -360,7 +399,7 @@ class PlacementHandler:
             self.policy.after_admit(info)
 
     def place(self, info: FileInfo, have_content: bool = False,
-              mark_on_fail: bool = True) -> bool:
+              mark_on_fail: bool = True, speculative: bool = False) -> bool:
         """One placement decision for a PFS-resident file.
 
         Runs the policy's choose-tier/make-room hooks; on success the
@@ -368,6 +407,8 @@ class PlacementHandler:
         enqueued.  ``mark_on_fail=False`` (eager sweeps) leaves a file
         that found no room untouched instead of deferring it or writing
         it off — its own first read will decide again.
+        ``speculative=True`` marks the copy as staged ahead of any read:
+        it drains behind the job's demand copies (see :class:`_JobBacklog`).
         """
         target = self.policy.choose_tier(info)
         if target is None:
@@ -392,10 +433,11 @@ class PlacementHandler:
                 if self.recorder.enabled:
                     self.recorder.emit("copy.unplaceable", info.name)
             return False
-        self._schedule(info, target, have_content)
+        self._schedule(info, target, have_content, speculative)
         return True
 
-    def _schedule(self, info: FileInfo, target: int, have_content: bool) -> None:
+    def _schedule(self, info: FileInfo, target: int, have_content: bool,
+                  speculative: bool = False) -> None:
         self._deferred.pop(info.name, None)
         self._reserved[target] += info.size
         if self.arbiter is not None:
@@ -414,6 +456,7 @@ class PlacementHandler:
                 target_level=target,
                 have_content=have_content,
                 job=info.owner,
+                speculative=speculative,
             )
         )
 
@@ -468,8 +511,6 @@ class PlacementHandler:
         written off, so a retry can never resurrect a placement the job
         already gave up on.
         """
-        if not self._deferred:
-            return
         pending = list(self._deferred)
         self._deferred.clear()
         for name in pending:
@@ -480,6 +521,7 @@ class PlacementHandler:
             if self.recorder.enabled:
                 self.recorder.emit("copy.deferred_retry", name, level=level)
             self.place(info, have_content=False)
+        self.policy.on_tier_readmitted(level)
 
     def evict(self, level: int, info: FileInfo) -> None:
         """Drop a cached resident back to PFS-only (policy decision)."""
@@ -494,6 +536,8 @@ class PlacementHandler:
         self.stats.evictions += 1
         if self.recorder.enabled:
             self.recorder.emit("eviction", info.name, level=level, nbytes=info.size)
+        if self.residency_listener is not None:
+            self.residency_listener(info.name, level, False)
 
     # -- write-through mode (ABL-FETCH: no full-file fetch) -------------------
     def _write_through(self, info: FileInfo, offset: int, nbytes: int) -> None:
@@ -544,19 +588,43 @@ class PlacementHandler:
         # enters the rotation when its backlog goes non-empty and leaves
         # it when drained, so with one job the rotation degenerates to
         # the original strict FIFO.
-        backlog = self._job_queues.setdefault(task.job, deque())
+        backlog = self._job_queues.get(task.job)
+        if backlog is None:
+            backlog = self._job_queues[task.job] = _JobBacklog()
         if not backlog:
             self._rr.append(task.job)
-        backlog.append(task)
+        backlog.push(task)
+        if task.speculative:
+            self._spec_queued[task.info.name] = task
         self._queue.put(_TASK)
 
     def _next_task(self) -> _CopyTask:
         job = self._rr.popleft()
         backlog = self._job_queues[job]
-        task = backlog.popleft()
+        task = backlog.pop()
+        if task.speculative:
+            self._spec_queued.pop(task.info.name, None)
         if backlog:
             self._rr.append(job)
         return task
+
+    def _expedite(self, info: FileInfo) -> None:
+        """Promote a queued speculative copy to demand class on first read.
+
+        The eager sweep stages files in namespace order; the workload
+        reads them in its own (shuffled) order.  The moment a staged file
+        is actually read, its pending copy stops being a guess — moving
+        it ahead of the remaining guesses gives the read the same copy
+        turnaround it would have had under lazy (read-triggered)
+        placement.  A task already picked up by a worker is untouched.
+        """
+        task = self._spec_queued.pop(info.name, None)
+        if task is None:
+            return
+        backlog = self._job_queues[task.job]
+        backlog.spec.remove(task)
+        task.speculative = False
+        backlog.demand.append(task)
 
     def _task_done(self) -> None:
         self._outstanding -= 1
@@ -885,6 +953,10 @@ class PlacementHandler:
                 kind, info.name, level=level, nbytes=info.size,
                 **({"job": info.owner} if info.owner else {}),
             )
+        if self.residency_listener is not None:
+            if task.promote_from is not None:
+                self.residency_listener(info.name, task.promote_from, False)
+            self.residency_listener(info.name, level, True)
 
     # -- lifecycle -----------------------------------------------------------------
     def shutdown(self) -> None:
@@ -896,3 +968,8 @@ class PlacementHandler:
     def queue_depth(self) -> int:
         """Copy tasks waiting for a worker."""
         return sum(len(q) for q in self._job_queues.values())
+
+    def probe_candidate(self, level: int) -> str | None:
+        """A resident of ``level`` suitable as a health-probe target."""
+        placed = self._placed[level]
+        return placed[0] if placed else None

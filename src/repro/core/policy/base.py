@@ -116,6 +116,14 @@ class PlacementPolicy:
     def on_access(self, info: "FileInfo", offset: int, nbytes: int) -> None:
         """Called for cached reads when ``tracks_access`` is True."""
 
+    def on_tier_readmitted(self, level: int) -> None:
+        """Called after a quarantined tier returns to service.
+
+        Runs once the handler has re-attempted its own deferred
+        placements, so a policy that backed off staging during the
+        outage (e.g. the predictor's eager sweep) can resume.
+        """
+
     def counters(self) -> dict[str, int]:
         """Counter view merged into telemetry for non-default policies."""
         return self.stats.counters()

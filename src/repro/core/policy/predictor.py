@@ -45,6 +45,19 @@ and is also judged hot.
 All placements go through the handler's normal first-fit/caps/health
 machinery; when the tiers fill mid-sweep, the sweep simply stops and the
 remaining files fall back to exactly the first-fit read path.
+
+The sweep *backs off* instead of racing contended machinery:
+
+* it **pauses while any tier is quarantined** and resumes from
+  :meth:`on_tier_readmitted`, re-scanning for files whose in-flight
+  copies the outage abandoned (they reverted to PFS-resident) — so a
+  mid-epoch tier death costs at most the outage window, not a tail of
+  never-re-placed files that first-fit would have cached lazily;
+* it **yields to the tenancy arbiter** — when a fair-share arbiter
+  referees the tiers, every speculative placement the sweep lands is
+  cap headroom the arbiter cannot claw back (no eviction), taken ahead
+  of files the job provably reads; admissions then stay lazy, exactly
+  the first-fit path the arbiter's caps were tuned against.
 """
 
 from __future__ import annotations
@@ -162,19 +175,42 @@ class EpochPredictorPolicy(PlacementPolicy):
         if info.owner not in self._hot:
             self._consume(info, nbytes, covered_full_file=False)
 
+    def on_tier_readmitted(self, level: int) -> None:
+        """Re-run the sweep for hot owners after an outage.
+
+        Files whose in-flight copies the outage abandoned reverted to
+        PFS-resident, so the re-scan stages them again immediately
+        instead of waiting for their next first read.
+        """
+        for owner in sorted(self._hot):
+            self._eager_sweep(owner)
+
     def _eager_sweep(self, owner: str) -> None:
         """Schedule every still-PFS-resident file of the hot ``owner``.
 
         Placements run through the normal decision path (first-fit, caps,
         health); the first file that finds no room ends the sweep — the
         rest are handled lazily by their own first reads, exactly like
-        first-fit would.
+        first-fit would.  The sweep backs off entirely while a tier is
+        quarantined (re-attempted on tier re-admission) and when a
+        tenancy arbiter referees the tiers (speculative staging would
+        consume cap headroom ahead of the job's proven reads, with no
+        eviction to reclaim it).
         """
         handler = self.handler
         assert handler is not None
+        if handler.arbiter is not None:
+            return
+        health = handler.hierarchy.health
+        if health is not None and health.any_quarantined:
+            return
         for info in handler.metadata.files():
             if info.owner != owner or info.state is not FileState.PFS_ONLY:
                 continue
-            if not handler.place(info, have_content=False, mark_on_fail=False):
+            if not handler.place(
+                info, have_content=False, mark_on_fail=False, speculative=True
+            ):
+                if health is not None and health.any_quarantined:
+                    return  # a tier died mid-sweep: resume on readmission
                 break
             self.stats.eager_admissions += 1

@@ -16,24 +16,45 @@ This package makes those questions concrete and measurable:
   random partition every epoch, as unbiased distributed sampling wants,
   which invalidates most of each node's cache).
 * :mod:`~repro.distributed.network` — a ring-allreduce cost model for the
-  per-step gradient synchronization.
+  per-step gradient synchronization, plus the shared-link
+  :class:`ClusterFabric` peer transfers contend on.
+* :mod:`~repro.distributed.peercache` — the ``monarch-p2p`` setup's
+  cluster-wide cache namespace over the node-local SSDs: a
+  :class:`CacheDirectory` tracks which node holds which file, local
+  misses fetch off a peer before falling back to the PFS, and peer death
+  invalidates entries and re-replicates hot files.
 * :mod:`~repro.distributed.trainer` — a synchronous data-parallel trainer:
   every global step waits for one batch from every node, runs all GPUs in
   lockstep, then pays the allreduce.
 """
 
-from repro.distributed.cluster import ClusterSpec, NodeStack, build_cluster
-from repro.distributed.network import AllReduceModel
+from repro.distributed.cluster import (
+    ClusterSpec,
+    NodeStack,
+    build_cluster,
+    node_fault_mount,
+)
+from repro.distributed.network import AllReduceModel, ClusterFabric
 from repro.distributed.partition import PartitionPolicy, partition_shards
+from repro.distributed.peercache import (
+    CacheDirectory,
+    PeerCacheReader,
+    PeerCacheService,
+)
 from repro.distributed.trainer import DistributedTrainer, DistributedResult
 
 __all__ = [
     "AllReduceModel",
+    "CacheDirectory",
+    "ClusterFabric",
     "ClusterSpec",
     "DistributedResult",
     "DistributedTrainer",
     "NodeStack",
     "PartitionPolicy",
+    "PeerCacheReader",
+    "PeerCacheService",
     "build_cluster",
+    "node_fault_mount",
     "partition_shards",
 ]

@@ -6,11 +6,22 @@ setup — its own MONARCH instance with a private virtual namespace, exactly
 as N independent single-node deployments would.  The PFS object is shared,
 so the nodes contend for the same OST and MDS queues: adding nodes *is*
 adding I/O pressure, which is what makes the scaling study interesting.
+
+The ``monarch-p2p`` setup additionally joins the node-local SSDs into one
+cluster-wide cache namespace (see :mod:`repro.distributed.peercache`):
+local misses consult a cache directory and fetch off a peer's SSD over a
+shared-link network fabric before falling back to the PFS.
+
+Fault plans target per-node mounts: every node's local tier shares the
+``SSD_MOUNT`` path string, so the plan keys them ``/mnt/ssd@<node>`` —
+``SSD_MOUNT + "@1"`` kills node 1's SSD only.  The shared PFS is keyed by
+its plain mount point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.core.config import MonarchConfig, TierSpec
 from repro.core.middleware import Monarch, MonarchReader
@@ -20,6 +31,8 @@ from repro.data.sharding import ShardManifest, build_shards
 from repro.data.virtual import materialize
 from repro.experiments.calibration import Calibration, ScaledEnvironment
 from repro.experiments.scenarios import DATASET_DIR, PFS_MOUNT, SSD_MOUNT
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.framework.io_layer import DataReader, PosixReader
 from repro.framework.pipeline import ShardInfo, shards_from_manifest
 from repro.framework.resources import ComputeNode
@@ -31,10 +44,16 @@ from repro.storage.localfs import LocalFileSystem
 from repro.storage.pagecache import PageCache
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
+from repro.telemetry.events import EventRecorder
 
-__all__ = ["Cluster", "ClusterSpec", "NodeStack", "build_cluster"]
+__all__ = ["Cluster", "ClusterSpec", "NodeStack", "build_cluster", "node_fault_mount"]
 
-DIST_SETUPS = ("vanilla-lustre", "monarch")
+DIST_SETUPS = ("vanilla-lustre", "monarch", "monarch-p2p")
+
+
+def node_fault_mount(node: int) -> str:
+    """Fault-plan key for one node's local SSD (``/mnt/ssd@<node>``)."""
+    return f"{SSD_MOUNT}@{node}"
 
 
 @dataclass(frozen=True)
@@ -56,7 +75,9 @@ class NodeStack:
     node: ComputeNode
     mounts: MountTable
     reader: DataReader
-    local_fs: LocalFileSystem | None = None
+    #: the mounted local tier — a LocalFileSystem, or its fault-injecting
+    #: proxy when a plan targets this node
+    local_fs: Any = None
     monarch: Monarch | None = None
 
 
@@ -73,6 +94,14 @@ class Cluster:
     manifest: ShardManifest | None = None
     env: ScaledEnvironment | None = None
     dataset: DatasetSpec | None = None
+    #: shared network links (monarch-p2p only)
+    fabric: Any = None
+    #: the peer-cache service (monarch-p2p only)
+    peers: Any = None
+    #: armed fault injector, when a plan was supplied
+    injector: FaultInjector | None = None
+    #: the run's event recorder, when events were requested
+    recorder: EventRecorder | None = None
 
 
 def build_cluster(
@@ -83,14 +112,30 @@ def build_cluster(
     scale: float = 1.0,
     seed: int = 0,
     placement_policy: str = "firstfit",
+    fault_plan: FaultPlan | None = None,
+    record_events: bool = False,
 ) -> Cluster:
-    """Build N node stacks over one shared PFS holding ``dataset``."""
+    """Build N node stacks over one shared PFS holding ``dataset``.
+
+    ``fault_plan`` keys node-local tiers by :func:`node_fault_mount` and
+    the shared PFS by ``PFS_MOUNT``.  ``record_events=True`` attaches an
+    :class:`EventRecorder` (``cluster.recorder``) to the middleware and
+    the peer-cache service for RunReport construction.
+    """
     if setup not in DIST_SETUPS:
         raise ValueError(f"unknown distributed setup {setup!r}; expected {DIST_SETUPS}")
     sspec = scaled(dataset, scale)
     env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
     sim = Simulator()
     rngs = RngRegistry(seed)
+    recorder = EventRecorder(clock=lambda: sim.now) if record_events else None
+
+    injector: FaultInjector | None = None
+    if fault_plan is not None and not fault_plan.is_empty():
+        injector = FaultInjector(sim, fault_plan, rngs.stream("faults"))
+
+    def faulted(mount: str, fs):
+        return fs if injector is None else injector.wrap_fs(mount, fs)
 
     interference = ARInterference(
         rngs.stream("interference"),
@@ -111,26 +156,39 @@ def build_cluster(
     manifest = build_shards(sspec)
     pfs_paths = materialize(manifest, pfs, DATASET_DIR)
     shards = shards_from_manifest(manifest, [PFS_MOUNT + p for p in pfs_paths])
+    pfs_mounted = faulted(PFS_MOUNT, pfs)
+
+    fabric = None
+    peers = None
+    if setup == "monarch-p2p":
+        # Local import: peercache pulls in middleware, which this module
+        # already imports — keep the module graph acyclic at import time.
+        from repro.distributed.network import ClusterFabric
+        from repro.distributed.peercache import PeerCacheReader, PeerCacheService
+
+        fabric = ClusterFabric(sim, cluster_spec.n_nodes)
+        peers = PeerCacheService(sim, fabric, recorder=recorder)
 
     cluster = Cluster(
         spec=cluster_spec, setup=setup, sim=sim, pfs=pfs,
         shards=shards, manifest=manifest, env=env, dataset=sspec,
+        fabric=fabric, peers=peers, injector=injector, recorder=recorder,
     )
     for i in range(cluster_spec.n_nodes):
         mounts = MountTable()
-        mounts.mount(PFS_MOUNT, pfs)
+        mounts.mount(PFS_MOUNT, pfs_mounted)
         node = ComputeNode(sim, calib.node)
-        local_fs: LocalFileSystem | None = None
+        local_fs = None
         monarch: Monarch | None = None
-        if setup == "monarch":
-            local_fs = LocalFileSystem(
+        if setup in ("monarch", "monarch-p2p"):
+            local_fs = faulted(node_fault_mount(i), LocalFileSystem(
                 sim,
                 Device(sim, calib.ssd, rng=rngs.stream(f"ssd-jitter-{i}")),
                 capacity_bytes=env.local_capacity_bytes,
                 name=f"local-{i}",
                 page_cache=PageCache(env.page_cache_bytes,
                                      ram_bw_mib=calib.page_cache_ram_bw_mib),
-            )
+            ))
             mounts.mount(SSD_MOUNT, local_fs)
             monarch = Monarch(
                 sim,
@@ -144,8 +202,13 @@ def build_cluster(
                 ),
                 mounts,
                 rng=rngs.stream(f"monarch-{i}"),
+                recorder=recorder,
             )
-            reader: DataReader = MonarchReader(monarch)
+            if peers is not None:
+                peers.register(i, monarch)
+                reader: DataReader = PeerCacheReader(peers, i, monarch)
+            else:
+                reader = MonarchReader(monarch)
         else:
             reader = PosixReader(mounts)
         cluster.nodes.append(NodeStack(

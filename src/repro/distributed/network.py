@@ -1,21 +1,36 @@
-"""Ring-allreduce cost model for synchronous data-parallel training.
+"""Network models for synchronous data-parallel training.
 
-Each global step ends with a gradient all-reduce across nodes.  The ring
-algorithm moves ``2 * (N-1) / N`` of the gradient bytes over each node's
-link, so step overhead is
+Two layers:
 
-    t = base_latency * 2 * (N - 1)  +  2 * (N - 1) / N * grad_bytes / link_bw
+* :class:`AllReduceModel` — the closed-form ring-allreduce cost.  Each
+  global step ends with a gradient all-reduce across nodes; the ring
+  algorithm moves ``2 * (N-1) / N`` of the gradient bytes over each
+  node's link, so step overhead is
 
-which vanishes at N=1 and approaches ``2 * grad_bytes / link_bw`` for
-large N.  Defaults model a 100 Gb/s (12.5 GB/s effective) InfiniBand-class
-fabric, the norm on machines like Frontera.
+      t = base_latency * 2 * (N - 1)  +  2 * (N - 1) / N * grad_bytes / link_bw
+
+  which vanishes at N=1 and approaches ``2 * grad_bytes / link_bw`` for
+  large N.  Defaults model a 100 Gb/s (12.5 GB/s effective)
+  InfiniBand-class fabric, the norm on machines like Frontera.
+
+* :class:`ClusterFabric` — the *shared-link* simulation of that fabric:
+  one single-slot :class:`~repro.simkernel.resources.Resource` per node
+  NIC.  A gradient sync holds **every** node's link for the allreduce
+  duration; a peer-to-peer cache fetch holds the **source and
+  destination** links for the transfer duration.  Because the same
+  Resources back both, peer traffic contends with gradient
+  synchronization exactly as it would on a real full-duplex-less link —
+  a peer fetch in flight delays the next allreduce and vice versa.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
-__all__ = ["AllReduceModel", "GRAD_BYTES"]
+from repro.simkernel.resources import Resource, parallel_using
+
+__all__ = ["AllReduceModel", "ClusterFabric", "GRAD_BYTES"]
 
 #: trainable-parameter gradient payloads (fp32) per model preset
 GRAD_BYTES: dict[str, int] = {
@@ -49,3 +64,76 @@ class AllReduceModel:
         hops = 2 * (n_nodes - 1)
         volume = 2 * (n_nodes - 1) / n_nodes * grad_bytes
         return hops * self.base_latency_s + volume / self.link_bw_bytes_per_s
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds one point-to-point transfer of ``nbytes`` takes."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.base_latency_s + nbytes / self.link_bw_bytes_per_s
+
+
+class ClusterFabric:
+    """Per-node network links shared by gradient sync and peer fetches.
+
+    Each node owns one single-slot link Resource; holds queue FIFO, so
+    the interleaving of allreduce steps and peer-cache transfers is
+    deterministic.  Counters are lifetime totals (telemetry).
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        n_nodes: int,
+        model: AllReduceModel | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.sim = sim
+        self.model = model or AllReduceModel()
+        self.links = [Resource(sim, 1, name=f"nic-{i}") for i in range(n_nodes)]
+        self.peer_transfers = 0
+        self.peer_bytes = 0
+        self.allreduce_steps = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes on the fabric (one link each)."""
+        return len(self.links)
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Move ``nbytes`` from node ``src`` to node ``dst`` (generator).
+
+        Holds both endpoints' links concurrently for the transfer
+        duration — the event fires when the slower (more contended) link
+        frees up, so a transfer into a node mid-allreduce waits for the
+        sync to finish.
+        """
+        if src == dst:
+            raise ValueError(f"transfer to self (node {src})")
+        self.peer_transfers += 1
+        self.peer_bytes += nbytes
+        t = self.model.transfer_time(nbytes)
+        yield parallel_using(self.sim, [(self.links[src], t), (self.links[dst], t)])
+
+    def allreduce(self, duration_s: float):
+        """Hold every node's link for one gradient sync (generator).
+
+        The caller supplies the duration (``AllReduceModel.step_time``
+        keeps the cost model in one place); the fabric contributes the
+        contention — queued peer transfers delay the sync start.
+        """
+        if duration_s < 0:
+            raise ValueError("negative allreduce duration")
+        self.allreduce_steps += 1
+        if duration_s > 0:
+            yield parallel_using(
+                self.sim, [(link, duration_s) for link in self.links]
+            )
+
+    def counters(self) -> dict[str, int]:
+        """Flat counter view for reports."""
+        return {
+            "fabric.peer_transfers": self.peer_transfers,
+            "fabric.peer_bytes": self.peer_bytes,
+            "fabric.allreduce_steps": self.allreduce_steps,
+        }

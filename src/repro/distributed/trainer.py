@@ -38,8 +38,20 @@ class EpochStats:
     global_steps: int
     records: int
     pfs_ops: StatsSnapshot
-    #: mean over nodes of per-node fast-tier hit ratio (monarch only)
+    #: pooled cluster-wide fast-tier hit ratio — all nodes' fast-tier
+    #: reads over all nodes' reads (monarch setups only).  Peer-cache
+    #: hits count as fast-tier reads.
     tier_hit_ratio: float = 0.0
+    #: per-node fast-tier hit ratio, indexed by node (0.0 for a node
+    #: that served no reads this epoch)
+    node_hit_ratios: tuple[float, ...] = ()
+    #: unweighted mean of :attr:`node_hit_ratios` over nodes that
+    #: actually served reads this epoch
+    mean_node_hit_ratio: float = 0.0
+    #: reads served off a peer node's SSD (monarch-p2p only)
+    peer_hits: int = 0
+    #: bytes fetched from peers over the fabric (monarch-p2p only)
+    peer_bytes: int = 0
 
 
 @dataclass
@@ -83,7 +95,15 @@ class DistributedTrainer:
         self.policy: PartitionPolicy = partition_policy
         self.allreduce = allreduce or AllReduceModel()
         self.epochs = epochs
-        self.grad_bytes = GRAD_BYTES.get(model.name, 100_000_000)
+        grad_bytes = model.grad_bytes
+        if grad_bytes is None:
+            grad_bytes = GRAD_BYTES.get(model.name)
+        if grad_bytes is None:
+            raise ValueError(
+                f"model {model.name!r} has no gradient payload: set "
+                "ModelProfile.grad_bytes or add it to GRAD_BYTES"
+            )
+        self.grad_bytes = grad_bytes
         self._partition_rng = np.random.default_rng(seed * 7919 + 13)
         self._shuffle_rngs = [
             np.random.default_rng(seed * 104729 + 101 + i)
@@ -115,6 +135,11 @@ class DistributedTrainer:
         t0 = sim.now
         pfs_base = self.cluster.pfs.stats.snapshot()
         hit_base = self._hit_counts()
+        peers = self.cluster.peers
+        peer_base = (
+            (peers.total_peer_hits, peers.total_peer_bytes)
+            if peers is not None else (0, 0)
+        )
         assignment = partition_shards(
             len(self.cluster.shards),
             self.cluster.spec.n_nodes,
@@ -159,9 +184,17 @@ class DistributedTrainer:
                     for ns, b in zip(self.cluster.nodes, batches)
                 ]
                 yield sim.all_of(gpu_steps)
-                overhead = host + sync_cost
-                if overhead > 0:
-                    yield sim.timeout(overhead)
+                fabric = self.cluster.fabric
+                if fabric is not None:
+                    # Shared-link fabric: the sync holds every node's NIC,
+                    # contending with in-flight peer-cache transfers.
+                    if host > 0:
+                        yield sim.timeout(host)
+                    yield from fabric.allreduce(sync_cost)
+                else:
+                    overhead = host + sync_cost
+                    if overhead > 0:
+                        yield sim.timeout(overhead)
                 steps += 1
                 records += sum(len(b) for b in batches)
         finally:
@@ -169,6 +202,15 @@ class DistributedTrainer:
                 pipe.abort()
         wall = sim.now - t0
         hit_now = self._hit_counts()
+        node_ratios = self._node_hit_ratios(hit_base, hit_now)
+        active = [
+            r for (b, n), r in zip(zip(hit_base, hit_now), node_ratios)
+            if n[1] - b[1] > 0
+        ]
+        peer_now = (
+            (peers.total_peer_hits, peers.total_peer_bytes)
+            if peers is not None else (0, 0)
+        )
         self.result.epochs.append(EpochStats(
             index=epoch,
             wall_time_s=wall,
@@ -176,11 +218,23 @@ class DistributedTrainer:
             records=records,
             pfs_ops=self.cluster.pfs.stats.snapshot().delta(pfs_base),
             tier_hit_ratio=self._hit_ratio_delta(hit_base, hit_now),
+            node_hit_ratios=node_ratios,
+            mean_node_hit_ratio=sum(active) / len(active) if active else 0.0,
+            peer_hits=peer_now[0] - peer_base[0],
+            peer_bytes=peer_now[1] - peer_base[1],
         ))
 
     # -- tier-hit accounting --------------------------------------------------
     def _hit_counts(self) -> list[tuple[int, int]]:
-        """(fast-tier reads, total reads) per monarch node."""
+        """(fast-tier reads, total reads) per monarch node.
+
+        Peer-cache hits — reads the node satisfied off a neighbour's SSD
+        — count as fast-tier reads: they never touched the PFS.  They are
+        invisible to the node's own ``MonarchStats`` (the peer path
+        bypasses ``Monarch.read``), so the service's per-node counters
+        are folded in here.
+        """
+        peers = self.cluster.peers
         out = []
         for ns in self.cluster.nodes:
             if ns.monarch is None:
@@ -189,12 +243,28 @@ class DistributedTrainer:
             stats = ns.monarch.stats
             pfs_level = ns.monarch.hierarchy.pfs_level
             total = stats.total_reads
-            out.append((total - stats.reads_per_level.get(pfs_level, 0), total))
+            fast = total - stats.reads_per_level.get(pfs_level, 0)
+            if peers is not None:
+                p = peers.peer_hits_of(ns.index)
+                fast += p
+                total += p
+            out.append((fast, total))
         return out
 
     def _hit_ratio_delta(
         self, base: list[tuple[int, int]], now: list[tuple[int, int]]
     ) -> float:
+        """Pooled cluster-wide ratio: sum of hits over sum of reads."""
         hits = sum(n[0] - b[0] for b, n in zip(base, now))
         total = sum(n[1] - b[1] for b, n in zip(base, now))
         return hits / total if total else 0.0
+
+    def _node_hit_ratios(
+        self, base: list[tuple[int, int]], now: list[tuple[int, int]]
+    ) -> tuple[float, ...]:
+        """Per-node ratios (0.0 for nodes that served nothing)."""
+        out = []
+        for (b_hits, b_total), (n_hits, n_total) in zip(base, now):
+            total = n_total - b_total
+            out.append((n_hits - b_hits) / total if total else 0.0)
+        return tuple(out)

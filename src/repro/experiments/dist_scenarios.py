@@ -2,7 +2,9 @@
 
 Builds an N-node cluster over one shared PFS, runs the synchronous
 data-parallel trainer, and un-scales the measurements like the
-single-node runner does.
+single-node runner does.  ``monarch-p2p`` runs additionally carry the
+peer-cache accounting (per-epoch peer hits/bytes, per-node service
+counters, node-death timestamps) needed by the FIG-DIST-CACHE study.
 """
 
 from __future__ import annotations
@@ -10,19 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.dataset import DatasetSpec
-from repro.distributed.cluster import ClusterSpec, build_cluster
+from repro.distributed.cluster import Cluster, ClusterSpec, build_cluster
 from repro.distributed.network import AllReduceModel
 from repro.distributed.partition import PartitionPolicy
 from repro.distributed.trainer import DistributedResult, DistributedTrainer
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.faults.plan import FaultPlan
 from repro.framework.models import MODELS
 
-__all__ = ["DistRunRecord", "run_distributed_experiment", "run_distributed_once"]
+__all__ = [
+    "DistRunRecord",
+    "run_distributed_experiment",
+    "run_distributed_once",
+    "run_distributed_report",
+]
 
 
 @dataclass
 class DistRunRecord:
-    """One distributed run, un-scaled to paper units."""
+    """One distributed run, un-scaled to paper units.
+
+    The peer-cache fields hold empty lists for non-p2p setups.  Times in
+    ``last_fetch_s_by_source`` / ``node_down_s`` use ``-1.0`` as the
+    "never happened" sentinel.
+    """
 
     setup: str
     model: str
@@ -35,6 +48,16 @@ class DistRunRecord:
     pfs_ops_per_epoch: list[int] = field(default_factory=list)
     pfs_bytes_per_epoch: list[int] = field(default_factory=list)
     tier_hit_ratio_per_epoch: list[float] = field(default_factory=list)
+    node_hit_ratios_per_epoch: list[list[float]] = field(default_factory=list)
+    mean_node_hit_ratio_per_epoch: list[float] = field(default_factory=list)
+    peer_hits_per_epoch: list[int] = field(default_factory=list)
+    peer_bytes_per_epoch: list[int] = field(default_factory=list)
+    peer_hits_by_node: list[int] = field(default_factory=list)
+    peer_bytes_by_node: list[int] = field(default_factory=list)
+    fetches_served_by_node: list[int] = field(default_factory=list)
+    rereplications_by_node: list[int] = field(default_factory=list)
+    last_fetch_s_by_source: list[float] = field(default_factory=list)
+    node_down_s: list[float] = field(default_factory=list)
 
     @property
     def total_time_s(self) -> float:
@@ -45,6 +68,58 @@ class DistRunRecord:
     def steady_hit_ratio(self) -> float:
         """Tier hit ratio of the last epoch."""
         return self.tier_hit_ratio_per_epoch[-1] if self.tier_hit_ratio_per_epoch else 0.0
+
+    @property
+    def total_peer_hits(self) -> int:
+        """Peer-cache hits over all epochs."""
+        return sum(self.peer_hits_per_epoch)
+
+
+def _record_from(
+    cluster: Cluster,
+    result: DistributedResult,
+    setup: str,
+    model_name: str,
+    policy: PartitionPolicy,
+    scale: float,
+    seed: int,
+) -> DistRunRecord:
+    """Un-scale one finished run into a :class:`DistRunRecord`."""
+    inv = 1.0 / scale
+    record = DistRunRecord(
+        setup=setup,
+        model=model_name,
+        n_nodes=cluster.spec.n_nodes,
+        policy=policy,
+        scale=scale,
+        seed=seed,
+        epoch_times_s=[e.wall_time_s * inv for e in result.epochs],
+        init_time_s=result.init_time_s * inv,
+        pfs_ops_per_epoch=[int(round(e.pfs_ops.total_ops * inv)) for e in result.epochs],
+        pfs_bytes_per_epoch=[int(round(e.pfs_ops.bytes_read * inv)) for e in result.epochs],
+        tier_hit_ratio_per_epoch=[e.tier_hit_ratio for e in result.epochs],
+        node_hit_ratios_per_epoch=[list(e.node_hit_ratios) for e in result.epochs],
+        mean_node_hit_ratio_per_epoch=[e.mean_node_hit_ratio for e in result.epochs],
+    )
+    peers = cluster.peers
+    if peers is not None:
+        n = cluster.spec.n_nodes
+        record.peer_hits_per_epoch = [e.peer_hits for e in result.epochs]
+        record.peer_bytes_per_epoch = [e.peer_bytes for e in result.epochs]
+        record.peer_hits_by_node = [peers.stats[i].peer_hits for i in range(n)]
+        record.peer_bytes_by_node = [peers.stats[i].peer_bytes for i in range(n)]
+        record.fetches_served_by_node = [peers.stats[i].fetches_served for i in range(n)]
+        record.rereplications_by_node = [peers.stats[i].rereplications for i in range(n)]
+        record.last_fetch_s_by_source = [
+            peers.last_fetch_s_by_source[i] * inv
+            if i in peers.last_fetch_s_by_source else -1.0
+            for i in range(n)
+        ]
+        record.node_down_s = [
+            peers.node_down_s[i] * inv if i in peers.node_down_s else -1.0
+            for i in range(n)
+        ]
+    return record
 
 
 def run_distributed_once(
@@ -59,8 +134,39 @@ def run_distributed_once(
     epochs: int | None = None,
     allreduce: AllReduceModel | None = None,
     placement_policy: str = "firstfit",
+    fault_plan: FaultPlan | None = None,
 ) -> DistRunRecord:
     """Build, execute and un-scale one distributed run."""
+    record, _ = run_distributed_report(
+        setup, model_name, dataset, n_nodes, policy=policy, calib=calib,
+        scale=scale, seed=seed, epochs=epochs, allreduce=allreduce,
+        placement_policy=placement_policy, fault_plan=fault_plan,
+        record_events=False,
+    )
+    return record
+
+
+def run_distributed_report(
+    setup: str,
+    model_name: str,
+    dataset: DatasetSpec,
+    n_nodes: int,
+    policy: PartitionPolicy = "static",
+    calib: Calibration | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    epochs: int | None = None,
+    allreduce: AllReduceModel | None = None,
+    placement_policy: str = "firstfit",
+    fault_plan: FaultPlan | None = None,
+    record_events: bool = True,
+):
+    """Like :func:`run_distributed_once` but also return the RunReport.
+
+    Returns ``(record, report)``; ``report`` is None when
+    ``record_events=False`` (the cheap path :func:`run_distributed_once`
+    takes).
+    """
     calib = calib or DEFAULT_CALIBRATION
     if model_name not in MODELS:
         raise ValueError(f"unknown model {model_name!r}")
@@ -72,6 +178,8 @@ def run_distributed_once(
         scale=scale,
         seed=seed,
         placement_policy=placement_policy,
+        fault_plan=fault_plan,
+        record_events=record_events,
     )
     assert cluster.env is not None
     trainer = DistributedTrainer(
@@ -85,23 +193,16 @@ def run_distributed_once(
     )
     proc = cluster.sim.spawn(trainer.run(), name="dist-train")
     result: DistributedResult = cluster.sim.run(proc)
+    record = _record_from(cluster, result, setup, model_name, policy, scale, seed)
+    report = None
+    if record_events:
+        from repro.telemetry.runreport import build_dist_run_report
+
+        report = build_dist_run_report(cluster, result, record)
     for ns in cluster.nodes:
         if ns.monarch is not None:
             ns.monarch.shutdown()
-    inv = 1.0 / scale
-    return DistRunRecord(
-        setup=setup,
-        model=model_name,
-        n_nodes=n_nodes,
-        policy=policy,
-        scale=scale,
-        seed=seed,
-        epoch_times_s=[e.wall_time_s * inv for e in result.epochs],
-        init_time_s=result.init_time_s * inv,
-        pfs_ops_per_epoch=[int(round(e.pfs_ops.total_ops * inv)) for e in result.epochs],
-        pfs_bytes_per_epoch=[int(round(e.pfs_ops.bytes_read * inv)) for e in result.epochs],
-        tier_hit_ratio_per_epoch=[e.tier_hit_ratio for e in result.epochs],
-    )
+    return record, report
 
 
 def run_distributed_experiment(

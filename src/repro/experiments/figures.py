@@ -40,11 +40,13 @@ __all__ = [
     "fig1",
     "fig3",
     "fig4",
+    "fig_dist_cache",
     "fig_multi",
     "fig_policy",
     "io_reduction",
     "metadata_init",
     "multi_job_plans",
+    "render_dist_cache",
     "render_grid",
     "render_multi",
     "render_policy",
@@ -372,6 +374,72 @@ def render_policy(result: dict[str, object], title: str = "") -> str:
     return f"{table}\n{verdict}"
 
 
+def fig_dist_cache(
+    scale: float = 1 / 128,
+    seed: int = 7,
+    nodes: Sequence[int] = (2, 4, 8),
+) -> dict[str, object]:
+    """FIG-DIST-CACHE — cluster-wide peer cache vs per-node MONARCH.
+
+    The worst case for independent per-node caches is the ``reshuffle``
+    partition policy: each epoch every node gets a fresh shard subset, so
+    a node's SSD rarely holds what it is about to read — but some *peer's*
+    SSD almost always does.  ``monarch-p2p`` joins the SSDs into one
+    directory-tracked namespace and serves those misses over the fabric.
+
+    Same regime as the DIST-SCALE benchmark (LeNet over 200 GiB on the
+    busy-cluster calibration).  Win condition: at ≥ 4 nodes the p2p setup
+    beats plain monarch on total time, and its PFS ops drop after epoch 1.
+    Results are keyed ``runs[(setup, n)]`` with the full
+    :class:`~repro.experiments.dist_scenarios.DistRunRecord`.
+    """
+    from repro.experiments.dist_scenarios import run_distributed_once
+
+    calib = DEFAULT_CALIBRATION.busy()
+    runs: dict[tuple[str, int], object] = {}
+    for n in nodes:
+        for setup in ("monarch", "monarch-p2p"):
+            runs[(setup, n)] = run_distributed_once(
+                setup, "lenet", IMAGENET_200G, n, policy="reshuffle",
+                calib=calib, scale=scale, seed=seed,
+            )
+    return {"nodes": tuple(nodes), "runs": runs}
+
+
+def render_dist_cache(result: dict[str, object], title: str = "") -> str:
+    """Comparison table for a :func:`fig_dist_cache` result."""
+    runs = result["runs"]
+    rows = []
+    for n in result["nodes"]:
+        for setup in ("monarch", "monarch-p2p"):
+            r = runs[(setup, n)]
+            rows.append([
+                n,
+                setup,
+                f"{r.total_time_s:.0f}",
+                " ".join(f"{o / 1e3:.0f}k" for o in r.pfs_ops_per_epoch),
+                f"{r.steady_hit_ratio:.3f}",
+                str(r.total_peer_hits) if setup == "monarch-p2p" else "-",
+            ])
+    table = format_table(
+        ["nodes", "setup", "total (s)", "PFS ops/epoch", "steady hit", "peer hits"],
+        rows,
+        title=title or "FIG-DIST-CACHE: peer cache under reshuffle, 200 GiB",
+    )
+    wins = [
+        n for n in result["nodes"]
+        if n >= 4 and runs[("monarch-p2p", n)].total_time_s
+        < runs[("monarch", n)].total_time_s
+    ]
+    checked = [n for n in result["nodes"] if n >= 4]
+    verdict = (
+        f"win condition met: p2p faster at {', '.join(str(n) for n in wins)} node(s)"
+        if wins and wins == checked
+        else "win condition NOT met: p2p not faster at every >=4-node point"
+    )
+    return f"{table}\n{verdict}"
+
+
 def resource_usage(
     grid: dict[tuple[str, str], ExperimentResult],
 ) -> list[tuple[str, str, float, float, float]]:
@@ -523,8 +591,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="regenerate the paper's figures/tables")
     parser.add_argument(
         "artifact",
-        choices=["fig1", "fig3", "fig4", "multi", "policy", "io", "meta",
-                 "usage", "all"],
+        choices=["fig1", "fig3", "fig4", "multi", "policy", "dist-cache",
+                 "io", "meta", "usage", "all"],
     )
     parser.add_argument("--scale", type=_parse_scale, default=1 / 128,
                         help="simulation scale, e.g. 1/128 or 0.0078125")
@@ -588,6 +656,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     def do_policy() -> None:
         print(render_policy(fig_policy(scale, seed=args.seed)))
 
+    def do_dist_cache() -> None:
+        print(render_dist_cache(fig_dist_cache(scale, seed=args.seed)))
+
     def do_usage() -> None:
         print(render_resource_usage(fig1(scale, runs, jobs=jobs, cache=cache),
                                     "TAB-RU-MOT (motivation, 100 GiB)"))
@@ -598,6 +669,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fig4": [do_fig4],
         "multi": [do_multi],
         "policy": [do_policy],
+        "dist-cache": [do_dist_cache],
         "io": [do_io],
         "meta": [do_meta],
         "usage": [do_usage],

@@ -49,6 +49,9 @@ class ModelProfile:
     #: byte-proportional), so datasets with smaller images preprocess
     #: proportionally faster
     cpu_reference_bytes: int = 119_000
+    #: fp32 gradient payload one data-parallel step synchronizes; None
+    #: means the profile has no distributed-training calibration
+    grad_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.gpu_time_per_image_us <= 0:
@@ -57,6 +60,8 @@ class ModelProfile:
             raise ValueError(f"{self.name}: CPU time must be >= 0")
         if self.host_time_per_step_us < 0:
             raise ValueError(f"{self.name}: host time must be >= 0")
+        if self.grad_bytes is not None and self.grad_bytes < 0:
+            raise ValueError(f"{self.name}: grad_bytes must be >= 0")
 
     def step_time(self, batch_size: int, n_gpus: int) -> float:
         """GPU-busy seconds of one synchronous data-parallel step."""
@@ -86,18 +91,21 @@ LENET = ModelProfile(
     gpu_time_per_image_us=380.0,
     cpu_time_per_image_us=4300.0,
     host_time_per_step_us=5000.0,
+    grad_bytes=250_000,  # ~62k params
 )
 ALEXNET = ModelProfile(
     name="alexnet",
     gpu_time_per_image_us=1040.0,
     cpu_time_per_image_us=4400.0,
     host_time_per_step_us=11000.0,
+    grad_bytes=244_000_000,  # ~61M params
 )
 RESNET50 = ModelProfile(
     name="resnet50",
     gpu_time_per_image_us=1800.0,
     cpu_time_per_image_us=1500.0,
     host_time_per_step_us=6400.0,
+    grad_bytes=102_000_000,  # ~25.5M params
 )
 
 #: lookup by name for CLI/benchmark plumbing

@@ -329,9 +329,10 @@ class ParallelFileSystem(FileSystem):
         if entry is None:
             raise FileNotFoundInFS(f"{self.name}: {handle.meta.path}")
         take = max(0, min(nbytes, handle.meta.size - offset))
-        st = self.stats
-        st.read_ops += 1
-        st.bytes_read += take
+        # Through the method, not inlined increments: IOTrace instruments
+        # backends by wrapping record_read, and the fused path must stay
+        # visible to it.
+        self.stats.record_read(take)
         if take == 0:
             self._mds.hold(self._mds_time()).add_callback(cb)
             return 0

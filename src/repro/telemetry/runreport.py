@@ -46,6 +46,7 @@ __all__ = [
     "RunReport",
     "RunTelemetry",
     "SCHEMA_VERSION",
+    "build_dist_run_report",
     "build_multi_run_report",
     "build_run_report",
     "diff_reports",
@@ -144,6 +145,8 @@ class RunReport:
     events: list[dict[str, Any]] = field(default_factory=list)
     #: per-job sections (multi-job runs; empty for single-tenant runs)
     jobs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: per-node sections (distributed runs; empty for single-node runs)
+    nodes: dict[str, dict[str, Any]] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- derived views ----------------------------------------------------
@@ -181,8 +184,13 @@ class RunReport:
 
     # -- serialization ----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (already all JSON types)."""
-        return {
+        """Plain-dict form (already all JSON types).
+
+        The ``nodes`` key only appears for distributed runs — golden
+        fixtures pin single-node reports byte-for-byte, so the layout
+        must not change for them.
+        """
+        out = {
             "schema_version": self.schema_version,
             "meta": self.meta,
             "epochs": self.epochs,
@@ -191,6 +199,9 @@ class RunReport:
             "events": self.events,
             "jobs": self.jobs,
         }
+        if self.nodes:
+            out["nodes"] = self.nodes
+        return out
 
     def to_json(self) -> str:
         """Deterministic JSON: sorted keys, fixed indentation, newline-terminated.
@@ -210,6 +221,7 @@ class RunReport:
             counters=raw.get("counters", {}),
             events=raw.get("events", []),
             jobs=raw.get("jobs", {}),
+            nodes=raw.get("nodes", {}),
             schema_version=raw.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -466,6 +478,86 @@ def build_multi_run_report(
         counters=counters,
         events=telemetry.recorder.to_payload(),
         jobs=job_entries,
+    )
+
+
+def build_dist_run_report(cluster: Any, result: Any, record: Any) -> RunReport:
+    """Aggregate a distributed run into one report with per-node sections.
+
+    ``cluster`` is a finished :class:`~repro.distributed.cluster.Cluster`
+    (built with ``record_events=True``), ``result`` the trainer's
+    :class:`~repro.distributed.trainer.DistributedResult` and ``record``
+    the un-scaled :class:`~repro.experiments.dist_scenarios.DistRunRecord`.
+    Times in the report are *simulation*-scale (like the epoch entries of
+    single-node reports); the record carries the un-scaled view.  Do not
+    feed the result to :func:`render_report` — distributed epochs carry no
+    ``phases`` breakdown.
+    """
+    epoch_entries: list[dict[str, Any]] = []
+    for e in result.epochs:
+        epoch_entries.append({
+            "index": e.index,
+            "wall_time_s": e.wall_time_s,
+            "steps": e.global_steps,
+            "records": e.records,
+            "tier_hit_ratio": e.tier_hit_ratio,
+            "node_hit_ratios": list(e.node_hit_ratios),
+            "mean_node_hit_ratio": e.mean_node_hit_ratio,
+            "peer_hits": e.peer_hits,
+            "peer_bytes": e.peer_bytes,
+            "pfs_ops": asdict(e.pfs_ops),
+        })
+
+    peers = cluster.peers
+    nodes: dict[str, dict[str, Any]] = {}
+    for ns in cluster.nodes:
+        entry: dict[str, Any] = {}
+        if ns.monarch is not None:
+            entry["counters"] = dict(
+                sorted(ns.monarch.publish_metrics().counters.items())
+            )
+        if peers is not None:
+            st = peers.stats[ns.index]
+            entry.update({
+                "peer_hits": st.peer_hits,
+                "peer_bytes": st.peer_bytes,
+                "fetches_served": st.fetches_served,
+                "bytes_served": st.bytes_served,
+                "rereplications": st.rereplications,
+                "down_at_s": peers.node_down_s.get(ns.index, -1.0),
+            })
+        if entry:
+            nodes[f"n{ns.index}"] = entry
+
+    counters: dict[str, int] = {}
+    if cluster.fabric is not None:
+        counters.update(cluster.fabric.counters())
+    if peers is not None:
+        counters["peers.fetch_faults"] = peers.fetch_faults
+        counters["peers.directory_files"] = len(peers.directory)
+    if cluster.injector is not None:
+        counters.update(cluster.injector.counters())
+
+    meta: dict[str, Any] = {
+        "setup": record.setup,
+        "model": record.model,
+        "dataset": cluster.dataset.name if cluster.dataset is not None else "",
+        "scale": record.scale,
+        "seed": record.seed,
+        "n_nodes": record.n_nodes,
+        "partition_policy": record.policy,
+        "n_epochs": len(result.epochs),
+        "init_time_s": result.init_time_s,
+        "total_time_s": result.total_time_s,
+    }
+    events = cluster.recorder.to_payload() if cluster.recorder is not None else []
+    return RunReport(
+        meta=meta,
+        epochs=epoch_entries,
+        backends={},
+        counters=counters,
+        events=events,
+        nodes=nodes,
     )
 
 

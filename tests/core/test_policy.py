@@ -286,6 +286,12 @@ class _StubMetadata:
         return list(self._infos)
 
 
+class _StubHierarchy:
+    """Hierarchy surface the sweep's back-off checks consult."""
+
+    health = None
+
+
 class _StubHandler:
     """Just enough PlacementHandler surface for pure-decision tests."""
 
@@ -293,8 +299,11 @@ class _StubHandler:
         self.metadata = _StubMetadata(infos)
         self.placed: list[str] = []
         self.room = len(infos)
+        self.arbiter = None
+        self.hierarchy = _StubHierarchy()
 
-    def place(self, info, have_content=False, mark_on_fail=True):
+    def place(self, info, have_content=False, mark_on_fail=True,
+              speculative=False):
         if len(self.placed) >= self.room:
             return False
         self.placed.append(info.name)
@@ -492,6 +501,10 @@ class TestPolicyFaultInteraction:
         read_slice(sim, m, a, settle=30.0)
         assert m.metadata.lookup(a).state is FileState.CACHED
         quarantine(m)
+        # Keep the tier down for the whole test: degraded-mode reads
+        # drive health probes, and with no real fault injected a probe
+        # would succeed and re-admit the tier early.
+        m.health._next_probe[0] = float("inf")
         # b gets hot enough to displace a — but the tier is dead, so the
         # resident must not be evicted for a copy that cannot land.
         for _ in range(4):

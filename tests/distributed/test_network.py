@@ -41,3 +41,68 @@ class TestAllReduceModel:
 
     def test_grad_bytes_presets(self):
         assert GRAD_BYTES["alexnet"] > GRAD_BYTES["resnet50"] > GRAD_BYTES["lenet"]
+
+
+class TestClusterFabric:
+    def _fabric(self, n=4, bw=1e9):
+        from repro.distributed.network import ClusterFabric
+        from repro.simkernel.core import Simulator
+
+        sim = Simulator()
+        model = AllReduceModel(link_bw_bytes_per_s=bw, base_latency_s=0.0)
+        return sim, ClusterFabric(sim, n, model=model)
+
+    def test_transfer_time_model(self):
+        m = AllReduceModel(link_bw_bytes_per_s=1e9, base_latency_s=1e-3)
+        assert m.transfer_time(10**9) == pytest.approx(1.001)
+        with pytest.raises(ValueError):
+            m.transfer_time(-1)
+
+    def test_disjoint_transfers_run_in_parallel(self):
+        sim, fabric = self._fabric()
+        sim.spawn(fabric.transfer(0, 1, 10**9))
+        sim.spawn(fabric.transfer(2, 3, 10**9))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_shared_endpoint_serializes(self):
+        sim, fabric = self._fabric()
+        sim.spawn(fabric.transfer(0, 1, 10**9))
+        sim.spawn(fabric.transfer(0, 2, 10**9))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_allreduce_holds_every_link(self):
+        sim, fabric = self._fabric()
+
+        def later():
+            yield sim.timeout(0.5)
+            yield from fabric.transfer(2, 3, 10**9)
+
+        sim.spawn(fabric.allreduce(1.0))
+        sim.spawn(later())
+        sim.run()
+        # the transfer cannot start until the allreduce releases the links
+        assert sim.now == pytest.approx(2.0)
+
+    def test_counters(self):
+        sim, fabric = self._fabric()
+        sim.spawn(fabric.transfer(0, 1, 1000))
+        sim.spawn(fabric.allreduce(0.1))
+        sim.run()
+        assert fabric.counters() == {
+            "fabric.peer_transfers": 1,
+            "fabric.peer_bytes": 1000,
+            "fabric.allreduce_steps": 1,
+        }
+
+    def test_rejects_self_transfer_and_bad_sizes(self):
+        sim, fabric = self._fabric()
+        with pytest.raises(ValueError):
+            next(fabric.transfer(1, 1, 10))
+        with pytest.raises(ValueError):
+            next(fabric.allreduce(-0.1))
+        from repro.distributed.network import ClusterFabric
+
+        with pytest.raises(ValueError):
+            ClusterFabric(sim, 0)

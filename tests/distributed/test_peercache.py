@@ -1,0 +1,167 @@
+"""Unit and integration tests for the peer-to-peer cache tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.distributed.cluster import ClusterSpec, build_cluster, node_fault_mount
+from repro.distributed.peercache import CacheDirectory
+from repro.distributed.trainer import DistributedTrainer
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.dist_scenarios import run_distributed_once
+from repro.faults.plan import FaultPlan, TierDown
+from repro.framework.models import LENET
+
+SCALE = 1 / 2048
+
+
+class TestCacheDirectory:
+    def test_publish_and_locate(self):
+        d = CacheDirectory()
+        d.add_node(0)
+        d.add_node(2)
+        assert d.publish("a", 2)
+        assert d.publish("a", 0)
+        assert d.locate("a") == 0
+        assert d.locate("a", exclude=0) == 2
+        assert d.holders("a") == [0, 2]
+        assert len(d) == 2
+
+    def test_publish_to_dead_node_ignored(self):
+        d = CacheDirectory()
+        d.add_node(0)
+        assert not d.publish("a", 1)
+        assert d.locate("a") is None
+
+    def test_withdraw_is_idempotent(self):
+        d = CacheDirectory()
+        d.add_node(0)
+        d.publish("a", 0)
+        d.withdraw("a", 0)
+        d.withdraw("a", 0)
+        assert d.locate("a") is None
+        assert d.files() == []
+
+    def test_drop_node_purges_entries(self):
+        d = CacheDirectory()
+        for n in (0, 1):
+            d.add_node(n)
+        d.publish("a", 0)
+        d.publish("a", 1)
+        d.publish("b", 1)
+        dropped = d.drop_node(1)
+        assert dropped == ["a", "b"]
+        assert not d.is_live(1)
+        assert d.locate("a") == 0
+        assert d.locate("b") is None
+        assert len(d) == 1
+
+    def test_locate_unknown_file(self):
+        assert CacheDirectory().locate("nope") is None
+
+    def test_live_nodes(self):
+        d = CacheDirectory()
+        for n in (3, 1):
+            d.add_node(n)
+        assert d.live_nodes() == [1, 3]
+        d.drop_node(3)
+        assert d.live_nodes() == [1]
+
+
+def _p2p_cluster(n_nodes=2, seed=3, **kwargs):
+    return build_cluster("monarch-p2p", IMAGENET_100G, DEFAULT_CALIBRATION,
+                         ClusterSpec(n_nodes), scale=SCALE, seed=seed, **kwargs)
+
+
+def _run(cluster, policy="reshuffle", epochs=2, seed=3):
+    trainer = DistributedTrainer(
+        cluster=cluster, model=LENET, pipeline_config=cluster.env.pipeline,
+        partition_policy=policy, epochs=epochs, seed=seed,
+    )
+    return cluster.sim.run(cluster.sim.spawn(trainer.run()))
+
+
+class TestPeerCacheService:
+    def test_register_twice_rejected(self):
+        cluster = _p2p_cluster()
+        with pytest.raises(ValueError):
+            cluster.peers.register(0, cluster.nodes[0].monarch)
+
+    def test_reshuffle_run_hits_peers(self):
+        cluster = _p2p_cluster()
+        result = _run(cluster)
+        peers = cluster.peers
+        assert result.epochs[1].peer_hits > 0
+        assert result.epochs[1].peer_hits == peers.total_peer_hits
+        # every hit has a matching serve, and the bytes crossed the fabric
+        served = sum(s.fetches_served for s in peers.stats.values())
+        assert served == peers.total_peer_hits
+        assert cluster.fabric.peer_bytes == peers.total_peer_bytes
+        assert len(peers.directory) > 0
+
+    def test_node_down_purges_and_node_up_restores(self):
+        cluster = _p2p_cluster()
+        _run(cluster, epochs=1, policy="static")
+        peers = cluster.peers
+        before = {name for name in peers.directory.files()
+                  if 0 in peers.directory.holders(name)}
+        assert before
+        peers.node_down(0)
+        assert peers.is_down(0)
+        assert all(0 not in peers.directory.holders(n)
+                   for n in peers.directory.files())
+        peers.node_down(0)  # idempotent
+        peers.node_up(0)
+        assert not peers.is_down(0)
+        after = {name for name in peers.directory.files()
+                 if 0 in peers.directory.holders(name)}
+        assert after == before
+
+    def test_publishes_suppressed_while_down(self):
+        cluster = _p2p_cluster()
+        peers = cluster.peers
+        peers.node_down(1)
+        peers._on_residency(1, "x", True)
+        assert peers.directory.locate("x") is None
+
+    def test_tier_death_is_detected_and_run_completes(self):
+        plan = FaultPlan({node_fault_mount(1): [TierDown(at=0.22)]})
+        cluster = _p2p_cluster(n_nodes=2, fault_plan=plan)
+        result = _run(cluster, epochs=3)
+        peers = cluster.peers
+        assert len(result.epochs) == 3
+        assert peers.is_down(1)
+        assert peers.node_down_s[1] >= 0.22
+        # nothing was served off node 1 after it died
+        last = peers.last_fetch_s_by_source.get(1)
+        assert last is None or last <= peers.node_down_s[1]
+
+    def test_dead_peer_rereplicates_hot_files(self):
+        plan = FaultPlan({node_fault_mount(0): [TierDown(at=0.22)]})
+        cluster = _p2p_cluster(n_nodes=3, fault_plan=plan)
+        _run(cluster, epochs=3)
+        peers = cluster.peers
+        assert peers.is_down(0)
+        survivors = sum(peers.stats[n].rereplications for n in (1, 2))
+        assert survivors > 0
+        assert peers.stats[0].rereplications == 0
+
+
+class TestDistP2pRecord:
+    def test_record_carries_peer_fields(self):
+        rec = run_distributed_once("monarch-p2p", "lenet", IMAGENET_100G,
+                                   n_nodes=2, policy="reshuffle",
+                                   scale=SCALE, seed=3, epochs=2)
+        assert sum(rec.peer_hits_per_epoch) == rec.total_peer_hits > 0
+        assert sum(rec.peer_hits_by_node) == rec.total_peer_hits
+        assert sum(rec.fetches_served_by_node) == rec.total_peer_hits
+        assert rec.node_down_s == [-1.0, -1.0]
+        assert all(t > 0 for t in rec.last_fetch_s_by_source)
+
+    def test_non_p2p_record_has_empty_peer_fields(self):
+        rec = run_distributed_once("monarch", "lenet", IMAGENET_100G,
+                                   n_nodes=2, scale=SCALE, seed=3, epochs=1)
+        assert rec.peer_hits_per_epoch == []
+        assert rec.peer_hits_by_node == []
+        assert rec.node_down_s == []

@@ -1,0 +1,158 @@
+"""Property-based invariants for shard partitioning and the cache directory.
+
+Two pieces of the distributed layer are pure data structures whose
+correctness the p2p cache tier leans on completely:
+
+* :func:`partition_shards` — every shard must land on exactly one node,
+  partitions must balance within one shard, ``static`` must ignore both
+  the epoch and the RNG, and ``reshuffle`` must be a pure function of the
+  RNG stream (same seed ⇒ same permutations).
+* :class:`CacheDirectory` — under arbitrary interleavings of publish /
+  withdraw / drop_node / add_node, an entry must always name a live node
+  that actually holds the file, and dropping a node must leave no
+  dangling reference to it anywhere.
+
+Everything runs derandomized so a failing example reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.partition import partition_shards
+from repro.distributed.peercache import CacheDirectory
+
+pytestmark = [pytest.mark.dist, pytest.mark.hypothesis_heavy]
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+shard_counts = st.integers(min_value=1, max_value=200)
+node_counts = st.integers(min_value=1, max_value=16)
+epochs = st.integers(min_value=0, max_value=20)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+policies = st.sampled_from(["static", "reshuffle"])
+
+
+@st.composite
+def shard_layout(draw):
+    n_nodes = draw(node_counts)
+    n_shards = draw(shard_counts.filter(lambda s: s >= n_nodes))
+    return n_shards, n_nodes
+
+
+# -- partition_shards --------------------------------------------------------
+
+
+@settings(**SETTINGS)
+@given(layout=shard_layout(), policy=policies, epoch=epochs, seed=seeds)
+def test_every_shard_assigned_exactly_once(layout, policy, epoch, seed):
+    n_shards, n_nodes = layout
+    rng = np.random.default_rng(seed)
+    parts = partition_shards(n_shards, n_nodes, policy, epoch, rng)
+    assert len(parts) == n_nodes
+    flat = sorted(i for p in parts for i in p)
+    assert flat == list(range(n_shards))
+
+
+@settings(**SETTINGS)
+@given(layout=shard_layout(), policy=policies, epoch=epochs, seed=seeds)
+def test_partitions_balance_within_one_shard(layout, policy, epoch, seed):
+    n_shards, n_nodes = layout
+    rng = np.random.default_rng(seed)
+    sizes = [len(p) for p in partition_shards(n_shards, n_nodes, policy, epoch, rng)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(**SETTINGS)
+@given(layout=shard_layout(), epoch_a=epochs, epoch_b=epochs,
+       seed_a=seeds, seed_b=seeds)
+def test_static_ignores_epoch_and_rng(layout, epoch_a, epoch_b, seed_a, seed_b):
+    n_shards, n_nodes = layout
+    a = partition_shards(n_shards, n_nodes, "static", epoch_a,
+                         np.random.default_rng(seed_a))
+    b = partition_shards(n_shards, n_nodes, "static", epoch_b,
+                         np.random.default_rng(seed_b))
+    assert a == b
+
+
+@settings(**SETTINGS)
+@given(layout=shard_layout(), seed=seeds, n_epochs=st.integers(1, 6))
+def test_reshuffle_same_seed_is_deterministic(layout, seed, n_epochs):
+    n_shards, n_nodes = layout
+
+    def sequence():
+        rng = np.random.default_rng(seed)
+        return [partition_shards(n_shards, n_nodes, "reshuffle", e, rng)
+                for e in range(n_epochs)]
+
+    assert sequence() == sequence()
+
+
+# -- CacheDirectory ----------------------------------------------------------
+
+node_ids = st.integers(min_value=0, max_value=7)
+file_names = st.sampled_from([f"f{i}" for i in range(12)])
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_node"), node_ids),
+        st.tuples(st.just("publish"), file_names, node_ids),
+        st.tuples(st.just("withdraw"), file_names, node_ids),
+        st.tuples(st.just("drop_node"), node_ids),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _apply(directory: CacheDirectory, op) -> None:
+    if op[0] == "add_node":
+        directory.add_node(op[1])
+    elif op[0] == "publish":
+        directory.publish(op[1], op[2])
+    elif op[0] == "withdraw":
+        directory.withdraw(op[1], op[2])
+    else:
+        directory.drop_node(op[1])
+
+
+@settings(**SETTINGS)
+@given(sequence=ops)
+def test_entries_always_name_live_holders(sequence):
+    d = CacheDirectory()
+    for op in sequence:
+        _apply(d, op)
+        for name in d.files():
+            holders = d.holders(name)
+            assert holders, "files() listed a file with no holder"
+            for node in holders:
+                assert d.is_live(node)
+        located = {name: d.locate(name) for name in d.files()}
+        for name, node in located.items():
+            assert node == min(d.holders(name))
+
+
+@settings(**SETTINGS)
+@given(sequence=ops, victim=node_ids)
+def test_drop_node_leaves_no_dangling_entries(sequence, victim):
+    d = CacheDirectory()
+    for op in sequence:
+        _apply(d, op)
+    held_before = {name for name in d.files() if victim in d.holders(name)}
+    dropped = d.drop_node(victim)
+    assert sorted(held_before) == dropped
+    assert not d.is_live(victim)
+    for name in d.files():
+        assert victim not in d.holders(name)
+    assert d.locate("anything-else") is None or True  # locate never raises
+    # the count matches the surviving holder sets exactly
+    assert len(d) == sum(len(d.holders(name)) for name in d.files())

@@ -1,0 +1,107 @@
+"""Distributed RunReport assembly and the FIG-DIST-CACHE figure plumbing.
+
+The performance claims (p2p beats plain monarch, PFS ops collapse) are
+pinned at benchmark scale in ``benchmarks/test_fig_dist_cache.py``; these
+tests pin the *shape* of the artifacts at unit scale — per-node report
+sections, counter namespaces, JSON round-trips, and the figure/render
+helpers the CLI drives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.dist_scenarios import (
+    run_distributed_once,
+    run_distributed_report,
+)
+from repro.experiments.figures import fig_dist_cache, render_dist_cache
+from repro.telemetry.runreport import RunReport
+
+pytestmark = pytest.mark.dist
+
+SCALE = 1 / 2048
+
+
+@pytest.fixture(scope="module")
+def p2p_report():
+    return run_distributed_report(
+        "monarch-p2p", "lenet", IMAGENET_100G, n_nodes=2,
+        policy="reshuffle", calib=DEFAULT_CALIBRATION,
+        scale=SCALE, seed=3)
+
+
+class TestDistRunReport:
+    def test_per_node_sections(self, p2p_report):
+        record, report = p2p_report
+        assert sorted(report.nodes) == ["n0", "n1"]
+        for name, section in report.nodes.items():
+            # every node carries its monarch counters and peer stats
+            assert any(k.startswith("monarch.") for k in section["counters"])
+            assert section["down_at_s"] == -1.0, name
+        # the report's per-node stats agree with the record's totals, and
+        # every hit on one node was served off another
+        sections = report.nodes.values()
+        assert (sum(s["peer_hits"] for s in sections)
+                == record.total_peer_hits)
+        assert (sum(s["fetches_served"] for s in sections)
+                == record.total_peer_hits)
+
+    def test_cluster_counters_and_events(self, p2p_report):
+        record, report = p2p_report
+        assert report.counters["fabric.peer_transfers"] > 0
+        assert report.counters["fabric.allreduce_steps"] > 0
+        assert report.counters["peers.fetch_faults"] == 0
+        assert report.counters["peers.directory_files"] > 0
+        assert report.event_kinds().get("peer.fetch", 0) > 0
+
+    def test_epoch_entries_carry_peer_fields(self, p2p_report):
+        record, report = p2p_report
+        assert len(report.epochs) == len(record.epoch_times_s)
+        cold, steady = report.epochs[0], report.epochs[-1]
+        assert cold["peer_hits"] == 0
+        assert steady["peer_hits"] > 0
+        for entry in report.epochs:
+            assert len(entry["node_hit_ratios"]) == 2
+            assert set(entry["pfs_ops"]) >= {"read_ops", "open_ops"}
+
+    def test_meta_identifies_the_run(self, p2p_report):
+        record, report = p2p_report
+        assert report.meta["setup"] == "monarch-p2p"
+        assert report.meta["n_nodes"] == 2
+        assert report.meta["partition_policy"] == "reshuffle"
+        assert report.meta["seed"] == 3
+
+    def test_json_round_trip_keeps_nodes(self, p2p_report):
+        _, report = p2p_report
+        back = RunReport.from_dict(report.to_dict())
+        assert back.nodes == report.nodes
+        assert back.to_json() == report.to_json()
+
+    def test_nodes_key_omitted_when_empty(self):
+        # single-node reports must serialize exactly as before the p2p
+        # tier existed — golden fixtures depend on it
+        assert "nodes" not in RunReport(meta={}, epochs=[]).to_dict()
+
+    def test_report_skipped_without_event_recording(self):
+        rec = run_distributed_once(
+            "monarch-p2p", "lenet", IMAGENET_100G, n_nodes=2,
+            policy="reshuffle", calib=DEFAULT_CALIBRATION,
+            scale=SCALE, seed=3)
+        assert rec.total_peer_hits > 0
+
+
+class TestFigDistCache:
+    def test_figure_and_render(self):
+        result = fig_dist_cache(scale=SCALE, seed=3, nodes=(2,))
+        assert result["nodes"] == (2,)
+        assert set(result["runs"]) == {("monarch", 2), ("monarch-p2p", 2)}
+        p2p = result["runs"][("monarch-p2p", 2)]
+        assert p2p.total_peer_hits > 0
+
+        text = render_dist_cache(result, title="FIG-DIST-CACHE (unit)")
+        assert "FIG-DIST-CACHE (unit)" in text
+        assert "monarch-p2p" in text
+        assert "win condition" in text

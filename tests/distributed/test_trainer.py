@@ -100,3 +100,105 @@ class TestDistributedRuns:
                                         epochs=2).epoch_times_s
 
         assert once() == once()
+
+
+class TestHitRatioAccounting:
+    """The pooled-vs-per-node semantics fix (cluster-wide vs node means)."""
+
+    def _record(self):
+        return run_distributed_once("monarch", "lenet", IMAGENET_100G,
+                                    n_nodes=2, policy="static",
+                                    scale=SCALE, seed=2, epochs=2)
+
+    def test_reports_both_pooled_and_per_node(self):
+        rec = self._record()
+        assert len(rec.node_hit_ratios_per_epoch) == 2
+        assert all(len(per_node) == 2 for per_node in rec.node_hit_ratios_per_epoch)
+        assert len(rec.mean_node_hit_ratio_per_epoch) == 2
+
+    def test_pooled_ratio_is_read_weighted(self):
+        """Pooled = sum(hits)/sum(reads); per-node mean is unweighted."""
+        rec = self._record()
+        for pooled, per_node in zip(rec.tier_hit_ratio_per_epoch,
+                                    rec.node_hit_ratios_per_epoch):
+            assert min(per_node) <= pooled <= max(per_node)
+
+    def test_pinned_values_on_two_node_run(self):
+        rec = self._record()
+        # steady state: both nodes serve their static slice locally, so
+        # pooled and per-node agree at ~1.0
+        assert rec.tier_hit_ratio_per_epoch[1] == pytest.approx(1.0, abs=0.02)
+        for r in rec.node_hit_ratios_per_epoch[1]:
+            assert r == pytest.approx(1.0, abs=0.02)
+        assert rec.mean_node_hit_ratio_per_epoch[1] == pytest.approx(
+            sum(rec.node_hit_ratios_per_epoch[1]) / 2)
+        # epoch 1 is the cold pass: every figure agrees it is partial
+        assert 0.0 < rec.tier_hit_ratio_per_epoch[0] < 1.0
+        assert rec.mean_node_hit_ratio_per_epoch[0] < 1.0
+
+
+class TestGradBytesResolution:
+    """grad bytes come from the profile, the registry, or fail loudly."""
+
+    def _trainer(self, model):
+        from repro.distributed.trainer import DistributedTrainer
+
+        cluster = build_cluster("vanilla-lustre", IMAGENET_100G,
+                                DEFAULT_CALIBRATION, ClusterSpec(2),
+                                scale=SCALE, seed=1)
+        return DistributedTrainer(cluster=cluster, model=model,
+                                  pipeline_config=cluster.env.pipeline)
+
+    def test_profile_grad_bytes_wins(self):
+        from repro.framework.models import ModelProfile
+
+        model = ModelProfile(name="lenet", gpu_time_per_image_us=380.0,
+                             cpu_time_per_image_us=4300.0, grad_bytes=123)
+        assert self._trainer(model).grad_bytes == 123
+
+    def test_registry_fallback_by_name(self):
+        from repro.distributed.network import GRAD_BYTES
+        from repro.framework.models import ModelProfile
+
+        model = ModelProfile(name="lenet", gpu_time_per_image_us=380.0,
+                             cpu_time_per_image_us=4300.0)
+        assert self._trainer(model).grad_bytes == GRAD_BYTES["lenet"]
+
+    def test_unknown_model_raises_instead_of_guessing(self):
+        from repro.framework.models import ModelProfile
+
+        model = ModelProfile(name="mystery-net", gpu_time_per_image_us=100.0,
+                             cpu_time_per_image_us=100.0)
+        with pytest.raises(ValueError, match="mystery-net"):
+            self._trainer(model)
+
+
+class TestP2pRuns:
+    def test_p2p_beats_monarch_under_reshuffle(self):
+        calib = DEFAULT_CALIBRATION.busy()
+        plain = run_distributed_once("monarch", "lenet", IMAGENET_200G,
+                                     n_nodes=4, policy="reshuffle",
+                                     calib=calib, scale=SCALE, seed=7)
+        p2p = run_distributed_once("monarch-p2p", "lenet", IMAGENET_200G,
+                                   n_nodes=4, policy="reshuffle",
+                                   calib=calib, scale=SCALE, seed=7)
+        assert p2p.total_time_s < plain.total_time_s
+        assert p2p.pfs_ops_per_epoch[1] < plain.pfs_ops_per_epoch[1]
+
+    def test_p2p_epoch_one_matches_monarch_semantics(self):
+        """No peers hold anything yet, so epoch 1 pays the same PFS cost."""
+        rec = run_distributed_once("monarch-p2p", "lenet", IMAGENET_100G,
+                                   n_nodes=2, policy="reshuffle",
+                                   scale=SCALE, seed=5, epochs=2)
+        assert rec.peer_hits_per_epoch[0] == 0
+        assert rec.peer_hits_per_epoch[1] > 0
+
+    def test_p2p_deterministic(self):
+        from dataclasses import asdict
+
+        def once():
+            return asdict(run_distributed_once(
+                "monarch-p2p", "lenet", IMAGENET_100G, n_nodes=2,
+                policy="reshuffle", scale=SCALE, seed=5, epochs=2))
+
+        assert once() == once()

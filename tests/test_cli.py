@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import inspect
+
 import pytest
 
 from repro import cli
@@ -39,6 +41,23 @@ class TestCli:
         rc = cli.main(["figures", "meta", "--scale", SCALE, "--runs", "1"])
         assert rc == 0
         assert "TAB-META" in capsys.readouterr().out
+
+    def test_figures_choices_match_figures_main(self):
+        # the cli subcommand mirrors figures.main's artifact list; a new
+        # figure added to one must be added to the other
+        from repro.experiments import figures
+
+        cli_parser = cli.build_parser()
+        fig_action = next(
+            a
+            for p in cli_parser._subparsers._group_actions
+            for name, sp in p.choices.items() if name == "figures"
+            for a in sp._actions if a.dest == "artifact"
+        )
+        assert "dist-cache" in fig_action.choices
+        src = inspect.getsource(figures.main)
+        for choice in fig_action.choices:
+            assert f'"{choice}"' in src, choice
 
     def test_200g_defaults_to_busy_regime(self, capsys):
         rc = cli.main(["run", "vanilla-lustre", "--dataset", "200g",
