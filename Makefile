@@ -6,7 +6,7 @@ export PYTHONPATH := src
 # hard-to-reach lines, not for untested subsystems.
 COV_FLOOR ?= 94
 
-.PHONY: test test-fast test-policy test-dist bench bench-kernel bench-grid profile-kernel coverage report-check check
+.PHONY: test test-fast test-policy test-dist test-serve bench bench-kernel bench-grid profile-kernel coverage report-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,11 @@ test-policy:
 # property tests plus the FIG-DIST-CACHE benchmark.
 test-dist:
 	$(PYTHON) -m pytest tests/distributed benchmarks/test_fig_dist_cache.py -q
+
+# Trace-replay serving suites only (marker `serve`): the workload
+# generator/replay tests plus the FIG-SERVE latency-gate benchmark.
+test-serve:
+	$(PYTHON) -m pytest tests benchmarks/test_fig_serve.py -q -m serve
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

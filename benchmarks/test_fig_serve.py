@@ -1,0 +1,73 @@
+"""FIG-SERVE — trace-replay serving: warm-cache p99 latency gate.
+
+The serving analogue of the paper's training claim: once MONARCH's
+hierarchy has absorbed the hot set, reads stop paying the PFS round
+trip.  In latency terms that is the tail — the gate asserts monarch's
+warm (post-warmup) p99 at no more than 0.7x vanilla-lustre's on the
+same seeded Zipfian trace, and that the replay is deterministic enough
+to regenerate byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import run_in_benchmark
+from repro.experiments.figures import (
+    SERVE_P99_RATIO_GATE,
+    fig_serve,
+    render_serve,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def test_fig_serve_latency_gate(benchmark, bench_scale):
+    result = run_in_benchmark(
+        benchmark, lambda: fig_serve(scale=bench_scale, seed=0, report=True)
+    )
+    print()
+    print(render_serve(result))
+
+    lustre = result["runs"]["vanilla-lustre"]
+    monarch = result["runs"]["monarch"]
+
+    # both setups completed the full trace
+    for rec in (lustre, monarch):
+        assert rec.completed == rec.n_requests > 0
+        assert rec.duration_s > 0.0
+
+    # lustre never caches; monarch's hierarchy warms up
+    assert lustre.hit_rate == 0.0
+    assert monarch.warm_hit_rate > 0.9
+    assert monarch.warm_hit_rate >= monarch.hit_rate
+
+    # the headline gate: warm-cache p99 at <= 0.7x vanilla-lustre
+    assert lustre.warm_p99_ms > 0.0
+    ratio = monarch.warm_p99_ms / lustre.warm_p99_ms
+    assert ratio <= SERVE_P99_RATIO_GATE, (
+        f"monarch warm p99 {monarch.warm_p99_ms:.3f} ms is {ratio:.2f}x "
+        f"lustre's {lustre.warm_p99_ms:.3f} ms (gate {SERVE_P99_RATIO_GATE}x)")
+
+    # the median moves the same way once warm
+    assert monarch.warm_p50_ms < lustre.warm_p50_ms
+
+    # fewer PFS reads is *why* the tail shrinks
+    assert monarch.pfs_read_ops < lustre.pfs_read_ops
+
+    # the attached report carries the steady-state section
+    assert monarch.report is not None
+    steady = monarch.report["steady"]
+    assert steady["completed"] == monarch.completed
+    assert len(steady["windows"]) >= 1
+
+
+def test_fig_serve_same_seed_byte_identical(bench_scale):
+    a = fig_serve(scale=bench_scale, seed=0, report=True)
+    b = fig_serve(scale=bench_scale, seed=0, report=True)
+    for setup in ("vanilla-lustre", "monarch"):
+        ra, rb = a["runs"][setup], b["runs"][setup]
+        assert dataclasses.asdict(ra) == dataclasses.asdict(rb), setup
+        assert ra.report == rb.report, setup

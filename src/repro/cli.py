@@ -73,15 +73,55 @@ def _calib(dataset_key: str, busy: bool | None):
     return DEFAULT_CALIBRATION.busy() if use_busy else DEFAULT_CALIBRATION
 
 
+def _serving_args(args: argparse.Namespace):
+    """``--workload``/``--trace`` → the (workload, trace) run_once kwargs."""
+    workload = trace = None
+    if getattr(args, "workload", None):
+        from repro.workload.spec import WORKLOADS
+
+        workload = WORKLOADS[args.workload]
+    if getattr(args, "trace", None):
+        from repro.workload.trace import Trace
+
+        trace = Trace.load(args.trace)
+    return workload, trace
+
+
+def _print_serve(rec, args: argparse.Namespace) -> None:
+    """Steady-state summary table for a ServeRunRecord."""
+    rows = [
+        (i + 1, str(done), f"{hr:.3f}")
+        for i, (done, hr) in enumerate(
+            zip(rec.window_completed, rec.window_hit_rates))
+    ]
+    print(format_table(
+        ["window", "done", "hit rate"],
+        rows,
+        title=f"serve {args.setup} / {rec.workload} / {args.dataset} "
+              f"(scale {args.scale:g}, seed {args.seed})",
+    ))
+    print(f"completed {rec.completed}/{rec.n_requests} in {rec.duration_s:.1f} s"
+          + (f", init {rec.init_time_s:.1f} s" if rec.init_time_s else ""))
+    print(f"hit rate {rec.hit_rate:.3f} (warm {rec.warm_hit_rate:.3f})")
+    print(f"latency p50/p99/p999: {rec.p50_ms:.2f}/{rec.p99_ms:.2f}/"
+          f"{rec.p999_ms:.2f} ms  warm: {rec.warm_p50_ms:.2f}/"
+          f"{rec.warm_p99_ms:.2f}/{rec.warm_p999_ms:.2f} ms")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_once
 
+    workload, trace = _serving_args(args)
     rec = run_once(
         args.setup, args.model, DATASETS[args.dataset],
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
         monarch_overrides=_policy_overrides(args),
+        workload=workload, trace=trace,
     )
+    if workload is not None or trace is not None:
+        _print_serve(rec, args)
+        return 0
     rows = [
         (i + 1, f"{t:.0f}", f"{c * 100:.0f}%", f"{g * 100:.0f}%",
          f"{o / 1e3:.0f}k")
@@ -105,12 +145,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_once
     from repro.telemetry.runreport import RunReport, render_report
 
+    workload, trace = _serving_args(args)
     rec = run_once(
         args.setup, args.model, DATASETS[args.dataset],
         calib=_calib(args.dataset, args.busy),
         scale=args.scale, seed=args.seed, epochs=args.epochs,
         monarch_overrides=_policy_overrides(args),
         report=True,
+        workload=workload, trace=trace,
     )
     assert rec.report is not None
     rep = RunReport.from_dict(rec.report)
@@ -260,6 +302,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "(default: paper-faithful first-fit)")
 
 
+def _add_serving(p: argparse.ArgumentParser) -> None:
+    from repro.workload.spec import WORKLOADS
+
+    p.add_argument("--workload", default=None, choices=sorted(WORKLOADS),
+                   help="replay a generated serving trace instead of "
+                        "epoch training")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="replay a trace file (JSONL, see repro.workload.trace)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -271,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("setup", choices=["vanilla-lustre", "vanilla-local",
                                          "vanilla-caching", "monarch"])
     _add_common(p_run)
+    _add_serving(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_rep = sub.add_parser("report", help="one run with full telemetry; "
@@ -280,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default=None,
                        help="write the JSON here (default: stdout)")
     _add_common(p_rep)
+    _add_serving(p_rep)
     p_rep.set_defaults(fn=_cmd_report)
 
     p_diff = sub.add_parser("diff", help="compare two RunReport JSON files")
@@ -324,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
     p_fig.add_argument("artifact",
                        choices=["fig1", "fig3", "fig4", "multi", "policy",
-                                "dist-cache", "io", "meta", "usage", "all"])
+                                "dist-cache", "serve", "io", "meta", "usage",
+                                "all"])
     p_fig.add_argument("--scale", type=_fraction, default=1 / 128)
     p_fig.add_argument("--runs", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)

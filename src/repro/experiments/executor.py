@@ -51,6 +51,7 @@ from repro.data.dataset import DatasetSpec
 from repro.experiments.calibration import Calibration
 from repro.faults.plan import FaultPlan
 from repro.telemetry.metrics import MetricsRegistry
+from repro.workload.spec import WorkloadSpec
 
 __all__ = [
     "GridExecutionError",
@@ -97,6 +98,8 @@ class RunSpec:
     monarch_overrides: dict | None = None
     fault_plan: FaultPlan | None = None
     report: bool = False
+    #: serving workload; switches a "single" run to trace replay
+    workload: WorkloadSpec | None = None
     kind: str = "single"
     #: kind-specific knobs as a sorted tuple of (name, value) pairs
     extra: tuple[tuple[str, object], ...] = ()
@@ -113,6 +116,8 @@ class RunSpec:
         ]
         if self.epochs is not None:
             bits.append(f"epochs={self.epochs}")
+        if self.workload is not None:
+            bits.append(f"workload={self.workload.name}")
         if self.fault_plan is not None:
             bits.append("faulted")
         bits.extend(f"{k}={v}" for k, v in self.extra)
@@ -188,6 +193,7 @@ def _execute_spec(spec: RunSpec):
             monarch_overrides=spec.monarch_overrides,
             fault_plan=spec.fault_plan,
             report=spec.report,
+            workload=spec.workload,
         )
     if spec.kind == "dist":
         from repro.experiments.dist_scenarios import run_distributed_once
@@ -261,6 +267,10 @@ def _rehydrate(record_type: str, raw: dict):
         from repro.experiments.dist_scenarios import DistRunRecord
 
         return DistRunRecord(**raw)
+    if record_type == "ServeRunRecord":
+        from repro.experiments.formats import ServeRunRecord
+
+        return ServeRunRecord(**raw)
     raise ValueError(f"unknown cached record type {record_type!r}")
 
 

@@ -25,7 +25,7 @@ def _parse_scale(raw: str) -> float:
 
 from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G, scaled
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.experiments.executor import execute_grid
+from repro.experiments.executor import RunSpec, execute_grid
 from repro.experiments.formats import ExperimentResult, mean
 from repro.experiments.multi_scenarios import (
     JobPlan,
@@ -35,6 +35,7 @@ from repro.experiments.multi_scenarios import (
 )
 from repro.experiments.runner import experiment_specs, run_experiment
 from repro.telemetry.report import format_table
+from repro.workload.spec import WORKLOADS
 
 __all__ = [
     "fig1",
@@ -43,6 +44,7 @@ __all__ = [
     "fig_dist_cache",
     "fig_multi",
     "fig_policy",
+    "fig_serve",
     "io_reduction",
     "metadata_init",
     "multi_job_plans",
@@ -50,6 +52,7 @@ __all__ = [
     "render_grid",
     "render_multi",
     "render_policy",
+    "render_serve",
     "resource_usage",
 ]
 
@@ -440,6 +443,95 @@ def render_dist_cache(result: dict[str, object], title: str = "") -> str:
     return f"{table}\n{verdict}"
 
 
+SERVE_FIGURE_SETUPS = ("vanilla-lustre", "monarch")
+
+#: FIG-SERVE gate: monarch's warm p99 must be at most this fraction of
+#: vanilla-lustre's (the paper's cache-warming claim, in latency form)
+SERVE_P99_RATIO_GATE = 0.7
+
+
+def fig_serve(
+    scale: float = 1 / 128,
+    seed: int = 0,
+    workload: str = "serve-zipf",
+    report: bool = False,
+    jobs: int = 1,
+    cache=None,
+) -> dict[str, object]:
+    """FIG-SERVE — trace-replay serving: lustre vs MONARCH, p99 latency.
+
+    Replays the named serving workload (Zipfian random reads by default)
+    through both setups on the same seed and compares steady-state tail
+    latency.  Win condition: once the cache warms (second half of the
+    horizon), monarch's p99 is at most ``SERVE_P99_RATIO_GATE`` × the
+    vanilla-lustre p99 — every warm read is a local/memory hit instead of
+    a PFS round trip.  Results are keyed ``runs[setup]`` with the full
+    :class:`~repro.experiments.formats.ServeRunRecord`.
+    """
+    spec = WORKLOADS[workload]
+    specs = [
+        RunSpec(
+            setup=setup,
+            model="lenet",
+            dataset=IMAGENET_100G,
+            calib=DEFAULT_CALIBRATION,
+            scale=scale,
+            seed=seed,
+            report=report,
+            workload=spec,
+        )
+        for setup in SERVE_FIGURE_SETUPS
+    ]
+    records = execute_grid(specs, jobs=jobs, cache=cache)
+    return {
+        "workload": workload,
+        "runs": dict(zip(SERVE_FIGURE_SETUPS, records)),
+    }
+
+
+def render_serve(result: dict[str, object], title: str = "") -> str:
+    """Latency/hit-rate table plus verdict for a :func:`fig_serve` result."""
+    runs = result["runs"]
+    rows = []
+    for setup in SERVE_FIGURE_SETUPS:
+        r = runs[setup]
+        rows.append([
+            setup,
+            f"{r.completed}/{r.n_requests}",
+            f"{r.hit_rate:.3f}",
+            f"{r.warm_hit_rate:.3f}",
+            f"{r.p50_ms:.2f}",
+            f"{r.p99_ms:.2f}",
+            f"{r.warm_p50_ms:.2f}",
+            f"{r.warm_p99_ms:.2f}",
+            f"{r.warm_p999_ms:.2f}",
+        ])
+    table = format_table(
+        ["setup", "done", "hit", "warm hit", "p50 ms", "p99 ms",
+         "warm p50", "warm p99", "warm p999"],
+        rows,
+        title=title or (
+            f"FIG-SERVE: {result['workload']} trace replay "
+            "(latencies in ms, simulated)"
+        ),
+    )
+    lustre = runs["vanilla-lustre"]
+    monarch = runs["monarch"]
+    if lustre.warm_p99_ms > 0:
+        ratio = monarch.warm_p99_ms / lustre.warm_p99_ms
+        verdict = (
+            f"win condition met: monarch warm p99 {monarch.warm_p99_ms:.2f} ms = "
+            f"{ratio:.2f}x lustre's {lustre.warm_p99_ms:.2f} ms "
+            f"(gate <= {SERVE_P99_RATIO_GATE:g}x)"
+            if ratio <= SERVE_P99_RATIO_GATE
+            else f"win condition NOT met: ratio {ratio:.2f}x above "
+                 f"{SERVE_P99_RATIO_GATE:g}x gate"
+        )
+    else:
+        verdict = "win condition NOT met: lustre recorded no warm latencies"
+    return f"{table}\n{verdict}"
+
+
 def resource_usage(
     grid: dict[tuple[str, str], ExperimentResult],
 ) -> list[tuple[str, str, float, float, float]]:
@@ -592,7 +684,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "artifact",
         choices=["fig1", "fig3", "fig4", "multi", "policy", "dist-cache",
-                 "io", "meta", "usage", "all"],
+                 "serve", "io", "meta", "usage", "all"],
     )
     parser.add_argument("--scale", type=_parse_scale, default=1 / 128,
                         help="simulation scale, e.g. 1/128 or 0.0078125")
@@ -659,6 +751,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     def do_dist_cache() -> None:
         print(render_dist_cache(fig_dist_cache(scale, seed=args.seed)))
 
+    def do_serve() -> None:
+        print(render_serve(fig_serve(scale, seed=args.seed,
+                                     jobs=jobs, cache=cache)))
+
     def do_usage() -> None:
         print(render_resource_usage(fig1(scale, runs, jobs=jobs, cache=cache),
                                     "TAB-RU-MOT (motivation, 100 GiB)"))
@@ -670,6 +766,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "multi": [do_multi],
         "policy": [do_policy],
         "dist-cache": [do_dist_cache],
+        "serve": [do_serve],
         "io": [do_io],
         "meta": [do_meta],
         "usage": [do_usage],

@@ -11,7 +11,8 @@ import json
 import math
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["ExperimentResult", "MultiRunRecord", "RunRecord", "mean", "std"]
+__all__ = ["ExperimentResult", "MultiRunRecord", "RunRecord", "ServeRunRecord",
+           "mean", "std"]
 
 
 def mean(xs: list[float]) -> float:
@@ -62,6 +63,53 @@ class RunRecord:
     def total_pfs_ops(self) -> int:
         """PFS operations summed over epochs."""
         return sum(self.pfs_ops_per_epoch)
+
+
+@dataclass
+class ServeRunRecord:
+    """One seeded trace-replay serving run (steady-state metrics).
+
+    Unlike :class:`RunRecord`, everything here is in **simulated** units:
+    the workload generators scale request count and arrival rate together,
+    so the replay horizon — and therefore every steady-state quantity —
+    is directly comparable across scales without un-scaling.  Latencies
+    are in milliseconds (serving convention); ``warm_*`` fields cover
+    only the post-warmup fraction of the horizon, where the cache-warming
+    claim lives.  All fields are plain JSON, so the run cache
+    round-trips records bit-identically.
+    """
+
+    setup: str
+    model: str
+    dataset: str
+    scale: float
+    seed: int
+    #: workload preset name (or the loaded trace's recorded name)
+    workload: str
+    n_requests: int = 0
+    completed: int = 0
+    #: replay span on the sim clock, init excluded
+    duration_s: float = 0.0
+    init_time_s: float = 0.0
+    hit_rate: float = 0.0
+    warm_hit_rate: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    p999_ms: float = 0.0
+    mean_ms: float = 0.0
+    warm_p50_ms: float = 0.0
+    warm_p99_ms: float = 0.0
+    warm_p999_ms: float = 0.0
+    #: per steady-state window, in window order
+    window_hit_rates: list[float] = field(default_factory=list)
+    window_completed: list[int] = field(default_factory=list)
+    pfs_read_ops: int = 0
+    local_read_ops: int = 0
+    pfs_bytes_read: int = 0
+    local_bytes_read: int = 0
+    #: full RunReport payload (with the ``steady`` section) when the run
+    #: was executed with telemetry; ``None`` otherwise
+    report: dict | None = None
 
 
 @dataclass

@@ -10,13 +10,61 @@ from __future__ import annotations
 from repro.data.dataset import DatasetSpec
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.executor import RunSpec, execute_grid
-from repro.experiments.formats import ExperimentResult, RunRecord
+from repro.experiments.formats import ExperimentResult, RunRecord, ServeRunRecord
 from repro.experiments.scenarios import build_run
-from repro.telemetry.runreport import build_run_report
+from repro.telemetry.runreport import build_run_report, build_serve_run_report
 from repro.telemetry.usage import memory_estimate_bytes
 from repro.storage.blockmath import GIB
 
 __all__ = ["experiment_specs", "run_experiment", "run_once"]
+
+
+def _serve_record(handle, replay_result, *, setup, model_name, dataset,
+                  scale, seed, workload_name, report) -> ServeRunRecord:
+    """Fold one finished replay into a :class:`ServeRunRecord`."""
+    lat, warm = replay_result.latency, replay_result.warm_latency
+    record = ServeRunRecord(
+        setup=setup,
+        model=model_name,
+        dataset=dataset.name,
+        scale=scale,
+        seed=seed,
+        workload=workload_name,
+        n_requests=replay_result.n_requests,
+        completed=replay_result.completed,
+        duration_s=replay_result.duration_s,
+        init_time_s=replay_result.init_time_s,
+        hit_rate=replay_result.hit_rate,
+        warm_hit_rate=replay_result.warm_hit_rate,
+        p50_ms=lat.p50 * 1e3,
+        p99_ms=lat.p99 * 1e3,
+        p999_ms=lat.p999 * 1e3,
+        mean_ms=lat.mean_s * 1e3,
+        warm_p50_ms=warm.p50 * 1e3,
+        warm_p99_ms=warm.p99 * 1e3,
+        warm_p999_ms=warm.p999 * 1e3,
+        window_hit_rates=[w["hit_rate"] for w in replay_result.windows],
+        window_completed=[w["completed"] for w in replay_result.windows],
+        pfs_read_ops=handle.pfs.stats.read_ops,
+        local_read_ops=(handle.local_fs.stats.read_ops
+                        if handle.local_fs is not None else 0),
+        pfs_bytes_read=handle.pfs.stats.bytes_read,
+        local_bytes_read=(handle.local_fs.stats.bytes_read
+                          if handle.local_fs is not None else 0),
+    )
+    if report:
+        assert handle.telemetry is not None
+        record.report = build_serve_run_report(
+            handle.telemetry,
+            replay_result,
+            setup=setup,
+            model=model_name,
+            dataset=dataset.name,
+            scale=scale,
+            seed=seed,
+            workload=workload_name,
+        ).to_dict()
+    return record
 
 
 def run_once(
@@ -30,12 +78,20 @@ def run_once(
     monarch_overrides: dict | None = None,
     fault_plan=None,
     report: bool = False,
-) -> RunRecord:
+    workload=None,
+    trace=None,
+) -> RunRecord | ServeRunRecord:
     """One seeded run; all measurements un-scaled to paper units.
 
     ``report=True`` executes with the telemetry layer armed and attaches
     the full :class:`~repro.telemetry.runreport.RunReport` payload (in
     *simulated* units, not un-scaled) to :attr:`RunRecord.report`.
+
+    ``workload`` (a :class:`~repro.workload.spec.WorkloadSpec`) or
+    ``trace`` (a pre-generated :class:`~repro.workload.trace.Trace`)
+    switches the run to trace-replay serving: the result is a
+    :class:`ServeRunRecord` of steady-state metrics in simulated units
+    (see its docstring for why those need no un-scaling).
     """
     calib = calib or DEFAULT_CALIBRATION
     handle = build_run(
@@ -49,8 +105,17 @@ def run_once(
         monarch_overrides=monarch_overrides,
         fault_plan=fault_plan,
         telemetry=report,
+        workload=workload,
+        trace=trace,
     )
     result = handle.execute()
+    if handle.replay is not None:
+        name = workload.name if workload is not None else handle.replay.trace.workload
+        return _serve_record(
+            handle, result,
+            setup=setup, model_name=model_name, dataset=dataset,
+            scale=scale, seed=seed, workload_name=name, report=report,
+        )
     inv = 1.0 / scale
     record = RunRecord(
         setup=setup,

@@ -48,10 +48,19 @@ from repro.storage.pagecache import PageCache
 from repro.storage.pfs import ParallelFileSystem
 from repro.storage.vfs import MountTable
 from repro.telemetry.runreport import RunTelemetry
+from repro.workload.generators import generate_trace
+from repro.workload.replay import ReplayDriver, ReplayResult
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import Trace
 
-__all__ = ["RunHandle", "SETUPS", "build_run", "ssd_tier_down_plan"]
+__all__ = ["RunHandle", "SETUPS", "SERVE_SETUPS", "build_run", "ssd_tier_down_plan"]
 
 SETUPS = ("vanilla-lustre", "vanilla-local", "vanilla-caching", "monarch")
+
+#: setups that can serve trace-replay workloads (vanilla-caching is
+#: epoch-structured — its cache only turns over at epoch boundaries, so
+#: it has no meaningful behaviour under open-arrival traffic)
+SERVE_SETUPS = ("vanilla-lustre", "vanilla-local", "monarch")
 
 PFS_MOUNT = "/mnt/pfs"
 SSD_MOUNT = "/mnt/ssd"
@@ -68,7 +77,8 @@ class RunHandle:
     dataset: DatasetSpec  #: the *scaled* spec actually simulated
     env: ScaledEnvironment
     sim: Simulator
-    trainer: Trainer
+    #: the epoch trainer (None for trace-replay serving runs)
+    trainer: Trainer | None
     pfs: ParallelFileSystem
     local_fs: LocalFileSystem | None = None
     monarch: Monarch | None = None
@@ -77,11 +87,18 @@ class RunHandle:
     injector: FaultInjector | None = None
     #: live observability harness (None unless built with telemetry=True)
     telemetry: RunTelemetry | None = None
+    #: the serving replay driver (set instead of ``trainer``)
+    replay: ReplayDriver | None = None
+    workload: WorkloadSpec | None = None
 
-    def execute(self) -> TrainResult:
-        """Run the job to completion; returns the trainer's result."""
-        proc = self.sim.spawn(self.trainer.run(), name="train-job")
-        result: TrainResult = self.sim.run(proc)
+    def execute(self) -> TrainResult | ReplayResult:
+        """Run the job to completion; returns the driver's result."""
+        if self.replay is not None:
+            proc = self.sim.spawn(self.replay.run(), name="serve-replay")
+        else:
+            assert self.trainer is not None
+            proc = self.sim.spawn(self.trainer.run(), name="train-job")
+        result = self.sim.run(proc)
         if self.monarch is not None:
             self.monarch.shutdown()
         return result
@@ -108,6 +125,8 @@ def build_run(
     monarch_overrides: dict | None = None,
     fault_plan: FaultPlan | None = None,
     telemetry: bool = False,
+    workload: WorkloadSpec | None = None,
+    trace: Trace | None = None,
 ) -> RunHandle:
     """Wire a complete environment for one experimental run.
 
@@ -123,11 +142,30 @@ def build_run(
     middleware/placement/health stack, an I/O trace on every backend and
     per-epoch middleware snapshots (slightly slower; off by default so
     the hot paths keep their no-op recorder).
+
+    ``workload`` swaps the epoch trainer for the trace-replay serving
+    driver: a request stream is generated from the spec (seeded by this
+    run's registry, so byte-identical per seed) and fed through the same
+    reader stack on the simulation clock, with no epoch structure.
+    ``trace`` replays an already-generated (or file-loaded) stream
+    instead; it must target the shared namespace (churn traces carry
+    per-job datasets, which only the generator can rebuild).
     """
     if setup not in SETUPS:
         raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
     if model_name not in MODELS:
         raise ValueError(f"unknown model {model_name!r}; expected one of {sorted(MODELS)}")
+    serving = workload is not None or trace is not None
+    if serving and setup not in SERVE_SETUPS:
+        raise ValueError(
+            f"setup {setup!r} cannot serve trace workloads; "
+            f"expected one of {SERVE_SETUPS}"
+        )
+    if trace is not None and workload is None and trace.jobs():
+        raise ValueError(
+            "file-loaded churn traces are not replayable: per-job datasets "
+            "can only be rebuilt by the generator (pass the workload spec)"
+        )
     model = MODELS[model_name]
     sspec = scaled(dataset, scale)
     env = ScaledEnvironment.derive(calib, dataset, sspec, scale)
@@ -271,22 +309,46 @@ def build_run(
     if tele is not None:
         tele.attach_backends(backends)
         tele.monarch = monarch
-    shards = shards_from_manifest(manifest, shard_paths)
-    trainer = Trainer(
-        sim=sim,
-        node=node,
-        model=model,
-        config=env.pipeline,
-        shards=shards,
-        reader=reader,
-        shuffle_rng=rngs.stream("shuffle"),
-        backends=backends,
-        cache=cache,
-        epochs=n_epochs,
-        init_hook=init_hook,
-        epoch_end_hook=tele.on_epoch_end if tele is not None else None,
-        recorder=recorder,
-    )
+
+    trainer: Trainer | None = None
+    replay: ReplayDriver | None = None
+    if serving:
+        replay = _build_replay(
+            setup=setup,
+            workload=workload,
+            trace=trace,
+            dataset=dataset,
+            sspec=sspec,
+            manifest=manifest,
+            scale=scale,
+            rngs=rngs,
+            sim=sim,
+            pfs=pfs,
+            local_fs=local_fs,
+            monarch=monarch,
+            backends=backends,
+            env=env,
+            reader=reader,
+            shard_paths=shard_paths,
+            init_hook=init_hook,
+        )
+    else:
+        shards = shards_from_manifest(manifest, shard_paths)
+        trainer = Trainer(
+            sim=sim,
+            node=node,
+            model=model,
+            config=env.pipeline,
+            shards=shards,
+            reader=reader,
+            shuffle_rng=rngs.stream("shuffle"),
+            backends=backends,
+            cache=cache,
+            epochs=n_epochs,
+            init_hook=init_hook,
+            epoch_end_hook=tele.on_epoch_end if tele is not None else None,
+            recorder=recorder,
+        )
     return RunHandle(
         setup=setup,
         model=model,
@@ -301,4 +363,135 @@ def build_run(
         fault_plan=fault_plan,
         injector=injector,
         telemetry=tele,
+        replay=replay,
+        workload=workload,
+    )
+
+
+JOBS_DIR = "/jobs"
+
+
+def _validate_trace(trace: Trace, paths_by_job: dict[str, list[int]]) -> None:
+    """Reject a (file-loaded) trace that does not fit the namespace."""
+    for r in trace.requests:
+        if r.kind != "read":
+            continue
+        sizes = paths_by_job.get(r.job)
+        if sizes is None or not 0 <= r.file_index < len(sizes):
+            raise ValueError(
+                f"trace read targets unknown file {r.file_index} "
+                f"of job {r.job!r}"
+            )
+        if r.offset < 0 or r.nbytes < 1 or r.offset + r.nbytes > sizes[r.file_index]:
+            raise ValueError(
+                f"trace read [{r.offset}, {r.offset + r.nbytes}) exceeds "
+                f"file {r.file_index} of job {r.job!r} "
+                f"({sizes[r.file_index]} bytes)"
+            )
+
+
+def _build_replay(
+    *,
+    setup: str,
+    workload: WorkloadSpec | None,
+    trace: Trace | None,
+    dataset: DatasetSpec,
+    sspec: DatasetSpec,
+    manifest: ShardManifest,
+    scale: float,
+    rngs: RngRegistry,
+    sim: Simulator,
+    pfs: ParallelFileSystem,
+    local_fs: LocalFileSystem | None,
+    monarch: Monarch | None,
+    backends: dict,
+    env: ScaledEnvironment,
+    reader,
+    shard_paths: list[str],
+    init_hook,
+) -> ReplayDriver:
+    """Wire the serving replay: trace, per-job datasets, window sampling."""
+    sizes = [s.size_bytes for s in manifest.shards]
+    mean_record = max(1, int(round(sspec.size_model.mean_bytes)))
+
+    # -- per-job datasets (churn): each job owns a private shard set ------
+    job_paths: dict[str, list[str]] = {}
+    job_dirs: dict[str, str] = {}
+    job_sizes: list[list[int]] = []
+    if workload is not None and workload.kind == "churn":
+        job_spec = scaled(scaled(dataset, workload.job_dataset_frac), scale)
+        job_manifest = build_shards(job_spec)
+        one_job_sizes = [s.size_bytes for s in job_manifest.shards]
+        for i in range(workload.n_jobs):
+            job_id = f"job{i + 1}"
+            job_dir = f"{JOBS_DIR}/{job_id}"
+            rel = materialize(job_manifest, pfs, job_dir)
+            if setup == "vanilla-local":
+                assert local_fs is not None
+                for shard, path in zip(job_manifest.shards, rel):
+                    local_fs.add_file(path, shard.size_bytes)
+                job_paths[job_id] = [SSD_MOUNT + p for p in rel]
+            else:
+                job_paths[job_id] = [PFS_MOUNT + p for p in rel]
+            job_dirs[job_id] = job_dir
+            job_sizes.append(one_job_sizes)
+        # the shared namespace is never read under churn; the per-job
+        # ``initialize_job`` phases are the (timed) metadata inits
+        init_hook = None
+
+    if trace is None:
+        assert workload is not None
+        trace = generate_trace(
+            workload, sizes, scale, rngs,
+            mean_record_bytes=mean_record,
+            job_sizes=job_sizes if workload.kind == "churn" else None,
+        )
+    else:
+        by_job: dict[str, list[int]] = {"": sizes}
+        for i, job_id in enumerate(job_dirs):
+            by_job[job_id] = job_sizes[i]
+        _validate_trace(trace, by_job)
+
+    # -- window sampling hooks --------------------------------------------
+    if monarch is not None:
+        pfs_level = monarch.hierarchy.pfs_level
+
+        def hit_fn() -> tuple[int, int]:
+            st = monarch.stats
+            return st.total_reads, st.reads_per_level.get(pfs_level, 0)
+
+        def occupancy_fn() -> dict[str, int]:
+            return {
+                f"l{lvl}": drv.occupancy_bytes
+                for lvl, drv in monarch.hierarchy.upper_levels()
+            }
+    else:
+        def hit_fn() -> tuple[int, int]:
+            total = sum(b.read_ops for b in backends.values())
+            return total, backends["pfs"].read_ops
+
+        def occupancy_fn() -> dict[str, int]:
+            if local_fs is None:
+                return {}
+            return {"local": local_fs.used_bytes}
+
+    job_setup = None
+    if monarch is not None and job_dirs:
+        def job_setup(job_id: str, share: float, _m: Monarch = monarch):
+            ctx = _m.register_job(job_id, job_dirs[job_id], share)
+            yield from ctx.initialize()
+            return ctx.reader()
+
+    return ReplayDriver(
+        sim,
+        trace,
+        reader,
+        shard_paths,
+        windows=workload.windows if workload is not None else 20,
+        warmup_frac=workload.warmup_frac if workload is not None else 0.5,
+        job_paths=job_paths or None,
+        job_setup=job_setup,
+        hit_fn=hit_fn,
+        occupancy_fn=occupancy_fn,
+        init_hook=init_hook,
     )

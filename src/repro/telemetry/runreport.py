@@ -49,6 +49,7 @@ __all__ = [
     "build_dist_run_report",
     "build_multi_run_report",
     "build_run_report",
+    "build_serve_run_report",
     "diff_reports",
     "render_diff",
     "render_report",
@@ -147,6 +148,10 @@ class RunReport:
     jobs: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: per-node sections (distributed runs; empty for single-node runs)
     nodes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: steady-state section (trace-replay serving runs; empty otherwise):
+    #: per-window hit-rate and occupancy, bounded-memory latency histogram
+    #: with p50/p99/p999, warm-window aggregates
+    steady: dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- derived views ----------------------------------------------------
@@ -186,9 +191,10 @@ class RunReport:
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (already all JSON types).
 
-        The ``nodes`` key only appears for distributed runs — golden
-        fixtures pin single-node reports byte-for-byte, so the layout
-        must not change for them.
+        The ``nodes`` key only appears for distributed runs and the
+        ``steady`` key only for serving runs — golden fixtures pin
+        training reports byte-for-byte, so the layout must not change
+        for them.
         """
         out = {
             "schema_version": self.schema_version,
@@ -201,6 +207,8 @@ class RunReport:
         }
         if self.nodes:
             out["nodes"] = self.nodes
+        if self.steady:
+            out["steady"] = self.steady
         return out
 
     def to_json(self) -> str:
@@ -222,6 +230,7 @@ class RunReport:
             events=raw.get("events", []),
             jobs=raw.get("jobs", {}),
             nodes=raw.get("nodes", {}),
+            steady=raw.get("steady", {}),
             schema_version=raw.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -481,6 +490,76 @@ def build_multi_run_report(
     )
 
 
+def _latency_entry(hist: Any) -> dict[str, Any]:
+    """Serialize one bounded-memory latency histogram with its percentiles."""
+    return {
+        "count": hist.count,
+        "p50_s": hist.p50,
+        "p99_s": hist.p99,
+        "p999_s": hist.p999,
+        "mean_s": hist.mean_s,
+        "max_s": hist.max_s,
+        "histogram": hist.to_dict(),
+    }
+
+
+def build_serve_run_report(
+    telemetry: RunTelemetry,
+    replay: Any,
+    *,
+    setup: str = "",
+    model: str = "",
+    dataset: str = "",
+    scale: float = 1.0,
+    seed: int = 0,
+    workload: str = "",
+) -> RunReport:
+    """Aggregate a finished trace-replay serving run into a report.
+
+    ``replay`` is the driver's :class:`~repro.workload.replay.ReplayResult`.
+    The report has no epoch entries (there are no epochs); instead the
+    ``steady`` section carries the per-window hit-rate/occupancy series
+    and the latency histograms the FIG-SERVE gates read.  Everything is
+    in simulated units, like the epoch entries of training reports.
+    """
+    t_final = telemetry.sim.now
+    counters: dict[str, int] = {}
+    if telemetry.monarch is not None:
+        counters = dict(sorted(telemetry.monarch.publish_metrics().counters.items()))
+    meta: dict[str, Any] = {
+        "setup": setup,
+        "model": model,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "workload": workload,
+        "n_requests": replay.n_requests,
+        "init_time_s": replay.init_time_s,
+        "total_time_s": t_final,
+    }
+    _tag_policy(meta, telemetry)
+    steady: dict[str, Any] = {
+        "window_s": replay.window_s,
+        "warmup_s": replay.warmup_s,
+        "t_start": replay.t_start,
+        "t_end": replay.t_end,
+        "completed": replay.completed,
+        "hit_rate": replay.hit_rate,
+        "warm_hit_rate": replay.warm_hit_rate,
+        "windows": replay.windows,
+        "latency": _latency_entry(replay.latency),
+        "warm_latency": _latency_entry(replay.warm_latency),
+    }
+    return RunReport(
+        meta=meta,
+        epochs=[],
+        backends=_backend_entries(telemetry, t_final),
+        counters=counters,
+        events=telemetry.recorder.to_payload(),
+        steady=steady,
+    )
+
+
 def build_dist_run_report(cluster: Any, result: Any, record: Any) -> RunReport:
     """Aggregate a distributed run into one report with per-node sections.
 
@@ -667,6 +746,32 @@ def render_report(report: RunReport) -> str:
         backend_rows,
         title="per-backend",
     ))
+    if report.steady:
+        s = report.steady
+        lat, warm = s["latency"], s["warm_latency"]
+        lines.append("")
+        lines.append(
+            f"steady state: {s['completed']} requests over "
+            f"{s['t_end'] - s['t_start']:.1f} s, hit rate {s['hit_rate']:.3f} "
+            f"(warm {s['warm_hit_rate']:.3f})"
+        )
+        lines.append(
+            f"latency p50/p99/p999: {lat['p50_s'] * 1e3:.2f} / "
+            f"{lat['p99_s'] * 1e3:.2f} / {lat['p999_s'] * 1e3:.2f} ms "
+            f"(warm: {warm['p50_s'] * 1e3:.2f} / {warm['p99_s'] * 1e3:.2f} / "
+            f"{warm['p999_s'] * 1e3:.2f} ms)"
+        )
+        window_rows = [
+            [w["index"] + 1, f"{w['t_start']:.1f}", f"{w['t_end']:.1f}",
+             w["completed"], f"{w['hit_rate']:.3f}",
+             f"{w['mean_latency_s'] * 1e3:.2f}"]
+            for w in s["windows"]
+        ]
+        lines.append(format_table(
+            ["window", "start (s)", "end (s)", "done", "hit rate", "mean ms"],
+            window_rows,
+            title="per-window",
+        ))
     if report.counters:
         lines.append("")
         nonzero = [(k, v) for k, v in sorted(report.counters.items()) if v]

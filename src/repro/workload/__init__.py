@@ -1,0 +1,39 @@
+"""Trace-replay serving workloads (non-epoch traffic on the simkernel).
+
+Every experiment elsewhere in the repo drives the paper's 3-epoch
+training loop; this package generates and replays the *other* traffic a
+shared dataset/model store sees — skewed random-access re-reads, bursty
+inference request streams, open-arrival job churn — so MONARCH's tier
+hierarchy can be measured at steady state (per-window hit-rate,
+latency percentiles) rather than by epoch makespan.
+
+* :mod:`~repro.workload.spec` — :class:`WorkloadSpec` (frozen, cache-key
+  canonical) and the named presets in :data:`WORKLOADS`.
+* :mod:`~repro.workload.trace` — :class:`TraceRequest`/:class:`Trace`
+  with deterministic JSONL (same seed ⇒ byte-identical file).
+* :mod:`~repro.workload.generators` — seeded Zipfian / diurnal /
+  job-churn trace generators.
+* :mod:`~repro.workload.histogram` — the bounded-memory log-bucketed
+  :class:`LatencyHistogram` behind the p50/p99/p999 gates.
+* :mod:`~repro.workload.replay` — :class:`ReplayDriver`: feeds a trace
+  through any reader stack on the simulation clock, with explicit
+  steady-state window accounting (:class:`WindowClock`).
+"""
+
+from repro.workload.generators import generate_trace
+from repro.workload.histogram import LatencyHistogram
+from repro.workload.replay import ReplayDriver, ReplayResult, WindowClock
+from repro.workload.spec import WORKLOADS, WorkloadSpec
+from repro.workload.trace import Trace, TraceRequest
+
+__all__ = [
+    "LatencyHistogram",
+    "ReplayDriver",
+    "ReplayResult",
+    "Trace",
+    "TraceRequest",
+    "WindowClock",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "generate_trace",
+]

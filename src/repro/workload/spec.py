@@ -1,0 +1,100 @@
+"""Workload specifications: what traffic to generate, at full scale.
+
+A :class:`WorkloadSpec` is frozen and built only from plain values, so
+the run-cache canonicalizer (:func:`repro.experiments.executor._plain`)
+keys it like any other spec component — changing a knob changes the
+cache key.
+
+Rates and counts are given at **full scale** and multiplied by the run's
+``scale`` at generation time.  Because both the request count and the
+arrival rate shrink together, the trace *horizon* (requests / rate) is
+scale-invariant: the cache gets the same number of simulated seconds to
+warm at 1/4096 as at full scale, which is what makes the FIG-SERVE
+warm-cache p99 gate meaningful at test scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WORKLOADS", "WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Full description of one serving workload (full-scale units)."""
+
+    name: str
+    #: "zipf" | "diurnal" | "churn"
+    kind: str
+    #: total read requests at full scale (zipf; per-run after × scale)
+    requests: int = 0
+    #: aggregate arrival rate at full scale, requests/s (× scale per run)
+    rate_rps: float = 0.0
+    #: Zipf skew exponent for file popularity (higher = more skewed)
+    zipf_s: float = 1.1
+    #: bytes per read; 0 = the dataset's mean record size
+    read_bytes: int = 0
+    #: arrival horizon in seconds (diurnal; scale-invariant by design)
+    duration_s: float = 0.0
+    #: relative amplitude of the sinusoidal load curve, in [0, 1)
+    diurnal_amplitude: float = 0.0
+    #: period of one load cycle, seconds
+    diurnal_period_s: float = 0.0
+    #: number of churning jobs (churn)
+    n_jobs: int = 0
+    #: mean gap between job arrivals, seconds
+    job_interarrival_s: float = 0.0
+    #: reads per job at full scale (× scale per run)
+    job_reads: int = 0
+    #: per-job read rate at full scale, requests/s (× scale per run)
+    job_rate_rps: float = 0.0
+    #: each job's dataset as a fraction of the run's dataset
+    job_dataset_frac: float = 0.05
+    #: steady-state accounting windows over the arrival horizon
+    windows: int = 20
+    #: fraction of the horizon treated as cache warm-up
+    warmup_frac: float = 0.5
+
+    def describe(self) -> str:
+        """One-line identification for logs and error messages."""
+        return f"workload({self.name}: {self.kind})"
+
+
+#: named presets selectable via ``--workload`` on the CLI
+WORKLOADS: dict[str, WorkloadSpec] = {
+    # Skewed random-access re-reads (the TF I/O characterization's
+    # dominant pattern): open arrivals at a constant rate, Zipfian file
+    # popularity.  400k requests over ~11 simulated minutes at any scale.
+    "serve-zipf": WorkloadSpec(
+        name="serve-zipf",
+        kind="zipf",
+        requests=400_000,
+        rate_rps=600.0,
+        zipf_s=1.1,
+    ),
+    # An inference-serving stream with a diurnal load curve: an
+    # inhomogeneous Poisson process whose rate swings ±80 % around the
+    # mean over 150 s cycles (4 cycles across the horizon).
+    "serve-diurnal": WorkloadSpec(
+        name="serve-diurnal",
+        kind="diurnal",
+        rate_rps=600.0,
+        zipf_s=1.1,
+        duration_s=600.0,
+        diurnal_amplitude=0.8,
+        diurnal_period_s=150.0,
+    ),
+    # Open-arrival job churn against the tenancy arbiter: jobs register,
+    # stream reads over private datasets under fair-share caps, depart.
+    "serve-churn": WorkloadSpec(
+        name="serve-churn",
+        kind="churn",
+        zipf_s=1.1,
+        n_jobs=4,
+        job_interarrival_s=60.0,
+        job_reads=40_000,
+        job_rate_rps=200.0,
+        job_dataset_frac=0.05,
+    ),
+}

@@ -1,0 +1,127 @@
+"""Trace containers: a replayable request stream with deterministic JSONL.
+
+A trace is a time-ordered list of :class:`TraceRequest` records plus the
+metadata needed to replay it (workload name, seed, generator knobs).
+Serialization is line-oriented JSON with sorted keys: the same
+(spec, seed, scale) triple always produces a byte-identical file, which
+is what the replay-determinism property tests pin.  ``--trace`` on the
+CLI loads one of these files and replays it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Trace", "TraceRequest"]
+
+#: request kinds, in same-instant dispatch order: a job must start before
+#: its first read, and end only after its last one
+KIND_ORDER = {"job_start": 0, "read": 1, "job_end": 2}
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One replayable event: a read, or a job arriving/departing."""
+
+    #: arrival offset in seconds from replay start (post-init)
+    t: float
+    kind: str = "read"
+    #: index into the namespace's file list (per-job list for churn)
+    file_index: int = 0
+    offset: int = 0
+    nbytes: int = 0
+    #: owning job id; "" = the shared single-tenant namespace
+    job: str = ""
+    #: fair share, only meaningful on ``job_start``
+    share: float = 0.0
+
+    def sort_key(self) -> tuple:
+        """Deterministic replay order: time, then kind, then identity."""
+        return (self.t, KIND_ORDER.get(self.kind, 9), self.job,
+                self.file_index, self.offset)
+
+
+@dataclass
+class Trace:
+    """A generated (or file-loaded) request stream plus its provenance."""
+
+    workload: str = ""
+    seed: int = 0
+    #: generator knobs / derived facts (plain JSON; e.g. popularity order)
+    meta: dict[str, Any] = field(default_factory=dict)
+    requests: list[TraceRequest] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Arrival horizon: the last request's offset (0.0 when empty)."""
+        return self.requests[-1].t if self.requests else 0.0
+
+    @property
+    def n_reads(self) -> int:
+        """Read requests only (job markers excluded)."""
+        return sum(1 for r in self.requests if r.kind == "read")
+
+    def jobs(self) -> list[str]:
+        """Distinct job ids in first-arrival order ("" excluded)."""
+        seen: list[str] = []
+        for r in self.requests:
+            if r.job and r.job not in seen:
+                seen.append(r.job)
+        return seen
+
+    # -- serialization ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Deterministic line-oriented form: header line, one line per request."""
+        header = {"workload": self.workload, "seed": self.seed, "meta": self.meta}
+        lines = [json.dumps(header, sort_keys=True)]
+        for r in self.requests:
+            row: dict[str, Any] = {"t": r.t, "kind": r.kind}
+            if r.kind == "read":
+                row.update(file_index=r.file_index, offset=r.offset,
+                           nbytes=r.nbytes)
+            if r.job:
+                row["job"] = r.job
+            if r.kind == "job_start":
+                row["share"] = r.share
+            lines.append(json.dumps(row, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_jsonl`."""
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty trace file")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or "workload" not in header:
+            raise ValueError("trace file has no header line")
+        requests = []
+        for ln in lines[1:]:
+            row = json.loads(ln)
+            requests.append(TraceRequest(
+                t=float(row["t"]),
+                kind=row.get("kind", "read"),
+                file_index=int(row.get("file_index", 0)),
+                offset=int(row.get("offset", 0)),
+                nbytes=int(row.get("nbytes", 0)),
+                job=row.get("job", ""),
+                share=float(row.get("share", 0.0)),
+            ))
+        return cls(
+            workload=header["workload"],
+            seed=int(header.get("seed", 0)),
+            meta=header.get("meta", {}),
+            requests=requests,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the JSONL form to ``path``."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace file written by :meth:`save`."""
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))

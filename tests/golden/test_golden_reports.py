@@ -28,6 +28,7 @@ from repro.data.imagenet import IMAGENET_100G, IMAGENET_200G
 from repro.experiments.calibration import DEFAULT_CALIBRATION
 from repro.experiments.runner import run_once
 from repro.telemetry.runreport import RunReport, diff_reports, render_diff
+from repro.workload.spec import WORKLOADS
 
 GOLDEN_DIR = pathlib.Path(__file__).parent
 SCALE = 1 / 4096
@@ -61,6 +62,23 @@ GOLDEN_RUNS = {
         dataset=IMAGENET_100G,
         calib=DEFAULT_CALIBRATION,
         monarch_overrides={"policy": "heat"},
+    ),
+    # Trace-replay serving (FIG-SERVE): pins the steady-state report
+    # schema — window series, latency histograms, warm-split summaries —
+    # for the cache-warming setup and the no-cache baseline.
+    "figserve_monarch_lenet_100g": dict(
+        setup="monarch",
+        model_name="lenet",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+        workload=WORKLOADS["serve-zipf"],
+    ),
+    "figserve_vanilla_lustre_lenet_100g": dict(
+        setup="vanilla-lustre",
+        model_name="lenet",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+        workload=WORKLOADS["serve-zipf"],
     ),
 }
 

@@ -1,0 +1,198 @@
+"""Validation and boundary branches of the workload layer.
+
+The happy paths live in the property and replay suites; these pin the
+error messages users actually see (bad specs, malformed trace files,
+invalid histogram grids) and the driver's less-travelled branches:
+shared-reader job churn, reads gated on a slow job setup, drains that
+cross window edges, and empty traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simkernel.core import Simulator
+from repro.simkernel.rng import RngRegistry
+from repro.workload.generators import generate_trace, zipf_popularity
+from repro.workload.histogram import LatencyHistogram
+from repro.workload.replay import ReplayDriver
+from repro.workload.spec import WORKLOADS, WorkloadSpec
+from repro.workload.trace import Trace, TraceRequest
+
+from tests.workload.test_replay import FakeReader, uniform_trace
+
+pytestmark = pytest.mark.serve
+
+SIZES = [1000] * 8
+
+
+def rngs():
+    return RngRegistry(0)
+
+
+# -- generator validation -----------------------------------------------------
+
+def test_zipf_popularity_rejects_empty_namespace():
+    with pytest.raises(ValueError, match="at least one file"):
+        zipf_popularity(0, 1.1, np.random.default_rng(0))
+
+
+def test_zero_rate_rejected():
+    spec = WorkloadSpec(name="x", kind="zipf", requests=10, rate_rps=0.0)
+    with pytest.raises(ValueError, match="rate must be positive"):
+        generate_trace(spec, SIZES, 1.0, rngs(), mean_record_bytes=100)
+
+
+def test_read_size_must_be_positive():
+    spec = WORKLOADS["serve-zipf"]
+    with pytest.raises(ValueError, match="read size must be positive"):
+        generate_trace(spec, SIZES, 1.0, rngs())
+
+
+def test_diurnal_amplitude_bounds():
+    spec = WorkloadSpec(name="x", kind="diurnal", rate_rps=10.0,
+                        duration_s=10.0, diurnal_period_s=5.0,
+                        diurnal_amplitude=1.0)
+    with pytest.raises(ValueError, match="amplitude"):
+        generate_trace(spec, SIZES, 1.0, rngs(), mean_record_bytes=100)
+
+
+def test_diurnal_needs_duration_and_period():
+    spec = WorkloadSpec(name="x", kind="diurnal", rate_rps=10.0,
+                        duration_s=0.0, diurnal_period_s=5.0)
+    with pytest.raises(ValueError, match="duration_s"):
+        generate_trace(spec, SIZES, 1.0, rngs(), mean_record_bytes=100)
+
+
+def test_diurnal_pathological_rate_keeps_one_request():
+    """A rate so low nothing arrives still yields a replayable trace."""
+    spec = WorkloadSpec(name="x", kind="diurnal", rate_rps=1e-6,
+                        duration_s=1.0, diurnal_period_s=1.0,
+                        diurnal_amplitude=0.5)
+    trace = generate_trace(spec, SIZES, 1.0, rngs(), mean_record_bytes=100)
+    assert trace.n_reads == 1
+    assert trace.requests[0].t == pytest.approx(0.5)
+
+
+def test_churn_needs_jobs_and_matching_sizes():
+    base = dict(name="x", kind="churn", job_reads=10, job_rate_rps=5.0,
+                job_interarrival_s=1.0)
+    with pytest.raises(ValueError, match="job_sizes"):
+        generate_trace(WorkloadSpec(n_jobs=2, **base), SIZES, 1.0, rngs(),
+                       mean_record_bytes=100)
+    with pytest.raises(ValueError, match="n_jobs >= 1"):
+        generate_trace(WorkloadSpec(n_jobs=0, **base), SIZES, 1.0, rngs(),
+                       mean_record_bytes=100, job_sizes=[])
+    with pytest.raises(ValueError, match="per-job size lists"):
+        generate_trace(WorkloadSpec(n_jobs=2, **base), SIZES, 1.0, rngs(),
+                       mean_record_bytes=100, job_sizes=[SIZES])
+
+
+def test_unknown_kind_rejected():
+    spec = WorkloadSpec(name="x", kind="mystery")
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        generate_trace(spec, SIZES, 1.0, rngs(), mean_record_bytes=100)
+
+
+# -- trace-file validation ----------------------------------------------------
+
+def test_empty_trace_file_rejected():
+    with pytest.raises(ValueError, match="empty trace file"):
+        Trace.from_jsonl("\n")
+
+
+def test_headerless_trace_file_rejected():
+    with pytest.raises(ValueError, match="no header line"):
+        Trace.from_jsonl('[1, 2, 3]\n')
+
+
+# -- histogram validation -----------------------------------------------------
+
+def test_histogram_rejects_bad_grid():
+    with pytest.raises(ValueError, match="invalid histogram grid"):
+        LatencyHistogram(bins_per_decade=0)
+
+
+def test_histogram_rejects_bad_quantile():
+    with pytest.raises(ValueError, match="q must be in"):
+        LatencyHistogram().percentile(0.0)
+
+
+# -- driver branches ----------------------------------------------------------
+
+def make_driver(trace, **kwargs):
+    sim = Simulator()
+    reader = FakeReader(sim, **kwargs.pop("reader_kwargs", {}))
+    driver = ReplayDriver(sim, trace, reader, ["/f0"],
+                          hit_fn=reader.hit_fn, **kwargs)
+    return sim, driver
+
+
+def test_close_none_span_is_a_noop():
+    _, driver = make_driver(uniform_trace(2, 1.0))
+    driver._close(None)
+    assert driver.result.windows == []
+
+
+def test_flush_tail_idempotent_after_run():
+    sim, driver = make_driver(uniform_trace(3, 1.0))
+    sim.run(sim.spawn(driver.run(), name="replay"))
+    before = [dict(w) for w in driver.result.windows]
+    driver._flush_tail()
+    assert driver.result.windows == before
+
+
+def test_empty_trace_replays_to_zero():
+    sim, driver = make_driver(Trace(workload="empty"))
+    result = sim.run(sim.spawn(driver.run(), name="replay"))
+    assert result.completed == 0
+    assert result.hit_rate == 0.0
+
+
+def test_job_start_without_setup_shares_the_reader():
+    """With job_setup=None churn jobs fall back to the shared reader."""
+    trace = Trace(workload="unit", requests=[
+        TraceRequest(t=0.0, kind="job_start", job="j", share=0.5),
+        TraceRequest(t=0.0, kind="read", file_index=0, nbytes=10, job="j"),
+        TraceRequest(t=1.0, kind="job_end", job="j"),
+    ])
+    sim, driver = make_driver(trace)
+    result = sim.run(sim.spawn(driver.run(), name="replay"))
+    assert result.completed == 1
+
+
+def test_reads_wait_on_a_slow_job_setup():
+    """A job's reads queue on its setup gate, adding queueing latency."""
+    trace = Trace(workload="unit", requests=[
+        TraceRequest(t=0.0, kind="job_start", job="j", share=1.0),
+        TraceRequest(t=0.0, kind="read", file_index=0, nbytes=10, job="j"),
+        # the departure sets a 1 s horizon so windows stay coarse
+        TraceRequest(t=1.0, kind="job_end", job="j"),
+    ])
+    sim = Simulator()
+    shared = FakeReader(sim)
+
+    def setup(job, share):
+        yield sim.timeout(0.25)
+        return FakeReader(sim)
+
+    driver = ReplayDriver(sim, trace, shared, ["/f0"],
+                          job_paths={"j": ["/f0"]}, job_setup=setup,
+                          hit_fn=shared.hit_fn)
+    result = sim.run(sim.spawn(driver.run(), name="replay"))
+    assert result.completed == 1
+    # the read's latency is the setup delay it waited out
+    assert result.latency.max_s == pytest.approx(0.25)
+
+
+def test_drain_closes_edges_past_the_horizon():
+    """In-flight stragglers keep closing whole windows during the drain."""
+    sim, driver = make_driver(uniform_trace(2, 1.0), windows=4,
+                              reader_kwargs={"delay_s": 0.6})
+    result = sim.run(sim.spawn(driver.run(), name="replay"))
+    # horizon 1.0 -> 0.25 s windows; the last read completes at 1.6, so
+    # edges 1.25 and 1.5 close inside the drain loop before the tail
+    assert result.completed == 2
+    assert sum(w["completed"] for w in result.windows) == 2
+    assert result.windows[-1]["t_end"] == pytest.approx(1.6)

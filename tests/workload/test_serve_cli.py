@@ -1,0 +1,107 @@
+"""Tier-1 coverage for the FIG-SERVE figure and the serving CLI paths.
+
+The full latency-percentile gate runs in ``benchmarks/test_fig_serve.py``
+at bench scale; these exercise the same surfaces at 1/4096 so
+``make coverage`` (which measures the ``tests`` tree only) sees the
+figure builder, the renderer's verdict branches, and the
+``--workload``/``--trace`` CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments import figures
+from repro.workload.spec import WORKLOADS
+
+pytestmark = pytest.mark.serve
+
+SCALE = "1/4096"
+
+
+@pytest.fixture(scope="module")
+def serve_result():
+    return figures.fig_serve(scale=1 / 4096, seed=0)
+
+
+class TestFigServe:
+    def test_runs_both_setups_on_one_workload(self, serve_result):
+        assert serve_result["workload"] == "serve-zipf"
+        assert set(serve_result["runs"]) == set(figures.SERVE_FIGURE_SETUPS)
+        for rec in serve_result["runs"].values():
+            assert rec.completed == rec.n_requests > 0
+            assert rec.workload == "serve-zipf"
+        assert "zipf" in WORKLOADS["serve-zipf"].describe()
+
+    def test_render_table_and_verdict(self, serve_result):
+        out = figures.render_serve(serve_result)
+        assert "FIG-SERVE" in out
+        assert "warm p99" in out
+        assert "win condition" in out
+
+    def test_render_flags_a_lost_gate(self, serve_result):
+        lustre = serve_result["runs"]["vanilla-lustre"]
+        monarch = serve_result["runs"]["monarch"]
+        slow = dataclasses.replace(
+            monarch, warm_p99_ms=lustre.warm_p99_ms * 2)
+        out = figures.render_serve({
+            "workload": "serve-zipf",
+            "runs": {"vanilla-lustre": lustre, "monarch": slow},
+        })
+        assert "win condition NOT met" in out
+
+    def test_render_handles_zero_lustre_tail(self, serve_result):
+        runs = dict(serve_result["runs"])
+        runs["vanilla-lustre"] = dataclasses.replace(
+            runs["vanilla-lustre"], warm_p99_ms=0.0)
+        out = figures.render_serve({"workload": "serve-zipf", "runs": runs})
+        assert "no warm latencies" in out
+
+    def test_main_serve(self, capsys):
+        rc = figures.main(["serve", "--scale", SCALE])
+        assert rc == 0
+        assert "FIG-SERVE" in capsys.readouterr().out
+
+
+class TestServingCli:
+    def test_run_workload_prints_window_table(self, capsys):
+        rc = cli.main(["run", "monarch", "--workload", "serve-zipf",
+                       "--scale", SCALE])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "window" in out
+        assert "hit rate" in out
+        assert "latency p50/p99/p999" in out
+
+    def test_run_trace_file_replays(self, tmp_path, capsys):
+        from repro.data.imagenet import IMAGENET_100G
+        from repro.experiments.calibration import DEFAULT_CALIBRATION
+        from repro.experiments.scenarios import build_run
+
+        handle = build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=1 / 4096, seed=0, workload=WORKLOADS["serve-zipf"],
+        )
+        path = tmp_path / "zipf.jsonl"
+        handle.replay.trace.save(path)
+        rc = cli.main(["run", "monarch", "--trace", str(path),
+                       "--scale", SCALE])
+        assert rc == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_report_workload_carries_steady_section(self, capsys):
+        rc = cli.main(["report", "monarch", "--workload", "serve-zipf",
+                       "--scale", SCALE, "--seed", "0"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "steady" in payload
+        assert payload["steady"]["windows"]
+
+    def test_figures_serve_delegates(self, capsys):
+        rc = cli.main(["figures", "serve", "--scale", SCALE])
+        assert rc == 0
+        assert "FIG-SERVE" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Serving-run determinism and grid/cache equivalence.
+
+The FIG-SERVE grid must be transparent to how it executes: ``--jobs 4``
+fans runs out to worker processes, the run cache replays stored records
+— both must merge back byte-identical to a fresh serial run.  A trace
+saved to disk and replayed via ``trace=`` must behave exactly like the
+generated one, and the end-to-end latency percentiles must agree with an
+exact, numpy-free nearest-rank computation on the same samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.executor import RunSpec, execute_grid
+from repro.experiments.formats import ServeRunRecord
+from repro.experiments.runner import run_once
+from repro.experiments.scenarios import build_run
+from repro.workload.spec import WORKLOADS
+
+pytestmark = pytest.mark.serve
+
+SCALE = 1 / 4096
+
+
+def serve_specs(report: bool = False) -> list[RunSpec]:
+    return [
+        RunSpec(
+            setup=setup,
+            model="lenet",
+            dataset=IMAGENET_100G,
+            calib=DEFAULT_CALIBRATION,
+            scale=SCALE,
+            seed=0,
+            report=report,
+            workload=WORKLOADS["serve-zipf"],
+        )
+        for setup in ("vanilla-lustre", "monarch")
+    ]
+
+
+def as_dicts(records) -> list[dict]:
+    return [dataclasses.asdict(r) for r in records]
+
+
+def test_same_seed_runs_byte_identical():
+    a = execute_grid(serve_specs(), jobs=1, cache=None)
+    b = execute_grid(serve_specs(), jobs=1, cache=None)
+    assert as_dicts(a) == as_dicts(b)
+    assert all(isinstance(r, ServeRunRecord) for r in a)
+
+
+def test_parallel_grid_matches_serial():
+    serial = execute_grid(serve_specs(), jobs=1, cache=None)
+    fanned = execute_grid(serve_specs(), jobs=4, cache=None)
+    assert as_dicts(serial) == as_dicts(fanned)
+
+
+def test_run_cache_round_trips_serve_records(tmp_path):
+    fresh = execute_grid(serve_specs(report=True), jobs=1, cache=None)
+    stored = execute_grid(serve_specs(report=True), jobs=1, cache=tmp_path)
+    replayed = execute_grid(serve_specs(report=True), jobs=1, cache=tmp_path)
+    assert as_dicts(fresh) == as_dicts(stored) == as_dicts(replayed)
+    # the report payload survives the cache too, steady section included
+    assert replayed[0].report is not None
+    assert "steady" in replayed[0].report
+
+
+def test_file_loaded_trace_matches_generated(tmp_path):
+    """Replaying a saved trace equals replaying the generated one."""
+    workload = WORKLOADS["serve-zipf"]
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=SCALE, seed=0, workload=workload,
+    )
+    path = tmp_path / "serve_zipf.jsonl"
+    handle.replay.trace.save(path)
+
+    generated = run_once("monarch", "lenet", IMAGENET_100G,
+                         scale=SCALE, seed=0, workload=workload)
+    from repro.workload.trace import Trace
+
+    loaded = run_once("monarch", "lenet", IMAGENET_100G,
+                      scale=SCALE, seed=0, trace=Trace.load(path))
+    assert dataclasses.asdict(generated) == dataclasses.asdict(loaded)
+
+
+def test_percentiles_match_exact_nearest_rank():
+    """End-to-end p50/p99 agree with exact sorted-list percentiles."""
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=SCALE, seed=0, workload=WORKLOADS["serve-zipf"],
+    )
+    # intercept every latency sample the driver records
+    samples: list[float] = []
+
+    class Teeing(type(handle.replay.result.latency)):
+        def add(self, value: float) -> None:
+            samples.append(max(0.0, float(value)))
+            super().add(value)
+
+    handle.replay.result.latency = Teeing()
+    result = handle.execute()
+    assert len(samples) == result.completed > 0
+
+    tol = 10 ** (1.5 / 24)  # one log-bucket of slack (plus rounding)
+    for q in (0.5, 0.99):
+        rank = max(1, math.ceil(q * len(samples)))
+        exact = sorted(samples)[rank - 1]
+        approx = result.latency.percentile(q)
+        if exact == 0.0:
+            assert approx <= result.latency.lo * tol
+        else:
+            assert exact / tol <= approx <= exact * tol, (q, exact, approx)
+
+
+def test_serving_rejects_epoch_only_setups():
+    with pytest.raises(ValueError, match="cannot serve"):
+        build_run(
+            "vanilla-caching", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=SCALE, seed=0, workload=WORKLOADS["serve-zipf"],
+        )
+
+
+def test_file_loaded_churn_trace_rejected(tmp_path):
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=SCALE, seed=0, workload=WORKLOADS["serve-churn"],
+    )
+    path = tmp_path / "churn.jsonl"
+    handle.replay.trace.save(path)
+    from repro.workload.trace import Trace
+
+    with pytest.raises(ValueError, match="churn"):
+        build_run(
+            "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+            scale=SCALE, seed=0, trace=Trace.load(path),
+        )

@@ -1,0 +1,202 @@
+"""Property-based trace-generator and replay invariants (hypothesis).
+
+Randomized workload shapes against the contracts the serving subsystem
+must never break:
+
+1. Zipf popularity is monotone: request frequency falls with popularity
+   rank (exactly in the probabilities, statistically in the traces),
+2. diurnal arrival counts follow the sinusoidal load curve within
+   sampling tolerance,
+3. every generated trace is byte-identical when regenerated from the
+   same seed, and survives a JSONL round trip,
+4. replaying a trace through the full monarch stack — with or without a
+   mid-run tier fault — never violates capacity or namespace
+   invariants, and completes every request.
+
+Everything is seeded, so a failing example reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.scenarios import build_run, ssd_tier_down_plan
+from repro.simkernel.rng import RngRegistry
+from repro.workload.generators import generate_trace, zipf_popularity
+from repro.workload.spec import WORKLOADS, WorkloadSpec
+from repro.workload.trace import Trace
+
+pytestmark = [pytest.mark.hypothesis_heavy, pytest.mark.serve]
+
+MIB = 1 << 20
+
+
+def zipf_spec(requests: int, s: float) -> WorkloadSpec:
+    return WorkloadSpec(name="prop-zipf", kind="zipf", requests=requests,
+                        rate_rps=100.0, zipf_s=s, read_bytes=4096)
+
+
+# -- 1. Zipf popularity monotonicity ----------------------------------------
+
+@given(
+    n_files=st.integers(min_value=2, max_value=64),
+    s=st.floats(min_value=0.3, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_zipf_probabilities_monotone_in_rank(n_files, s, seed):
+    order, probs = zipf_popularity(n_files, s, np.random.default_rng(seed))
+    assert sorted(order.tolist()) == list(range(n_files))
+    assert probs.sum() == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert probs[0] > probs[-1] or n_files == 1
+
+
+@given(
+    s=st.floats(min_value=0.8, max_value=1.6, allow_nan=False),
+    n_files=st.integers(min_value=6, max_value=24),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_zipf_trace_frequencies_rank_monotone(s, n_files, seed):
+    """Observed per-rank request counts decay with popularity rank."""
+    spec = zipf_spec(requests=4000, s=s)
+    sizes = [MIB] * n_files
+    trace = generate_trace(spec, sizes, 1.0, RngRegistry(seed))
+    order = trace.meta["popularity"]
+    rank_of = {file_idx: rank for rank, file_idx in enumerate(order)}
+    counts = [0] * n_files
+    for req in trace.requests:
+        counts[rank_of[req.file_index]] += 1
+    third = max(1, n_files // 3)
+    assert sum(counts[:third]) > sum(counts[-third:])
+    # the top-ranked file is sampled at least as often as the median rank
+    assert counts[0] >= counts[n_files // 2]
+
+
+# -- 2. diurnal arrivals follow the load curve -------------------------------
+
+@given(
+    amp=st.floats(min_value=0.5, max_value=0.9, allow_nan=False),
+    rate=st.floats(min_value=60.0, max_value=120.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_diurnal_counts_follow_load_curve(amp, rate, seed):
+    period = 200.0
+    spec = WorkloadSpec(name="prop-diurnal", kind="diurnal", rate_rps=rate,
+                        duration_s=period, diurnal_amplitude=amp,
+                        diurnal_period_s=period, read_bytes=4096)
+    trace = generate_trace(spec, [MIB] * 8, 1.0, RngRegistry(seed))
+    ts = np.array([r.t for r in trace.requests])
+    # over one full period the sinusoid integrates out: the total is the
+    # homogeneous expectation, within Poisson noise
+    expected = rate * period
+    assert abs(len(ts) - expected) < 0.15 * expected
+    # the first half-period carries the positive sine lobe; with
+    # amplitude >= 0.5 its expected share is >= 1.9x the trough half
+    peak = int((ts < period / 2).sum())
+    trough = len(ts) - peak
+    assert peak > 1.3 * trough
+    # arrivals are sorted and inside the horizon
+    assert all(a <= b for a, b in zip(ts, ts[1:]))
+    assert ts[-1] < period
+
+
+# -- 3. same-seed byte-identity + JSONL round trip ---------------------------
+
+def _trace_for(kind: str, seed: int) -> Trace:
+    rngs = RngRegistry(seed)
+    if kind == "zipf":
+        return generate_trace(zipf_spec(500, 1.1), [MIB] * 6, 1.0, rngs)
+    if kind == "diurnal":
+        spec = WorkloadSpec(name="p", kind="diurnal", rate_rps=40.0,
+                            duration_s=50.0, diurnal_amplitude=0.6,
+                            diurnal_period_s=25.0, read_bytes=4096)
+        return generate_trace(spec, [MIB] * 6, 1.0, rngs)
+    assert kind == "churn"
+    spec = WorkloadSpec(name="p", kind="churn", n_jobs=3,
+                        job_interarrival_s=10.0, job_reads=200,
+                        job_rate_rps=50.0, read_bytes=4096)
+    return generate_trace(spec, [], 1.0, rngs,
+                          job_sizes=[[MIB] * 4] * 3)
+
+
+@given(
+    kind=st.sampled_from(["zipf", "diurnal", "churn"]),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_same_seed_trace_is_byte_identical(kind, seed):
+    a = _trace_for(kind, seed)
+    b = _trace_for(kind, seed)
+    assert a.to_jsonl() == b.to_jsonl()
+    again = Trace.from_jsonl(a.to_jsonl())
+    assert again.to_jsonl() == a.to_jsonl()
+    assert again.workload == a.workload
+    assert again.seed == seed
+    assert again.n_reads == a.n_reads
+
+
+@given(seed=st.integers(min_value=0, max_value=9999))
+@settings(max_examples=10, deadline=None)
+def test_different_seeds_differ(seed):
+    a = _trace_for("zipf", seed)
+    b = _trace_for("zipf", seed + 1)
+    assert a.to_jsonl() != b.to_jsonl()
+
+
+# -- 4. full-stack replay invariants (fault plan armed) ----------------------
+
+def _assert_capacity_invariants(handle):
+    for _level, drv in handle.monarch.hierarchy.upper_levels():
+        assert drv.occupancy_bytes <= drv.quota_bytes, (
+            f"tier over quota: {drv.occupancy_bytes} > {drv.quota_bytes}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=31),
+    fail_frac=st.floats(min_value=0.2, max_value=0.8, allow_nan=False),
+)
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_faulted_replay_never_violates_capacity(seed, fail_frac):
+    """An SSD dying (and recovering) mid-replay breaks no invariant."""
+    workload = WORKLOADS["serve-zipf"]
+    horizon = workload.requests / workload.rate_rps
+    plan = ssd_tier_down_plan(
+        horizon * fail_frac, recover_at_s=horizon * fail_frac + horizon / 10)
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=1 / 4096, seed=seed, workload=workload, fault_plan=plan,
+    )
+    result = handle.execute()
+    assert result.completed == result.n_requests
+    _assert_capacity_invariants(handle)
+
+
+@given(seed=st.integers(min_value=0, max_value=15))
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_churn_replay_respects_namespaces_and_capacity(seed):
+    """Job churn (per-job namespaces) replays clean through the arbiter.
+
+    A cross-namespace read inside monarch raises NamespaceViolationError,
+    so completing every request is itself the namespace invariant.
+    """
+    handle = build_run(
+        "monarch", "lenet", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=1 / 4096, seed=seed, workload=WORKLOADS["serve-churn"],
+    )
+    result = handle.execute()
+    assert result.completed == result.n_requests
+    assert result.completed > 0
+    _assert_capacity_invariants(handle)

@@ -33,7 +33,7 @@ SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 #: packages disappears from the source tree — or the measured run never
 #: executes a line of it — the total percentage silently stops covering
 #: what the floor assumes, so the gate fails loudly instead.
-REQUIRED_PACKAGES = ("core/policy", "distributed")
+REQUIRED_PACKAGES = ("core/policy", "distributed", "workload")
 
 
 def iter_source_files(root: str) -> list[str]:
