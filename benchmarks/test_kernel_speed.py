@@ -5,7 +5,9 @@ simulator itself, so larger experiment grids stay tractable.  It times a
 representative contended cell — scenario build excluded, so the number
 tracks the event loop rather than numpy setup — counts the kernel's
 dispatch slots (``Simulator.events_processed``: every Event ``_process``
-and every bare continuation), and times one full FIG3 grid pass at
+and every bare continuation), probes the monarch cell both fused and
+legacy-gated (the middleware continuation protocol's measured win, with
+its own regression floor), and times one full FIG3 grid pass at
 1/16 scale, the floor for presentable figure runs.  Measurements land in
 ``BENCH_kernel.json`` at the repo root.  If a committed baseline exists,
 events/sec must stay within 20 % of it — the regression gate behind
@@ -51,25 +53,42 @@ FIG3_SCALE = 1 / 16
 METHODOLOGY = "dispatch-slots/execute-only"
 
 
-def _build_probe(scale: float):
+def _build_probe(scale: float, setup: str = "vanilla-lustre"):
     return build_run(
-        "vanilla-lustre", "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
+        setup, "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
         scale=scale, seed=0,
     )
+
+
+def _best_wall(scale: float, setup: str, reps: int = PROBE_REPS):
+    """(dispatch slots, best-of-``reps`` execute wall) for one cell."""
+    events = None
+    wall = float("inf")
+    for _ in range(reps):
+        handle = _build_probe(scale, setup)
+        t0 = time.perf_counter()
+        handle.execute()
+        wall = min(wall, time.perf_counter() - t0)
+        events = handle.sim.events_processed
+    return events, wall
 
 
 def test_kernel_speed(bench_scale):
     # The slot count for the probe cell is deterministic; wall time is
     # not, so rebuild + re-execute PROBE_REPS times and keep the fastest.
-    events = None
-    cell_wall = float("inf")
-    for _ in range(PROBE_REPS):
-        handle = _build_probe(bench_scale)
-        t0 = time.perf_counter()
-        handle.execute()
-        cell_wall = min(cell_wall, time.perf_counter() - t0)
-        events = handle.sim.events_processed
+    events, cell_wall = _best_wall(bench_scale, "vanilla-lustre")
     events_per_sec = events / cell_wall
+
+    # The monarch cell — ~all of every figure grid — gets its own probe:
+    # fused (default) vs legacy (gated), so the middleware continuation
+    # protocol's win is measured and regression-gated like the kernel's.
+    monarch_events, monarch_wall = _best_wall(bench_scale, "monarch")
+    os.environ["REPRO_DISABLE_FUSED_PIPELINE"] = "1"
+    try:
+        _, monarch_legacy_wall = _best_wall(bench_scale, "monarch")
+    finally:
+        del os.environ["REPRO_DISABLE_FUSED_PIPELINE"]
+    monarch_events_per_sec = monarch_events / monarch_wall
 
     t0 = time.perf_counter()
     fig3(scale=FIG3_SCALE, runs=1)
@@ -85,12 +104,22 @@ def test_kernel_speed(bench_scale):
         "probe_events": events,
         "probe_wall_s": round(cell_wall, 4),
         "events_per_sec": round(events_per_sec),
+        "monarch_probe": "monarch/resnet50",
+        "monarch_events": monarch_events,
+        "monarch_fused_wall_s": round(monarch_wall, 4),
+        "monarch_legacy_wall_s": round(monarch_legacy_wall, 4),
+        "monarch_fused_speedup": round(monarch_legacy_wall / monarch_wall, 3),
+        "monarch_events_per_sec": round(monarch_events_per_sec),
         "fig3_scale": FIG3_SCALE,
         "fig3_wall_s": round(fig3_wall, 2),
         "fig3_scale1_est_s": round(fig3_scale1_est, 1),
     }
     print(f"\nKERNEL: {events} dispatch slots in {cell_wall:.3f}s -> "
           f"{events_per_sec:,.0f} events/s")
+    print(f"KERNEL: monarch fused {monarch_wall:.3f}s vs legacy "
+          f"{monarch_legacy_wall:.3f}s "
+          f"({monarch_legacy_wall / monarch_wall:.2f}x) -> "
+          f"{monarch_events_per_sec:,.0f} events/s")
     print(f"KERNEL: fig3 grid at scale 1/16 in {fig3_wall:.1f}s "
           f"(scale=1 estimate ~{fig3_scale1_est / 60:.1f} min)")
 
@@ -115,3 +144,11 @@ def test_kernel_speed(bench_scale):
         f"{floor:,.0f} ({REGRESSION_FACTOR:.0%} of committed "
         f"{baseline['events_per_sec']:,})"
     )
+    monarch_baseline = baseline.get("monarch_events_per_sec")
+    if monarch_baseline is not None:
+        monarch_floor = REGRESSION_FACTOR * monarch_baseline
+        assert monarch_events_per_sec >= monarch_floor, (
+            f"monarch fused throughput regressed: "
+            f"{monarch_events_per_sec:,.0f} events/s < {monarch_floor:,.0f} "
+            f"({REGRESSION_FACTOR:.0%} of committed {monarch_baseline:,})"
+        )

@@ -34,7 +34,8 @@ from repro.core.metadata import FileState, MetadataContainer
 from repro.core.placement import PlacementHandler, make_eviction_policy
 from repro.core.policy import make_policy
 from repro.core.tenancy import FairShareArbiter, JobContext, NamespaceViolationError
-from repro.framework.io_layer import DataReader, OpenFile
+from repro.framework.io_layer import DataReader, OpenFile, continuation_capable
+from repro.simkernel.core import PRIORITY_URGENT, Event, SimulationError
 from repro.simkernel.monitor import TagAccounting
 from repro.storage.base import IOFaultError
 from repro.storage.vfs import MountTable
@@ -468,16 +469,174 @@ class Monarch:
         return reg
 
 
+class _MonarchToken:
+    """Per-open state for the fused read path (stored in ``OpenFile.token``).
+
+    Caches the namespace lookup plus, per tier level, the resolved driver
+    and its bound continuation entry point, so a steady-state resident
+    read pays one dict get and a handful of attribute checks before the
+    backend's ``pread_begin``.  ``level`` is the level ``driver``/``pb``
+    were resolved for (-1 until the first resident read); it is
+    re-validated against ``info.level`` on every read, so promotions and
+    evictions re-resolve naturally.
+    """
+
+    __slots__ = ("info", "key", "level", "driver", "pb")
+
+    def __init__(self, info: Any, key: str) -> None:
+        self.info = info
+        self.key = key
+        self.level = -1
+        self.driver: Any = None
+        self.pb: Any = None
+
+
+class _ReadDone:
+    """Pooled completion continuation for the fused resident-read path.
+
+    Carries exactly the bookkeeping ``Monarch.read`` performs when its
+    generator resumes at the transfer-completion instant — conditional
+    health success, tier stats, the policy access hook — then chains to
+    the pipeline's callback in the same dispatch slot.  ``health.dirty``
+    is re-read here, not captured at issue, because the generator form
+    evaluates it at completion time too (a fault elsewhere mid-flight
+    makes this read's success count toward re-admission).
+    """
+
+    __slots__ = ("reader", "info", "offset", "level", "n", "cb")
+
+    def __call__(self, ev: Any) -> None:
+        reader = self.reader
+        m = reader.monarch
+        health = m._health
+        if health.dirty:
+            health.record_success(self.level)
+        m.stats.record(self.level, self.n)
+        on_access = m._on_access
+        if on_access is not None:
+            on_access(self.info, self.offset, self.n)
+        cb = self.cb
+        self.info = None
+        self.cb = None
+        reader._done_pool.append(self)
+        cb(ev)
+
+
+class _LegacyDrive:
+    """Drives one legacy read generator continuation-style.
+
+    The fused pipeline issues every read through ``pread_begin``, but
+    only resident fast-tier hits are worth inlining; everything else —
+    misses, COPYING reads, quarantine fallback routing, tenancy-enforced
+    reads, fault-wrapped mounts — still runs the unmodified generator.
+    This object stands in for the worker ``Process``: it resumes the
+    generator from event callbacks in exactly the slots
+    ``Process._resume`` would (including the immediate-resume fast path
+    for already-processed events), so fused and generator modes dispatch
+    every timed op and RNG draw identically.  A generator exception is
+    delivered to the pipeline as an urgent failed event — the same slot
+    offset a dying reader process's fail event would occupy.
+    """
+
+    __slots__ = ("reader", "gen", "cb", "take")
+
+    def __init__(self, reader: "MonarchReader") -> None:
+        self.reader = reader
+        self.gen: Any = None
+        self.cb: Any = None
+        self.take = 0
+
+    def start(self, gen: Any, take: int, cb: Any) -> None:
+        """Run ``gen`` to its first suspension in the caller's slot."""
+        self.gen = gen
+        self.take = take
+        self.cb = cb
+        self._advance(gen.send, None, None)
+
+    def _step(self, ev: Any) -> None:
+        if ev._exc is not None:
+            self._advance(self.gen.throw, ev._exc, ev)
+        else:
+            self._advance(self.gen.send, ev._value, ev)
+
+    def _advance(self, entry: Any, arg: Any, last: Any) -> None:
+        gen = self.gen
+        try:
+            target = entry(arg)
+            # Mirror Process._resume's already-processed fast path: an
+            # event that fired in an earlier slot resumes immediately.
+            while target._processed:
+                last = target
+                if target._exc is not None:
+                    target = gen.throw(target._exc)
+                else:
+                    target = gen.send(target._value)
+        except StopIteration as stop:
+            self._finish(stop.value, last)
+            return
+        except BaseException as err:  # noqa: BLE001 - routed like a dead proc
+            self._fail(err)
+            return
+        target.add_callback(self._step)
+
+    def _finish(self, value: Any, last: Any) -> None:
+        if value != self.take:
+            # The protocol promised the transfer size synchronously; the
+            # generator returning anything else means records were built
+            # from a wrong size — fail loudly rather than diverge.
+            self._fail(
+                SimulationError(
+                    f"legacy read returned {value} bytes; fused protocol "
+                    f"promised {self.take}"
+                )
+            )
+            return
+        cb = self.cb
+        self.gen = None
+        self.cb = None
+        self.reader._drive_pool.append(self)
+        if last is None:
+            # Zero-yield completion (no real backend does this): defer one
+            # slot — a synchronous cb would run before the caller stored
+            # the returned transfer size.
+            self.reader.monarch.sim.call_now(cb, None, priority=PRIORITY_URGENT)
+            return
+        cb(last)
+
+    def _fail(self, err: BaseException) -> None:
+        cb = self.cb
+        sim = self.reader.monarch.sim
+        self.gen = None
+        self.cb = None
+        self.reader._drive_pool.append(self)
+        ev = Event(sim, name="legacy-read-error")
+        ev.add_callback(cb)
+        ev.fail(err, priority=PRIORITY_URGENT)
+
+
 class MonarchReader(DataReader):
     """The framework-side shim: DataReader backed by ``Monarch.read``.
 
     ``job`` binds the reader to one job's namespace in multi-job runs;
     the default empty job is the single-tenant global namespace.
+
+    The reader speaks the fused continuation protocol (``open_begin`` /
+    ``pread_begin``), so monarch cells engage the pipeline's fused reader
+    FSMs.  Routing is per read: a healthy resident fast-tier hit — the
+    steady-state case — is inlined with the middleware bookkeeping folded
+    into a pooled completion continuation; every other read replays the
+    legacy ``Monarch.read`` generator through :class:`_LegacyDrive`,
+    which preserves its slot-for-slot behaviour.
     """
+
+    #: fused opens resolve from the virtual namespace with no timed op
+    open_is_sync = True
 
     def __init__(self, monarch: Monarch, job: str = "") -> None:
         self.monarch = monarch
         self.job = job
+        self._done_pool: list[_ReadDone] = []
+        self._drive_pool: list[_LegacyDrive] = []
 
     def open(self, path: str) -> Generator[Any, Any, OpenFile]:
         """Resolve size from the virtual namespace (no PFS open)."""
@@ -498,3 +657,105 @@ class MonarchReader(DataReader):
             rel = path[len(pfs_mount):]
             return rel or "/"
         return path
+
+    # -- fused (continuation-style) protocol ---------------------------
+    def fused_capable(self, paths: list[str]) -> bool:
+        """Monarch cells always engage the fused FSMs.
+
+        Capability is unconditional because routing is per *read*, not
+        per epoch: a read that can't be inlined (miss, COPYING, faulted
+        or quarantined tier, tenancy check, fault-wrapped backend) runs
+        the legacy generator through :class:`_LegacyDrive` in the same
+        dispatch slots.
+        """
+        return True
+
+    def fused_miss(self, paths: list[str]) -> str | None:
+        """Per-read routing means there is never a capability miss."""
+        return None
+
+    def open_begin(self, path: str, cb: Any) -> OpenFile:
+        """Fused open: namespace resolution only, no timed op.
+
+        ``cb`` is never scheduled — :attr:`open_is_sync` tells the FSM
+        to chain straight into the first read, exactly where the
+        zero-yield generator ``open`` would have continued.
+        """
+        name = self._logical_name(path)
+        info = self.monarch.metadata.lookup(name)
+        return OpenFile(
+            path=name,
+            size=info.size,
+            token=_MonarchToken(info, "/" + name.lstrip("/")),
+        )
+
+    def pread_begin(self, f: OpenFile, offset: int, nbytes: int, cb: Any) -> int:
+        """Fused pread: inline the resident fast-tier hit, else replay
+        the legacy generator continuation-style.
+
+        The fast path requires a CACHED file on a healthy hierarchy with
+        an already-open handle on a continuation-capable backend, in the
+        single-tenant namespace — the steady-state shape of every epoch
+        past the first.  Everything it skips relative to ``Monarch.read``
+        is either statically impossible here (tenancy checks with no
+        owner, per-job stats with no job) or folded into the pooled
+        :class:`_ReadDone` completion continuation.
+        """
+        m = self.monarch
+        tok: _MonarchToken = f.token
+        info = tok.info
+        if (
+            info.state is FileState.CACHED
+            and not m._health.dirty
+            and not self.job
+            and not info.owner
+            and m._initialized
+        ):
+            level = info.level
+            if level != tok.level:
+                driver = m.hierarchy[level]
+                tok.driver = driver
+                tok.level = level
+                tok.pb = (
+                    driver.fs.pread_begin
+                    if continuation_capable(driver.fs)
+                    else None
+                )
+            pb = tok.pb
+            if pb is not None:
+                handle = tok.driver._handles.get(tok.key)
+                if handle is not None:
+                    pool = self._done_pool
+                    done = pool.pop() if pool else _ReadDone()
+                    done.reader = self
+                    done.info = info
+                    done.offset = offset
+                    done.level = level
+                    done.cb = cb
+                    # The backend never invokes ``done`` synchronously
+                    # (protocol guarantee), so setting ``n`` after the
+                    # call is race-free.
+                    n = pb(handle, offset, nbytes, done)
+                    done.n = n
+                    return n
+        return self._legacy_begin(
+            m.read(info.name, offset, nbytes, self.job), info, offset, nbytes, cb
+        )
+
+    def _legacy_begin(
+        self, gen: Any, info: Any, offset: int, nbytes: int, cb: Any
+    ) -> int:
+        """Replay a legacy read generator under the fused protocol."""
+        take = info.size - offset
+        if take > nbytes:
+            take = nbytes
+        elif take < 0:
+            take = 0
+        pool = self._drive_pool
+        drive = pool.pop() if pool else _LegacyDrive(self)
+        drive.start(gen, take, cb)
+        return take
+
+    def pread_begin_bound(self, f: OpenFile) -> tuple[Any, OpenFile]:
+        """Routing is per read, so the bound form is ``pread_begin``."""
+        return self.pread_begin, f

@@ -115,6 +115,24 @@ class ClusterFabric:
         t = self.model.transfer_time(nbytes)
         yield parallel_using(self.sim, [(self.links[src], t), (self.links[dst], t)])
 
+    def transfer_begin(self, src: int, dst: int, nbytes: int, cb: Any) -> None:
+        """Continuation form of :meth:`transfer`.
+
+        Issues the same dual-link hold in the caller's dispatch slot —
+        counters first, then the parallel acquire, exactly the order the
+        generator form runs at its first ``send`` — and schedules
+        ``cb(event)`` when both links release.
+        """
+        if src == dst:
+            raise ValueError(f"transfer to self (node {src})")
+        self.peer_transfers += 1
+        self.peer_bytes += nbytes
+        t = self.model.transfer_time(nbytes)
+        ev = parallel_using(
+            self.sim, [(self.links[src], t), (self.links[dst], t)]
+        )
+        ev.add_callback(cb)
+
     def allreduce(self, duration_s: float):
         """Hold every node's link for one gradient sync (generator).
 

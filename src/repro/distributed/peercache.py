@@ -19,7 +19,10 @@ setup joins the node-local tiers into one cluster cache namespace:
   other nodes actually fetched — onto surviving nodes from the PFS.
 * :class:`PeerCacheReader` — the framework-side shim: a
   :class:`~repro.core.middleware.MonarchReader` whose reads consult the
-  directory before falling back to the PFS.
+  directory before falling back to the PFS.  It speaks the fused
+  continuation protocol: clean peer fetches run as a two-stage
+  continuation chain, everything else replays the service generator
+  continuation-style (bit-identical to the legacy path).
 
 A peer fetch deliberately does **not** trigger a local placement: the
 bytes are already on fast storage somewhere in the cluster, and copying
@@ -35,7 +38,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.metadata import FileState
-from repro.core.middleware import MonarchReader
+from repro.core.middleware import MonarchReader, _MonarchToken
+from repro.framework.io_layer import continuation_capable
 from repro.storage.base import IOFaultError
 from repro.telemetry.events import NULL_RECORDER
 
@@ -363,12 +367,63 @@ class PeerCacheService:
         return node in self._down
 
 
+class _PeerFetchFlight:
+    """Pooled continuation chain for one fused peer fetch.
+
+    Stage one (``__call__``) fires when the peer's SSD read completes and
+    issues the fabric transfer in that same dispatch slot — where the
+    legacy ``_peer_fetch`` generator resumes into ``fabric.transfer``.
+    Stage two (``_transferred``) fires when both links release and
+    carries the generator's post-transfer bookkeeping (hot-set, per-node
+    stats, fetch timestamps, the recorder event) before chaining to the
+    pipeline's callback.
+    """
+
+    __slots__ = ("reader", "name", "src", "n", "cb")
+
+    def __call__(self, ev: Any) -> None:
+        reader = self.reader
+        svc = reader.service
+        svc.fabric.transfer_begin(self.src, reader.node, self.n, self._transferred)
+
+    def _transferred(self, ev: Any) -> None:
+        reader = self.reader
+        svc = reader.service
+        name = self.name
+        src = self.src
+        n = self.n
+        svc._hot.add(name)
+        dst_stats = svc.stats[reader.node]
+        dst_stats.peer_hits += 1
+        dst_stats.peer_bytes += n
+        src_stats = svc.stats[src]
+        src_stats.fetches_served += 1
+        src_stats.bytes_served += n
+        svc.last_fetch_s_by_source[src] = svc.sim.now
+        if svc.recorder.enabled:
+            svc.recorder.emit("peer.fetch", name, src=src, dst=reader.node, nbytes=n)
+        cb = self.cb
+        self.cb = None
+        reader._fetch_pool.append(self)
+        cb(ev)
+
+
+#: states whose reads consult the peer directory before the PFS
+_PFS_STATES = (FileState.PFS_ONLY, FileState.UNPLACEABLE)
+
+
 class PeerCacheReader(MonarchReader):
     """MonarchReader whose PFS-bound reads first try the peer directory.
 
-    Peer fetches use the legacy generator read path (the fused
-    continuation protocol stays engaged only where the plain readers
-    support it); everything else delegates to the node's own middleware.
+    Speaks the fused continuation protocol like its base class, with one
+    more inlined shape: a clean peer-directory hit — remote SSD read plus
+    fabric transfer — runs as a two-stage continuation chain
+    (:class:`_PeerFetchFlight`) instead of the ``PeerCacheService.read``
+    generator.  Local fast-tier hits inline through the base class; any
+    read that can't be inlined (peer handle not yet open, stale directory
+    entry, fault-wrapped backend, local miss) replays the unmodified
+    service generator continuation-style, so the fused and generator
+    modes stay bit-identical.
     """
 
     def __init__(self, service: PeerCacheService, node: int, monarch: "Monarch",
@@ -376,7 +431,54 @@ class PeerCacheReader(MonarchReader):
         super().__init__(monarch, job)
         self.service = service
         self.node = node
+        self._fetch_pool: list[_PeerFetchFlight] = []
 
     def pread(self, f: "OpenFile", offset: int, nbytes: int):
         n = yield from self.service.read(self.node, f.path, offset, nbytes, self.job)
         return n
+
+    def pread_begin(self, f: "OpenFile", offset: int, nbytes: int, cb: Any) -> int:
+        """Fused pread with the peer-fetch fast path.
+
+        The pre-checks mirror the conditions under which the legacy
+        ``service.read`` / ``_peer_fetch`` pair runs its clean two-yield
+        shape (peer SSD read, then fabric transfer) — and they are pure:
+        a miss falls through to the trampolined generator, which redoes
+        the directory lookup and performs any side effects (stale-entry
+        withdrawal, fault handling) itself, exactly as the legacy path
+        would have.
+        """
+        svc = self.service
+        tok: _MonarchToken = f.token
+        info = tok.info
+        state = info.state
+        if state is FileState.CACHED:
+            # Locally resident: the directory is never consulted; the
+            # base class inlines the healthy fast-tier hit.
+            return super().pread_begin(f, offset, nbytes, cb)
+        if state in _PFS_STATES:
+            src = svc.directory.locate(info.name, exclude=self.node)
+            if src is not None:
+                peer = svc._monarchs[src]
+                pinfo = peer.metadata.get(info.name)
+                if pinfo is not None and pinfo.state is FileState.CACHED:
+                    driver = peer.hierarchy[pinfo.level]
+                    if continuation_capable(driver.fs):
+                        handle = driver._handles.get(tok.key)
+                        if handle is not None:
+                            pool = self._fetch_pool
+                            flight = pool.pop() if pool else _PeerFetchFlight()
+                            flight.reader = self
+                            flight.name = info.name
+                            flight.src = src
+                            flight.cb = cb
+                            n = driver.fs.pread_begin(handle, offset, nbytes, flight)
+                            flight.n = n
+                            return n
+        return self._legacy_begin(
+            svc.read(self.node, info.name, offset, nbytes, self.job),
+            info,
+            offset,
+            nbytes,
+            cb,
+        )

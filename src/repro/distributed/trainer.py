@@ -62,6 +62,10 @@ class DistributedResult:
     policy: str = "static"
     epochs: list[EpochStats] = field(default_factory=list)
     init_time_s: float = 0.0
+    #: why fused reader FSMs could not engage, per reason -> pipe count
+    #: across all nodes and epochs; empty when fusion ran (or was off by
+    #: design: env gate, cache-writing epoch)
+    fusion_misses: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_time_s(self) -> float:
@@ -159,6 +163,10 @@ class DistributedTrainer:
                 shuffle_rng=self._shuffle_rngs[ns.index],
             )
             pipe.start()
+            miss = pipe.fusion_miss
+            if miss is not None:
+                misses = self.result.fusion_misses
+                misses[miss] = misses.get(miss, 0) + 1
             pipes.append(pipe)
 
         steps = 0

@@ -18,7 +18,32 @@ from typing import Any
 from repro.storage.base import FileHandle, StorageError
 from repro.storage.vfs import MountTable
 
-__all__ = ["DataReader", "OpenFile", "PosixReader"]
+__all__ = ["DataReader", "OpenFile", "PosixReader", "continuation_capable"]
+
+#: per-class memo for :func:`continuation_capable` (classes are few and
+#: immutable at runtime; the check runs on per-read fast paths)
+_CAP_BY_CLASS: dict[type, bool] = {}
+
+
+def continuation_capable(fs: Any) -> bool:
+    """Whether ``fs``'s *class* implements the ``*_begin`` protocol.
+
+    Deliberately ignores instance-level ``__getattr__`` delegation: a
+    fault-injection proxy forwards unknown attributes to the wrapped
+    backend, so a plain ``hasattr`` check would route fused reads around
+    the injector entirely (the delegated ``open_begin`` even returns
+    handles bound to the *inner* filesystem).  Looking the methods up on
+    the type keeps wrapped mounts on the generator path, where every
+    operation passes through the wrapper.
+    """
+    cls = fs.__class__
+    cap = _CAP_BY_CLASS.get(cls)
+    if cap is None:
+        cap = _CAP_BY_CLASS[cls] = (
+            getattr(cls, "pread_begin", None) is not None
+            and getattr(cls, "open_begin", None) is not None
+        )
+    return cap
 
 
 @dataclass
@@ -32,6 +57,12 @@ class OpenFile:
 
 class DataReader:
     """Interface the input pipeline reads training data through."""
+
+    #: readers whose fused ``open_begin`` completes with no timed
+    #: operation set this True; the fused reader FSM then chains straight
+    #: into the first read in the caller's dispatch slot — exactly what a
+    #: zero-yield generator ``open`` does
+    open_is_sync = False
 
     def open(self, path: str) -> Generator[Any, Any, OpenFile]:
         """Timed open of ``path``; returns an :class:`OpenFile`."""
@@ -72,16 +103,29 @@ class PosixReader(DataReader):
         engages when the whole epoch can run continuation-style; a single
         unsupported backend (e.g. a fault-injecting wrapper) falls the
         pipeline back to the generator workers wholesale, so RNG draw
-        order never depends on which shard hit which path.
+        order never depends on which shard hit which path.  Capability is
+        a *class* property (:func:`continuation_capable`) — a delegating
+        wrapper must implement the protocol itself to count.
         """
+        return self.fused_miss(paths) is None
+
+    def fused_miss(self, paths: list[str]) -> str | None:
+        """Why :meth:`fused_capable` declines, or None when it holds.
+
+        ``backend:<Class>`` names the first backend whose class lacks the
+        ``*_begin`` protocol; ``resolve:<path>`` marks a path no mount
+        owns.  Surfaced in the RunReport meta so a capability regression
+        shows up in telemetry instead of only in a profile.
+        """
+        p = ""
         try:
             for p in paths:
                 fs, _ = self.mounts.resolve(p)
-                if not (hasattr(fs, "pread_begin") and hasattr(fs, "open_begin")):
-                    return False
+                if not continuation_capable(fs):
+                    return f"backend:{type(fs).__name__}"
         except StorageError:
-            return False
-        return True
+            return f"resolve:{p}"
+        return None
 
     def open_begin(self, path: str, cb: Any) -> OpenFile:
         """Continuation-style open: returns the OpenFile synchronously,

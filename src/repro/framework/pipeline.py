@@ -150,11 +150,12 @@ class _FusedReader:
     computation, jitter draw, queue entry) happens through the backend's
     ``*_begin`` calls in the same slot the generator would have made it —
     which is what keeps fused-on and fused-off runs bit-identical.  Only
-    engaged when every shard's backend is continuation-capable (see
-    ``PosixReader.fused_capable``); anything else — fault-injection
-    wrappers, the MONARCH reader, cache-writing epochs — falls the whole
-    pipeline back to the generator workers so the shared jitter stream's
-    draw order never depends on per-shard routing.
+    engaged when the reader declares the whole epoch continuation-capable
+    (see ``PosixReader.fused_capable``; the MONARCH readers are always
+    capable and route per read); anything else — fault-injection
+    wrappers, cache-writing epochs — falls the whole pipeline back to the
+    generator workers so the shared jitter stream's draw order never
+    depends on per-shard routing.
     """
 
     __slots__ = (
@@ -171,6 +172,7 @@ class _FusedReader:
         "_store",
         "_ends",
         "_refs",
+        "_sync_open",
     )
 
     def __init__(self, pipe: "EpochPipeline") -> None:
@@ -187,6 +189,7 @@ class _FusedReader:
         self._store = pipe._record_store
         self._ends: list[int] = []
         self._refs: list[RecordRef] = []
+        self._sync_open = getattr(pipe.reader, "open_is_sync", False)
 
     def _start(self, _arg: Any) -> None:
         self._next_shard()
@@ -220,6 +223,12 @@ class _FusedReader:
         except BaseException as err:  # noqa: BLE001 - routed like a dead proc
             self.alive = False
             pipe._fsm_error(err)
+            return
+        if self._sync_open:
+            # Namespace-resolved open with no timed op (``open_is_sync``):
+            # issue the first read in this slot, where the generator
+            # form's zero-yield ``open`` would have continued.
+            self._read_chunk()
 
     def _opened(self, _ev: Any) -> None:
         if self.alive:
@@ -236,8 +245,15 @@ class _FusedReader:
             self.alive = False
             self.pipe._fsm_error(err)
 
-    def _chunk_done(self, _ev: Any) -> None:
+    def _chunk_done(self, ev: Any) -> None:
         if not self.alive:
+            return
+        if ev is not None and ev._exc is not None:
+            # A continuation-driven legacy read died (retry exhaustion,
+            # tenancy violation): route it exactly like a dead reader
+            # process — same slot the process-fail event would occupy.
+            self.alive = False
+            self.pipe._fsm_error(ev._exc)
             return
         n = self._take
         if n == 0:
@@ -513,6 +529,11 @@ class EpochPipeline:
         self._fsm_readers: list[_FusedReader] = []
         self._fsm_mappers: list[_FusedMapper] = []
         self._readers_left = 0
+        #: set by :meth:`start`: whether the fused reader FSMs engaged
+        self.fused_readers = False
+        #: why fusion *couldn't* engage (capability miss), or None when it
+        #: engaged or was off by design (env gate, cache-writing epoch)
+        self.fusion_miss: str | None = None
         self.error: BaseException | None = None
         # Fires once if any stage process dies; lets next_batch wait on a
         # single persistent event instead of re-watching every process.
@@ -640,6 +661,20 @@ class EpochPipeline:
             and cap is not None
             and cap([s.path for s in self.shards])
         )
+        self.fused_readers = fuse_readers
+        if fused and not fuse_readers and not self.cache_writing:
+            # Capability miss (not a deliberate gate): record why, so a
+            # protocol regression surfaces in the RunReport meta instead
+            # of only as a mysteriously slower run.
+            if cap is None:
+                self.fusion_miss = f"reader:{type(self.reader).__name__}"
+            else:
+                miss = getattr(self.reader, "fused_miss", None)
+                self.fusion_miss = (
+                    miss([s.path for s in self.shards])
+                    if miss is not None
+                    else f"reader:{type(self.reader).__name__}"
+                )
         procs: list[Any] = []
         if fuse_readers:
             self._readers_left = cfg.cycle_length

@@ -47,6 +47,11 @@ class TrainResult:
     epochs: list[EpochResult] = field(default_factory=list)
     init_time_s: float = 0.0  #: setup before epoch 1 (MONARCH metadata init)
     memory_estimate_bytes: int = 0
+    #: why the fused reader FSMs could not engage, per reason -> epoch
+    #: count; empty when fusion ran (or was off by design: env gate,
+    #: cache-writing epoch).  Surfaced in the RunReport meta so a
+    #: capability regression shows in telemetry, not only in a profile.
+    fusion_misses: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_time_s(self) -> float:
@@ -138,6 +143,10 @@ class Trainer:
             cache_writing=cache_writing,
         )
         pipe.start()
+        miss = pipe.fusion_miss
+        if miss is not None:
+            misses = self.result.fusion_misses
+            misses[miss] = misses.get(miss, 0) + 1
         steps = 0
         records = 0
         n_gpus = self.node.spec.n_gpus

@@ -331,6 +331,21 @@ def _tag_policy(meta: dict[str, Any], telemetry: RunTelemetry) -> None:
         meta["policy"] = monarch.config.policy
 
 
+def _tag_fusion_misses(meta: dict[str, Any], result: Any) -> None:
+    """Record why the fused reader FSMs could not engage.
+
+    A capability miss — a reader or backend that doesn't speak the
+    continuation protocol — used to be invisible: the pipeline silently
+    fell back to generator workers and only a profile would show it.
+    Emitted only when non-empty (deliberate disengagement — the
+    ``REPRO_DISABLE_FUSED_PIPELINE`` gate, cache-writing epochs — is not
+    a miss), so existing golden reports stay byte-identical.
+    """
+    misses = getattr(result, "fusion_misses", None)
+    if misses:
+        meta["fused_capability_misses"] = dict(sorted(misses.items()))
+
+
 def build_run_report(
     telemetry: RunTelemetry,
     result: "TrainResult",
@@ -396,6 +411,7 @@ def build_run_report(
         "total_time_s": result.total_time_s,
     }
     _tag_policy(meta, telemetry)
+    _tag_fusion_misses(meta, result)
     return RunReport(
         meta=meta,
         epochs=epoch_entries,
@@ -629,6 +645,7 @@ def build_dist_run_report(cluster: Any, result: Any, record: Any) -> RunReport:
         "init_time_s": result.init_time_s,
         "total_time_s": result.total_time_s,
     }
+    _tag_fusion_misses(meta, result)
     events = cluster.recorder.to_payload() if cluster.recorder is not None else []
     return RunReport(
         meta=meta,

@@ -7,6 +7,12 @@ batch-advance kernel: a full seeded run must produce a *byte-identical*
 ``RunRecord`` either way — every epoch time, utilization average and
 backend counter, down to float repr.  An engagement spy guards against
 the comparison going vacuous (both sides silently running legacy).
+
+Monarch and monarch-p2p cells engage the fused FSMs too (the middleware
+and peer-cache readers speak the continuation protocol, routing per
+read), so they get the same spy-guarded treatment — including under
+fault plans, where the inlined fast paths must hand off to the legacy
+generator without perturbing a single event slot.
 """
 
 from __future__ import annotations
@@ -15,15 +21,19 @@ import pytest
 
 import repro.framework.pipeline as pipeline_mod
 from repro.data.imagenet import IMAGENET_100G
+from repro.experiments.dist_scenarios import run_distributed_once
 from repro.experiments.runner import run_once
+from repro.experiments.scenarios import ssd_tier_down_plan
+from repro.faults import FaultPlan, TransientFaults
 
 #: small but contended: 16 shards, multi-epoch, both OST queueing and
 #: CPU-bound mapper stretches — the kernel-speed probe's little sibling
 _SCALE = 1 / 256
 
 
-@pytest.mark.parametrize("setup", ["vanilla-lustre", "vanilla-local"])
-def test_fused_and_generator_records_byte_identical(setup, monkeypatch):
+@pytest.fixture
+def fused_spy(monkeypatch):
+    """Record every fused-reader FSM start (the engagement signal)."""
     started = []
     real_start = pipeline_mod._FusedReader._start
 
@@ -32,25 +42,87 @@ def test_fused_and_generator_records_byte_identical(setup, monkeypatch):
         real_start(self, arg)
 
     monkeypatch.setattr(pipeline_mod._FusedReader, "_start", spying_start)
+    return started
+
+
+@pytest.mark.parametrize("setup", ["vanilla-lustre", "vanilla-local", "monarch"])
+def test_fused_and_generator_records_byte_identical(setup, fused_spy, monkeypatch):
     monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
     fused = repr(run_once(setup, "resnet50", IMAGENET_100G, scale=_SCALE, seed=0))
-    assert started, "fused readers never engaged — comparison would be vacuous"
+    assert fused_spy, "fused readers never engaged — comparison would be vacuous"
 
     monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
-    started.clear()
+    fused_spy.clear()
     legacy = repr(run_once(setup, "resnet50", IMAGENET_100G, scale=_SCALE, seed=0))
-    assert not started, "gate ignored — legacy run used the fused readers"
+    assert not fused_spy, "gate ignored — legacy run used the fused readers"
 
     assert fused == legacy
 
 
-def test_monarch_setup_unaffected_by_gate(monkeypatch):
-    """MONARCH's reader isn't continuation-capable: both modes must fall
-    back to (identical) generator readers, with fused mappers still on."""
+def test_monarch_p2p_fused_and_generator_identical(fused_spy, monkeypatch):
+    """Peer-cache cells engage the fused FSMs and stay bit-identical:
+    the peer-fetch continuation chain (remote SSD read + fabric transfer)
+    must land every hold and counter in the generator path's slots."""
     monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
-    default = repr(run_once("monarch", "resnet50", IMAGENET_100G,
-                            scale=_SCALE, seed=0))
+    fused = repr(run_distributed_once(
+        "monarch-p2p", "resnet50", IMAGENET_100G, n_nodes=3,
+        policy="reshuffle", scale=_SCALE, seed=0,
+    ))
+    assert fused_spy, "fused readers never engaged on monarch-p2p"
+
     monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
-    gated = repr(run_once("monarch", "resnet50", IMAGENET_100G,
-                          scale=_SCALE, seed=0))
-    assert default == gated
+    fused_spy.clear()
+    legacy = repr(run_distributed_once(
+        "monarch-p2p", "resnet50", IMAGENET_100G, n_nodes=3,
+        policy="reshuffle", scale=_SCALE, seed=0,
+    ))
+    assert not fused_spy
+
+    assert fused == legacy
+
+
+def test_faulted_monarch_engages_fused_and_stays_identical(fused_spy, monkeypatch):
+    """Under a fault plan the monarch reader still engages (capability is
+    per read), but every read on the fault-wrapped mounts replays the
+    legacy generator — injection, quarantine and recovery included."""
+    plan = ssd_tier_down_plan(0.05, recover_at_s=0.4)
+    monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
+    fused = repr(run_once("monarch", "resnet50", IMAGENET_100G,
+                          scale=_SCALE, seed=3, fault_plan=plan))
+    assert fused_spy, "fault plan must not disengage the monarch fused readers"
+
+    monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
+    fused_spy.clear()
+    legacy = repr(run_once("monarch", "resnet50", IMAGENET_100G,
+                           scale=_SCALE, seed=3, fault_plan=plan))
+    assert fused == legacy
+
+
+def test_faulted_vanilla_mount_disengages_fused(fused_spy, monkeypatch):
+    """A fault-wrapped POSIX mount is not continuation-capable *as a
+    class* — the proxy's ``__getattr__`` would otherwise tunnel fused
+    reads around the injector.  The pipeline must fall back wholesale
+    and report the capability miss in the RunReport meta."""
+    plan = FaultPlan({
+        "/mnt/pfs": (TransientFaults(start=0.0, end=1e9, read_p=0.0),)
+    })
+    monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
+    record = run_once("vanilla-lustre", "resnet50", IMAGENET_100G,
+                      scale=_SCALE, seed=0, fault_plan=plan, report=True)
+    assert not fused_spy, "fused readers tunnelled past the fault injector"
+    misses = record.report["meta"]["fused_capability_misses"]
+    assert misses == {"backend:FaultyFileSystem": len(record.epoch_times_s)}
+
+
+def test_clean_reports_carry_no_miss_key(monkeypatch):
+    """Fusion engaging (or being gated off deliberately) is not a miss:
+    the meta key must stay absent so golden reports stay byte-stable."""
+    monkeypatch.delenv("REPRO_DISABLE_FUSED_PIPELINE", raising=False)
+    record = run_once("monarch", "resnet50", IMAGENET_100G,
+                      scale=_SCALE, seed=0, report=True)
+    assert "fused_capability_misses" not in record.report["meta"]
+
+    monkeypatch.setenv("REPRO_DISABLE_FUSED_PIPELINE", "1")
+    gated = run_once("monarch", "resnet50", IMAGENET_100G,
+                     scale=_SCALE, seed=0, report=True)
+    assert "fused_capability_misses" not in gated.report["meta"]

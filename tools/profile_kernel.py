@@ -1,12 +1,15 @@
-"""Profile the kernel probe cell under cProfile.
+"""Profile a kernel probe cell under cProfile.
 
-Runs the same contended cell as ``benchmarks/test_kernel_speed.py``
-(vanilla-lustre / resnet50 at the bench scale), scenario build excluded,
-and prints the top cumulative-time functions — the first stop when
-events/sec regresses.  Usage::
+Runs the same contended cells as ``benchmarks/test_kernel_speed.py``
+(scenario build excluded) and prints the top cumulative-time functions —
+the first stop when events/sec regresses.  ``--setup`` picks the cell:
+``vanilla-lustre`` (the historical probe), ``monarch`` (the middleware
+fused-read path that dominates figure grids) or ``monarch-p2p`` (the
+peer-cache cluster cell, run distributed on 3 nodes).  Usage::
 
-    make profile-kernel            # scale 1/128, top 20
-    python tools/profile_kernel.py --scale 1/64 --top 30
+    make profile-kernel                          # vanilla, 1/128, top 20
+    python tools/profile_kernel.py --setup monarch --scale 1/64 --top 30
+    python tools/profile_kernel.py --setup monarch-p2p
 """
 
 from __future__ import annotations
@@ -24,9 +27,56 @@ from repro.data.imagenet import IMAGENET_100G  # noqa: E402
 from repro.experiments.calibration import DEFAULT_CALIBRATION  # noqa: E402
 from repro.experiments.scenarios import build_run  # noqa: E402
 
+#: nodes for the distributed (monarch-p2p) probe
+P2P_NODES = 3
+
+
+def _single_probe(setup: str, scale: float):
+    """(execute thunk, sim) for a single-node cell."""
+    handle = build_run(
+        setup, "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
+        scale=scale, seed=0,
+    )
+    return handle.execute, handle.sim
+
+
+def _p2p_probe(scale: float):
+    """(execute thunk, sim) for the peer-cache cluster cell."""
+    from repro.distributed.cluster import ClusterSpec, build_cluster
+    from repro.distributed.trainer import DistributedTrainer
+    from repro.framework.models import MODELS
+
+    cluster = build_cluster(
+        setup="monarch-p2p",
+        dataset=IMAGENET_100G,
+        calib=DEFAULT_CALIBRATION,
+        cluster_spec=ClusterSpec(n_nodes=P2P_NODES),
+        scale=scale,
+        seed=0,
+        record_events=False,
+    )
+    assert cluster.env is not None
+    trainer = DistributedTrainer(
+        cluster=cluster,
+        model=MODELS["resnet50"],
+        pipeline_config=cluster.env.pipeline,
+        partition_policy="reshuffle",
+        epochs=DEFAULT_CALIBRATION.epochs,
+        seed=0,
+    )
+
+    def execute():
+        proc = cluster.sim.spawn(trainer.run(), name="dist-train")
+        return cluster.sim.run(proc)
+
+    return execute, cluster.sim
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--setup", default="vanilla-lustre",
+                        choices=("vanilla-lustre", "monarch", "monarch-p2p"),
+                        help="probe cell to profile (default vanilla-lustre)")
     parser.add_argument("--scale", default="1/128",
                         help="simulation scale (fraction, default 1/128)")
     parser.add_argument("--top", type=int, default=20,
@@ -37,17 +87,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     scale = float(Fraction(args.scale))
 
-    handle = build_run(
-        "vanilla-lustre", "resnet50", IMAGENET_100G, DEFAULT_CALIBRATION,
-        scale=scale, seed=0,
-    )
+    if args.setup == "monarch-p2p":
+        execute, sim = _p2p_probe(scale)
+        label = f"monarch-p2p/resnet50 x{P2P_NODES}"
+    else:
+        execute, sim = _single_probe(args.setup, scale)
+        label = f"{args.setup}/resnet50"
     profiler = cProfile.Profile()
     profiler.enable()
-    handle.execute()
+    execute()
     profiler.disable()
 
-    print(f"probe: vanilla-lustre/resnet50 scale={args.scale} "
-          f"({handle.sim.events_processed} dispatch slots)")
+    print(f"probe: {label} scale={args.scale} "
+          f"({sim.events_processed} dispatch slots)")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
     return 0
